@@ -1,0 +1,374 @@
+//! Call-path (calling-context) analysis.
+//!
+//! An extension of the paper's §IV: the dominant-function rule treats
+//! every invocation of a function alike, but the *same* function can play
+//! different roles depending on its caller — `diffusion_solve` called
+//! once from `init` is not the iterative behaviour `diffusion_solve`
+//! called from `timeloop` is. Aggregating per **call path** (the chain of
+//! functions from the root, as HPCToolkit/Score-P calling-context trees
+//! do) separates the two, and the dominant-selection rule applies
+//! unchanged at path granularity: a dominant *call path* needs at least
+//! `2p` invocations and maximal aggregated inclusive time.
+//!
+//! [`Segmentation`](crate::segment::Segmentation) works on functions;
+//! [`CallTree::invocations_of`] exposes which invocations belong to a
+//! path so callers can segment by path when the distinction matters.
+
+use crate::invocation::ProcessInvocations;
+use perfvar_trace::{DurationTicks, FunctionId, Registry, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a node of the [`CallTree`] (a distinct call path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CallPathId(pub u32);
+
+impl CallPathId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One call-path node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CallNode {
+    /// The function at the end of this path.
+    pub function: FunctionId,
+    /// The caller's path, if any.
+    pub parent: Option<CallPathId>,
+    /// Callee paths, in first-seen order.
+    pub children: Vec<CallPathId>,
+    /// Number of invocations of this exact path, over all processes.
+    pub count: u64,
+    /// Aggregated inclusive time of those invocations.
+    pub inclusive: DurationTicks,
+    /// Aggregated exclusive time.
+    pub exclusive: DurationTicks,
+}
+
+/// The merged calling-context tree of all processes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CallTree {
+    nodes: Vec<CallNode>,
+    roots: Vec<CallPathId>,
+}
+
+impl CallTree {
+    /// Builds the tree from replayed invocations (one entry per process).
+    pub fn build(replayed: &[ProcessInvocations]) -> CallTree {
+        let mut nodes: Vec<CallNode> = Vec::new();
+        let mut roots: Vec<CallPathId> = Vec::new();
+        let mut index: HashMap<(Option<CallPathId>, FunctionId), CallPathId> = HashMap::new();
+        // Per process: the path node of each invocation (by invocation
+        // index), resolved parents-first thanks to pre-order.
+        let mut inv_nodes: Vec<CallPathId> = Vec::new();
+        for proc_inv in replayed {
+            inv_nodes.clear();
+            inv_nodes.reserve(proc_inv.len());
+            for inv in proc_inv.invocations() {
+                let parent_node = inv.parent.map(|p| inv_nodes[p as usize]);
+                let id = *index.entry((parent_node, inv.function)).or_insert_with(|| {
+                    let id = CallPathId(nodes.len() as u32);
+                    nodes.push(CallNode {
+                        function: inv.function,
+                        parent: parent_node,
+                        children: Vec::new(),
+                        count: 0,
+                        inclusive: DurationTicks::ZERO,
+                        exclusive: DurationTicks::ZERO,
+                    });
+                    match parent_node {
+                        Some(p) => nodes[p.index()].children.push(id),
+                        None => roots.push(id),
+                    }
+                    id
+                });
+                let node = &mut nodes[id.index()];
+                node.count += 1;
+                node.inclusive += inv.inclusive();
+                node.exclusive += inv.exclusive();
+                inv_nodes.push(id);
+            }
+        }
+        CallTree { nodes, roots }
+    }
+
+    /// Number of distinct call paths.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: CallPathId) -> &CallNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Top-level paths.
+    pub fn roots(&self) -> &[CallPathId] {
+        &self.roots
+    }
+
+    /// All node ids, in creation order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = CallPathId> {
+        (0..self.nodes.len() as u32).map(CallPathId)
+    }
+
+    /// The `/`-joined path string, e.g. `"main/timeloop/solve"`.
+    pub fn path_string(&self, id: CallPathId, registry: &Registry) -> String {
+        let mut parts = Vec::new();
+        let mut cursor = Some(id);
+        while let Some(c) = cursor {
+            let node = self.node(c);
+            parts.push(registry.function_name(node.function));
+            cursor = node.parent;
+        }
+        parts.reverse();
+        parts.join("/")
+    }
+
+    /// The dominant *call path* under the paper's rule transplanted to
+    /// path granularity: at least `multiplier × p` invocations, maximal
+    /// aggregated inclusive time (ties broken by id).
+    pub fn dominant_call_path(&self, trace: &Trace, multiplier: u64) -> Option<CallPathId> {
+        let required = multiplier * trace.num_processes() as u64;
+        self.ids()
+            .filter(|id| {
+                let n = self.node(*id);
+                n.count >= required && n.count > 0
+            })
+            .max_by_key(|id| (self.node(*id).inclusive, std::cmp::Reverse(id.0)))
+    }
+
+    /// The invocation indices (per process) whose path is `id` — use to
+    /// segment by call path.
+    pub fn invocations_of<'a>(
+        &'a self,
+        replayed: &'a [ProcessInvocations],
+        id: CallPathId,
+    ) -> impl Iterator<Item = (&'a ProcessInvocations, usize)> + 'a {
+        // Recompute the per-invocation node mapping lazily per process.
+        replayed.iter().flat_map(move |proc_inv| {
+            let mut inv_nodes: Vec<Option<CallPathId>> = Vec::with_capacity(proc_inv.len());
+            let mut matches = Vec::new();
+            for (i, inv) in proc_inv.invocations().iter().enumerate() {
+                let parent_node = inv.parent.and_then(|p| inv_nodes[p as usize]);
+                let node = self.resolve(parent_node, inv.function);
+                if node == Some(id) {
+                    matches.push((proc_inv, i));
+                }
+                inv_nodes.push(node);
+            }
+            matches
+        })
+    }
+
+    /// Finds the node for `(parent, function)` if it exists.
+    fn resolve(&self, parent: Option<CallPathId>, function: FunctionId) -> Option<CallPathId> {
+        let candidates: &[CallPathId] = match parent {
+            Some(p) => &self.node(p).children,
+            None => &self.roots,
+        };
+        candidates
+            .iter()
+            .copied()
+            .find(|c| self.node(*c).function == function)
+    }
+
+    /// Renders the tree as indented text, children sorted by inclusive
+    /// time, limited to `max_depth` levels.
+    pub fn render_text(&self, registry: &Registry, max_depth: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut stack: Vec<(CallPathId, usize)> = Vec::new();
+        let mut roots = self.roots.clone();
+        roots.sort_by_key(|id| std::cmp::Reverse(self.node(*id).inclusive));
+        for root in roots.into_iter().rev() {
+            stack.push((root, 0));
+        }
+        while let Some((id, depth)) = stack.pop() {
+            let node = self.node(id);
+            let _ = writeln!(
+                out,
+                "{:indent$}{} ×{}  incl {}  excl {}",
+                "",
+                registry.function_name(node.function),
+                node.count,
+                node.inclusive.0,
+                node.exclusive.0,
+                indent = depth * 2
+            );
+            if depth + 1 < max_depth {
+                let mut children = node.children.clone();
+                children.sort_by_key(|id| std::cmp::Reverse(self.node(*id).inclusive));
+                for child in children.into_iter().rev() {
+                    stack.push((child, depth + 1));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::replay_all;
+    use perfvar_trace::{Clock, FunctionRole, Timestamp, TraceBuilder};
+
+    /// `work` is called once from `init` (long) and repeatedly from
+    /// `iteration` (short): function-level aggregation conflates the two,
+    /// call paths separate them.
+    fn two_context_trace() -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let main_f = b.define_function("main", FunctionRole::Compute);
+        let init_f = b.define_function("init", FunctionRole::Compute);
+        let iter_f = b.define_function("iteration", FunctionRole::Compute);
+        let work_f = b.define_function("work", FunctionRole::Compute);
+        for _ in 0..2 {
+            let p = b.define_process("p");
+            let w = b.process_mut(p);
+            w.enter(Timestamp(0), main_f).unwrap();
+            w.enter(Timestamp(0), init_f).unwrap();
+            w.enter(Timestamp(0), work_f).unwrap();
+            w.leave(Timestamp(100), work_f).unwrap();
+            w.leave(Timestamp(100), init_f).unwrap();
+            let mut t = 100;
+            for _ in 0..5 {
+                w.enter(Timestamp(t), iter_f).unwrap();
+                w.enter(Timestamp(t), work_f).unwrap();
+                t += 10;
+                w.leave(Timestamp(t), work_f).unwrap();
+                w.leave(Timestamp(t), iter_f).unwrap();
+            }
+            w.leave(Timestamp(t), main_f).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn paths_separate_calling_contexts() {
+        let trace = two_context_trace();
+        let replayed = replay_all(&trace);
+        let tree = CallTree::build(&replayed);
+        let reg = trace.registry();
+        // Paths: main, main/init, main/init/work, main/iteration,
+        // main/iteration/work → 5 nodes.
+        assert_eq!(tree.len(), 5);
+        let paths: Vec<String> = tree.ids().map(|id| tree.path_string(id, reg)).collect();
+        assert!(paths.contains(&"main/init/work".to_string()));
+        assert!(paths.contains(&"main/iteration/work".to_string()));
+        // The two `work` contexts have distinct aggregates.
+        let init_work = tree
+            .ids()
+            .find(|id| tree.path_string(*id, reg) == "main/init/work")
+            .unwrap();
+        let iter_work = tree
+            .ids()
+            .find(|id| tree.path_string(*id, reg) == "main/iteration/work")
+            .unwrap();
+        assert_eq!(tree.node(init_work).count, 2); // once per process
+        assert_eq!(tree.node(init_work).inclusive, DurationTicks(200));
+        assert_eq!(tree.node(iter_work).count, 10);
+        assert_eq!(tree.node(iter_work).inclusive, DurationTicks(100));
+    }
+
+    #[test]
+    fn dominant_call_path_respects_2p_rule() {
+        let trace = two_context_trace();
+        let replayed = replay_all(&trace);
+        let tree = CallTree::build(&replayed);
+        let reg = trace.registry();
+        // p = 2, required = 4. main (2), main/init (2), main/init/work (2)
+        // all fail; main/iteration (10, incl 100) and main/iteration/work
+        // (10, incl 100) qualify — the tie breaks to the lower id, which
+        // is the parent (created first).
+        let dominant = tree.dominant_call_path(&trace, 2).unwrap();
+        assert_eq!(tree.path_string(dominant, reg), "main/iteration");
+        // Function-level selection would have been misled: `work` has
+        // aggregated inclusive 300 (including the init call), more than
+        // `iteration`'s 100.
+    }
+
+    #[test]
+    fn invocations_of_selects_one_context() {
+        let trace = two_context_trace();
+        let replayed = replay_all(&trace);
+        let tree = CallTree::build(&replayed);
+        let reg = trace.registry();
+        let iter_work = tree
+            .ids()
+            .find(|id| tree.path_string(*id, reg) == "main/iteration/work")
+            .unwrap();
+        let hits: Vec<(u32, usize)> = tree
+            .invocations_of(&replayed, iter_work)
+            .map(|(pi, idx)| (pi.process.0, idx))
+            .collect();
+        assert_eq!(hits.len(), 10);
+        // All selected invocations are 10 ticks (the iterative ones).
+        for (p, idx) in hits {
+            let inv = &replayed[p as usize].invocations()[idx];
+            assert_eq!(inv.inclusive(), DurationTicks(10));
+        }
+    }
+
+    #[test]
+    fn roots_and_children_structure() {
+        let trace = two_context_trace();
+        let replayed = replay_all(&trace);
+        let tree = CallTree::build(&replayed);
+        assert_eq!(tree.roots().len(), 1);
+        let root = tree.node(tree.roots()[0]);
+        assert_eq!(root.children.len(), 2); // init, iteration
+        assert_eq!(root.count, 2);
+    }
+
+    #[test]
+    fn render_text_shows_tree() {
+        let trace = two_context_trace();
+        let replayed = replay_all(&trace);
+        let tree = CallTree::build(&replayed);
+        let text = tree.render_text(trace.registry(), 3);
+        assert!(text.contains("main"));
+        assert!(text.contains("  iteration"));
+        assert!(text.contains("    work"));
+        // Depth limit: cutting at 2 hides work.
+        let shallow = tree.render_text(trace.registry(), 2);
+        assert!(!shallow.contains("    work"));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = CallTree::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.roots().is_empty());
+    }
+
+    #[test]
+    fn recursion_creates_path_per_depth() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("f", FunctionRole::Compute);
+        let p = b.define_process("p");
+        let w = b.process_mut(p);
+        w.enter(Timestamp(0), f).unwrap();
+        w.enter(Timestamp(1), f).unwrap();
+        w.enter(Timestamp(2), f).unwrap();
+        w.leave(Timestamp(3), f).unwrap();
+        w.leave(Timestamp(4), f).unwrap();
+        w.leave(Timestamp(5), f).unwrap();
+        let trace = b.finish().unwrap();
+        let tree = CallTree::build(&replay_all(&trace));
+        assert_eq!(tree.len(), 3); // f, f/f, f/f/f
+        let reg = trace.registry();
+        let deepest = tree
+            .ids()
+            .find(|id| tree.path_string(*id, reg) == "f/f/f")
+            .unwrap();
+        assert_eq!(tree.node(deepest).count, 1);
+    }
+}

@@ -1,0 +1,334 @@
+//! Process-similarity clustering on SOS-time profiles.
+//!
+//! The paper's related work discusses two complementary ideas this
+//! module provides as an extension: grouping structurally equal
+//! processes to summarise large runs (Mohror et al.) and classifying
+//! behaviour by clustering (González et al.). Here, each process is a
+//! vector of per-segment SOS-times; agglomerative clustering with
+//! average linkage groups processes with similar computational
+//! behaviour. For the COSMO-SPECS case study this cleanly separates the
+//! six cloud-loaded ranks from the other 94; for a balanced run it
+//! produces a single cluster.
+
+use crate::sos::SosMatrix;
+use perfvar_trace::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// Clustering parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Stop merging when the closest pair of clusters is farther apart
+    /// than `distance_threshold × (global RMS of SOS values)`.
+    /// Relative, so workloads of any absolute magnitude cluster alike.
+    pub distance_threshold: f64,
+    /// If set, ignore the threshold and merge down to exactly this many
+    /// clusters (or fewer if there are fewer processes).
+    pub num_clusters: Option<usize>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            distance_threshold: 0.25,
+            num_clusters: None,
+        }
+    }
+}
+
+/// One cluster of behaviourally similar processes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Member processes, ascending.
+    pub members: Vec<ProcessId>,
+    /// The medoid: the member closest to the cluster mean profile —
+    /// a natural *representative* for summarised visualisation.
+    pub representative: ProcessId,
+    /// Mean per-segment SOS profile of the cluster.
+    pub centroid: Vec<f64>,
+}
+
+/// The clustering result.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProcessClustering {
+    /// Clusters, largest first.
+    pub clusters: Vec<Cluster>,
+}
+
+impl ProcessClustering {
+    /// Clusters the processes of `matrix`.
+    pub fn compute(matrix: &SosMatrix, config: ClusterConfig) -> ProcessClustering {
+        let p = matrix.num_processes();
+        if p == 0 {
+            return ProcessClustering {
+                clusters: Vec::new(),
+            };
+        }
+        // Pad ragged rows with zeros to a rectangular profile matrix.
+        let width = (0..p)
+            .map(|i| matrix.process_sos(ProcessId::from_index(i)).len())
+            .max()
+            .unwrap_or(0);
+        let profiles: Vec<Vec<f64>> = (0..p)
+            .map(|i| {
+                let row = matrix.process_sos(ProcessId::from_index(i));
+                let mut v: Vec<f64> = row.iter().map(|d| d.0 as f64).collect();
+                v.resize(width, 0.0);
+                v
+            })
+            .collect();
+
+        // Scale threshold by the RMS of all values.
+        let rms = {
+            let (sum, n) = profiles
+                .iter()
+                .flatten()
+                .fold((0.0f64, 0usize), |(s, n), v| (s + v * v, n + 1));
+            if n == 0 {
+                0.0
+            } else {
+                (sum / n as f64).sqrt()
+            }
+        };
+        let stop_distance = config.distance_threshold * rms.max(f64::EPSILON);
+
+        // Agglomerative, average linkage via centroid bookkeeping.
+        struct Node {
+            members: Vec<usize>,
+            centroid: Vec<f64>,
+        }
+        let mut nodes: Vec<Option<Node>> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, prof)| {
+                Some(Node {
+                    members: vec![i],
+                    centroid: prof.clone(),
+                })
+            })
+            .collect();
+        let mut active = p;
+        let target = config.num_clusters.map(|k| k.max(1));
+        loop {
+            if active <= 1 {
+                break;
+            }
+            if let Some(k) = target {
+                if active <= k {
+                    break;
+                }
+            }
+            // Find closest pair of centroids.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..nodes.len() {
+                let Some(a) = &nodes[i] else { continue };
+                for (j, node) in nodes.iter().enumerate().skip(i + 1) {
+                    let Some(b) = node else { continue };
+                    let d = euclidean(&a.centroid, &b.centroid);
+                    if best.is_none() || d < best.unwrap().2 {
+                        best = Some((i, j, d));
+                    }
+                }
+            }
+            let Some((i, j, d)) = best else { break };
+            if target.is_none() && d > stop_distance {
+                break;
+            }
+            // Merge j into i.
+            let b = nodes[j].take().unwrap();
+            let a = nodes[i].as_mut().unwrap();
+            let na = a.members.len() as f64;
+            let nb = b.members.len() as f64;
+            for (ca, cb) in a.centroid.iter_mut().zip(&b.centroid) {
+                *ca = (*ca * na + cb * nb) / (na + nb);
+            }
+            a.members.extend(b.members);
+            active -= 1;
+        }
+
+        let mut clusters: Vec<Cluster> = nodes
+            .into_iter()
+            .flatten()
+            .map(|node| {
+                let mut members = node.members;
+                members.sort_unstable();
+                // Medoid: member closest to the centroid.
+                let representative = *members
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        euclidean(&profiles[a], &node.centroid)
+                            .total_cmp(&euclidean(&profiles[b], &node.centroid))
+                    })
+                    .unwrap();
+                Cluster {
+                    members: members.iter().map(|&m| ProcessId::from_index(m)).collect(),
+                    representative: ProcessId::from_index(representative),
+                    centroid: node.centroid,
+                }
+            })
+            .collect();
+        clusters.sort_by_key(|c| (std::cmp::Reverse(c.members.len()), c.members[0].0));
+        ProcessClustering { clusters }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether there are no clusters (empty trace).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The cluster containing `process`, if any.
+    pub fn cluster_of(&self, process: ProcessId) -> Option<&Cluster> {
+        self.clusters.iter().find(|c| c.members.contains(&process))
+    }
+
+    /// Clusters other than the largest — the "unusual" processes a
+    /// summarised view must not hide.
+    pub fn minority_clusters(&self) -> &[Cluster] {
+        if self.clusters.is_empty() {
+            &[]
+        } else {
+            &self.clusters[1..]
+        }
+    }
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::replay_all;
+    use crate::segment::Segmentation;
+    use perfvar_trace::{Clock, FunctionRole, Timestamp, Trace, TraceBuilder};
+
+    /// `groups` gives, per process, the per-iteration loads.
+    fn trace_with_loads(groups: &[Vec<u64>]) -> SosMatrix {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("iter", FunctionRole::Compute);
+        for loads in groups {
+            let p = b.define_process("p");
+            let w = b.process_mut(p);
+            let mut t = 0u64;
+            for &load in loads {
+                w.enter(Timestamp(t), f).unwrap();
+                t += load;
+                w.leave(Timestamp(t), f).unwrap();
+            }
+        }
+        let trace: Trace = b.finish().unwrap();
+        SosMatrix::from_segmentation(&Segmentation::new(&trace, &replay_all(&trace), f))
+    }
+
+    #[test]
+    fn identical_processes_form_one_cluster() {
+        let m = trace_with_loads(&vec![vec![100, 100, 100]; 6]);
+        let c = ProcessClustering::compute(&m, ClusterConfig::default());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.clusters[0].members.len(), 6);
+        assert!(c.minority_clusters().is_empty());
+    }
+
+    #[test]
+    fn two_behaviour_groups_separate() {
+        let mut groups = vec![vec![100u64, 100, 100]; 5];
+        groups.extend(vec![vec![300u64, 320, 310]; 3]);
+        let m = trace_with_loads(&groups);
+        let c = ProcessClustering::compute(&m, ClusterConfig::default());
+        assert_eq!(c.len(), 2, "{c:?}");
+        assert_eq!(c.clusters[0].members.len(), 5); // largest first
+        assert_eq!(c.clusters[1].members.len(), 3);
+        let slow: Vec<u32> = c.clusters[1].members.iter().map(|p| p.0).collect();
+        assert_eq!(slow, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn fixed_cluster_count_override() {
+        let mut groups = vec![vec![100u64; 4]; 4];
+        groups.push(vec![600u64; 4]);
+        groups.push(vec![900u64; 4]);
+        let m = trace_with_loads(&groups);
+        let c = ProcessClustering::compute(
+            &m,
+            ClusterConfig {
+                num_clusters: Some(2),
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(c.len(), 2);
+        // 600 and 900 merge together before joining the 100s.
+        assert_eq!(c.clusters[1].members.len(), 2);
+    }
+
+    #[test]
+    fn representative_is_a_member_near_centroid() {
+        let groups = vec![
+            vec![100u64, 100],
+            vec![110, 110],
+            vec![90, 90],
+            vec![500, 500],
+        ];
+        let m = trace_with_loads(&groups);
+        let c = ProcessClustering::compute(&m, ClusterConfig::default());
+        let big = &c.clusters[0];
+        assert!(big.members.contains(&big.representative));
+        // Centroid of {100,110,90} is 100 → representative is process 0.
+        assert_eq!(big.representative, ProcessId(0));
+    }
+
+    #[test]
+    fn cluster_of_lookup() {
+        let groups = vec![vec![100u64; 3]; 3];
+        let m = trace_with_loads(&groups);
+        let c = ProcessClustering::compute(&m, ClusterConfig::default());
+        assert!(c.cluster_of(ProcessId(2)).is_some());
+        assert!(c.cluster_of(ProcessId(9)).is_none());
+    }
+
+    #[test]
+    fn empty_matrix_clusters_to_nothing() {
+        let m = trace_with_loads(&[]);
+        let c = ProcessClustering::compute(&m, ClusterConfig::default());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let groups = vec![vec![100u64, 100, 100], vec![100, 100]];
+        let m = trace_with_loads(&groups);
+        let c = ProcessClustering::compute(&m, ClusterConfig::default());
+        // The missing third segment (padded 0) makes process 1 distinct
+        // at the default threshold of 0.25·RMS.
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn cosmo_like_hotspot_isolated() {
+        // 14 balanced ranks + 2 hot ranks with growing load.
+        let mut groups = vec![vec![100u64; 8]; 14];
+        groups.push((0..8).map(|i| 100 + 40 * i).collect());
+        groups.push((0..8).map(|i| 100 + 50 * i).collect());
+        let m = trace_with_loads(&groups);
+        let c = ProcessClustering::compute(&m, ClusterConfig::default());
+        assert!(c.len() >= 2);
+        let minority: Vec<u32> = c
+            .minority_clusters()
+            .iter()
+            .flat_map(|cl| cl.members.iter().map(|p| p.0))
+            .collect();
+        assert!(
+            minority.contains(&14) && minority.contains(&15),
+            "{minority:?}"
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Run-to-run comparison of SOS-time analyses.
+//!
+//! The paper's workflow ends with a fix ("introduce dynamic load
+//! balancing for the SPECS model"); this module closes the loop by
+//! comparing the analysis of two runs — before and after — the way the
+//! authors' earlier alignment-based trace comparison (Weber et al.,
+//! Euro-Par 2013, cited as related work) compares whole traces, but on
+//! the SOS abstraction: per-process computational load and a global
+//! imbalance index.
+//!
+//! The **imbalance index** is the classic load-imbalance percentage
+//! `(max − mean) / max` over per-process total SOS-times: 0 for a
+//! perfectly balanced run, → 1 when one process does all the work.
+
+use crate::sos::SosMatrix;
+use perfvar_trace::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one run, as used by the comparison.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Number of processes.
+    pub processes: usize,
+    /// Total SOS-time across all segments (overall computational load).
+    pub total_sos: u64,
+    /// Mean per-process total SOS.
+    pub mean_process_sos: f64,
+    /// Maximum per-process total SOS.
+    pub max_process_sos: u64,
+    /// `(max − mean) / max`, 0 = balanced.
+    pub imbalance_index: f64,
+}
+
+impl RunSummary {
+    /// Summarises an SOS matrix.
+    pub fn from_matrix(matrix: &SosMatrix) -> RunSummary {
+        let totals = matrix.process_totals();
+        let processes = totals.len();
+        let total_sos: u64 = totals.iter().map(|d| d.0).sum();
+        let max_process_sos = totals.iter().map(|d| d.0).max().unwrap_or(0);
+        let mean_process_sos = if processes > 0 {
+            total_sos as f64 / processes as f64
+        } else {
+            0.0
+        };
+        let imbalance_index = if max_process_sos > 0 {
+            (max_process_sos as f64 - mean_process_sos) / max_process_sos as f64
+        } else {
+            0.0
+        };
+        RunSummary {
+            processes,
+            total_sos,
+            mean_process_sos,
+            max_process_sos,
+            imbalance_index,
+        }
+    }
+}
+
+/// Per-process load change between two runs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProcessDelta {
+    /// The process (present in both runs).
+    pub process: ProcessId,
+    /// Total SOS in the baseline run.
+    pub before: u64,
+    /// Total SOS in the candidate run.
+    pub after: u64,
+}
+
+impl ProcessDelta {
+    /// Relative change `(after − before) / before`; ∞-safe (0 baseline →
+    /// returns `after as f64`).
+    pub fn relative_change(&self) -> f64 {
+        if self.before == 0 {
+            self.after as f64
+        } else {
+            (self.after as f64 - self.before as f64) / self.before as f64
+        }
+    }
+}
+
+/// The comparison of two analysed runs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunComparison {
+    /// Baseline run summary.
+    pub before: RunSummary,
+    /// Candidate run summary.
+    pub after: RunSummary,
+    /// Per-process deltas over the processes common to both runs.
+    pub deltas: Vec<ProcessDelta>,
+}
+
+impl RunComparison {
+    /// Compares two SOS matrices (typically the same workload before and
+    /// after a fix). Process counts may differ; deltas cover the common
+    /// prefix.
+    pub fn compare(before: &SosMatrix, after: &SosMatrix) -> RunComparison {
+        let before_totals = before.process_totals();
+        let after_totals = after.process_totals();
+        let common = before_totals.len().min(after_totals.len());
+        let deltas = (0..common)
+            .map(|i| ProcessDelta {
+                process: ProcessId::from_index(i),
+                before: before_totals[i].0,
+                after: after_totals[i].0,
+            })
+            .collect();
+        RunComparison {
+            before: RunSummary::from_matrix(before),
+            after: RunSummary::from_matrix(after),
+            deltas,
+        }
+    }
+
+    /// Change in the imbalance index (negative = the candidate run is
+    /// better balanced).
+    pub fn imbalance_change(&self) -> f64 {
+        self.after.imbalance_index - self.before.imbalance_index
+    }
+
+    /// The processes whose load changed the most, by absolute relative
+    /// change, descending.
+    pub fn largest_changes(&self, n: usize) -> Vec<ProcessDelta> {
+        let mut sorted = self.deltas.clone();
+        sorted.sort_by(|a, b| {
+            b.relative_change()
+                .abs()
+                .total_cmp(&a.relative_change().abs())
+        });
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Human-readable comparison report.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run comparison ({} vs {} processes)",
+            self.before.processes, self.after.processes
+        );
+        let _ = writeln!(
+            out,
+            "  imbalance index: {:.3} → {:.3} ({:+.3})",
+            self.before.imbalance_index,
+            self.after.imbalance_index,
+            self.imbalance_change()
+        );
+        let _ = writeln!(
+            out,
+            "  max/mean process load: {:.2}× → {:.2}×",
+            self.before.max_process_sos as f64 / self.before.mean_process_sos.max(1.0),
+            self.after.max_process_sos as f64 / self.after.mean_process_sos.max(1.0),
+        );
+        let _ = writeln!(out, "  largest per-process changes:");
+        for d in self.largest_changes(5) {
+            let _ = writeln!(
+                out,
+                "    {}: {} → {} ({:+.0}%)",
+                d.process,
+                d.before,
+                d.after,
+                d.relative_change() * 100.0
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::replay_all;
+    use crate::segment::Segmentation;
+    use perfvar_trace::{Clock, FunctionRole, Timestamp, Trace, TraceBuilder};
+
+    fn matrix_with_loads(groups: &[Vec<u64>]) -> SosMatrix {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("iter", FunctionRole::Compute);
+        for loads in groups {
+            let p = b.define_process("p");
+            let w = b.process_mut(p);
+            let mut t = 0u64;
+            for &load in loads {
+                w.enter(Timestamp(t), f).unwrap();
+                t += load;
+                w.leave(Timestamp(t), f).unwrap();
+            }
+        }
+        let trace: Trace = b.finish().unwrap();
+        SosMatrix::from_segmentation(&Segmentation::new(&trace, &replay_all(&trace), f))
+    }
+
+    #[test]
+    fn summary_of_balanced_run() {
+        let m = matrix_with_loads(&vec![vec![100u64; 4]; 3]);
+        let s = RunSummary::from_matrix(&m);
+        assert_eq!(s.processes, 3);
+        assert_eq!(s.total_sos, 1200);
+        assert_eq!(s.max_process_sos, 400);
+        assert!(s.imbalance_index.abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_index_of_skewed_run() {
+        // One process does 3× the work: max 300, mean 150 → index 0.5.
+        let m = matrix_with_loads(&[vec![100u64], vec![100], vec![100], vec![300]]);
+        let s = RunSummary::from_matrix(&m);
+        assert_eq!(s.max_process_sos, 300);
+        assert!((s.imbalance_index - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_shows_fix_effect() {
+        let before = matrix_with_loads(&[vec![120u64], vec![120], vec![120], vec![300]]);
+        let after = matrix_with_loads(&[vec![165u64], vec![165], vec![165], vec![165]]);
+        let cmp = RunComparison::compare(&before, &after);
+        assert!(cmp.imbalance_change() < -0.2);
+        let top = cmp.largest_changes(1);
+        assert_eq!(top[0].process, ProcessId(3));
+        assert!((top[0].relative_change() + 0.45).abs() < 1e-12);
+        let text = cmp.render_text();
+        assert!(text.contains("imbalance index"));
+        assert!(text.contains("P3"));
+    }
+
+    #[test]
+    fn differing_process_counts_use_common_prefix() {
+        let before = matrix_with_loads(&[vec![100u64], vec![100], vec![100]]);
+        let after = matrix_with_loads(&[vec![100u64], vec![200]]);
+        let cmp = RunComparison::compare(&before, &after);
+        assert_eq!(cmp.deltas.len(), 2);
+        assert_eq!(cmp.before.processes, 3);
+        assert_eq!(cmp.after.processes, 2);
+    }
+
+    #[test]
+    fn zero_baseline_delta_is_safe() {
+        let d = ProcessDelta {
+            process: ProcessId(0),
+            before: 0,
+            after: 5,
+        };
+        assert_eq!(d.relative_change(), 5.0);
+    }
+
+    #[test]
+    fn empty_runs_compare() {
+        let empty = matrix_with_loads(&[]);
+        let cmp = RunComparison::compare(&empty, &empty);
+        assert_eq!(cmp.deltas.len(), 0);
+        assert_eq!(cmp.imbalance_change(), 0.0);
+    }
+}

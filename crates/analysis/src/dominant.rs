@@ -1,0 +1,277 @@
+//! Time-dominant function identification (§IV of the paper).
+//!
+//! > *For `p` processing elements, `f` is invoked at least `2p` times and
+//! > there exists no other function that satisfies this condition and has
+//! > higher aggregated inclusive time.*
+//!
+//! The invocation-count threshold excludes top-call-level functions like
+//! `main` (which have exactly `p` invocations and cannot segment the
+//! run). [`DominantRanking`] also keeps the full ordered candidate list:
+//! the paper's case study B refines the analysis by "choosing a function
+//! with a smaller inclusive time" to get finer segments, which is exactly
+//! a step down this ranking.
+
+use crate::profile::ProfileTable;
+use perfvar_trace::{DurationTicks, FunctionId, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Why a function was (not) selected — for reporting.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionOutcome {
+    /// The function is the time-dominant function.
+    Dominant,
+    /// Candidate: passes the invocation-count rule but another candidate
+    /// has higher aggregated inclusive time.
+    Candidate {
+        /// Position in the ranking (0 = dominant).
+        rank: usize,
+    },
+    /// Rejected: invoked fewer than `multiplier × p` times.
+    TooFewInvocations {
+        /// Actual invocation count.
+        count: u64,
+        /// The threshold it failed.
+        required: u64,
+    },
+    /// Rejected: never invoked.
+    NeverInvoked,
+}
+
+/// The result of dominant-function selection.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DominantSelection {
+    /// The selected function, if any candidate passed the rule.
+    pub function: Option<FunctionId>,
+    /// The threshold used (`multiplier × p`).
+    pub required_invocations: u64,
+    /// All candidates in ranking order (highest aggregated inclusive
+    /// first). `function == candidates.first()`.
+    pub candidates: Vec<FunctionId>,
+}
+
+/// Dominant-function ranking over a trace, supporting refinement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DominantRanking {
+    required_invocations: u64,
+    /// `(function, aggregated inclusive)` in descending inclusive order.
+    ranking: Vec<(FunctionId, DurationTicks)>,
+}
+
+impl DominantRanking {
+    /// Builds the ranking using the paper's threshold multiplier of 2.
+    pub fn new(trace: &Trace, profiles: &ProfileTable) -> DominantRanking {
+        DominantRanking::with_multiplier(trace, profiles, 2)
+    }
+
+    /// Builds the ranking with a custom invocation-count multiplier
+    /// (`required = multiplier × p`). The paper uses 2; higher values
+    /// force finer segmentation.
+    pub fn with_multiplier(
+        trace: &Trace,
+        profiles: &ProfileTable,
+        multiplier: u64,
+    ) -> DominantRanking {
+        let p = trace.num_processes() as u64;
+        let required = multiplier * p;
+        let mut ranking: Vec<(FunctionId, DurationTicks)> = profiles
+            .iter()
+            .filter(|(_, prof)| prof.count >= required && prof.count > 0)
+            .map(|(f, prof)| (f, prof.inclusive))
+            .collect();
+        ranking.sort_by_key(|(f, incl)| (std::cmp::Reverse(*incl), f.0));
+        DominantRanking {
+            required_invocations: required,
+            ranking,
+        }
+    }
+
+    /// The time-dominant function (rank 0), if any function qualifies.
+    pub fn dominant(&self) -> Option<FunctionId> {
+        self.ranking.first().map(|(f, _)| *f)
+    }
+
+    /// The invocation-count threshold in force.
+    pub fn required_invocations(&self) -> u64 {
+        self.required_invocations
+    }
+
+    /// All qualifying candidates, highest aggregated inclusive first.
+    pub fn candidates(&self) -> impl ExactSizeIterator<Item = FunctionId> + '_ {
+        self.ranking.iter().map(|(f, _)| *f)
+    }
+
+    /// The aggregated inclusive time of a candidate, if it qualifies.
+    pub fn inclusive_of(&self, function: FunctionId) -> Option<DurationTicks> {
+        self.ranking
+            .iter()
+            .find(|(f, _)| *f == function)
+            .map(|(_, d)| *d)
+    }
+
+    /// Refinement (§VII-B): the next candidate **after** `current` in the
+    /// ranking — a qualifying function with smaller aggregated inclusive
+    /// time, giving finer segments. Returns `None` if `current` is not a
+    /// candidate or is already the finest.
+    pub fn refine(&self, current: FunctionId) -> Option<FunctionId> {
+        let pos = self.ranking.iter().position(|(f, _)| *f == current)?;
+        self.ranking.get(pos + 1).map(|(f, _)| *f)
+    }
+
+    /// Summarises the selection (for reports and the CLI).
+    pub fn selection(&self) -> DominantSelection {
+        DominantSelection {
+            function: self.dominant(),
+            required_invocations: self.required_invocations,
+            candidates: self.candidates().collect(),
+        }
+    }
+
+    /// Explains the outcome for one function.
+    pub fn explain(&self, function: FunctionId, profiles: &ProfileTable) -> SelectionOutcome {
+        if let Some(pos) = self.ranking.iter().position(|(f, _)| *f == function) {
+            return if pos == 0 {
+                SelectionOutcome::Dominant
+            } else {
+                SelectionOutcome::Candidate { rank: pos }
+            };
+        }
+        let count = profiles.get(function).count;
+        if count == 0 {
+            SelectionOutcome::NeverInvoked
+        } else {
+            SelectionOutcome::TooFewInvocations {
+                count,
+                required: self.required_invocations,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::replay_all;
+    use crate::profile::tests::fig2_trace;
+    use perfvar_trace::{Clock, FunctionRole, Timestamp, TraceBuilder};
+
+    fn ranking_of(trace: &Trace) -> (DominantRanking, ProfileTable) {
+        let profiles = ProfileTable::from_invocations(trace, &replay_all(trace));
+        (DominantRanking::new(trace, &profiles), profiles)
+    }
+
+    /// The paper's Fig. 2: `main` has the highest aggregated inclusive
+    /// time (54) but only `p = 3` invocations; `a` (36 ticks, 9 calls) is
+    /// the dominant function.
+    #[test]
+    fn fig2_dominant_function_is_a() {
+        let trace = fig2_trace();
+        let (ranking, profiles) = ranking_of(&trace);
+        let reg = trace.registry();
+        let a = reg.function_by_name("a").unwrap();
+        let main_f = reg.function_by_name("main").unwrap();
+        assert_eq!(ranking.dominant(), Some(a));
+        assert_eq!(ranking.required_invocations(), 6);
+        assert_eq!(
+            ranking.explain(main_f, &profiles),
+            SelectionOutcome::TooFewInvocations {
+                count: 3,
+                required: 6
+            }
+        );
+        assert_eq!(ranking.explain(a, &profiles), SelectionOutcome::Dominant);
+    }
+
+    #[test]
+    fn fig2_refinement_steps_down_the_ranking() {
+        let trace = fig2_trace();
+        let (ranking, _) = ranking_of(&trace);
+        let reg = trace.registry();
+        let a = reg.function_by_name("a").unwrap();
+        let b = reg.function_by_name("b").unwrap();
+        let c = reg.function_by_name("c").unwrap();
+        // b: 5 invocations × 3 procs, inclusive 3+3+1+1+... per process:
+        // inside-a b's are 1 tick ×3, between-a b's are 2 ticks ×2 → 7/proc = 21.
+        // c: 3 × 1 tick per process → 9.
+        assert_eq!(ranking.refine(a), Some(b));
+        assert_eq!(ranking.refine(b), Some(c));
+        assert_eq!(ranking.refine(c), None);
+        // Refining a non-candidate yields None.
+        let main_f = reg.function_by_name("main").unwrap();
+        assert_eq!(ranking.refine(main_f), None);
+    }
+
+    #[test]
+    fn i_fails_invocation_rule() {
+        // `i` is invoked once per process (3 < 6).
+        let trace = fig2_trace();
+        let (ranking, profiles) = ranking_of(&trace);
+        let i = trace.registry().function_by_name("i").unwrap();
+        assert!(matches!(
+            ranking.explain(i, &profiles),
+            SelectionOutcome::TooFewInvocations { count: 3, .. }
+        ));
+        assert!(!ranking.candidates().any(|f| f == i));
+    }
+
+    #[test]
+    fn multiplier_one_admits_main() {
+        let trace = fig2_trace();
+        let profiles = ProfileTable::from_invocations(&trace, &replay_all(&trace));
+        let ranking = DominantRanking::with_multiplier(&trace, &profiles, 1);
+        let main_f = trace.registry().function_by_name("main").unwrap();
+        // With multiplier 1 the threshold is p = 3 and main qualifies —
+        // and wins on aggregated inclusive time. This is exactly why the
+        // paper uses 2p.
+        assert_eq!(ranking.dominant(), Some(main_f));
+    }
+
+    #[test]
+    fn empty_trace_has_no_dominant() {
+        let trace = TraceBuilder::new(Clock::microseconds()).finish().unwrap();
+        let (ranking, _) = ranking_of(&trace);
+        assert_eq!(ranking.dominant(), None);
+        assert!(ranking.selection().function.is_none());
+    }
+
+    #[test]
+    fn never_invoked_explained() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("ghost", FunctionRole::Compute);
+        b.define_process("p0");
+        let trace = b.finish().unwrap();
+        let (ranking, profiles) = ranking_of(&trace);
+        assert_eq!(
+            ranking.explain(f, &profiles),
+            SelectionOutcome::NeverInvoked
+        );
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_id() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f1 = b.define_function("f1", FunctionRole::Compute);
+        let f2 = b.define_function("f2", FunctionRole::Compute);
+        let p = b.define_process("p0");
+        let w = b.process_mut(p);
+        // Both functions: 2 invocations, 5 ticks inclusive each.
+        for (f, base) in [(f1, 0u64), (f2, 10), (f1, 20), (f2, 30)] {
+            w.enter(Timestamp(base), f).unwrap();
+            w.leave(Timestamp(base + 5), f).unwrap();
+        }
+        let trace = b.finish().unwrap();
+        let (ranking, _) = ranking_of(&trace);
+        assert_eq!(ranking.dominant(), Some(f1));
+        assert_eq!(ranking.refine(f1), Some(f2));
+    }
+
+    #[test]
+    fn inclusive_of_reports_candidates_only() {
+        let trace = fig2_trace();
+        let (ranking, _) = ranking_of(&trace);
+        let reg = trace.registry();
+        let a = reg.function_by_name("a").unwrap();
+        let main_f = reg.function_by_name("main").unwrap();
+        assert_eq!(ranking.inclusive_of(a), Some(DurationTicks(36)));
+        assert_eq!(ranking.inclusive_of(main_f), None);
+    }
+}

@@ -1,0 +1,335 @@
+//! Call-stack replay: from event streams to function invocations.
+//!
+//! This module implements the paper's Fig. 1 semantics. For every
+//! `Enter`/`Leave` pair it produces an [`Invocation`] carrying:
+//!
+//! * **inclusive time** — leave minus enter, *including* sub-calls;
+//! * **exclusive time** — inclusive minus the inclusive times of direct
+//!   children;
+//! * **contained synchronization time** — the total inclusive time of
+//!   synchronization-role descendants (an invocation whose own role is
+//!   synchronizing contributes its full inclusive time; nested
+//!   synchronization is not double-counted). This is the quantity the
+//!   SOS-time computation (§V) subtracts from segment durations.
+//!
+//! Replay assumes a validated trace (see `perfvar_trace::validate`);
+//! the trace types guarantee this for every constructed `Trace`.
+
+use perfvar_trace::{DurationTicks, Event, FunctionId, ProcessId, Timestamp, Trace};
+use serde::{Deserialize, Serialize};
+
+/// One completed function invocation on one process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Invocation {
+    /// The invoked function.
+    pub function: FunctionId,
+    /// Call-stack depth (0 = top level).
+    pub depth: u32,
+    /// Index of the parent invocation in the same
+    /// [`ProcessInvocations`], if any.
+    pub parent: Option<u32>,
+    /// Enter timestamp.
+    pub enter: Timestamp,
+    /// Leave timestamp.
+    pub leave: Timestamp,
+    /// Total inclusive time of direct children.
+    pub children_inclusive: DurationTicks,
+    /// Synchronization/communication time contained in this invocation
+    /// (its own inclusive time if its role is synchronizing).
+    pub sync_within: DurationTicks,
+}
+
+impl Invocation {
+    /// Inclusive time: full duration from enter to leave (Fig. 1).
+    #[inline]
+    pub fn inclusive(&self) -> DurationTicks {
+        self.leave.since(self.enter)
+    }
+
+    /// Exclusive time: inclusive minus direct children (Fig. 1).
+    #[inline]
+    pub fn exclusive(&self) -> DurationTicks {
+        self.inclusive().saturating_sub(self.children_inclusive)
+    }
+
+    /// Whether `t` falls within `[enter, leave)`.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.enter <= t && t < self.leave
+    }
+}
+
+/// All invocations of one process, in *enter order* (which is also
+/// depth-first pre-order of the call tree).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProcessInvocations {
+    /// The process these invocations belong to.
+    pub process: ProcessId,
+    invocations: Vec<Invocation>,
+}
+
+impl ProcessInvocations {
+    /// The invocations in enter order.
+    #[inline]
+    pub fn invocations(&self) -> &[Invocation] {
+        &self.invocations
+    }
+
+    /// Number of invocations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// Whether the process recorded no invocations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.invocations.is_empty()
+    }
+
+    /// Iterates over the invocations of one function.
+    pub fn of_function(&self, function: FunctionId) -> impl Iterator<Item = &Invocation> + '_ {
+        self.invocations
+            .iter()
+            .filter(move |inv| inv.function == function)
+    }
+
+    /// The top-level (depth 0) invocations.
+    pub fn roots(&self) -> impl Iterator<Item = &Invocation> + '_ {
+        self.invocations.iter().filter(|inv| inv.depth == 0)
+    }
+}
+
+/// Replays the call stack of one process.
+pub fn replay_process(trace: &Trace, process: ProcessId) -> ProcessInvocations {
+    let registry = trace.registry();
+    let stream = trace.stream(process);
+    // Frames under construction: (invocation index, accumulators).
+    struct Frame {
+        index: usize,
+        children_inclusive: u64,
+        sync_within: u64,
+    }
+    let mut invocations: Vec<Invocation> = Vec::with_capacity(stream.len() / 2);
+    let mut stack: Vec<Frame> = Vec::new();
+    for record in stream.records() {
+        match record.event {
+            Event::Enter { function } => {
+                let index = invocations.len();
+                invocations.push(Invocation {
+                    function,
+                    depth: stack.len() as u32,
+                    parent: stack.last().map(|f| f.index as u32),
+                    enter: record.time,
+                    leave: record.time, // finalised on leave
+                    children_inclusive: DurationTicks::ZERO,
+                    sync_within: DurationTicks::ZERO,
+                });
+                stack.push(Frame {
+                    index,
+                    children_inclusive: 0,
+                    sync_within: 0,
+                });
+            }
+            Event::Leave { function } => {
+                let frame = stack.pop().expect("validated trace: balanced leave");
+                let inv = &mut invocations[frame.index];
+                debug_assert_eq!(inv.function, function, "validated trace: matching leave");
+                inv.leave = record.time;
+                inv.children_inclusive = DurationTicks(frame.children_inclusive);
+                let inclusive = inv.inclusive().0;
+                let role_is_sync = registry.function_role(function).is_synchronization();
+                let sync = if role_is_sync {
+                    inclusive
+                } else {
+                    frame.sync_within
+                };
+                inv.sync_within = DurationTicks(sync);
+                if let Some(parent) = stack.last_mut() {
+                    parent.children_inclusive += inclusive;
+                    parent.sync_within += sync;
+                }
+            }
+            _ => {}
+        }
+    }
+    debug_assert!(stack.is_empty(), "validated trace: balanced stream");
+    ProcessInvocations {
+        process,
+        invocations,
+    }
+}
+
+/// Replays every process of `trace` sequentially. See
+/// [`crate::parallel::replay_all_parallel`] for the multi-threaded
+/// variant.
+pub fn replay_all(trace: &Trace) -> Vec<ProcessInvocations> {
+    trace
+        .registry()
+        .process_ids()
+        .map(|p| replay_process(trace, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfvar_trace::{Clock, FunctionRole, TraceBuilder};
+
+    /// The paper's Fig. 1: `foo` enters at 0, calls `bar` from 2 to 4,
+    /// leaves at 6. Inclusive(foo) = 6, exclusive(foo) = 4.
+    fn fig1_trace() -> (Trace, FunctionId, FunctionId) {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        #[allow(clippy::disallowed_names)] // the paper's Fig. 1 names it "foo"
+        let foo = b.define_function("foo", FunctionRole::Compute);
+        let bar = b.define_function("bar", FunctionRole::Compute);
+        let p = b.define_process("p0");
+        let w = b.process_mut(p);
+        w.enter(Timestamp(0), foo).unwrap();
+        w.enter(Timestamp(2), bar).unwrap();
+        w.leave(Timestamp(4), bar).unwrap();
+        w.leave(Timestamp(6), foo).unwrap();
+        (b.finish().unwrap(), foo, bar)
+    }
+
+    #[test]
+    fn fig1_inclusive_exclusive() {
+        let (trace, foo, bar) = fig1_trace();
+        let inv = replay_process(&trace, ProcessId(0));
+        assert_eq!(inv.len(), 2);
+        let foo_inv = inv.of_function(foo).next().unwrap();
+        assert_eq!(foo_inv.inclusive(), DurationTicks(6));
+        assert_eq!(foo_inv.exclusive(), DurationTicks(4));
+        let bar_inv = inv.of_function(bar).next().unwrap();
+        assert_eq!(bar_inv.inclusive(), DurationTicks(2));
+        assert_eq!(bar_inv.exclusive(), DurationTicks(2));
+        assert_eq!(bar_inv.parent, Some(0));
+        assert_eq!(bar_inv.depth, 1);
+    }
+
+    #[test]
+    fn enter_order_is_preorder() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let a = b.define_function("a", FunctionRole::Compute);
+        let c = b.define_function("c", FunctionRole::Compute);
+        let p = b.define_process("p0");
+        let w = b.process_mut(p);
+        // a [ c ] [ c ] a  — two siblings under one root.
+        w.enter(Timestamp(0), a).unwrap();
+        w.enter(Timestamp(1), c).unwrap();
+        w.leave(Timestamp(2), c).unwrap();
+        w.enter(Timestamp(3), c).unwrap();
+        w.leave(Timestamp(4), c).unwrap();
+        w.leave(Timestamp(5), a).unwrap();
+        let trace = b.finish().unwrap();
+        let inv = replay_process(&trace, ProcessId(0));
+        let order: Vec<(FunctionId, u64)> = inv
+            .invocations()
+            .iter()
+            .map(|i| (i.function, i.enter.0))
+            .collect();
+        assert_eq!(order, vec![(a, 0), (c, 1), (c, 3)]);
+        assert_eq!(inv.roots().count(), 1);
+    }
+
+    #[test]
+    fn sync_within_counts_sync_descendants_once() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let main_f = b.define_function("main", FunctionRole::Compute);
+        let iter_f = b.define_function("iter", FunctionRole::Compute);
+        let coll = b.define_function("MPI_Allreduce", FunctionRole::MpiCollective);
+        let wait = b.define_function("MPI_Wait", FunctionRole::MpiWait);
+        let p = b.define_process("p0");
+        let w = b.process_mut(p);
+        w.enter(Timestamp(0), main_f).unwrap();
+        w.enter(Timestamp(0), iter_f).unwrap();
+        w.enter(Timestamp(10), coll).unwrap();
+        // An MPI_Wait nested inside a collective: must not double count.
+        w.enter(Timestamp(12), wait).unwrap();
+        w.leave(Timestamp(18), wait).unwrap();
+        w.leave(Timestamp(20), coll).unwrap();
+        w.leave(Timestamp(30), iter_f).unwrap();
+        w.leave(Timestamp(30), main_f).unwrap();
+        let trace = b.finish().unwrap();
+        let inv = replay_process(&trace, ProcessId(0));
+        let iter_inv = inv.of_function(iter_f).next().unwrap();
+        // The collective spans 10 ticks; the nested wait is inside it.
+        assert_eq!(iter_inv.sync_within, DurationTicks(10));
+        assert_eq!(iter_inv.inclusive(), DurationTicks(30));
+        // main inherits the contained sync from iter.
+        let main_inv = inv.of_function(main_f).next().unwrap();
+        assert_eq!(main_inv.sync_within, DurationTicks(10));
+        // The collective itself reports its own inclusive time as sync.
+        let coll_inv = inv.of_function(coll).next().unwrap();
+        assert_eq!(coll_inv.sync_within, DurationTicks(10));
+    }
+
+    #[test]
+    fn sibling_sync_times_accumulate() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let iter_f = b.define_function("iter", FunctionRole::Compute);
+        let bar = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+        let p = b.define_process("p0");
+        let w = b.process_mut(p);
+        w.enter(Timestamp(0), iter_f).unwrap();
+        w.enter(Timestamp(2), bar).unwrap();
+        w.leave(Timestamp(5), bar).unwrap();
+        w.enter(Timestamp(7), bar).unwrap();
+        w.leave(Timestamp(9), bar).unwrap();
+        w.leave(Timestamp(10), iter_f).unwrap();
+        let trace = b.finish().unwrap();
+        let inv = replay_process(&trace, ProcessId(0));
+        let iter_inv = inv.of_function(iter_f).next().unwrap();
+        assert_eq!(iter_inv.sync_within, DurationTicks(3 + 2));
+        assert_eq!(iter_inv.exclusive(), DurationTicks(5));
+    }
+
+    #[test]
+    fn recursion_produces_nested_invocations() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("f", FunctionRole::Compute);
+        let p = b.define_process("p0");
+        let w = b.process_mut(p);
+        w.enter(Timestamp(0), f).unwrap();
+        w.enter(Timestamp(1), f).unwrap();
+        w.leave(Timestamp(3), f).unwrap();
+        w.leave(Timestamp(5), f).unwrap();
+        let trace = b.finish().unwrap();
+        let inv = replay_process(&trace, ProcessId(0));
+        assert_eq!(inv.len(), 2);
+        let outer = &inv.invocations()[0];
+        let inner = &inv.invocations()[1];
+        assert_eq!(outer.inclusive(), DurationTicks(5));
+        assert_eq!(outer.exclusive(), DurationTicks(3));
+        assert_eq!(inner.inclusive(), DurationTicks(2));
+        assert_eq!(inner.parent, Some(0));
+    }
+
+    #[test]
+    fn empty_stream_yields_no_invocations() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        b.define_process("p0");
+        let trace = b.finish().unwrap();
+        let inv = replay_process(&trace, ProcessId(0));
+        assert!(inv.is_empty());
+        assert_eq!(inv.roots().count(), 0);
+    }
+
+    #[test]
+    fn replay_all_covers_every_process() {
+        let (trace, _, _) = fig1_trace();
+        let all = replay_all(&trace);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].process, ProcessId(0));
+    }
+
+    #[test]
+    fn contains_uses_half_open_interval() {
+        let (trace, foo, _) = fig1_trace();
+        let inv = replay_process(&trace, ProcessId(0));
+        let foo_inv = inv.of_function(foo).next().unwrap();
+        assert!(foo_inv.contains(Timestamp(0)));
+        assert!(foo_inv.contains(Timestamp(5)));
+        assert!(!foo_inv.contains(Timestamp(6)));
+    }
+}

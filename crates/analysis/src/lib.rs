@@ -1,0 +1,87 @@
+//! # perfvar-analysis — the paper's core contribution
+//!
+//! Implements the three-step methodology of *"Detection and Visualization
+//! of Performance Variations to Guide Identification of Application
+//! Bottlenecks"* (Weber et al., ICPP 2016):
+//!
+//! 1. **Identify the time-dominant function** (§IV) — [`dominant`]:
+//!    among functions invoked at least `2p` times (`p` = process count),
+//!    the one with the highest aggregated *inclusive* time. Its
+//!    invocations partition the run into *segments*.
+//! 2. **Compute runtime imbalances** (§V) — [`segment`] and [`sos`]:
+//!    each segment's duration is the invocation's inclusive time; the
+//!    **synchronization-oblivious segment time (SOS-time)** subtracts all
+//!    time spent in synchronization/communication functions inside the
+//!    segment, revealing which *process* is actually slow rather than who
+//!    waits for whom.
+//! 3. **Guide the analyst** (§VI–VII) — [`imbalance`] flags outlier
+//!    processes and segments; [`counters`] correlates hardware-counter
+//!    channels with SOS-times (the paper's WRF validation); [`report`]
+//!    assembles everything into a hotspot report. Rendering lives in the
+//!    `perfvar-viz` crate.
+//!
+//! The foundation is [`invocation`]: a call-stack replay that turns each
+//! process's event stream into a list of function invocations with
+//! inclusive/exclusive times (the paper's Fig. 1 semantics) and the
+//! synchronization time contained in each.
+//!
+//! ```
+//! use perfvar_analysis::prelude::*;
+//! use perfvar_sim::prelude::*;
+//!
+//! let trace = simulate(&workloads::SingleOutlier::new(4, 8, 2).spec()).unwrap();
+//! let analysis = analyze(&trace, &AnalysisConfig::default()).unwrap();
+//! // The injected outlier (rank 2) dominates the SOS-time matrix.
+//! assert_eq!(analysis.imbalance.hottest_process().unwrap().index(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod callpath;
+pub mod clustering;
+pub mod compare;
+pub mod counters;
+pub mod dominant;
+pub mod findings;
+pub mod imbalance;
+pub mod invocation;
+pub mod messages;
+pub mod parallel;
+pub mod phases;
+pub mod profile;
+pub mod report;
+pub mod segment;
+pub mod sos;
+pub mod waitstates;
+
+/// Convenient glob-import of the analysis pipeline.
+pub mod prelude {
+    pub use crate::callpath::{CallPathId, CallTree};
+    pub use crate::clustering::{Cluster, ClusterConfig, ProcessClustering};
+    pub use crate::compare::{RunComparison, RunSummary};
+    pub use crate::counters::{correlate_with_sos, CounterMatrix};
+    pub use crate::dominant::{DominantRanking, DominantSelection};
+    pub use crate::findings::{auto_refine, findings, Finding, FindingKind};
+    pub use crate::imbalance::{ImbalanceAnalysis, Outlier, WasteAnalysis};
+    pub use crate::invocation::{Invocation, ProcessInvocations};
+    pub use crate::messages::{CommMatrix, MatchedMessage, MessageAnalysis};
+    pub use crate::phases::{Phase, PhaseConfig, PhaseDetection};
+    pub use crate::profile::FunctionProfile;
+    pub use crate::report::{analyze, Analysis, AnalysisConfig, AnalysisError};
+    pub use crate::segment::{Segment, Segmentation};
+    pub use crate::sos::SosMatrix;
+    pub use crate::waitstates::{ProcessWaitStates, WaitStateAnalysis};
+}
+
+pub use callpath::CallTree;
+pub use clustering::ProcessClustering;
+pub use compare::RunComparison;
+pub use counters::CounterMatrix;
+pub use dominant::{DominantRanking, DominantSelection};
+pub use imbalance::ImbalanceAnalysis;
+pub use invocation::{Invocation, ProcessInvocations};
+pub use profile::FunctionProfile;
+pub use report::{analyze, Analysis, AnalysisConfig, AnalysisError};
+pub use segment::{Segment, Segmentation};
+pub use sos::SosMatrix;

@@ -1,0 +1,286 @@
+//! Point-to-point message matching and communication statistics.
+//!
+//! The paper's case study B reads communication health off the timeline:
+//! "increased MPI wait time — more red areas — and higher message
+//! transfer times — longer black lines — indicate this behavior". This
+//! module provides the programmatic counterpart: it matches send/receive
+//! endpoints (FIFO per `(src, dst, tag)`, the MPI ordering guarantee),
+//! yielding per-message transfer times, a process×process communication
+//! matrix, and slow-transfer outliers.
+
+use perfvar_trace::{DurationTicks, Event, ProcessId, Timestamp, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One matched point-to-point message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchedMessage {
+    /// Sender.
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// Message tag.
+    pub tag: u32,
+    /// Payload size.
+    pub bytes: u64,
+    /// Send-event timestamp.
+    pub send_time: Timestamp,
+    /// Receive-event timestamp.
+    pub recv_time: Timestamp,
+}
+
+impl MatchedMessage {
+    /// Transfer time: receive minus send (the length of the paper's
+    /// "black line").
+    pub fn transfer_time(&self) -> DurationTicks {
+        self.recv_time.saturating_since(self.send_time)
+    }
+}
+
+/// The result of message matching over a trace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MessageAnalysis {
+    /// All matched messages, in receive order per process.
+    pub messages: Vec<MatchedMessage>,
+    /// Send events with no matching receive.
+    pub unmatched_sends: usize,
+    /// Receive events with no matching send.
+    pub unmatched_recvs: usize,
+}
+
+impl MessageAnalysis {
+    /// Matches the messages of `trace`.
+    pub fn match_trace(trace: &Trace) -> MessageAnalysis {
+        let mut sends: HashMap<(u32, u32, u32), Vec<(Timestamp, u64)>> = HashMap::new();
+        let mut total_sends = 0usize;
+        for stream in trace.streams() {
+            for r in stream.records() {
+                if let Event::MsgSend { to, tag, bytes } = r.event {
+                    sends
+                        .entry((stream.process.0, to.0, tag))
+                        .or_default()
+                        .push((r.time, bytes));
+                    total_sends += 1;
+                }
+            }
+        }
+        let mut cursors: HashMap<(u32, u32, u32), usize> = HashMap::new();
+        let mut messages = Vec::new();
+        let mut unmatched_recvs = 0usize;
+        for stream in trace.streams() {
+            for r in stream.records() {
+                if let Event::MsgRecv { from, tag, bytes } = r.event {
+                    let key = (from.0, stream.process.0, tag);
+                    let cursor = cursors.entry(key).or_insert(0);
+                    match sends.get(&key).and_then(|v| v.get(*cursor)) {
+                        Some(&(send_time, _)) => {
+                            *cursor += 1;
+                            messages.push(MatchedMessage {
+                                from,
+                                to: stream.process,
+                                tag,
+                                bytes,
+                                send_time,
+                                recv_time: r.time,
+                            });
+                        }
+                        None => unmatched_recvs += 1,
+                    }
+                }
+            }
+        }
+        let matched = messages.len();
+        MessageAnalysis {
+            messages,
+            unmatched_sends: total_sends - matched,
+            unmatched_recvs,
+        }
+    }
+
+    /// Number of matched messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether no messages matched.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Total payload bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.messages.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Mean transfer time, if any message matched.
+    pub fn mean_transfer(&self) -> Option<f64> {
+        if self.messages.is_empty() {
+            return None;
+        }
+        Some(
+            self.messages
+                .iter()
+                .map(|m| m.transfer_time().0 as f64)
+                .sum::<f64>()
+                / self.messages.len() as f64,
+        )
+    }
+
+    /// The `n` slowest transfers, descending.
+    pub fn slowest(&self, n: usize) -> Vec<MatchedMessage> {
+        let mut sorted = self.messages.clone();
+        sorted.sort_by_key(|m| std::cmp::Reverse(m.transfer_time()));
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Builds the process×process communication matrix.
+    pub fn comm_matrix(&self, num_processes: usize) -> CommMatrix {
+        let mut counts = vec![vec![0u64; num_processes]; num_processes];
+        let mut bytes = vec![vec![0u64; num_processes]; num_processes];
+        for m in &self.messages {
+            counts[m.from.index()][m.to.index()] += 1;
+            bytes[m.from.index()][m.to.index()] += m.bytes;
+        }
+        CommMatrix { counts, bytes }
+    }
+}
+
+/// A process×process communication matrix (sender-major).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CommMatrix {
+    /// `counts[from][to]`: number of messages.
+    pub counts: Vec<Vec<u64>>,
+    /// `bytes[from][to]`: payload bytes.
+    pub bytes: Vec<Vec<u64>>,
+}
+
+impl CommMatrix {
+    /// Number of processes (matrix dimension).
+    pub fn dim(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The heaviest sender→receiver pair by bytes, if any traffic exists.
+    pub fn heaviest_pair(&self) -> Option<(ProcessId, ProcessId, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for (i, row) in self.bytes.iter().enumerate() {
+            for (j, &b) in row.iter().enumerate() {
+                if b > 0 && best.is_none_or(|(_, _, bb)| b > bb) {
+                    best = Some((i, j, b));
+                }
+            }
+        }
+        best.map(|(i, j, b)| (ProcessId::from_index(i), ProcessId::from_index(j), b))
+    }
+
+    /// Total messages sent by `p`.
+    pub fn sent_by(&self, p: ProcessId) -> u64 {
+        self.counts[p.index()].iter().sum()
+    }
+
+    /// Total messages received by `p`.
+    pub fn received_by(&self, p: ProcessId) -> u64 {
+        self.counts.iter().map(|row| row[p.index()]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfvar_trace::{Clock, TraceBuilder};
+
+    fn messaging_trace() -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let p0 = b.define_process("p0");
+        let p1 = b.define_process("p1");
+        let p2 = b.define_process("p2");
+        // p0 → p1: two messages tag 0 (FIFO), one message tag 7.
+        let w = b.process_mut(p0);
+        w.send(Timestamp(0), p1, 0, 100).unwrap();
+        w.send(Timestamp(10), p1, 0, 200).unwrap();
+        w.send(Timestamp(20), p1, 7, 50).unwrap();
+        // p2 → p0: one message.
+        let w = b.process_mut(p2);
+        w.send(Timestamp(5), p0, 0, 1000).unwrap();
+        // Receives.
+        let w = b.process_mut(p1);
+        w.recv(Timestamp(4), p0, 0, 100).unwrap();
+        w.recv(Timestamp(30), p0, 0, 200).unwrap();
+        w.recv(Timestamp(31), p0, 7, 50).unwrap();
+        let w = b.process_mut(p0);
+        w.recv(Timestamp(50), p2, 0, 1000).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fifo_matching_per_channel() {
+        let t = messaging_trace();
+        let a = MessageAnalysis::match_trace(&t);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.unmatched_sends, 0);
+        assert_eq!(a.unmatched_recvs, 0);
+        // The first tag-0 receive pairs with the first tag-0 send.
+        let first = a
+            .messages
+            .iter()
+            .find(|m| m.to == ProcessId(1) && m.tag == 0 && m.bytes == 100)
+            .unwrap();
+        assert_eq!(first.send_time, Timestamp(0));
+        assert_eq!(first.recv_time, Timestamp(4));
+        assert_eq!(first.transfer_time(), DurationTicks(4));
+    }
+
+    #[test]
+    fn slowest_transfers_ranked() {
+        let t = messaging_trace();
+        let a = MessageAnalysis::match_trace(&t);
+        let slowest = a.slowest(2);
+        // p2→p0 takes 45, second tag-0 message takes 20.
+        assert_eq!(slowest[0].transfer_time(), DurationTicks(45));
+        assert_eq!(slowest[1].transfer_time(), DurationTicks(20));
+        assert!(a.mean_transfer().unwrap() > 0.0);
+        assert_eq!(a.total_bytes(), 1350);
+    }
+
+    #[test]
+    fn comm_matrix_aggregates() {
+        let t = messaging_trace();
+        let a = MessageAnalysis::match_trace(&t);
+        let m = a.comm_matrix(3);
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.counts[0][1], 3);
+        assert_eq!(m.bytes[0][1], 350);
+        assert_eq!(m.counts[2][0], 1);
+        assert_eq!(m.heaviest_pair(), Some((ProcessId(2), ProcessId(0), 1000)));
+        assert_eq!(m.sent_by(ProcessId(0)), 3);
+        assert_eq!(m.received_by(ProcessId(1)), 3);
+        assert_eq!(m.received_by(ProcessId(2)), 0);
+    }
+
+    #[test]
+    fn unmatched_endpoints_counted() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let p0 = b.define_process("p0");
+        let p1 = b.define_process("p1");
+        b.process_mut(p0).send(Timestamp(0), p1, 0, 8).unwrap();
+        b.process_mut(p0).send(Timestamp(1), p1, 0, 8).unwrap();
+        b.process_mut(p1).recv(Timestamp(5), p0, 0, 8).unwrap();
+        // A receive that no send matches (wrong tag).
+        b.process_mut(p1).recv(Timestamp(6), p0, 9, 8).unwrap();
+        let t = b.finish().unwrap();
+        let a = MessageAnalysis::match_trace(&t);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.unmatched_sends, 1);
+        assert_eq!(a.unmatched_recvs, 1);
+    }
+
+    #[test]
+    fn empty_trace_has_no_messages() {
+        let t = TraceBuilder::new(Clock::microseconds()).finish().unwrap();
+        let a = MessageAnalysis::match_trace(&t);
+        assert!(a.is_empty());
+        assert_eq!(a.mean_transfer(), None);
+        assert_eq!(a.comm_matrix(0).heaviest_pair(), None);
+    }
+}

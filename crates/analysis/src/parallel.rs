@@ -1,0 +1,113 @@
+//! Multi-threaded call-stack replay.
+//!
+//! Replay is embarrassingly parallel across processes (each stream is
+//! independent), which matters for the paper's large traces (hundreds of
+//! ranks, millions of events). [`replay_all_parallel`] fans the streams
+//! out over crossbeam scoped threads; results land in process order.
+//!
+//! The sequential [`replay_all`](crate::invocation::replay_all) remains
+//! the reference implementation; an equivalence property test lives in
+//! this module.
+
+use crate::invocation::{replay_process, ProcessInvocations};
+use perfvar_trace::{ProcessId, Trace};
+
+/// Replays all processes using up to `num_threads` worker threads.
+///
+/// `num_threads == 0` selects the available hardware parallelism. Falls
+/// back to sequential replay for single-process traces or one thread.
+pub fn replay_all_parallel(trace: &Trace, num_threads: usize) -> Vec<ProcessInvocations> {
+    let p = trace.num_processes();
+    let threads = if num_threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        num_threads
+    }
+    .min(p.max(1));
+
+    if threads <= 1 || p <= 1 {
+        return crate::invocation::replay_all(trace);
+    }
+
+    let mut results: Vec<Option<ProcessInvocations>> = (0..p).map(|_| None).collect();
+    // Distribute contiguous chunks of processes to workers.
+    let chunk = p.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (worker, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let start = worker * chunk;
+            scope.spawn(move |_| {
+                for (offset, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(replay_process(trace, ProcessId::from_index(start + offset)));
+                }
+            });
+        }
+    })
+    .expect("replay worker panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every process replayed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::replay_all;
+    use perfvar_trace::{Clock, FunctionRole, Timestamp, TraceBuilder};
+
+    fn many_process_trace(p: usize) -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("work", FunctionRole::Compute);
+        let g = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+        for pi in 0..p {
+            let pid = b.define_process(format!("rank {pi}"));
+            let w = b.process_mut(pid);
+            let mut t = 0u64;
+            for k in 0..20u64 {
+                w.enter(Timestamp(t), f).unwrap();
+                t += 1 + (pi as u64 + k) % 5;
+                w.enter(Timestamp(t), g).unwrap();
+                t += 2;
+                w.leave(Timestamp(t), g).unwrap();
+                w.leave(Timestamp(t), f).unwrap();
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let trace = many_process_trace(13);
+        let seq = replay_all(&trace);
+        for threads in [1, 2, 3, 8, 64] {
+            let par = replay_all_parallel(&trace, threads);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn auto_thread_count() {
+        let trace = many_process_trace(5);
+        let par = replay_all_parallel(&trace, 0);
+        assert_eq!(par, replay_all(&trace));
+    }
+
+    #[test]
+    fn empty_and_single_process() {
+        let empty = TraceBuilder::new(Clock::microseconds()).finish().unwrap();
+        assert!(replay_all_parallel(&empty, 4).is_empty());
+        let single = many_process_trace(1);
+        assert_eq!(replay_all_parallel(&single, 4).len(), 1);
+    }
+
+    #[test]
+    fn results_in_process_order() {
+        let trace = many_process_trace(7);
+        let par = replay_all_parallel(&trace, 3);
+        for (i, inv) in par.iter().enumerate() {
+            assert_eq!(inv.process, ProcessId::from_index(i));
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! The one-stop analysis pipeline and hotspot report.
+//!
+//! [`analyze`] chains the paper's steps: replay → profile →
+//! dominant-function selection → segmentation → SOS matrix → imbalance
+//! detection → counter attribution/correlation. The resulting
+//! [`Analysis`] is a self-contained value (serialisable to JSON by the
+//! CLI) and can be *refined* to a finer segmentation function, exactly as
+//! the analyst does in the paper's case study B.
+
+use crate::counters::{correlate_with_sos, CounterMatrix};
+use crate::dominant::{DominantRanking, DominantSelection};
+use crate::imbalance::{ImbalanceAnalysis, ImbalanceConfig, WasteAnalysis};
+use crate::parallel::replay_all_parallel;
+use crate::profile::ProfileTable;
+use crate::segment::Segmentation;
+use crate::sos::SosMatrix;
+use perfvar_trace::{FunctionId, MetricId, Trace};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of the analysis pipeline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Invocation-count multiplier of the dominant-function rule
+    /// (§IV uses 2: at least `2p` invocations).
+    pub dominant_multiplier: u64,
+    /// Override: segment by this function name instead of the
+    /// automatically selected dominant function.
+    pub segment_function: Option<String>,
+    /// Imbalance detection thresholds.
+    pub imbalance: ImbalanceConfig,
+    /// Worker threads for replay (0 = hardware parallelism).
+    pub threads: usize,
+    /// Attribute and correlate every metric channel in the trace.
+    pub analyze_counters: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            dominant_multiplier: 2,
+            segment_function: None,
+            imbalance: ImbalanceConfig::default(),
+            threads: 0,
+            analyze_counters: true,
+        }
+    }
+}
+
+/// Pipeline errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// No function satisfies the dominant-function rule (trace too small
+    /// or not iterative).
+    NoDominantFunction {
+        /// The `multiplier × p` threshold that nothing passed.
+        required_invocations: u64,
+    },
+    /// The `segment_function` override names an unknown function.
+    UnknownFunction(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NoDominantFunction {
+                required_invocations,
+            } => write!(
+                f,
+                "no function is invoked at least {required_invocations} times; \
+                 cannot segment the run (is the trace iterative?)"
+            ),
+            AnalysisError::UnknownFunction(name) => {
+                write!(f, "segment function {name:?} is not defined in the trace")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Counter attribution of one metric channel.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CounterAnalysis {
+    /// The channel.
+    pub metric: MetricId,
+    /// Per-segment values.
+    pub matrix: CounterMatrix,
+    /// Pearson correlation with the SOS matrix, if defined.
+    pub sos_correlation: Option<f64>,
+}
+
+/// The complete result of the paper's analysis pipeline on one trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Analysis {
+    /// Name of the analysed trace.
+    pub trace_name: String,
+    /// Dominant-function selection outcome (candidates, threshold).
+    pub dominant: DominantSelection,
+    /// The segmentation function actually used (the dominant function,
+    /// or the configured override / refinement).
+    pub function: FunctionId,
+    /// Per-function aggregated profiles.
+    pub profiles: ProfileTable,
+    /// Segments of the run.
+    pub segmentation: Segmentation,
+    /// The SOS-time matrix.
+    pub sos: SosMatrix,
+    /// Imbalance findings.
+    pub imbalance: ImbalanceAnalysis,
+    /// Waste quantification (CPU time lost to waiting for the slowest).
+    pub waste: WasteAnalysis,
+    /// Counter attributions (one per metric channel).
+    pub counters: Vec<CounterAnalysis>,
+}
+
+/// Runs the full pipeline on `trace`.
+pub fn analyze(trace: &Trace, config: &AnalysisConfig) -> Result<Analysis, AnalysisError> {
+    let replayed = replay_all_parallel(trace, config.threads);
+    let profiles = ProfileTable::from_invocations(trace, &replayed);
+    let ranking = DominantRanking::with_multiplier(trace, &profiles, config.dominant_multiplier);
+    let dominant = ranking.selection();
+
+    let function = match &config.segment_function {
+        Some(name) => trace
+            .registry()
+            .function_by_name(name)
+            .ok_or_else(|| AnalysisError::UnknownFunction(name.clone()))?,
+        None => dominant.function.ok_or(AnalysisError::NoDominantFunction {
+            required_invocations: dominant.required_invocations,
+        })?,
+    };
+
+    let segmentation = Segmentation::new(trace, &replayed, function);
+    let sos = SosMatrix::from_segmentation(&segmentation);
+    let imbalance = ImbalanceAnalysis::detect(&sos, config.imbalance);
+    let waste = WasteAnalysis::compute(&sos);
+
+    let counters = if config.analyze_counters {
+        trace
+            .registry()
+            .metric_ids()
+            .map(|m| {
+                let matrix = CounterMatrix::for_segments(trace, &segmentation, m);
+                let sos_correlation = correlate_with_sos(&matrix, &sos);
+                CounterAnalysis {
+                    metric: m,
+                    matrix,
+                    sos_correlation,
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    Ok(Analysis {
+        trace_name: trace.name.clone(),
+        dominant,
+        function,
+        profiles,
+        segmentation,
+        sos,
+        imbalance,
+        waste,
+        counters,
+    })
+}
+
+impl Analysis {
+    /// Re-runs the pipeline with the next-finer segmentation function
+    /// (§VII-B: "choosing a function with a smaller inclusive time [...]
+    /// achieves a more fine-grained segmentation"). Returns `None` when
+    /// no finer candidate exists.
+    pub fn refine(&self, trace: &Trace, config: &AnalysisConfig) -> Option<Analysis> {
+        let pos = self
+            .dominant
+            .candidates
+            .iter()
+            .position(|f| *f == self.function)?;
+        let next = *self.dominant.candidates.get(pos + 1)?;
+        let next_name = trace.registry().function_name(next).to_string();
+        let cfg = AnalysisConfig {
+            segment_function: Some(next_name),
+            ..config.clone()
+        };
+        analyze(trace, &cfg).ok()
+    }
+
+    /// Renders a human-readable hotspot report.
+    pub fn render_text(&self, trace: &Trace) -> String {
+        use std::fmt::Write as _;
+        let reg = trace.registry();
+        let clock = trace.clock();
+        let mut out = String::new();
+        let _ = writeln!(out, "perfvar analysis of {:?}", self.trace_name);
+        let _ = writeln!(
+            out,
+            "  processes: {}, events: {}, span: {}",
+            trace.num_processes(),
+            trace.num_events(),
+            clock.format_duration(trace.span()),
+        );
+        let _ = writeln!(
+            out,
+            "  segmentation function: {:?} ({})",
+            reg.function_name(self.function),
+            if Some(self.function) == self.dominant.function {
+                "time-dominant"
+            } else {
+                "override/refined"
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  candidates (≥{} invocations): {}",
+            self.dominant.required_invocations,
+            self.dominant
+                .candidates
+                .iter()
+                .map(|f| format!("{:?}", reg.function_name(*f)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let stats = self.sos.sos_stats();
+        let _ = writeln!(
+            out,
+            "  segments: {} ({} per process max); SOS median {} / max {}",
+            self.segmentation.len(),
+            self.segmentation.max_segments_per_process(),
+            clock.format_duration(perfvar_trace::DurationTicks(stats.median)),
+            clock.format_duration(perfvar_trace::DurationTicks(stats.max)),
+        );
+        let _ = writeln!(
+            out,
+            "  waste (waiting for the slowest): {} = {:.1}% of aggregate CPU time",
+            clock.format_duration(self.waste.total),
+            self.waste.waste_fraction() * 100.0
+        );
+        let trend = self.imbalance.duration_trend;
+        if trend.relative_increase.abs() > 0.1 {
+            let _ = writeln!(
+                out,
+                "  duration trend: {:+.0}% over the run",
+                trend.relative_increase * 100.0
+            );
+        }
+        if self.imbalance.process_outliers.is_empty() {
+            let _ = writeln!(out, "  process outliers: none");
+        } else {
+            let _ = writeln!(out, "  process outliers (by total SOS-time):");
+            for p in &self.imbalance.process_outliers {
+                let _ = writeln!(
+                    out,
+                    "    {} ({}) score {:.1}",
+                    p,
+                    reg.process(*p).name,
+                    self.imbalance.process_scores[p.index()]
+                );
+            }
+        }
+        if self.imbalance.segment_outliers.is_empty() {
+            let _ = writeln!(out, "  segment outliers: none");
+        } else {
+            let _ = writeln!(out, "  segment outliers:");
+            for o in self.imbalance.segment_outliers.iter().take(10) {
+                let _ = writeln!(
+                    out,
+                    "    {} segment #{} SOS {} score {:.1}",
+                    o.process,
+                    o.ordinal,
+                    clock.format_duration(o.sos),
+                    o.score
+                );
+            }
+            if self.imbalance.segment_outliers.len() > 10 {
+                let _ = writeln!(
+                    out,
+                    "    … and {} more",
+                    self.imbalance.segment_outliers.len() - 10
+                );
+            }
+        }
+        for c in &self.counters {
+            let def = reg.metric(c.metric);
+            match c.sos_correlation {
+                Some(r) => {
+                    let _ = writeln!(
+                        out,
+                        "  counter {:?}: SOS correlation r = {:+.3}{}",
+                        def.name,
+                        r,
+                        if r > 0.9 {
+                            "  (matches the SOS heatmap)"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  counter {:?}: no variation", def.name);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfvar_trace::{Clock, DurationTicks, FunctionRole, ProcessId, Timestamp, TraceBuilder};
+
+    /// Balanced 4-process trace with a hot segment on process 2 and a
+    /// nested finer function.
+    fn pipeline_trace() -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds()).with_name("pipeline");
+        let iter_f = b.define_function("iteration", FunctionRole::Compute);
+        let inner_f = b.define_function("inner_step", FunctionRole::Compute);
+        let mpi_f = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+        for pi in 0..4u32 {
+            let p = b.define_process(format!("rank {pi}"));
+            let w = b.process_mut(p);
+            let mut t = 0u64;
+            for k in 0..8u64 {
+                let load = if pi == 2 && k == 5 { 500 } else { 100 };
+                w.enter(Timestamp(t), iter_f).unwrap();
+                // Two inner steps per iteration → inner qualifies as a
+                // finer candidate.
+                w.enter(Timestamp(t), inner_f).unwrap();
+                w.leave(Timestamp(t + load / 2), inner_f).unwrap();
+                w.enter(Timestamp(t + load / 2), inner_f).unwrap();
+                w.leave(Timestamp(t + load), inner_f).unwrap();
+                t += load;
+                w.enter(Timestamp(t), mpi_f).unwrap();
+                // All ranks sync at the slowest: iteration 5 ends late.
+                let end = (k + 1) * 100 + if k >= 5 { 400 } else { 0 };
+                t = end;
+                w.leave(Timestamp(t), mpi_f).unwrap();
+                w.leave(Timestamp(t), iter_f).unwrap();
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_detects_injected_hotspot() {
+        let trace = pipeline_trace();
+        let a = analyze(&trace, &AnalysisConfig::default()).unwrap();
+        let reg = trace.registry();
+        assert_eq!(reg.function_name(a.function), "iteration");
+        let hot = a.imbalance.hottest_segment().unwrap();
+        assert_eq!(hot.process, ProcessId(2));
+        assert_eq!(hot.ordinal, 5);
+        assert_eq!(hot.sos, DurationTicks(500));
+        assert_eq!(a.imbalance.hottest_process(), Some(ProcessId(2)));
+    }
+
+    #[test]
+    fn refinement_moves_to_finer_function() {
+        let trace = pipeline_trace();
+        let a = analyze(&trace, &AnalysisConfig::default()).unwrap();
+        let refined = a.refine(&trace, &AnalysisConfig::default()).unwrap();
+        assert_eq!(
+            trace.registry().function_name(refined.function),
+            "inner_step"
+        );
+        // Twice as many segments per process.
+        assert_eq!(
+            refined.segmentation.max_segments_per_process(),
+            2 * a.segmentation.max_segments_per_process()
+        );
+        // The hotspot is still on process 2, now pinned to one half-step.
+        let hot = refined.imbalance.hottest_segment().unwrap();
+        assert_eq!(hot.process, ProcessId(2));
+    }
+
+    #[test]
+    fn override_function_used() {
+        let trace = pipeline_trace();
+        let cfg = AnalysisConfig {
+            segment_function: Some("inner_step".into()),
+            ..AnalysisConfig::default()
+        };
+        let a = analyze(&trace, &cfg).unwrap();
+        assert_eq!(trace.registry().function_name(a.function), "inner_step");
+    }
+
+    #[test]
+    fn unknown_override_rejected() {
+        let trace = pipeline_trace();
+        let cfg = AnalysisConfig {
+            segment_function: Some("nope".into()),
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(
+            analyze(&trace, &cfg).unwrap_err(),
+            AnalysisError::UnknownFunction("nope".into())
+        );
+    }
+
+    #[test]
+    fn non_iterative_trace_has_no_dominant() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("main", FunctionRole::Compute);
+        let p = b.define_process("p0");
+        b.process_mut(p).enter(Timestamp(0), f).unwrap();
+        b.process_mut(p).leave(Timestamp(10), f).unwrap();
+        let trace = b.finish().unwrap();
+        let err = analyze(&trace, &AnalysisConfig::default()).unwrap_err();
+        assert!(matches!(err, AnalysisError::NoDominantFunction { .. }));
+        assert!(err.to_string().contains("iterative"));
+    }
+
+    #[test]
+    fn text_report_mentions_findings() {
+        let trace = pipeline_trace();
+        let a = analyze(&trace, &AnalysisConfig::default()).unwrap();
+        let text = a.render_text(&trace);
+        assert!(text.contains("iteration"), "{text}");
+        assert!(text.contains("segment outliers"), "{text}");
+        assert!(text.contains("P2"), "{text}");
+    }
+
+    #[test]
+    fn analysis_serialises_to_json() {
+        let trace = pipeline_trace();
+        let a = analyze(&trace, &AnalysisConfig::default()).unwrap();
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(json.contains("segment_outliers"));
+        let back: Analysis = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.function, a.function);
+        assert_eq!(
+            back.imbalance.segment_outliers.len(),
+            a.imbalance.segment_outliers.len()
+        );
+    }
+
+    #[test]
+    fn counters_skipped_when_disabled() {
+        let trace = pipeline_trace();
+        let cfg = AnalysisConfig {
+            analyze_counters: false,
+            ..AnalysisConfig::default()
+        };
+        let a = analyze(&trace, &cfg).unwrap();
+        assert!(a.counters.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Segmentation of the run by dominant-function invocations (§III).
+//!
+//! > *As we use invocations of the time-dominant function as segments,
+//! > the inclusive time of the dominant function invocation equals the
+//! > respective segment duration.*
+//!
+//! A [`Segment`] is one invocation of the chosen segmentation function on
+//! one process, carrying its duration (inclusive time), the
+//! synchronization time it contains, and the resulting SOS-time
+//! (duration − synchronization, §V). [`Segmentation`] collects the
+//! per-process segment lists.
+
+use crate::invocation::ProcessInvocations;
+use perfvar_trace::{DurationTicks, FunctionId, ProcessId, Timestamp, Trace};
+use serde::{Deserialize, Serialize};
+
+/// One invocation of the segmentation function, with its timing split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The process the segment ran on.
+    pub process: ProcessId,
+    /// Ordinal of this segment on its process (0-based; for iterative
+    /// codes this is the iteration number).
+    pub ordinal: u32,
+    /// Segment start (invocation enter).
+    pub enter: Timestamp,
+    /// Segment end (invocation leave).
+    pub leave: Timestamp,
+    /// Synchronization/communication time contained in the segment.
+    pub sync: DurationTicks,
+}
+
+impl Segment {
+    /// Segment duration = the invocation's inclusive time.
+    #[inline]
+    pub fn duration(&self) -> DurationTicks {
+        self.leave.since(self.enter)
+    }
+
+    /// The synchronization-oblivious segment time (§V):
+    /// `duration − contained synchronization time`.
+    #[inline]
+    pub fn sos(&self) -> DurationTicks {
+        self.duration().saturating_sub(self.sync)
+    }
+}
+
+/// All segments of a trace for one segmentation function.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segmentation {
+    /// The segmentation (dominant) function.
+    pub function: FunctionId,
+    per_process: Vec<Vec<Segment>>,
+}
+
+impl Segmentation {
+    /// Builds the segmentation of `trace` by the invocations of
+    /// `function`, from already-replayed invocations (one entry per
+    /// process, in process order).
+    pub fn new(
+        trace: &Trace,
+        replayed: &[ProcessInvocations],
+        function: FunctionId,
+    ) -> Segmentation {
+        debug_assert_eq!(replayed.len(), trace.num_processes());
+        let per_process = replayed
+            .iter()
+            .map(|proc_inv| {
+                proc_inv
+                    .of_function(function)
+                    .enumerate()
+                    .map(|(ordinal, inv)| Segment {
+                        process: proc_inv.process,
+                        ordinal: ordinal as u32,
+                        enter: inv.enter,
+                        leave: inv.leave,
+                        sync: inv.sync_within,
+                    })
+                    .collect()
+            })
+            .collect();
+        Segmentation {
+            function,
+            per_process,
+        }
+    }
+
+    /// Number of processes covered.
+    pub fn num_processes(&self) -> usize {
+        self.per_process.len()
+    }
+
+    /// Segments of one process, in time order.
+    pub fn process(&self, p: ProcessId) -> &[Segment] {
+        &self.per_process[p.index()]
+    }
+
+    /// Iterates over every segment, process-major.
+    pub fn iter(&self) -> impl Iterator<Item = &Segment> {
+        self.per_process.iter().flatten()
+    }
+
+    /// Total number of segments.
+    pub fn len(&self) -> usize {
+        self.per_process.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no process recorded a segment.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of segments on any process (the matrix width used
+    /// by visualisation).
+    pub fn max_segments_per_process(&self) -> usize {
+        self.per_process.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether every process has the same number of segments (regular
+    /// iterative behaviour).
+    pub fn is_rectangular(&self) -> bool {
+        let mut lens = self.per_process.iter().map(Vec::len);
+        match lens.next() {
+            Some(first) => lens.all(|l| l == first),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::replay_all;
+    use perfvar_trace::{Clock, FunctionRole, TraceBuilder};
+
+    /// Two processes, two iterations each; iteration contains calc + MPI.
+    fn trace_two_iters() -> (Trace, FunctionId) {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let iter_f = b.define_function("iter", FunctionRole::Compute);
+        let calc_f = b.define_function("calc", FunctionRole::Compute);
+        let mpi_f = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+        for (loads, waits) in [([5u64, 2], [1u64, 4]), ([3, 3], [3, 3])] {
+            let p = b.define_process("p");
+            let w = b.process_mut(p);
+            let mut t = 0u64;
+            for k in 0..2 {
+                w.enter(Timestamp(t), iter_f).unwrap();
+                w.enter(Timestamp(t), calc_f).unwrap();
+                t += loads[k];
+                w.leave(Timestamp(t), calc_f).unwrap();
+                w.enter(Timestamp(t), mpi_f).unwrap();
+                t += waits[k];
+                w.leave(Timestamp(t), mpi_f).unwrap();
+                w.leave(Timestamp(t), iter_f).unwrap();
+            }
+        }
+        let trace = b.finish().unwrap();
+        let f = trace.registry().function_by_name("iter").unwrap();
+        (trace, f)
+    }
+
+    #[test]
+    fn segments_carry_duration_sync_and_sos() {
+        let (trace, iter_f) = trace_two_iters();
+        let seg = Segmentation::new(&trace, &replay_all(&trace), iter_f);
+        assert_eq!(seg.len(), 4);
+        assert!(seg.is_rectangular());
+        let s0 = seg.process(ProcessId(0));
+        assert_eq!(s0[0].duration(), DurationTicks(6));
+        assert_eq!(s0[0].sync, DurationTicks(1));
+        assert_eq!(s0[0].sos(), DurationTicks(5));
+        assert_eq!(s0[1].duration(), DurationTicks(6));
+        assert_eq!(s0[1].sos(), DurationTicks(2));
+        let s1 = seg.process(ProcessId(1));
+        assert_eq!(s1[0].sos(), DurationTicks(3));
+        assert_eq!(s1[1].sos(), DurationTicks(3));
+    }
+
+    #[test]
+    fn ordinals_count_per_process() {
+        let (trace, iter_f) = trace_two_iters();
+        let seg = Segmentation::new(&trace, &replay_all(&trace), iter_f);
+        for p in 0..2 {
+            let segs = seg.process(ProcessId(p));
+            assert_eq!(segs[0].ordinal, 0);
+            assert_eq!(segs[1].ordinal, 1);
+            assert_eq!(segs[0].process, ProcessId(p));
+        }
+        assert_eq!(seg.max_segments_per_process(), 2);
+    }
+
+    #[test]
+    fn segmenting_by_unused_function_is_empty() {
+        let (trace, _) = trace_two_iters();
+        let calc = trace.registry().function_by_name("calc").unwrap();
+        let seg = Segmentation::new(&trace, &replay_all(&trace), calc);
+        assert_eq!(seg.len(), 4); // calc runs twice per process
+        let mpi = trace.registry().function_by_name("MPI_Barrier").unwrap();
+        let seg_mpi = Segmentation::new(&trace, &replay_all(&trace), mpi);
+        // MPI segments are pure sync: SOS = 0 everywhere.
+        assert!(seg_mpi.iter().all(|s| s.sos() == DurationTicks::ZERO));
+    }
+
+    #[test]
+    fn irregular_segment_counts_detected() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("f", FunctionRole::Compute);
+        let p0 = b.define_process("p0");
+        let p1 = b.define_process("p1");
+        let w = b.process_mut(p0);
+        w.enter(Timestamp(0), f).unwrap();
+        w.leave(Timestamp(1), f).unwrap();
+        w.enter(Timestamp(2), f).unwrap();
+        w.leave(Timestamp(3), f).unwrap();
+        let w = b.process_mut(p1);
+        w.enter(Timestamp(0), f).unwrap();
+        w.leave(Timestamp(1), f).unwrap();
+        let trace = b.finish().unwrap();
+        let seg = Segmentation::new(&trace, &replay_all(&trace), f);
+        assert!(!seg.is_rectangular());
+        assert_eq!(seg.max_segments_per_process(), 2);
+        assert_eq!(seg.len(), 3);
+    }
+}

@@ -1,0 +1,334 @@
+//! Wait-state classification: *where* synchronization time is lost.
+//!
+//! SOS-time removes synchronization time to find the slow *computation*;
+//! this module does the complementary analysis the paper credits to
+//! Scalasca ("automatically searches trace data for a range of
+//! inefficiency patterns"): it classifies the synchronization time
+//! itself into the classic wait-state patterns:
+//!
+//! * **Wait at collective** — a rank reaches a barrier/reduction early
+//!   and idles until the last participant arrives. Collectives are
+//!   matched across processes by occurrence index (the k-th
+//!   collective-role invocation of each process belongs to the same
+//!   operation, SPMD-style); a rank's wait is its time in the operation
+//!   beyond the fastest participant's (the fastest one's time
+//!   approximates the pure cost of the operation).
+//! * **Late sender** — a receive blocks because the matching send had
+//!   not yet been posted when the receiver arrived.
+//!
+//! The per-process totals make statements like "Process 2 spends 40 % of
+//! its synchronization time waiting at barriers for Process 0" directly
+//! readable — naming the *victims*, where SOS names the *culprit*.
+
+use crate::invocation::ProcessInvocations;
+use crate::messages::MessageAnalysis;
+use perfvar_trace::{DurationTicks, FunctionRole, ProcessId, Timestamp, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Wait-state totals of one process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessWaitStates {
+    /// Time spent waiting inside collectives for slower participants.
+    pub wait_at_collective: DurationTicks,
+    /// Number of collective operations where this process waited.
+    pub collective_waits: u64,
+    /// Time spent in receives posted before the matching send
+    /// (late-sender pattern).
+    pub late_sender: DurationTicks,
+    /// Number of late-sender instances.
+    pub late_sender_count: u64,
+}
+
+impl ProcessWaitStates {
+    /// Total classified wait time.
+    pub fn total(&self) -> DurationTicks {
+        self.wait_at_collective + self.late_sender
+    }
+}
+
+/// The wait-state analysis of a trace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WaitStateAnalysis {
+    per_process: Vec<ProcessWaitStates>,
+    /// Collectives whose participant counts disagreed (non-SPMD traces);
+    /// their time is left unclassified.
+    pub unmatched_collectives: usize,
+}
+
+impl WaitStateAnalysis {
+    /// Classifies the wait states of `trace`, given its replayed
+    /// invocations (one entry per process, as from
+    /// [`replay_all`](crate::invocation::replay_all)).
+    pub fn compute(trace: &Trace, replayed: &[ProcessInvocations]) -> WaitStateAnalysis {
+        let registry = trace.registry();
+        let p = trace.num_processes();
+        let mut per_process = vec![ProcessWaitStates::default(); p];
+
+        // ---- wait at collective ----
+        // The k-th collective-role invocation of each process is the same
+        // operation. Collect (enter, leave) per process per occurrence.
+        let collective_seqs: Vec<Vec<(Timestamp, Timestamp)>> = replayed
+            .iter()
+            .map(|proc_inv| {
+                proc_inv
+                    .invocations()
+                    .iter()
+                    .filter(|inv| {
+                        registry.function_role(inv.function) == FunctionRole::MpiCollective
+                    })
+                    .map(|inv| (inv.enter, inv.leave))
+                    .collect()
+            })
+            .collect();
+        let occurrences = collective_seqs.iter().map(Vec::len).min().unwrap_or(0);
+        let max_occurrences = collective_seqs.iter().map(Vec::len).max().unwrap_or(0);
+        let unmatched_collectives = max_occurrences - occurrences;
+        for k in 0..occurrences {
+            let min_inclusive = collective_seqs
+                .iter()
+                .map(|seq| seq[k].1.since(seq[k].0))
+                .min()
+                .unwrap_or(DurationTicks::ZERO);
+            for (pi, seq) in collective_seqs.iter().enumerate() {
+                let own = seq[k].1.since(seq[k].0);
+                let wait = own.saturating_sub(min_inclusive);
+                if wait > DurationTicks::ZERO {
+                    per_process[pi].wait_at_collective += wait;
+                    per_process[pi].collective_waits += 1;
+                }
+            }
+        }
+
+        // ---- late sender ----
+        // A matched message whose receive *invocation* started before the
+        // send was posted: the receiver waited `recv_time − max(enter,
+        // send_time)` ≥ 0 on the wire, of which `send_time − enter` is
+        // attributable to the late sender.
+        let messages = MessageAnalysis::match_trace(trace);
+        for m in &messages.messages {
+            let Some(recv_enter) =
+                enclosing_p2p_enter(registry, &replayed[m.to.index()], m.recv_time)
+            else {
+                continue;
+            };
+            if recv_enter < m.send_time {
+                per_process[m.to.index()].late_sender += m.send_time.since(recv_enter);
+                per_process[m.to.index()].late_sender_count += 1;
+            }
+        }
+
+        WaitStateAnalysis {
+            per_process,
+            unmatched_collectives,
+        }
+    }
+
+    /// The wait states of one process.
+    pub fn process(&self, p: ProcessId) -> &ProcessWaitStates {
+        &self.per_process[p.index()]
+    }
+
+    /// All per-process entries, in process order.
+    pub fn per_process(&self) -> &[ProcessWaitStates] {
+        &self.per_process
+    }
+
+    /// Total classified wait time across all processes.
+    pub fn total(&self) -> DurationTicks {
+        DurationTicks(self.per_process.iter().map(|w| w.total().0).sum())
+    }
+
+    /// The process that waits the most (the biggest *victim* of the
+    /// imbalance — usually not the culprit the SOS analysis names).
+    pub fn most_waiting_process(&self) -> Option<ProcessId> {
+        self.per_process
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, w)| (w.total(), std::cmp::Reverse(*i)))
+            .map(|(i, _)| ProcessId::from_index(i))
+    }
+}
+
+/// The enter time of the innermost point-to-point/wait-role invocation
+/// containing `t` on this process (the receive call the message completed
+/// in).
+fn enclosing_p2p_enter(
+    registry: &perfvar_trace::Registry,
+    proc_inv: &ProcessInvocations,
+    t: Timestamp,
+) -> Option<Timestamp> {
+    // Invocations are in enter order; find the last matching-role
+    // invocation whose [enter, leave] contains t (the recv event is
+    // emitted at the invocation's leave, so use an inclusive upper edge).
+    proc_inv
+        .invocations()
+        .iter()
+        .rfind(|inv| {
+            matches!(
+                registry.function_role(inv.function),
+                FunctionRole::MpiPointToPoint | FunctionRole::MpiWait
+            ) && inv.enter <= t
+                && t <= inv.leave
+        })
+        .map(|inv| inv.enter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::replay_all;
+    use perfvar_sim::prelude::*;
+    use perfvar_sim::workloads::SingleOutlier;
+    use perfvar_trace::{Clock, TraceBuilder};
+
+    #[test]
+    fn fig3_wait_at_collective() {
+        // The Fig. 3 structure: calc 5/3/1 then a shared barrier ending
+        // at t=6. Process 2 (calc 1) waits 4 ticks longer than the
+        // fastest barrier participant (Process 0, inclusive 1).
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let calc = b.define_function("calc", FunctionRole::Compute);
+        let mpi = b.define_function("MPI", FunctionRole::MpiCollective);
+        for load in [5u64, 3, 1] {
+            let p = b.define_process("p");
+            let w = b.process_mut(p);
+            w.enter(Timestamp(0), calc).unwrap();
+            w.leave(Timestamp(load), calc).unwrap();
+            w.enter(Timestamp(load), mpi).unwrap();
+            w.leave(Timestamp(6), mpi).unwrap();
+        }
+        let trace = b.finish().unwrap();
+        let ws = WaitStateAnalysis::compute(&trace, &replay_all(&trace));
+        // Fastest participant: P0 with inclusive 1 (≈ pure cost).
+        assert_eq!(
+            ws.process(ProcessId(0)).wait_at_collective,
+            DurationTicks(0)
+        );
+        assert_eq!(
+            ws.process(ProcessId(1)).wait_at_collective,
+            DurationTicks(2)
+        );
+        assert_eq!(
+            ws.process(ProcessId(2)).wait_at_collective,
+            DurationTicks(4)
+        );
+        assert_eq!(ws.most_waiting_process(), Some(ProcessId(2)));
+        assert_eq!(ws.total(), DurationTicks(6));
+        assert_eq!(ws.unmatched_collectives, 0);
+    }
+
+    #[test]
+    fn late_sender_detected() {
+        // Receiver enters its recv at t=0; the sender posts at t=50.
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let send_f = b.define_function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let recv_f = b.define_function("MPI_Recv", FunctionRole::MpiPointToPoint);
+        let calc = b.define_function("calc", FunctionRole::Compute);
+        let p0 = b.define_process("p0");
+        let p1 = b.define_process("p1");
+        let w = b.process_mut(p0);
+        w.enter(Timestamp(0), calc).unwrap();
+        w.leave(Timestamp(50), calc).unwrap();
+        w.enter(Timestamp(50), send_f).unwrap();
+        w.send(Timestamp(50), p1, 0, 8).unwrap();
+        w.leave(Timestamp(51), send_f).unwrap();
+        let w = b.process_mut(p1);
+        w.enter(Timestamp(0), recv_f).unwrap();
+        w.recv(Timestamp(52), p0, 0, 8).unwrap();
+        w.leave(Timestamp(52), recv_f).unwrap();
+        let trace = b.finish().unwrap();
+        let ws = WaitStateAnalysis::compute(&trace, &replay_all(&trace));
+        let p1w = ws.process(ProcessId(1));
+        assert_eq!(p1w.late_sender, DurationTicks(50));
+        assert_eq!(p1w.late_sender_count, 1);
+        // The sender itself waits for nothing.
+        assert_eq!(ws.process(ProcessId(0)).total(), DurationTicks::ZERO);
+    }
+
+    #[test]
+    fn early_sender_is_not_late() {
+        // The send happens before the receiver even posts: no late-sender
+        // wait (the receiver never blocked on the sender).
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let send_f = b.define_function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let recv_f = b.define_function("MPI_Recv", FunctionRole::MpiPointToPoint);
+        let p0 = b.define_process("p0");
+        let p1 = b.define_process("p1");
+        let w = b.process_mut(p0);
+        w.enter(Timestamp(0), send_f).unwrap();
+        w.send(Timestamp(0), p1, 0, 8).unwrap();
+        w.leave(Timestamp(1), send_f).unwrap();
+        let w = b.process_mut(p1);
+        w.enter(Timestamp(40), recv_f).unwrap();
+        w.recv(Timestamp(41), p0, 0, 8).unwrap();
+        w.leave(Timestamp(41), recv_f).unwrap();
+        let trace = b.finish().unwrap();
+        let ws = WaitStateAnalysis::compute(&trace, &replay_all(&trace));
+        assert_eq!(ws.process(ProcessId(1)).late_sender_count, 0);
+    }
+
+    #[test]
+    fn simulated_outlier_makes_others_wait() {
+        // In the SingleOutlier workload, rank 2 is slow in one iteration;
+        // every *other* rank accrues collective wait — the victims.
+        let trace = simulate(&SingleOutlier::new(5, 8, 2).spec()).unwrap();
+        let ws = WaitStateAnalysis::compute(&trace, &replay_all(&trace));
+        let culprit_wait = ws.process(ProcessId(2)).wait_at_collective;
+        for rank in [0usize, 1, 3, 4] {
+            assert!(
+                ws.process(ProcessId::from_index(rank)).wait_at_collective > culprit_wait,
+                "rank {rank} should wait more than the culprit"
+            );
+        }
+    }
+
+    #[test]
+    fn waitall_waits_classified_via_late_sender() {
+        // Non-blocking receives completed in a WaitAll still classify:
+        // the recv event lands inside the MpiWait-role invocation.
+        let mut b = SpecBuilder::new("t", Clock::microseconds(), CommParams::ideal());
+        let send_f = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let irecv_f = b.function("MPI_Irecv", FunctionRole::MpiPointToPoint);
+        let wait_f = b.function("MPI_Waitall", FunctionRole::MpiWait);
+        let mut p0 = Program::new();
+        p0.compute(100).send(send_f, 1, 0, 8);
+        b.add_rank(p0);
+        let mut p1 = Program::new();
+        p1.irecv(irecv_f, 0, 0, 8).wait_all(wait_f);
+        b.add_rank(p1);
+        let trace = simulate(&b.build()).unwrap();
+        let ws = WaitStateAnalysis::compute(&trace, &replay_all(&trace));
+        let p1w = ws.process(ProcessId(1));
+        assert_eq!(p1w.late_sender_count, 1);
+        // The waitall started at ~t=0, the send was posted at t=100.
+        assert_eq!(p1w.late_sender, DurationTicks(100));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let b = TraceBuilder::new(Clock::microseconds());
+        let trace = b.finish().unwrap();
+        let ws = WaitStateAnalysis::compute(&trace, &replay_all(&trace));
+        assert_eq!(ws.total(), DurationTicks::ZERO);
+        assert_eq!(ws.most_waiting_process(), None);
+    }
+
+    #[test]
+    fn mismatched_collective_counts_reported() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let mpi = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+        let p0 = b.define_process("p0");
+        let p1 = b.define_process("p1");
+        let w = b.process_mut(p0);
+        w.enter(Timestamp(0), mpi).unwrap();
+        w.leave(Timestamp(5), mpi).unwrap();
+        w.enter(Timestamp(6), mpi).unwrap();
+        w.leave(Timestamp(9), mpi).unwrap();
+        let w = b.process_mut(p1);
+        w.enter(Timestamp(0), mpi).unwrap();
+        w.leave(Timestamp(5), mpi).unwrap();
+        let trace = b.finish().unwrap();
+        let ws = WaitStateAnalysis::compute(&trace, &replay_all(&trace));
+        assert_eq!(ws.unmatched_collectives, 1);
+    }
+}

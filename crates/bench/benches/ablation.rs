@@ -1,0 +1,90 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * SOS-time vs. plain-duration detection (cost of the subtraction —
+//!   the *quality* difference is quantified by the `experiments` binary);
+//! * robust (median/MAD) scoring vs. the whole detection pipeline;
+//! * dominant-function multiplier sweep (rule `count ≥ k·p`);
+//! * chart bucket-count sweep (render resolution vs. cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfvar_analysis::imbalance::{ImbalanceAnalysis, ImbalanceConfig};
+use perfvar_analysis::invocation::replay_all;
+use perfvar_analysis::profile::ProfileTable;
+use perfvar_analysis::{analyze, AnalysisConfig, DominantRanking};
+use perfvar_bench::outlier_trace;
+use perfvar_viz::chart::{function_timeline, TimelineOptions};
+use std::hint::black_box;
+
+fn bench_sos_vs_duration_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detection");
+    let trace = outlier_trace(32, 100, 7);
+    let analysis = analyze(&trace, &AnalysisConfig::default()).unwrap();
+    let duration_matrix = analysis.sos.durations_as_sos();
+    g.bench_function("sos_matrix", |b| {
+        b.iter(|| ImbalanceAnalysis::detect(black_box(&analysis.sos), ImbalanceConfig::default()))
+    });
+    g.bench_function("plain_durations", |b| {
+        b.iter(|| {
+            ImbalanceAnalysis::detect(black_box(&duration_matrix), ImbalanceConfig::default())
+        })
+    });
+    g.finish();
+}
+
+fn bench_multiplier_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dominant_multiplier");
+    let trace = outlier_trace(16, 200, 3);
+    let replayed = replay_all(&trace);
+    let profiles = ProfileTable::from_invocations(&trace, &replayed);
+    for multiplier in [1u64, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(multiplier),
+            &multiplier,
+            |b, &m| {
+                b.iter(|| {
+                    DominantRanking::with_multiplier(black_box(&trace), black_box(&profiles), m)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_chart_buckets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timeline_buckets");
+    g.sample_size(20);
+    let trace = outlier_trace(32, 100, 7);
+    for buckets in [120usize, 480, 1920] {
+        let opts = TimelineOptions {
+            buckets,
+            ..TimelineOptions::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(buckets), &opts, |b, opts| {
+            b.iter(|| function_timeline(black_box(&trace), opts))
+        });
+    }
+    g.finish();
+}
+
+fn bench_phase_detection(c: &mut Criterion) {
+    use perfvar_analysis::phases::{PhaseConfig, PhaseDetection};
+    let mut g = c.benchmark_group("phase_detection");
+    for n in [100usize, 1_000, 10_000] {
+        let series: Vec<f64> = (0..n)
+            .map(|i| if i < n / 2 { 100.0 } else { 300.0 } + (i % 7) as f64)
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &series, |b, series| {
+            b.iter(|| PhaseDetection::detect(black_box(series), PhaseConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sos_vs_duration_detection,
+    bench_multiplier_sweep,
+    bench_chart_buckets,
+    bench_phase_detection
+);
+criterion_main!(benches);

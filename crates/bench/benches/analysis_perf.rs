@@ -1,0 +1,141 @@
+//! Performance of the analysis primitives: replay throughput, dominant
+//! selection, SOS computation, and the parallel-replay speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perfvar_analysis::invocation::{replay_all, replay_process};
+use perfvar_analysis::parallel::replay_all_parallel;
+use perfvar_analysis::profile::ProfileTable;
+use perfvar_analysis::segment::Segmentation;
+use perfvar_analysis::sos::SosMatrix;
+use perfvar_analysis::DominantRanking;
+use perfvar_bench::stencil_trace;
+use perfvar_trace::ProcessId;
+use std::hint::black_box;
+
+fn bench_replay_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replay_throughput");
+    for iterations in [100usize, 1_000, 10_000] {
+        let trace = stencil_trace(1, iterations);
+        let events = trace.num_events() as u64;
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::from_parameter(events), &trace, |b, trace| {
+            b.iter(|| replay_process(black_box(trace), ProcessId(0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_replay_64ranks");
+    g.sample_size(20);
+    let trace = stencil_trace(64, 200);
+    g.throughput(Throughput::Elements(trace.num_events() as u64));
+    g.bench_function("sequential", |b| b.iter(|| replay_all(black_box(&trace))));
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| b.iter(|| replay_all_parallel(black_box(&trace), threads)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_dominant_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dominant_selection");
+    let trace = stencil_trace(32, 500);
+    let replayed = replay_all(&trace);
+    let profiles = ProfileTable::from_invocations(&trace, &replayed);
+    g.bench_function("profile_table", |b| {
+        b.iter(|| ProfileTable::from_invocations(black_box(&trace), black_box(&replayed)))
+    });
+    g.bench_function("ranking", |b| {
+        b.iter(|| DominantRanking::new(black_box(&trace), black_box(&profiles)))
+    });
+    g.finish();
+}
+
+fn bench_sos_computation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sos_matrix");
+    for (ranks, iterations) in [(8usize, 100usize), (32, 200), (64, 500)] {
+        let trace = stencil_trace(ranks, iterations);
+        let replayed = replay_all(&trace);
+        let f = trace
+            .registry()
+            .function_by_name("stencil_iteration")
+            .unwrap();
+        let segments = (ranks * iterations) as u64;
+        g.throughput(Throughput::Elements(segments));
+        g.bench_with_input(BenchmarkId::from_parameter(segments), &(), |b, _| {
+            b.iter(|| {
+                let seg = Segmentation::new(black_box(&trace), &replayed, f);
+                SosMatrix::from_segmentation(&seg)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use perfvar_analysis::callpath::CallTree;
+    use perfvar_analysis::clustering::{ClusterConfig, ProcessClustering};
+    use perfvar_analysis::compare::RunComparison;
+    use perfvar_analysis::{analyze, AnalysisConfig};
+
+    let mut g = c.benchmark_group("extensions");
+    let trace = stencil_trace(64, 200);
+    let analysis = analyze(&trace, &AnalysisConfig::default()).unwrap();
+    g.bench_function("call_tree_build", |b| {
+        let replayed = replay_all(&trace);
+        b.iter(|| CallTree::build(black_box(&replayed)))
+    });
+    g.bench_function("clustering_64_processes", |b| {
+        b.iter(|| ProcessClustering::compute(black_box(&analysis.sos), ClusterConfig::default()))
+    });
+    g.bench_function("run_comparison", |b| {
+        b.iter(|| RunComparison::compare(black_box(&analysis.sos), black_box(&analysis.sos)))
+    });
+    g.bench_function("waitstates_64_processes", |b| {
+        let replayed = replay_all(&trace);
+        b.iter(|| {
+            perfvar_analysis::waitstates::WaitStateAnalysis::compute(
+                black_box(&trace),
+                black_box(&replayed),
+            )
+        })
+    });
+    g.bench_function("message_matching", |b| {
+        b.iter(|| perfvar_analysis::messages::MessageAnalysis::match_trace(black_box(&trace)))
+    });
+    g.finish();
+}
+
+fn bench_streaming_read(c: &mut Criterion) {
+    use perfvar_trace::format::pvt;
+    let mut g = c.benchmark_group("streaming_read");
+    let trace = stencil_trace(8, 2_000);
+    let bytes = pvt::to_bytes(&trace).unwrap();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("stream_events", |b| {
+        b.iter(|| {
+            let reader =
+                pvt::PvtStreamReader::new(std::io::Cursor::new(black_box(&bytes))).unwrap();
+            reader.fold(0usize, |acc, r| {
+                r.unwrap();
+                acc + 1
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replay_throughput,
+    bench_parallel_replay,
+    bench_dominant_selection,
+    bench_sos_computation,
+    bench_extensions,
+    bench_streaming_read
+);
+criterion_main!(benches);

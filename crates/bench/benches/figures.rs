@@ -1,0 +1,84 @@
+//! One bench group per evaluation figure: the cost of regenerating each
+//! panel (simulation, analysis, rendering) at paper scale.
+//!
+//! The paper stresses that the approach is "effective and lightweight";
+//! these benches quantify the full pipeline cost on the three case-study
+//! traces.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use perfvar_analysis::{analyze, AnalysisConfig};
+use perfvar_bench::{fig4_trace, fig5_trace, fig6_trace};
+use perfvar_sim::simulate;
+use perfvar_sim::workloads::Workload;
+use perfvar_sim::workloads::{CosmoSpecs, CosmoSpecsFd4, Wrf};
+use perfvar_viz::chart::{function_timeline, sos_heatmap, TimelineOptions};
+use perfvar_viz::{render_svg, SvgOptions};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_cosmo_specs");
+    g.sample_size(10);
+    g.bench_function("simulate", |b| {
+        b.iter(|| simulate(black_box(&CosmoSpecs::paper().spec())).unwrap())
+    });
+    let trace = fig4_trace();
+    g.bench_function("analyze", |b| {
+        b.iter(|| analyze(black_box(&trace), &AnalysisConfig::default()).unwrap())
+    });
+    let analysis = analyze(&trace, &AnalysisConfig::default()).unwrap();
+    g.bench_function("render_timeline_svg", |b| {
+        b.iter(|| {
+            render_svg(
+                &function_timeline(black_box(&trace), &TimelineOptions::default()),
+                &SvgOptions::default(),
+            )
+        })
+    });
+    g.bench_function("render_sos_svg", |b| {
+        b.iter(|| {
+            render_svg(
+                &sos_heatmap(black_box(&trace), &analysis),
+                &SvgOptions::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_fd4");
+    g.sample_size(10);
+    g.bench_function("simulate", |b| {
+        b.iter(|| simulate(black_box(&CosmoSpecsFd4::paper().spec())).unwrap())
+    });
+    let trace = fig5_trace();
+    let config = AnalysisConfig::default();
+    g.bench_function("analyze_coarse", |b| {
+        b.iter(|| analyze(black_box(&trace), &config).unwrap())
+    });
+    let coarse = analyze(&trace, &config).unwrap();
+    g.bench_function("refine_to_fine", |b| {
+        b.iter_batched(
+            || coarse.clone(),
+            |coarse| coarse.refine(black_box(&trace), &config).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_wrf");
+    g.sample_size(10);
+    g.bench_function("simulate", |b| {
+        b.iter(|| simulate(black_box(&Wrf::paper().spec())).unwrap())
+    });
+    let trace = fig6_trace();
+    g.bench_function("analyze_with_counters", |b| {
+        b.iter(|| analyze(black_box(&trace), &AnalysisConfig::default()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4, bench_fig5, bench_fig6);
+criterion_main!(benches);

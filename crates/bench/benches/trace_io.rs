@@ -1,0 +1,47 @@
+//! Trace serialisation throughput: PVT (binary) and PVTX (text),
+//! write and read, in bytes per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perfvar_bench::stencil_trace;
+use perfvar_trace::format::{pvt, text};
+use std::hint::black_box;
+
+fn bench_pvt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pvt_binary");
+    for iterations in [1_000usize, 10_000] {
+        let trace = stencil_trace(8, iterations);
+        let bytes = pvt::to_bytes(&trace).unwrap();
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("write", bytes.len()),
+            &trace,
+            |b, trace| b.iter(|| pvt::to_bytes(black_box(trace)).unwrap()),
+        );
+        g.bench_with_input(BenchmarkId::new("read", bytes.len()), &bytes, |b, bytes| {
+            b.iter(|| pvt::from_bytes(black_box(bytes)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pvtx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pvtx_text");
+    let trace = stencil_trace(8, 1_000);
+    let mut buf = Vec::new();
+    text::write(&trace, &mut buf).unwrap();
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            text::write(black_box(&trace), &mut out).unwrap();
+            out
+        })
+    });
+    g.bench_function("read", |b| {
+        b.iter(|| text::read(&mut std::io::Cursor::new(black_box(&buf))).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pvt, bench_pvtx);
+criterion_main!(benches);

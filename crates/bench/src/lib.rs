@@ -1,0 +1,61 @@
+//! Shared fixtures for the perfvar benchmark and experiment harness.
+//!
+//! The benches and the `experiments` binary both need the case-study
+//! traces at paper scale plus scaled-down variants; this crate builds
+//! them in one place so bench targets stay declarative.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use perfvar_analysis::{analyze, Analysis, AnalysisConfig};
+use perfvar_sim::simulate;
+use perfvar_sim::workloads::Workload;
+use perfvar_sim::workloads::{BalancedStencil, CosmoSpecs, CosmoSpecsFd4, SingleOutlier, Wrf};
+use perfvar_trace::Trace;
+
+/// The COSMO-SPECS trace at paper scale (100 ranks, 60 iterations).
+pub fn fig4_trace() -> Trace {
+    simulate(&CosmoSpecs::paper().spec()).expect("cosmo-specs simulates")
+}
+
+/// The COSMO-SPECS+FD4 trace at paper scale (200 ranks).
+pub fn fig5_trace() -> Trace {
+    simulate(&CosmoSpecsFd4::paper().spec()).expect("fd4 simulates")
+}
+
+/// The WRF trace at paper scale (64 ranks, 80 timesteps).
+pub fn fig6_trace() -> Trace {
+    simulate(&Wrf::paper().spec()).expect("wrf simulates")
+}
+
+/// A balanced stencil trace with the requested size (for scaling
+/// benches).
+pub fn stencil_trace(ranks: usize, iterations: usize) -> Trace {
+    simulate(&BalancedStencil::new(ranks, iterations).spec()).expect("stencil simulates")
+}
+
+/// A single-outlier trace (ground truth: `outlier_rank`, middle
+/// iteration) for detection-quality experiments.
+pub fn outlier_trace(ranks: usize, iterations: usize, outlier_rank: usize) -> Trace {
+    simulate(&SingleOutlier::new(ranks, iterations, outlier_rank).spec())
+        .expect("outlier simulates")
+}
+
+/// Runs the default analysis pipeline; panics on failure (bench fixtures
+/// are known-good).
+pub fn analyzed(trace: &Trace) -> Analysis {
+    analyze(trace, &AnalysisConfig::default()).expect("analysis succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let t = stencil_trace(4, 5);
+        assert_eq!(t.num_processes(), 4);
+        let a = analyzed(&t);
+        assert!(!a.segmentation.is_empty());
+    }
+}

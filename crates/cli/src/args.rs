@@ -1,0 +1,186 @@
+//! A small hand-rolled argument parser.
+//!
+//! `clap` is not in the approved offline dependency set, and the CLI's
+//! needs are modest: subcommands, `--flag`, `--key value`, and positional
+//! arguments, with helpful errors.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals plus `--key [value]` options.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedArgs {
+    positionals: Vec<String>,
+    options: BTreeMap<String, Vec<String>>,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Declares which options take a value (all others are boolean flags).
+pub struct ArgSpec {
+    /// Option names (without `--`) that consume a following value.
+    pub valued: &'static [&'static str],
+    /// Option names that are boolean flags.
+    pub flags: &'static [&'static str],
+}
+
+impl ArgSpec {
+    /// Parses `args` (excluding the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(&self, args: I) -> Result<ParsedArgs, ArgError> {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                // Support --key=value.
+                let (name, inline) = match name.split_once('=') {
+                    Some((n, v)) => (n, Some(v.to_string())),
+                    None => (name, None),
+                };
+                if self.valued.contains(&name) {
+                    let value = match inline {
+                        Some(v) => v,
+                        None => iter
+                            .next()
+                            .ok_or_else(|| ArgError(format!("option --{name} requires a value")))?,
+                    };
+                    parsed
+                        .options
+                        .entry(name.to_string())
+                        .or_default()
+                        .push(value);
+                } else if self.flags.contains(&name) {
+                    if inline.is_some() {
+                        return Err(ArgError(format!("flag --{name} takes no value")));
+                    }
+                    parsed.options.entry(name.to_string()).or_default();
+                } else {
+                    return Err(ArgError(format!("unknown option --{name}")));
+                }
+            } else {
+                parsed.positionals.push(arg);
+            }
+        }
+        Ok(parsed)
+    }
+}
+
+impl ParsedArgs {
+    /// Positional arguments in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The single positional at `index`, if present.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positionals.get(index).map(String::as_str)
+    }
+
+    /// Whether a flag/option was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// Last value of a valued option.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.options
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// Parses the last value of `name` as `T`.
+    pub fn parse_value<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| ArgError(format!("invalid value {raw:?} for --{name}"))),
+        }
+    }
+
+    /// Parses the last value of `name`, or returns `default`.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        Ok(self.parse_value(name)?.unwrap_or(default))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["out", "ranks"],
+        flags: &["json", "ansi"],
+    };
+
+    fn parse(args: &[&str]) -> Result<ParsedArgs, ArgError> {
+        SPEC.parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let p = parse(&["trace.pvt", "--out", "x.svg", "--json", "extra"]).unwrap();
+        assert_eq!(p.positionals(), &["trace.pvt", "extra"]);
+        assert_eq!(p.value("out"), Some("x.svg"));
+        assert!(p.has("json"));
+        assert!(!p.has("ansi"));
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let p = parse(&["--ranks=64"]).unwrap();
+        assert_eq!(p.parse_value::<usize>("ranks").unwrap(), Some(64));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = parse(&["--out"]).unwrap_err();
+        assert!(err.0.contains("requires a value"));
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert!(err.0.contains("unknown option"));
+    }
+
+    #[test]
+    fn flag_with_value_rejected() {
+        let err = parse(&["--json=1"]).unwrap_err();
+        assert!(err.0.contains("takes no value"));
+    }
+
+    #[test]
+    fn invalid_numeric_value() {
+        let p = parse(&["--ranks", "abc"]).unwrap();
+        assert!(p.parse_value::<usize>("ranks").is_err());
+        assert!(p
+            .parse_or("ranks", 7usize)
+            .err()
+            .unwrap()
+            .0
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn parse_or_defaults() {
+        let p = parse(&[]).unwrap();
+        assert_eq!(p.parse_or("ranks", 16usize).unwrap(), 16);
+    }
+
+    #[test]
+    fn repeated_options_take_last() {
+        let p = parse(&["--out", "a", "--out", "b"]).unwrap();
+        assert_eq!(p.value("out"), Some("b"));
+    }
+}

@@ -1,0 +1,944 @@
+//! Implementations of the CLI subcommands.
+
+use crate::args::{ArgSpec, ParsedArgs};
+use crate::workload_args::{generate_trace, WORKLOAD_NAMES};
+use perfvar_analysis::{analyze as run_analysis, Analysis, AnalysisConfig};
+use perfvar_trace::format::{read_trace_file, write_trace_file};
+use perfvar_trace::stats::{event_counts, role_time_profile};
+use perfvar_trace::Trace;
+use perfvar_viz::chart::{counter_heatmap, function_timeline, sos_heatmap, TimelineOptions};
+use perfvar_viz::{render_ansi, render_svg, AnsiOptions, SvgOptions};
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+perfvar — detection and visualization of performance variations
+
+USAGE:
+  perfvar generate <workload> --out <trace.pvt> [--ranks N] [--iterations N] [--seed S]
+  perfvar info     <trace>
+  perfvar analyze  <trace> [--function NAME] [--refine N] [--multiplier K]
+                   [--auto-refine] [--calltree] [--waitstates] [--phases] [--json]
+  perfvar render   <trace> --chart timeline|sos|comm|comm-bytes|counter:<METRIC>
+                   [--out x.svg] [--ansi]
+  perfvar report   <trace> --out-dir DIR
+  perfvar compare  <before> <after> [--function NAME] [--json]
+  perfvar cluster  <trace> [--clusters K] [--threshold T] [--json]
+  perfvar slice    <in> <out> (--from-tick T --to-tick T | --segment N [--function NAME])
+  perfvar convert  <in.pvt|in.pvtx> <out.pvt|out.pvtx>
+
+Workloads: cosmo-specs, cosmo-specs-fd4, wrf (the paper's case studies),
+           balanced, random, gradual, outlier (synthetic).";
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    read_trace_file(path).map_err(|e| format!("cannot read trace {path}: {e}"))
+}
+
+/// `perfvar generate <workload> --out <file>`
+pub fn generate(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["out", "ranks", "iterations", "seed", "outlier-rank"],
+        flags: &[],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let workload = args.positional(0).ok_or_else(|| {
+        format!(
+            "missing workload name; one of: {}",
+            WORKLOAD_NAMES.join(", ")
+        )
+    })?;
+    let out = args.value("out").ok_or("missing --out <file>")?;
+    let trace = generate_trace(workload, &args)?;
+    write_trace_file(&trace, out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} processes, {} events, span {}",
+        trace.num_processes(),
+        trace.num_events(),
+        trace.clock().format_duration(trace.span())
+    );
+    Ok(())
+}
+
+/// `perfvar info <trace>`
+pub fn info(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &[],
+        flags: &[],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let path = args.positional(0).ok_or("missing trace path")?;
+    let trace = load_trace(path)?;
+    let counts = event_counts(&trace);
+    let profile = role_time_profile(&trace);
+    println!("trace {:?}", trace.name);
+    println!("  processes: {}", trace.num_processes());
+    println!("  functions: {}", trace.registry().num_functions());
+    println!("  metrics:   {}", trace.registry().num_metrics());
+    println!(
+        "  events:    {} (enter/leave {}, messages {}, metric samples {})",
+        counts.total(),
+        counts.enters + counts.leaves,
+        counts.sends + counts.recvs,
+        counts.metrics
+    );
+    println!(
+        "  span:      {}",
+        trace.clock().format_duration(trace.span())
+    );
+    println!("  MPI share: {:.1}%", profile.mpi_fraction() * 100.0);
+    let messages = perfvar_analysis::messages::MessageAnalysis::match_trace(&trace);
+    if !messages.is_empty() {
+        println!(
+            "  messages:  {} matched ({} bytes), mean transfer {:.1} ticks",
+            messages.len(),
+            messages.total_bytes(),
+            messages.mean_transfer().unwrap_or(0.0)
+        );
+    }
+    Ok(())
+}
+
+fn analysis_of(trace: &Trace, args: &ParsedArgs) -> Result<Analysis, String> {
+    let mut config = AnalysisConfig {
+        segment_function: args.value("function").map(str::to_string),
+        ..AnalysisConfig::default()
+    };
+    config.dominant_multiplier = args
+        .parse_or("multiplier", config.dominant_multiplier)
+        .map_err(|e| e.to_string())?;
+    let mut analysis = run_analysis(trace, &config).map_err(|e| e.to_string())?;
+    let refine_steps: usize = args.parse_or("refine", 0).map_err(|e| e.to_string())?;
+    for _ in 0..refine_steps {
+        match analysis.refine(trace, &config) {
+            Some(finer) => analysis = finer,
+            None => return Err("no finer segmentation function available".to_string()),
+        }
+    }
+    Ok(analysis)
+}
+
+/// `perfvar analyze <trace>`
+pub fn analyze(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["function", "refine", "multiplier"],
+        flags: &["json", "auto-refine", "calltree", "waitstates", "phases"],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let path = args.positional(0).ok_or("missing trace path")?;
+    let trace = load_trace(path)?;
+    let analysis = if args.has("auto-refine") {
+        let config = AnalysisConfig::default();
+        let (sharp, steps) = perfvar_analysis::findings::auto_refine(&trace, &config, 8)
+            .map_err(|e| e.to_string())?;
+        if steps > 0 && !args.has("json") {
+            println!(
+                "auto-refined {steps} step(s) to {:?}",
+                trace.registry().function_name(sharp.function)
+            );
+        }
+        sharp
+    } else {
+        analysis_of(&trace, &args)?
+    };
+    if args.has("json") {
+        let json = serde_json::to_string_pretty(&analysis)
+            .map_err(|e| format!("serialisation failed: {e}"))?;
+        println!("{json}");
+    } else {
+        print!("{}", analysis.render_text(&trace));
+        if args.has("phases") {
+            let detection = perfvar_analysis::phases::PhaseDetection::detect_durations(
+                &analysis.sos,
+                perfvar_analysis::phases::PhaseConfig::default(),
+            );
+            println!("  duration phases: {}", detection.len());
+            for (i, phase) in detection.phases.iter().enumerate() {
+                println!(
+                    "    phase {i}: ordinals {}..{} mean {:.0} ticks",
+                    phase.start, phase.end, phase.mean
+                );
+            }
+        }
+        if args.has("waitstates") {
+            let replayed = perfvar_analysis::parallel::replay_all_parallel(&trace, 0);
+            let ws = perfvar_analysis::waitstates::WaitStateAnalysis::compute(&trace, &replayed);
+            println!(
+                "  wait states: {} total classified",
+                trace.clock().format_duration(ws.total())
+            );
+            if let Some(victim) = ws.most_waiting_process() {
+                let w = ws.process(victim);
+                println!(
+                    "    most waiting: {} ({} at collectives in {} ops, {} late-sender in {} msgs)",
+                    victim,
+                    trace.clock().format_duration(w.wait_at_collective),
+                    w.collective_waits,
+                    trace.clock().format_duration(w.late_sender),
+                    w.late_sender_count
+                );
+            }
+        }
+        if args.has("calltree") {
+            let replayed = perfvar_analysis::parallel::replay_all_parallel(&trace, 0);
+            let tree = perfvar_analysis::callpath::CallTree::build(&replayed);
+            println!("  call tree (by aggregated inclusive time):");
+            for line in tree.render_text(trace.registry(), 5).lines() {
+                println!("    {line}");
+            }
+        }
+        let findings = perfvar_analysis::findings::findings(&trace, &analysis);
+        if !findings.is_empty() {
+            println!("  findings (ranked by severity):");
+            for f in &findings {
+                println!("    [{:>4.0}%] {}", f.severity * 100.0, f.description);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `perfvar render <trace> --chart <kind>`
+pub fn render(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["chart", "out", "function", "refine", "multiplier", "width"],
+        flags: &["ansi"],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let path = args.positional(0).ok_or("missing trace path")?;
+    let chart_kind = args.value("chart").unwrap_or("timeline");
+    let trace = load_trace(path)?;
+
+    // The comm matrix has its own geometry; handle it before the
+    // timeline-chart path.
+    if chart_kind == "comm" || chart_kind == "comm-bytes" {
+        let analysis = perfvar_analysis::messages::MessageAnalysis::match_trace(&trace);
+        let comm = analysis.comm_matrix(trace.num_processes());
+        let quantity = if chart_kind == "comm" {
+            perfvar_viz::matrix::CommQuantity::Count
+        } else {
+            perfvar_viz::matrix::CommQuantity::Bytes
+        };
+        let svg = perfvar_viz::matrix::render_comm_matrix_svg(&trace, &comm, quantity, 720);
+        match args.value("out") {
+            Some(out) => {
+                std::fs::write(out, &svg).map_err(|e| format!("cannot write {out}: {e}"))?;
+                println!("wrote {out}");
+            }
+            None => println!("{svg}"),
+        }
+        return Ok(());
+    }
+
+    let chart = match chart_kind {
+        "timeline" => function_timeline(&trace, &TimelineOptions::default()),
+        "sos" => {
+            let analysis = analysis_of(&trace, &args)?;
+            sos_heatmap(&trace, &analysis)
+        }
+        other => match other.strip_prefix("counter:") {
+            Some(metric_name) => {
+                let analysis = analysis_of(&trace, &args)?;
+                let metric = trace
+                    .registry()
+                    .metric_by_name(metric_name)
+                    .ok_or_else(|| format!("metric {metric_name:?} not in trace"))?;
+                let counter = analysis
+                    .counters
+                    .iter()
+                    .find(|c| c.metric == metric)
+                    .ok_or("counter analysis missing")?;
+                counter_heatmap(&trace, &analysis, &counter.matrix)
+            }
+            None => {
+                return Err(format!(
+                    "unknown chart {other:?}; use timeline, sos, comm, comm-bytes, \
+                     or counter:<METRIC>"
+                ))
+            }
+        },
+    };
+
+    if args.has("ansi") {
+        let width: usize = args.parse_or("width", 100).map_err(|e| e.to_string())?;
+        print!(
+            "{}",
+            render_ansi(
+                &chart,
+                &AnsiOptions {
+                    width,
+                    ..AnsiOptions::default()
+                }
+            )
+        );
+        return Ok(());
+    }
+    let svg = render_svg(&chart, &SvgOptions::default());
+    match args.value("out") {
+        Some(out) => {
+            std::fs::write(out, &svg).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("wrote {out}");
+        }
+        None => println!("{svg}"),
+    }
+    Ok(())
+}
+
+/// `perfvar report <trace> --out-dir DIR` — text report plus every chart.
+pub fn report(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["out-dir", "function", "refine", "multiplier"],
+        flags: &[],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let path = args.positional(0).ok_or("missing trace path")?;
+    let out_dir = args.value("out-dir").ok_or("missing --out-dir DIR")?;
+    let trace = load_trace(path)?;
+    let analysis = analysis_of(&trace, &args)?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let dir = Path::new(out_dir);
+
+    let write = |name: &str, data: &str| -> Result<(), String> {
+        let p = dir.join(name);
+        std::fs::write(&p, data).map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+        println!("wrote {}", p.display());
+        Ok(())
+    };
+
+    let mut report_text = analysis.render_text(&trace);
+    let findings = perfvar_analysis::findings::findings(&trace, &analysis);
+    if !findings.is_empty() {
+        report_text.push_str("  findings (ranked by severity):\n");
+        for f in &findings {
+            report_text.push_str(&format!(
+                "    [{:>4.0}%] {}\n",
+                f.severity * 100.0,
+                f.description
+            ));
+        }
+    }
+    write("report.txt", &report_text)?;
+    write(
+        "findings.json",
+        &serde_json::to_string_pretty(&findings)
+            .map_err(|e| format!("serialisation failed: {e}"))?,
+    )?;
+    let json = serde_json::to_string_pretty(&analysis)
+        .map_err(|e| format!("serialisation failed: {e}"))?;
+    write("analysis.json", &json)?;
+    write(
+        "timeline.svg",
+        &render_svg(
+            &function_timeline(&trace, &TimelineOptions::default()),
+            &SvgOptions::default(),
+        ),
+    )?;
+    write(
+        "sos.svg",
+        &render_svg(&sos_heatmap(&trace, &analysis), &SvgOptions::default()),
+    )?;
+    for counter in &analysis.counters {
+        let name = trace.registry().metric(counter.metric).name.clone();
+        let file = format!(
+            "counter-{}.svg",
+            name.to_ascii_lowercase()
+                .replace(|c: char| !c.is_ascii_alphanumeric(), "-")
+        );
+        write(
+            &file,
+            &render_svg(
+                &counter_heatmap(&trace, &analysis, &counter.matrix),
+                &SvgOptions::default(),
+            ),
+        )?;
+    }
+    write(
+        "function-summary.svg",
+        &perfvar_viz::summary::render_bar_svg(
+            &perfvar_viz::summary::function_summary(&trace, &analysis.profiles, 12),
+            900,
+        ),
+    )?;
+    write(
+        "process-load.svg",
+        &perfvar_viz::summary::render_bar_svg(
+            &perfvar_viz::summary::process_load_chart(&trace, &analysis),
+            900,
+        ),
+    )?;
+    write(
+        "sos-histogram.svg",
+        &perfvar_viz::summary::render_histogram_svg(
+            &perfvar_viz::summary::sos_histogram(&analysis, 24),
+            640,
+            320,
+        ),
+    )?;
+    let messages = perfvar_analysis::messages::MessageAnalysis::match_trace(&trace);
+    if !messages.is_empty() {
+        let comm = messages.comm_matrix(trace.num_processes());
+        write(
+            "comm-matrix.svg",
+            &perfvar_viz::matrix::render_comm_matrix_svg(
+                &trace,
+                &comm,
+                perfvar_viz::matrix::CommQuantity::Bytes,
+                720,
+            ),
+        )?;
+    }
+    write(
+        "iteration-series.svg",
+        &perfvar_viz::summary::render_series_svg(
+            &perfvar_viz::summary::ordinal_series_chart(&analysis),
+            900,
+            320,
+        ),
+    )?;
+
+    // Single-file HTML report bundling text, findings and every chart.
+    let mut html = perfvar_viz::html::HtmlReport::new(format!("perfvar report — {}", trace.name));
+    html.heading("Hotspot report").text(&report_text);
+    let ranked = perfvar_analysis::findings::findings(&trace, &analysis);
+    if !ranked.is_empty() {
+        html.heading("Findings (ranked by severity)").list(
+            ranked
+                .iter()
+                .map(|f| format!("[{:.0}%] {}", f.severity * 100.0, f.description))
+                .collect(),
+        );
+    }
+    html.heading("Master timeline").svg(render_svg(
+        &function_timeline(&trace, &TimelineOptions::default()),
+        &SvgOptions::default(),
+    ));
+    html.heading("SOS-time heatmap").svg(render_svg(
+        &sos_heatmap(&trace, &analysis),
+        &SvgOptions::default(),
+    ));
+    for counter in &analysis.counters {
+        let name = trace.registry().metric(counter.metric).name.clone();
+        html.heading(format!("Counter heatmap — {name}"))
+            .svg(render_svg(
+                &counter_heatmap(&trace, &analysis, &counter.matrix),
+                &SvgOptions::default(),
+            ));
+    }
+    html.heading("Per-process load")
+        .svg(perfvar_viz::summary::render_bar_svg(
+            &perfvar_viz::summary::process_load_chart(&trace, &analysis),
+            900,
+        ));
+    html.heading("Iteration series")
+        .svg(perfvar_viz::summary::render_series_svg(
+            &perfvar_viz::summary::ordinal_series_chart(&analysis),
+            900,
+            320,
+        ));
+    if !messages.is_empty() {
+        let comm = messages.comm_matrix(trace.num_processes());
+        html.heading("Communication matrix")
+            .svg(perfvar_viz::matrix::render_comm_matrix_svg(
+                &trace,
+                &comm,
+                perfvar_viz::matrix::CommQuantity::Bytes,
+                720,
+            ));
+    }
+    write("report.html", &html.render())?;
+    Ok(())
+}
+
+/// `perfvar compare <before> <after>` — SOS-based run comparison.
+pub fn compare(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["function", "multiplier"],
+        flags: &["json"],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let before_path = args.positional(0).ok_or("missing baseline trace path")?;
+    let after_path = args.positional(1).ok_or("missing candidate trace path")?;
+    let before_trace = load_trace(before_path)?;
+    let after_trace = load_trace(after_path)?;
+    let before = analysis_of(&before_trace, &args)?;
+    let after = analysis_of(&after_trace, &args)?;
+    let comparison = perfvar_analysis::RunComparison::compare(&before.sos, &after.sos);
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&comparison)
+                .map_err(|e| format!("serialisation failed: {e}"))?
+        );
+    } else {
+        print!("{}", comparison.render_text());
+        if comparison.imbalance_change() < -0.05 {
+            println!("→ the candidate run is better balanced");
+        } else if comparison.imbalance_change() > 0.05 {
+            println!("→ the candidate run is WORSE balanced");
+        }
+    }
+    Ok(())
+}
+
+/// `perfvar cluster <trace>` — process-similarity clustering.
+pub fn cluster(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["clusters", "threshold", "function", "multiplier"],
+        flags: &["json"],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let path = args.positional(0).ok_or("missing trace path")?;
+    let trace = load_trace(path)?;
+    let analysis = analysis_of(&trace, &args)?;
+    let config = perfvar_analysis::clustering::ClusterConfig {
+        num_clusters: args.parse_value("clusters").map_err(|e| e.to_string())?,
+        distance_threshold: args
+            .parse_or("threshold", 0.25f64)
+            .map_err(|e| e.to_string())?,
+    };
+    let clustering = perfvar_analysis::ProcessClustering::compute(&analysis.sos, config);
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&clustering)
+                .map_err(|e| format!("serialisation failed: {e}"))?
+        );
+        return Ok(());
+    }
+    println!(
+        "{} behaviour cluster(s) over {} processes:",
+        clustering.len(),
+        trace.num_processes()
+    );
+    for (i, c) in clustering.clusters.iter().enumerate() {
+        let members: Vec<String> = c.members.iter().take(12).map(|p| p.to_string()).collect();
+        let suffix = if c.members.len() > 12 {
+            format!(" … ({} total)", c.members.len())
+        } else {
+            String::new()
+        };
+        println!(
+            "  cluster {i}: representative {} — {}{}",
+            c.representative,
+            members.join(" "),
+            suffix
+        );
+    }
+    if !clustering.minority_clusters().is_empty() {
+        println!("→ minority clusters mark unusual processes worth inspecting");
+    }
+    Ok(())
+}
+
+/// `perfvar slice <in> <out>` — crop a trace to a time window or to one
+/// segment (the paper's "record only the slow iteration" workflow).
+pub fn slice(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["from-tick", "to-tick", "segment", "function", "multiplier"],
+        flags: &[],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let input = args.positional(0).ok_or("missing input path")?;
+    let output = args.positional(1).ok_or("missing output path")?;
+    let trace = load_trace(input)?;
+
+    let sliced = if let Some(segment) = args
+        .parse_value::<usize>("segment")
+        .map_err(|e| e.to_string())?
+    {
+        // Segment by the dominant function (or the override) and cut the
+        // N-th invocation window.
+        let analysis = analysis_of(&trace, &args)?;
+        perfvar_trace::slice::slice_invocation(&trace, analysis.function, segment)
+            .ok_or_else(|| format!("no segment #{segment} exists"))?
+            .map_err(|e| format!("slice failed: {e}"))?
+    } else {
+        let from = args
+            .parse_value::<u64>("from-tick")
+            .map_err(|e| e.to_string())?
+            .ok_or("need --from-tick/--to-tick or --segment")?;
+        let to = args
+            .parse_value::<u64>("to-tick")
+            .map_err(|e| e.to_string())?
+            .ok_or("need --to-tick")?;
+        if from > to {
+            return Err("--from-tick must not exceed --to-tick".to_string());
+        }
+        perfvar_trace::slice::slice(
+            &trace,
+            perfvar_trace::Timestamp(from),
+            perfvar_trace::Timestamp(to),
+        )
+        .map_err(|e| format!("slice failed: {e}"))?
+    };
+    write_trace_file(&sliced, output).map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!(
+        "wrote {output}: {} events in [{} .. {}]",
+        sliced.num_events(),
+        sliced.begin(),
+        sliced.end()
+    );
+    Ok(())
+}
+
+/// `perfvar convert <in> <out>`
+pub fn convert(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &[],
+        flags: &[],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let input = args.positional(0).ok_or("missing input path")?;
+    let output = args.positional(1).ok_or("missing output path")?;
+    if args.positionals().len() > 2 {
+        return Err("convert takes exactly two paths".to_string());
+    }
+    let trace = load_trace(input)?;
+    write_trace_file(&trace, output).map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!("converted {input} -> {output}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("perfvar-cli-tests").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_info_analyze_round_trip() {
+        let dir = tmp_dir("gia");
+        let trace_path = dir.join("t.pvt");
+        let trace_str = trace_path.to_str().unwrap();
+        generate(argv(&[
+            "outlier",
+            "--out",
+            trace_str,
+            "--ranks",
+            "4",
+            "--iterations",
+            "5",
+        ]))
+        .unwrap();
+        info(argv(&[trace_str])).unwrap();
+        analyze(argv(&[trace_str])).unwrap();
+        analyze(argv(&[trace_str, "--json"])).unwrap();
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        let err = generate(argv(&["balanced"])).unwrap_err();
+        assert!(err.contains("--out"));
+    }
+
+    #[test]
+    fn generate_unknown_workload() {
+        let err = generate(argv(&["bogus", "--out", "/tmp/x.pvt"])).unwrap_err();
+        assert!(err.contains("available"));
+    }
+
+    #[test]
+    fn archive_round_trip_via_convert() {
+        let dir = tmp_dir("archive");
+        let a = dir.join("a.pvt");
+        let arch = dir.join("a.pvta");
+        let c = dir.join("c.pvt");
+        generate(argv(&[
+            "balanced",
+            "--out",
+            a.to_str().unwrap(),
+            "--ranks",
+            "5",
+            "--iterations",
+            "4",
+        ]))
+        .unwrap();
+        convert(argv(&[a.to_str().unwrap(), arch.to_str().unwrap()])).unwrap();
+        assert!(arch.join("anchor.pvtd").exists());
+        assert!(arch.join("stream-4.pvts").exists());
+        convert(argv(&[arch.to_str().unwrap(), c.to_str().unwrap()])).unwrap();
+        assert_eq!(read_trace_file(&a).unwrap(), read_trace_file(&c).unwrap());
+        info(argv(&[arch.to_str().unwrap()])).unwrap();
+    }
+
+    #[test]
+    fn convert_pvt_to_text_and_back() {
+        let dir = tmp_dir("convert");
+        let a = dir.join("a.pvt");
+        let b = dir.join("b.pvtx");
+        let c = dir.join("c.pvt");
+        generate(argv(&[
+            "balanced",
+            "--out",
+            a.to_str().unwrap(),
+            "--ranks",
+            "3",
+            "--iterations",
+            "4",
+        ]))
+        .unwrap();
+        convert(argv(&[a.to_str().unwrap(), b.to_str().unwrap()])).unwrap();
+        convert(argv(&[b.to_str().unwrap(), c.to_str().unwrap()])).unwrap();
+        let ta = read_trace_file(&a).unwrap();
+        let tc = read_trace_file(&c).unwrap();
+        assert_eq!(ta, tc);
+    }
+
+    #[test]
+    fn render_svg_and_ansi() {
+        let dir = tmp_dir("render");
+        let trace_path = dir.join("t.pvt");
+        let ts = trace_path.to_str().unwrap();
+        generate(argv(&[
+            "outlier",
+            "--out",
+            ts,
+            "--ranks",
+            "4",
+            "--iterations",
+            "6",
+        ]))
+        .unwrap();
+        let svg_path = dir.join("x.svg");
+        render(argv(&[
+            ts,
+            "--chart",
+            "sos",
+            "--out",
+            svg_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        render(argv(&[ts, "--chart", "timeline", "--ansi"])).unwrap();
+        let err = render(argv(&[ts, "--chart", "bogus"])).unwrap_err();
+        assert!(err.contains("unknown chart"));
+    }
+
+    #[test]
+    fn render_comm_matrix() {
+        let dir = tmp_dir("render-comm");
+        let trace_path = dir.join("t.pvt");
+        let ts = trace_path.to_str().unwrap();
+        generate(argv(&[
+            "cosmo-specs-fd4",
+            "--out",
+            ts,
+            "--ranks",
+            "6",
+            "--iterations",
+            "1",
+        ]))
+        .unwrap();
+        for chart in ["comm", "comm-bytes"] {
+            let out = dir.join(format!("{chart}.svg"));
+            render(argv(&[
+                ts,
+                "--chart",
+                chart,
+                "--out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(std::fs::read_to_string(&out)
+                .unwrap()
+                .contains("Communication matrix"));
+        }
+    }
+
+    #[test]
+    fn report_writes_all_artifacts() {
+        let dir = tmp_dir("report");
+        let trace_path = dir.join("t.pvt");
+        let ts = trace_path.to_str().unwrap();
+        generate(argv(&[
+            "cosmo-specs-fd4",
+            "--out",
+            ts,
+            "--ranks",
+            "6",
+            "--iterations",
+            "2",
+        ]))
+        .unwrap();
+        let out = dir.join("out");
+        report(argv(&[ts, "--out-dir", out.to_str().unwrap()])).unwrap();
+        for f in [
+            "report.txt",
+            "report.html",
+            "analysis.json",
+            "findings.json",
+            "timeline.svg",
+            "sos.svg",
+        ] {
+            assert!(out.join(f).exists(), "{f}");
+        }
+        // The FD4 workload has a PAPI counter → a counter SVG exists.
+        assert!(out.join("counter-papi-tot-cyc.svg").exists());
+    }
+
+    #[test]
+    fn analyze_refine_steps() {
+        let dir = tmp_dir("refine");
+        let trace_path = dir.join("t.pvt");
+        let ts = trace_path.to_str().unwrap();
+        generate(argv(&[
+            "cosmo-specs-fd4",
+            "--out",
+            ts,
+            "--ranks",
+            "4",
+            "--iterations",
+            "2",
+        ]))
+        .unwrap();
+        analyze(argv(&[ts, "--refine", "1"])).unwrap();
+        // Far too many refinement steps must fail gracefully.
+        let err = analyze(argv(&[ts, "--refine", "99"])).unwrap_err();
+        assert!(err.contains("no finer"));
+    }
+
+    #[test]
+    fn missing_trace_reported() {
+        let err = info(argv(&["/definitely/missing.pvt"])).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn compare_two_runs() {
+        let dir = tmp_dir("compare");
+        let a = dir.join("imbalanced.pvt");
+        let b = dir.join("balanced.pvt");
+        generate(argv(&[
+            "outlier",
+            "--out",
+            a.to_str().unwrap(),
+            "--ranks",
+            "4",
+            "--iterations",
+            "6",
+        ]))
+        .unwrap();
+        generate(argv(&[
+            "balanced",
+            "--out",
+            b.to_str().unwrap(),
+            "--ranks",
+            "4",
+            "--iterations",
+            "6",
+        ]))
+        .unwrap();
+        compare(argv(&[a.to_str().unwrap(), b.to_str().unwrap()])).unwrap();
+        compare(argv(&[a.to_str().unwrap(), b.to_str().unwrap(), "--json"])).unwrap();
+        let err = compare(argv(&[a.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("candidate"));
+    }
+
+    #[test]
+    fn cluster_subcommand() {
+        let dir = tmp_dir("cluster");
+        let t = dir.join("t.pvt");
+        generate(argv(&[
+            "outlier",
+            "--out",
+            t.to_str().unwrap(),
+            "--ranks",
+            "6",
+            "--iterations",
+            "6",
+        ]))
+        .unwrap();
+        cluster(argv(&[t.to_str().unwrap()])).unwrap();
+        cluster(argv(&[t.to_str().unwrap(), "--clusters", "2", "--json"])).unwrap();
+        let err = cluster(argv(&[t.to_str().unwrap(), "--threshold", "abc"])).unwrap_err();
+        assert!(err.contains("invalid"));
+    }
+
+    #[test]
+    fn slice_by_window_and_by_segment() {
+        let dir = tmp_dir("slice");
+        let t = dir.join("t.pvt");
+        let ts = t.to_str().unwrap();
+        generate(argv(&[
+            "outlier",
+            "--out",
+            ts,
+            "--ranks",
+            "3",
+            "--iterations",
+            "6",
+        ]))
+        .unwrap();
+        let w = dir.join("window.pvt");
+        slice(argv(&[
+            ts,
+            w.to_str().unwrap(),
+            "--from-tick",
+            "0",
+            "--to-tick",
+            "20000",
+        ]))
+        .unwrap();
+        let sliced = read_trace_file(&w).unwrap();
+        assert!(sliced.end().0 <= 20_000);
+        let s = dir.join("segment.pvt");
+        slice(argv(&[ts, s.to_str().unwrap(), "--segment", "3"])).unwrap();
+        let seg = read_trace_file(&s).unwrap();
+        assert!(seg.num_events() > 0);
+        assert!(seg.span().0 < sliced.span().0 * 3);
+        // Errors: reversed window, missing args, out-of-range segment.
+        let e = slice(argv(&[
+            ts,
+            "/tmp/x.pvt",
+            "--from-tick",
+            "9",
+            "--to-tick",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("must not exceed"));
+        let e = slice(argv(&[ts, "/tmp/x.pvt"])).unwrap_err();
+        assert!(e.contains("--from-tick"));
+        let e = slice(argv(&[ts, "/tmp/x.pvt", "--segment", "99"])).unwrap_err();
+        assert!(e.contains("no segment"));
+    }
+
+    #[test]
+    fn report_includes_summary_charts() {
+        let dir = tmp_dir("report-summary");
+        let t = dir.join("t.pvt");
+        generate(argv(&[
+            "outlier",
+            "--out",
+            t.to_str().unwrap(),
+            "--ranks",
+            "4",
+            "--iterations",
+            "5",
+        ]))
+        .unwrap();
+        let out = dir.join("out");
+        report(argv(&[
+            t.to_str().unwrap(),
+            "--out-dir",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for f in [
+            "function-summary.svg",
+            "process-load.svg",
+            "sos-histogram.svg",
+            "iteration-series.svg",
+        ] {
+            assert!(out.join(f).exists(), "{f}");
+        }
+    }
+}

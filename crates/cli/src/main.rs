@@ -1,0 +1,53 @@
+//! `perfvar` — command-line front end of the perfvar toolkit.
+//!
+//! ```text
+//! perfvar generate <workload> --out trace.pvt [--ranks N] [--iterations N] [--seed S]
+//! perfvar info     <trace>
+//! perfvar analyze  <trace> [--function NAME] [--refine N] [--json] [--multiplier K]
+//! perfvar render   <trace> --chart timeline|sos|counter:NAME [--out x.svg] [--ansi]
+//! perfvar report   <trace> --out-dir DIR
+//! perfvar compare  <before> <after> [--json]
+//! perfvar cluster  <trace> [--clusters K] [--json]
+//! perfvar convert  <in> <out>
+//! ```
+//!
+//! Traces use the PVT binary format (`.pvt`) or the PVTX text format
+//! (`.pvtx`), selected by extension.
+
+mod args;
+mod commands;
+mod workload_args;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let rest: Vec<String> = argv.collect();
+    let result = match command.as_str() {
+        "generate" => commands::generate(rest),
+        "info" => commands::info(rest),
+        "analyze" => commands::analyze(rest),
+        "render" => commands::render(rest),
+        "report" => commands::report(rest),
+        "compare" => commands::compare(rest),
+        "cluster" => commands::cluster(rest),
+        "slice" => commands::slice(rest),
+        "convert" => commands::convert(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("perfvar: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Workload construction from CLI arguments.
+
+use crate::args::{ArgError, ParsedArgs};
+use perfvar_sim::workloads::Workload;
+use perfvar_sim::workloads::{
+    BalancedStencil, CosmoSpecs, CosmoSpecsFd4, GradualSlowdown, RandomImbalance, SingleOutlier,
+    Wrf,
+};
+use perfvar_sim::{simulate, AppSpec};
+use perfvar_trace::Trace;
+
+/// Names of the available workloads (for help text).
+pub const WORKLOAD_NAMES: &[&str] = &[
+    "cosmo-specs",
+    "cosmo-specs-fd4",
+    "wrf",
+    "balanced",
+    "random",
+    "gradual",
+    "outlier",
+];
+
+/// Builds the [`AppSpec`] of the named workload, honouring the generic
+/// overrides `--ranks`, `--iterations`, `--seed` and the workload-specific
+/// `--outlier-rank`.
+pub fn build_spec(name: &str, args: &ParsedArgs) -> Result<AppSpec, ArgError> {
+    let ranks: Option<usize> = args.parse_value("ranks")?;
+    let iterations: Option<usize> = args.parse_value("iterations")?;
+    let seed: Option<u64> = args.parse_value("seed")?;
+    let spec = match name {
+        "cosmo-specs" => {
+            let mut w = CosmoSpecs::paper();
+            if let Some(r) = ranks {
+                // Interpret --ranks as a square-ish grid.
+                let cols = (r as f64).sqrt().round().max(1.0) as usize;
+                let rows = r.div_ceil(cols);
+                w = CosmoSpecs::small(rows, cols, w.iterations);
+            }
+            if let Some(i) = iterations {
+                w.iterations = i;
+            }
+            if let Some(s) = seed {
+                w.seed = s;
+            }
+            w.spec()
+        }
+        "cosmo-specs-fd4" => {
+            let mut w = CosmoSpecsFd4::paper();
+            if let Some(r) = ranks {
+                w = CosmoSpecsFd4::small(r, w.iterations);
+            }
+            if let Some(i) = iterations {
+                w.iterations = i;
+                w.interrupted_iteration = i / 2;
+            }
+            if let Some(s) = seed {
+                w.seed = s;
+            }
+            w.spec()
+        }
+        "wrf" => {
+            let mut w = Wrf::paper();
+            if let Some(r) = ranks {
+                let cols = (r as f64).sqrt().round().max(1.0) as usize;
+                let rows = r.div_ceil(cols);
+                w = Wrf::small(rows, cols, w.iterations);
+                w.init_ticks = Wrf::paper().init_ticks;
+            }
+            if let Some(i) = iterations {
+                w.iterations = i;
+            }
+            if let Some(s) = seed {
+                w.seed = s;
+            }
+            w.spec()
+        }
+        "balanced" => {
+            let mut w = BalancedStencil::new(ranks.unwrap_or(16), iterations.unwrap_or(50));
+            if let Some(s) = seed {
+                w.seed = s;
+            }
+            w.spec()
+        }
+        "random" => {
+            let mut w = RandomImbalance::new(ranks.unwrap_or(16), iterations.unwrap_or(50));
+            if let Some(s) = seed {
+                w.seed = s;
+            }
+            w.spec()
+        }
+        "gradual" => GradualSlowdown::new(ranks.unwrap_or(16), iterations.unwrap_or(50)).spec(),
+        "outlier" => {
+            let r = ranks.unwrap_or(16);
+            let outlier_rank: usize = args.parse_or("outlier-rank", r / 2)?;
+            let mut w = SingleOutlier::new(r, iterations.unwrap_or(50), outlier_rank);
+            if let Some(s) = seed {
+                w.seed = s;
+            }
+            w.spec()
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown workload {other:?}; available: {}",
+                WORKLOAD_NAMES.join(", ")
+            )))
+        }
+    };
+    Ok(spec)
+}
+
+/// Builds and simulates the named workload.
+pub fn generate_trace(name: &str, args: &ParsedArgs) -> Result<Trace, String> {
+    let spec = build_spec(name, args).map_err(|e| e.to_string())?;
+    simulate(&spec).map_err(|e| format!("simulation failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ArgSpec;
+
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["ranks", "iterations", "seed", "outlier-rank"],
+        flags: &[],
+    };
+
+    fn parsed(args: &[&str]) -> ParsedArgs {
+        SPEC.parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn all_named_workloads_build() {
+        let args = parsed(&["--ranks", "4", "--iterations", "3"]);
+        for name in WORKLOAD_NAMES {
+            let spec = build_spec(name, &args).unwrap();
+            assert!(spec.num_ranks() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_workload_rejected() {
+        let err = build_spec("nope", &parsed(&[])).unwrap_err();
+        assert!(err.0.contains("available"));
+    }
+
+    #[test]
+    fn generate_produces_trace() {
+        let args = parsed(&["--ranks", "4", "--iterations", "3"]);
+        let trace = generate_trace("balanced", &args).unwrap();
+        assert_eq!(trace.num_processes(), 4);
+    }
+
+    #[test]
+    fn seed_override_changes_trace() {
+        let a = generate_trace(
+            "random",
+            &parsed(&["--ranks", "3", "--iterations", "3", "--seed", "1"]),
+        )
+        .unwrap();
+        let b = generate_trace(
+            "random",
+            &parsed(&["--ranks", "3", "--iterations", "3", "--seed", "2"]),
+        )
+        .unwrap();
+        assert_ne!(a, b);
+    }
+}

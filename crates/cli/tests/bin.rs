@@ -1,0 +1,97 @@
+//! Binary-level end-to-end tests: spawn the real `perfvar` executable
+//! and assert on exit codes and output — the contract scripts and CI
+//! pipelines rely on.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn perfvar(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perfvar"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("perfvar-bin-tests").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = perfvar(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn help_succeeds() {
+    let out = perfvar(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("generate"));
+    assert!(text.contains("analyze"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = perfvar(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let dir = tmp_dir("workflow");
+    let trace = dir.join("t.pvt");
+    let ts = trace.to_str().unwrap();
+
+    let out = perfvar(&[
+        "generate",
+        "outlier",
+        "--out",
+        ts,
+        "--ranks",
+        "4",
+        "--iterations",
+        "6",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace.exists());
+
+    let out = perfvar(&["info", ts]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("processes: 4"));
+
+    let out = perfvar(&["analyze", ts]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("segmentation function"), "{text}");
+    assert!(text.contains("findings"), "{text}");
+
+    let json_out = perfvar(&["analyze", ts, "--json"]);
+    assert!(json_out.status.success());
+    let parsed: serde_json::Value = serde_json::from_slice(&json_out.stdout).expect("valid JSON");
+    assert!(parsed.get("sos").is_some());
+
+    let report_dir = dir.join("report");
+    let out = perfvar(&["report", ts, "--out-dir", report_dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(report_dir.join("report.html").exists());
+
+    // Failure path: analyzing a missing file exits non-zero with a
+    // message on stderr.
+    let out = perfvar(&["analyze", "/definitely/missing.pvt"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

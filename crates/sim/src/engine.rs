@@ -1,0 +1,1029 @@
+//! The discrete-event execution engine.
+//!
+//! [`simulate`] runs every rank's [`Program`] against per-rank virtual
+//! clocks and produces a validated [`Trace`]. Ranks execute independently
+//! until they hit a blocking operation:
+//!
+//! * **Collectives** match by *occurrence index*: the k-th collective
+//!   executed by each rank belongs to the same operation (the usual SPMD
+//!   structure). All participants leave together at
+//!   `max(arrival) + collective_cost`; a rank arriving early therefore
+//!   spends `release − arrival` waiting inside the MPI function — the
+//!   synchronization time the paper's SOS-time subtracts.
+//! * **Receives** block until the matching message (FIFO per
+//!   `(src, dst, tag)`) has been *sent* and has *arrived* under the
+//!   latency/bandwidth model.
+//!
+//! The engine performs round-robin scheduling with progress tracking; a
+//! cycle of mutually blocked ranks is reported as a deadlock rather than
+//! hanging.
+
+use crate::program::{CollectiveKind, FunctionKey, Program, Step};
+use crate::spec::AppSpec;
+use perfvar_trace::{FunctionId, MetricId, ProcessId, Timestamp, Trace, TraceBuilder, TraceError};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors raised while simulating an [`AppSpec`].
+#[derive(Debug)]
+pub enum SimError {
+    /// A rank program is malformed (unbalanced regions, bad references).
+    Program {
+        /// The offending rank.
+        rank: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Ranks disagree on the sequence of collectives.
+    CollectiveMismatch {
+        /// Occurrence index of the collective.
+        index: usize,
+        /// Description of the disagreement.
+        message: String,
+    },
+    /// No rank can make progress but some are not finished.
+    Deadlock {
+        /// Ranks that are blocked (rank, description).
+        blocked: Vec<(usize, String)>,
+    },
+    /// The produced event stream failed trace validation (engine bug or
+    /// inconsistent program).
+    Trace(TraceError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Program { rank, message } => {
+                write!(f, "invalid program on rank {rank}: {message}")
+            }
+            SimError::CollectiveMismatch { index, message } => {
+                write!(f, "collective #{index} mismatch: {message}")
+            }
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulation deadlock; blocked ranks: ")?;
+                for (i, (rank, what)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{rank} ({what})")?;
+                }
+                Ok(())
+            }
+            SimError::Trace(e) => write!(f, "trace construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> SimError {
+        SimError::Trace(e)
+    }
+}
+
+/// State of one in-flight collective operation.
+#[derive(Debug)]
+struct Collective {
+    /// Arrival time per rank (`None` = not arrived yet).
+    arrivals: Vec<Option<u64>>,
+    arrived: usize,
+    /// Completion time once every rank arrived.
+    release: Option<u64>,
+    /// Function/kind of the first arrival, for SPMD consistency checks.
+    function: FunctionKey,
+    kind: CollectiveKind,
+    /// Maximum per-rank payload seen.
+    bytes: u64,
+}
+
+/// An in-flight point-to-point message.
+#[derive(Debug, Clone, Copy)]
+struct Message {
+    arrival: u64,
+    bytes: u64,
+}
+
+/// Why a rank is currently blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// Waiting inside collective `#idx` (enter already emitted).
+    Collective(usize),
+    /// Waiting inside a receive (enter already emitted).
+    Recv,
+    /// Waiting inside a wait-all for outstanding non-blocking receives
+    /// (enter already emitted).
+    WaitAll,
+}
+
+/// An outstanding non-blocking receive request.
+#[derive(Debug, Clone, Copy)]
+struct PendingRecv {
+    from: u32,
+    tag: u32,
+    bytes: u64,
+}
+
+/// Per-rank execution state.
+struct RankState {
+    cursor: usize,
+    clock: u64,
+    counters: Vec<u64>,
+    blocked: Option<Blocked>,
+    /// Occurrence index of the next collective this rank executes.
+    next_collective: usize,
+    /// Posted but not yet completed non-blocking receives, in post order.
+    pending_recvs: Vec<PendingRecv>,
+    done: bool,
+}
+
+/// Executes `spec` and returns the recorded trace.
+pub fn simulate(spec: &AppSpec) -> Result<Trace, SimError> {
+    let num_ranks = spec.num_ranks();
+
+    // ---- static validation ----
+    for (rank, program) in spec.programs.iter().enumerate() {
+        program
+            .check_balanced()
+            .map_err(|message| SimError::Program { rank, message })?;
+        for (i, step) in program.steps().iter().enumerate() {
+            let check_fn = |f: FunctionKey| -> Result<(), SimError> {
+                if (f.0 as usize) < spec.functions.len() {
+                    Ok(())
+                } else {
+                    Err(SimError::Program {
+                        rank,
+                        message: format!("step {i} references undeclared function {f:?}"),
+                    })
+                }
+            };
+            let check_metric = |m: crate::program::MetricKey| -> Result<(), SimError> {
+                if (m.0 as usize) < spec.metrics.len() {
+                    Ok(())
+                } else {
+                    Err(SimError::Program {
+                        rank,
+                        message: format!("step {i} references undeclared metric {m:?}"),
+                    })
+                }
+            };
+            match step {
+                Step::Enter(f) | Step::Leave(f) => check_fn(*f)?,
+                Step::Collective { function, .. } => check_fn(*function)?,
+                Step::Send { function, to, .. } => {
+                    check_fn(*function)?;
+                    if *to as usize >= num_ranks {
+                        return Err(SimError::Program {
+                            rank,
+                            message: format!("step {i} sends to nonexistent rank {to}"),
+                        });
+                    }
+                }
+                Step::Recv { function, from, .. } | Step::IRecv { function, from, .. } => {
+                    check_fn(*function)?;
+                    if *from as usize >= num_ranks {
+                        return Err(SimError::Program {
+                            rank,
+                            message: format!("step {i} receives from nonexistent rank {from}"),
+                        });
+                    }
+                }
+                Step::WaitAll { function } => check_fn(*function)?,
+                Step::Compute { counters, .. } => {
+                    for (m, _) in counters {
+                        check_metric(*m)?;
+                    }
+                }
+                Step::SampleCounter(m) | Step::EmitMetric { metric: m, .. } => check_metric(*m)?,
+                Step::Stall { .. } => {}
+            }
+        }
+    }
+    for (rank, program) in spec.programs.iter().enumerate() {
+        // Every posted IRecv must be completed by a later WaitAll.
+        let mut outstanding = 0usize;
+        for step in program.steps() {
+            match step {
+                Step::IRecv { .. } => outstanding += 1,
+                Step::WaitAll { .. } => outstanding = 0,
+                _ => {}
+            }
+        }
+        if outstanding > 0 {
+            return Err(SimError::Program {
+                rank,
+                message: format!(
+                    "program ends with {outstanding} outstanding non-blocking receive(s)"
+                ),
+            });
+        }
+    }
+    let collective_counts: Vec<usize> =
+        spec.programs.iter().map(Program::num_collectives).collect();
+    if let (Some(&min), Some(&max)) = (
+        collective_counts.iter().min(),
+        collective_counts.iter().max(),
+    ) {
+        if min != max {
+            return Err(SimError::CollectiveMismatch {
+                index: min,
+                message: format!(
+                    "ranks execute differing numbers of collectives (min {min}, max {max})"
+                ),
+            });
+        }
+    }
+
+    // ---- trace scaffolding: keys become ids in declaration order ----
+    let mut builder = TraceBuilder::new(spec.clock).with_name(spec.name.clone());
+    for f in &spec.functions {
+        builder.define_function(f.name.clone(), f.role);
+    }
+    for m in &spec.metrics {
+        builder.define_metric(m.name.clone(), m.mode, m.unit.clone());
+    }
+    for rank in 0..num_ranks {
+        builder.define_process(format!("rank {rank}"));
+    }
+    let fid = |f: FunctionKey| FunctionId(f.0);
+    let mid = |m: crate::program::MetricKey| MetricId(m.0);
+
+    // ---- dynamic state ----
+    let num_collectives = collective_counts.first().copied().unwrap_or(0);
+    let mut collectives: Vec<Collective> = Vec::with_capacity(num_collectives);
+    let mut channels: HashMap<(u32, u32, u32), VecDeque<Message>> = HashMap::new();
+    let mut ranks: Vec<RankState> = (0..num_ranks)
+        .map(|_| RankState {
+            cursor: 0,
+            clock: 0,
+            counters: vec![0; spec.metrics.len()],
+            blocked: None,
+            next_collective: 0,
+            pending_recvs: Vec::new(),
+            done: false,
+        })
+        .collect();
+
+    // ---- round-robin execution ----
+    loop {
+        let mut progressed = false;
+        let mut remaining = 0usize;
+        for rank in 0..num_ranks {
+            if ranks[rank].done {
+                continue;
+            }
+            remaining += 1;
+            progressed |= run_rank(
+                spec,
+                rank,
+                &mut ranks,
+                &mut collectives,
+                &mut channels,
+                &mut builder,
+                &fid,
+                &mid,
+            )?;
+        }
+        if remaining == 0 {
+            break;
+        }
+        if !progressed {
+            let blocked = ranks
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.done)
+                .map(|(i, r)| {
+                    let what = match r.blocked {
+                        Some(Blocked::Collective(c)) => format!("collective #{c}"),
+                        Some(Blocked::Recv) => "receive".to_string(),
+                        Some(Blocked::WaitAll) => "wait-all".to_string(),
+                        None => "unknown".to_string(),
+                    };
+                    (i, what)
+                })
+                .collect();
+            return Err(SimError::Deadlock { blocked });
+        }
+    }
+
+    Ok(builder.finish()?)
+}
+
+/// Runs one rank until it blocks or finishes. Returns whether it made any
+/// progress.
+#[allow(clippy::too_many_arguments)]
+fn run_rank(
+    spec: &AppSpec,
+    rank: usize,
+    ranks: &mut [RankState],
+    collectives: &mut Vec<Collective>,
+    channels: &mut HashMap<(u32, u32, u32), VecDeque<Message>>,
+    builder: &mut TraceBuilder,
+    fid: &impl Fn(FunctionKey) -> FunctionId,
+    mid: &impl Fn(crate::program::MetricKey) -> MetricId,
+) -> Result<bool, SimError> {
+    let program = &spec.programs[rank];
+    let steps = program.steps();
+    let pid = ProcessId::from_index(rank);
+    let mut progressed = false;
+
+    // Try to resume from a blocked state first.
+    if let Some(blocked) = ranks[rank].blocked {
+        match blocked {
+            Blocked::Collective(ci) => {
+                let release = match collectives[ci].release {
+                    Some(r) => r,
+                    None => return Ok(false),
+                };
+                let function = collectives[ci].function;
+                builder
+                    .process_mut(pid)
+                    .leave(Timestamp(release), fid(function))?;
+                ranks[rank].clock = release;
+                ranks[rank].blocked = None;
+                ranks[rank].cursor += 1;
+                progressed = true;
+            }
+            Blocked::Recv => {
+                let Step::Recv {
+                    function,
+                    from,
+                    tag,
+                    bytes,
+                } = &steps[ranks[rank].cursor]
+                else {
+                    unreachable!("blocked on recv but cursor is not a Recv step");
+                };
+                let (function, from, tag, bytes) = (*function, *from, *tag, *bytes);
+                let key = (from, rank as u32, tag);
+                let Some(msg) = channels.get_mut(&key).and_then(VecDeque::pop_front) else {
+                    return Ok(false);
+                };
+                if msg.bytes != bytes {
+                    return Err(SimError::Program {
+                        rank,
+                        message: format!(
+                            "receive from rank {from} tag {tag} expects {bytes} bytes, \
+                             matching send carries {}",
+                            msg.bytes
+                        ),
+                    });
+                }
+                let delivery = msg.arrival.max(ranks[rank].clock + spec.comm.recv_overhead);
+                let w = builder.process_mut(pid);
+                w.recv(Timestamp(delivery), ProcessId(from), tag, bytes)?;
+                w.leave(Timestamp(delivery), fid(function))?;
+                ranks[rank].clock = delivery;
+                ranks[rank].blocked = None;
+                ranks[rank].cursor += 1;
+                progressed = true;
+            }
+            Blocked::WaitAll => {
+                let Step::WaitAll { function } = &steps[ranks[rank].cursor] else {
+                    unreachable!("blocked on wait-all but cursor is not a WaitAll step");
+                };
+                let function = *function;
+                // All posted messages must be present before any is consumed.
+                let mut needed: HashMap<(u32, u32, u32), usize> = HashMap::new();
+                for p in &ranks[rank].pending_recvs {
+                    *needed.entry((p.from, rank as u32, p.tag)).or_insert(0) += 1;
+                }
+                let all_present = needed
+                    .iter()
+                    .all(|(key, &count)| channels.get(key).is_some_and(|q| q.len() >= count));
+                if !all_present {
+                    return Ok(false);
+                }
+                let mut completion = ranks[rank].clock + spec.comm.recv_overhead;
+                let pending = std::mem::take(&mut ranks[rank].pending_recvs);
+                let mut deliveries = Vec::with_capacity(pending.len());
+                for p in &pending {
+                    let key = (p.from, rank as u32, p.tag);
+                    let msg = channels
+                        .get_mut(&key)
+                        .and_then(VecDeque::pop_front)
+                        .expect("presence checked above");
+                    if msg.bytes != p.bytes {
+                        return Err(SimError::Program {
+                            rank,
+                            message: format!(
+                                "non-blocking receive from rank {} tag {} expects {} bytes, \
+                                 matching send carries {}",
+                                p.from, p.tag, p.bytes, msg.bytes
+                            ),
+                        });
+                    }
+                    completion = completion.max(msg.arrival);
+                    deliveries.push(*p);
+                }
+                // All requests complete together at the wait's end.
+                let w = builder.process_mut(pid);
+                for p in &deliveries {
+                    w.recv(Timestamp(completion), ProcessId(p.from), p.tag, p.bytes)?;
+                }
+                w.leave(Timestamp(completion), fid(function))?;
+                ranks[rank].clock = completion;
+                ranks[rank].blocked = None;
+                ranks[rank].cursor += 1;
+                progressed = true;
+            }
+        }
+    }
+
+    while ranks[rank].blocked.is_none() {
+        let cursor = ranks[rank].cursor;
+        if cursor >= steps.len() {
+            ranks[rank].done = true;
+            return Ok(true);
+        }
+        let clock = ranks[rank].clock;
+        match &steps[cursor] {
+            Step::Enter(f) => {
+                builder.process_mut(pid).enter(Timestamp(clock), fid(*f))?;
+            }
+            Step::Leave(f) => {
+                builder.process_mut(pid).leave(Timestamp(clock), fid(*f))?;
+            }
+            Step::Compute { ticks, counters } => {
+                ranks[rank].clock += ticks;
+                for (m, delta) in counters {
+                    ranks[rank].counters[m.0 as usize] += delta;
+                }
+            }
+            Step::Stall { ticks } => {
+                ranks[rank].clock += ticks;
+            }
+            Step::Collective {
+                function,
+                kind,
+                bytes,
+            } => {
+                let ci = ranks[rank].next_collective;
+                ranks[rank].next_collective += 1;
+                if ci == collectives.len() {
+                    collectives.push(Collective {
+                        arrivals: vec![None; ranks.len()],
+                        arrived: 0,
+                        release: None,
+                        function: *function,
+                        kind: *kind,
+                        bytes: *bytes,
+                    });
+                }
+                let coll = &mut collectives[ci];
+                if coll.function != *function || coll.kind != *kind {
+                    return Err(SimError::CollectiveMismatch {
+                        index: ci,
+                        message: format!(
+                            "rank {rank} executes {:?}/{:?}, another rank executed {:?}/{:?}",
+                            function, kind, coll.function, coll.kind
+                        ),
+                    });
+                }
+                coll.bytes = coll.bytes.max(*bytes);
+                coll.arrivals[rank] = Some(clock);
+                coll.arrived += 1;
+                builder
+                    .process_mut(pid)
+                    .enter(Timestamp(clock), fid(*function))?;
+                if coll.arrived == ranks.len() {
+                    let last = coll.arrivals.iter().flatten().copied().max().unwrap_or(0);
+                    let release = last + spec.comm.collective_cost(ranks.len(), coll.bytes);
+                    coll.release = Some(release);
+                    // This rank can complete immediately.
+                    builder
+                        .process_mut(pid)
+                        .leave(Timestamp(release), fid(*function))?;
+                    ranks[rank].clock = release;
+                } else {
+                    ranks[rank].blocked = Some(Blocked::Collective(ci));
+                    progressed = true;
+                    break;
+                }
+            }
+            Step::Send {
+                function,
+                to,
+                tag,
+                bytes,
+            } => {
+                let leave_time = clock + spec.comm.send_overhead;
+                let arrival = leave_time + spec.comm.p2p_transfer(*bytes);
+                let w = builder.process_mut(pid);
+                w.enter(Timestamp(clock), fid(*function))?;
+                w.send(Timestamp(clock), ProcessId(*to), *tag, *bytes)?;
+                w.leave(Timestamp(leave_time), fid(*function))?;
+                ranks[rank].clock = leave_time;
+                channels
+                    .entry((rank as u32, *to, *tag))
+                    .or_default()
+                    .push_back(Message {
+                        arrival,
+                        bytes: *bytes,
+                    });
+            }
+            Step::IRecv {
+                function,
+                from,
+                tag,
+                bytes,
+            } => {
+                // Posting is non-blocking: a short software overhead, the
+                // request is parked until the next WaitAll.
+                let leave_time = clock + spec.comm.recv_overhead;
+                let w = builder.process_mut(pid);
+                w.enter(Timestamp(clock), fid(*function))?;
+                w.leave(Timestamp(leave_time), fid(*function))?;
+                ranks[rank].clock = leave_time;
+                ranks[rank].pending_recvs.push(PendingRecv {
+                    from: *from,
+                    tag: *tag,
+                    bytes: *bytes,
+                });
+            }
+            Step::WaitAll { function } => {
+                builder
+                    .process_mut(pid)
+                    .enter(Timestamp(clock), fid(*function))?;
+                ranks[rank].blocked = Some(Blocked::WaitAll);
+                // Attempt immediate completion via the resume path.
+                run_rank(spec, rank, ranks, collectives, channels, builder, fid, mid)?;
+                return Ok(true);
+            }
+            Step::Recv { function, .. } => {
+                // Emit the enter now; delivery happens in the resume path
+                // (which also handles an immediately available message).
+                builder
+                    .process_mut(pid)
+                    .enter(Timestamp(clock), fid(*function))?;
+                ranks[rank].blocked = Some(Blocked::Recv);
+                // Attempt immediate completion via the resume path (depth-1
+                // recursion); entering the receive already counts as progress.
+                run_rank(spec, rank, ranks, collectives, channels, builder, fid, mid)?;
+                return Ok(true);
+            }
+            Step::SampleCounter(m) => {
+                let value = ranks[rank].counters[m.0 as usize];
+                builder
+                    .process_mut(pid)
+                    .metric(Timestamp(clock), mid(*m), value)?;
+            }
+            Step::EmitMetric { metric, value } => {
+                builder
+                    .process_mut(pid)
+                    .metric(Timestamp(clock), mid(*metric), *value)?;
+            }
+        }
+        if ranks[rank].blocked.is_none() {
+            ranks[rank].cursor += 1;
+            progressed = true;
+        }
+    }
+    Ok(progressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CommParams;
+    use crate::spec::SpecBuilder;
+    use perfvar_trace::{Clock, Event, FunctionRole, MetricMode};
+
+    fn builder() -> SpecBuilder {
+        SpecBuilder::new("test", Clock::microseconds(), CommParams::ideal())
+    }
+
+    /// Reproduces the structure of the paper's Fig. 3: three ranks, each
+    /// iteration = calc + barrier, rank loads differ. With an ideal
+    /// network, all ranks must leave each barrier exactly when the slowest
+    /// arrives.
+    #[test]
+    fn barrier_releases_all_at_max_arrival() {
+        let mut b = builder();
+        let calc = b.function("calc", FunctionRole::Compute);
+        let mpi = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+        for load in [5u64, 3, 1] {
+            let mut p = Program::new();
+            p.region_compute(calc, load).barrier(mpi);
+            b.add_rank(p);
+        }
+        let trace = simulate(&b.build()).unwrap();
+        // All ranks leave the barrier at t=5 (slowest arrival), so every
+        // stream ends at 5.
+        for rank in 0..3 {
+            assert_eq!(
+                trace.stream(ProcessId(rank)).last_time(),
+                Some(Timestamp(5)),
+                "rank {rank}"
+            );
+        }
+        // Rank 2 (load 1) entered the barrier at t=1 and waited 4 ticks.
+        let s2 = trace.stream(ProcessId(2));
+        let enter_barrier = s2
+            .records()
+            .iter()
+            .find(|r| matches!(r.event, Event::Enter { function } if function == FunctionId(1)))
+            .unwrap();
+        assert_eq!(enter_barrier.time, Timestamp(1));
+    }
+
+    #[test]
+    fn collective_cost_delays_release() {
+        let mut b = SpecBuilder::new(
+            "t",
+            Clock::microseconds(),
+            CommParams {
+                collective_base: 7,
+                ..CommParams::ideal()
+            },
+        );
+        let mpi = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+        for _ in 0..2 {
+            let mut p = Program::new();
+            p.compute(10).barrier(mpi);
+            b.add_rank(p);
+        }
+        let trace = simulate(&b.build()).unwrap();
+        assert_eq!(trace.end(), Timestamp(17));
+    }
+
+    #[test]
+    fn send_recv_transfer_time() {
+        let comm = CommParams {
+            latency: 5,
+            bytes_per_tick: 10,
+            send_overhead: 1,
+            recv_overhead: 1,
+            ..CommParams::ideal()
+        };
+        let mut b = SpecBuilder::new("t", Clock::microseconds(), comm);
+        let send = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let recv = b.function("MPI_Recv", FunctionRole::MpiPointToPoint);
+        let mut p0 = Program::new();
+        p0.send(send, 1, 0, 100);
+        b.add_rank(p0);
+        let mut p1 = Program::new();
+        p1.recv(recv, 0, 0, 100);
+        b.add_rank(p1);
+        let trace = simulate(&b.build()).unwrap();
+        // Sender: enter 0, send event 0, leave 1. Arrival = 1+5+10 = 16.
+        // Receiver: enter 0, delivery max(16, 0+1) = 16.
+        assert_eq!(trace.stream(ProcessId(0)).last_time(), Some(Timestamp(1)));
+        let s1 = trace.stream(ProcessId(1));
+        assert_eq!(s1.last_time(), Some(Timestamp(16)));
+        let recv_event = s1
+            .records()
+            .iter()
+            .find(|r| matches!(r.event, Event::MsgRecv { .. }))
+            .unwrap();
+        assert_eq!(recv_event.time, Timestamp(16));
+    }
+
+    #[test]
+    fn recv_before_send_blocks_until_arrival() {
+        // Receiver starts immediately; sender computes first. The receive
+        // must still complete at the message arrival time.
+        let comm = CommParams::ideal();
+        let mut b = SpecBuilder::new("t", Clock::microseconds(), comm);
+        let send = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let recv = b.function("MPI_Recv", FunctionRole::MpiPointToPoint);
+        let mut p0 = Program::new();
+        p0.compute(50).send(send, 1, 0, 8);
+        b.add_rank(p0);
+        let mut p1 = Program::new();
+        p1.recv(recv, 0, 0, 8);
+        b.add_rank(p1);
+        let trace = simulate(&b.build()).unwrap();
+        assert_eq!(trace.stream(ProcessId(1)).last_time(), Some(Timestamp(50)));
+    }
+
+    #[test]
+    fn fifo_matching_by_tag() {
+        // Two messages with different tags cross: recv order picks by tag.
+        let mut b = builder();
+        let send = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let recv = b.function("MPI_Recv", FunctionRole::MpiPointToPoint);
+        let mut p0 = Program::new();
+        p0.send(send, 1, 7, 10).send(send, 1, 9, 20);
+        b.add_rank(p0);
+        let mut p1 = Program::new();
+        // Receive tag 9 first, then tag 7 — must not mismatch payloads.
+        p1.recv(recv, 0, 9, 20).recv(recv, 0, 7, 10);
+        b.add_rank(p1);
+        let trace = simulate(&b.build()).unwrap();
+        let recvs: Vec<(u32, u64)> = trace
+            .stream(ProcessId(1))
+            .records()
+            .iter()
+            .filter_map(|r| match r.event {
+                Event::MsgRecv { tag, bytes, .. } => Some((tag, bytes)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recvs, vec![(9, 20), (7, 10)]);
+    }
+
+    #[test]
+    fn irecv_waitall_completes_at_last_arrival() {
+        let comm = CommParams {
+            latency: 10,
+            recv_overhead: 0,
+            ..CommParams::ideal()
+        };
+        let mut b = SpecBuilder::new("t", Clock::microseconds(), comm);
+        let send = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let irecv = b.function("MPI_Irecv", FunctionRole::MpiPointToPoint);
+        let wait = b.function("MPI_Waitall", FunctionRole::MpiWait);
+        // Rank 0 posts two irecvs then waits; ranks 1 and 2 send after
+        // different compute delays.
+        let mut p0 = Program::new();
+        p0.irecv(irecv, 1, 0, 8)
+            .irecv(irecv, 2, 0, 8)
+            .wait_all(wait);
+        b.add_rank(p0);
+        let mut p1 = Program::new();
+        p1.compute(5).send(send, 0, 0, 8);
+        b.add_rank(p1);
+        let mut p2 = Program::new();
+        p2.compute(50).send(send, 0, 0, 8);
+        b.add_rank(p2);
+        let trace = simulate(&b.build()).unwrap();
+        // Rank 2's message arrives at 50 + 10 = 60; the waitall ends then.
+        let s0 = trace.stream(ProcessId(0));
+        assert_eq!(s0.last_time(), Some(Timestamp(60)));
+        let recvs = s0
+            .records()
+            .iter()
+            .filter(|r| matches!(r.event, Event::MsgRecv { .. }))
+            .count();
+        assert_eq!(recvs, 2);
+        // The wait time (0..60 approx) is recorded under the MpiWait role.
+        let wait_inv = s0
+            .records()
+            .iter()
+            .find(|r| matches!(r.event, Event::Enter { function } if function == FunctionId(2)))
+            .unwrap();
+        assert_eq!(wait_inv.time, Timestamp(0));
+    }
+
+    #[test]
+    fn waitall_with_message_already_arrived_is_instant() {
+        let mut b = builder();
+        let send = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let irecv = b.function("MPI_Irecv", FunctionRole::MpiPointToPoint);
+        let wait = b.function("MPI_Waitall", FunctionRole::MpiWait);
+        let mut p0 = Program::new();
+        p0.irecv(irecv, 1, 0, 4).compute(100).wait_all(wait);
+        b.add_rank(p0);
+        let mut p1 = Program::new();
+        p1.send(send, 0, 0, 4);
+        b.add_rank(p1);
+        let trace = simulate(&b.build()).unwrap();
+        // Message arrived at ~0; the wait at t=100 completes immediately.
+        assert_eq!(trace.stream(ProcessId(0)).last_time(), Some(Timestamp(100)));
+    }
+
+    #[test]
+    fn outstanding_irecv_without_waitall_rejected() {
+        let mut b = builder();
+        let irecv = b.function("MPI_Irecv", FunctionRole::MpiPointToPoint);
+        let mut p = Program::new();
+        p.irecv(irecv, 0, 0, 4);
+        b.add_rank(p);
+        let err = simulate(&b.build()).unwrap_err();
+        assert!(err.to_string().contains("outstanding"));
+    }
+
+    #[test]
+    fn waitall_payload_mismatch_rejected() {
+        let mut b = builder();
+        let send = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let irecv = b.function("MPI_Irecv", FunctionRole::MpiPointToPoint);
+        let wait = b.function("MPI_Waitall", FunctionRole::MpiWait);
+        let mut p0 = Program::new();
+        p0.irecv(irecv, 1, 0, 4).wait_all(wait);
+        b.add_rank(p0);
+        let mut p1 = Program::new();
+        p1.send(send, 0, 0, 999);
+        b.add_rank(p1);
+        let err = simulate(&b.build()).unwrap_err();
+        assert!(err.to_string().contains("bytes"));
+    }
+
+    #[test]
+    fn nonblocking_ring_does_not_deadlock() {
+        // With non-blocking receives a symmetric ring exchange needs no
+        // even/odd ordering: everyone posts, sends, waits.
+        let mut b = builder();
+        let send = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let irecv = b.function("MPI_Irecv", FunctionRole::MpiPointToPoint);
+        let wait = b.function("MPI_Waitall", FunctionRole::MpiWait);
+        let n = 5u32;
+        for rank in 0..n {
+            let mut p = Program::new();
+            let next = (rank + 1) % n;
+            let prev = (rank + n - 1) % n;
+            p.irecv(irecv, prev, 0, 16)
+                .compute(10 + rank as u64)
+                .send(send, next, 0, 16)
+                .wait_all(wait);
+            b.add_rank(p);
+        }
+        let trace = simulate(&b.build()).unwrap();
+        assert_eq!(trace.num_processes(), 5);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut b = builder();
+        let recv = b.function("MPI_Recv", FunctionRole::MpiPointToPoint);
+        // Both ranks receive, nobody sends.
+        for peer in [1u32, 0] {
+            let mut p = Program::new();
+            p.recv(recv, peer, 0, 1);
+            b.add_rank(p);
+        }
+        let err = simulate(&b.build()).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+        assert!(err.to_string().contains("receive"));
+    }
+
+    #[test]
+    fn collective_count_mismatch_rejected() {
+        let mut b = builder();
+        let mpi = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+        let mut p0 = Program::new();
+        p0.barrier(mpi);
+        b.add_rank(p0);
+        b.add_rank(Program::new());
+        let err = simulate(&b.build()).unwrap_err();
+        assert!(matches!(err, SimError::CollectiveMismatch { .. }));
+    }
+
+    #[test]
+    fn collective_kind_mismatch_rejected() {
+        let mut b = builder();
+        let bar = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+        let red = b.function("MPI_Allreduce", FunctionRole::MpiCollective);
+        let mut p0 = Program::new();
+        p0.barrier(bar);
+        b.add_rank(p0);
+        let mut p1 = Program::new();
+        p1.allreduce(red, 8);
+        b.add_rank(p1);
+        let err = simulate(&b.build()).unwrap_err();
+        assert!(matches!(err, SimError::CollectiveMismatch { .. }));
+    }
+
+    #[test]
+    fn unbalanced_program_rejected() {
+        let mut b = builder();
+        let f = b.function("f", FunctionRole::Compute);
+        let mut p = Program::new();
+        p.enter(f);
+        b.add_rank(p);
+        let err = simulate(&b.build()).unwrap_err();
+        assert!(matches!(err, SimError::Program { rank: 0, .. }));
+    }
+
+    #[test]
+    fn undeclared_function_rejected() {
+        let mut b = builder();
+        let mut p = Program::new();
+        p.enter(FunctionKey(42)).leave(FunctionKey(42));
+        b.add_rank(p);
+        let err = simulate(&b.build()).unwrap_err();
+        assert!(err.to_string().contains("undeclared function"));
+    }
+
+    #[test]
+    fn send_to_nonexistent_rank_rejected() {
+        let mut b = builder();
+        let send = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let mut p = Program::new();
+        p.send(send, 5, 0, 1);
+        b.add_rank(p);
+        let err = simulate(&b.build()).unwrap_err();
+        assert!(err.to_string().contains("nonexistent rank"));
+    }
+
+    #[test]
+    fn payload_mismatch_rejected() {
+        let mut b = builder();
+        let send = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let recv = b.function("MPI_Recv", FunctionRole::MpiPointToPoint);
+        let mut p0 = Program::new();
+        p0.send(send, 1, 0, 10);
+        b.add_rank(p0);
+        let mut p1 = Program::new();
+        p1.recv(recv, 0, 0, 99);
+        b.add_rank(p1);
+        let err = simulate(&b.build()).unwrap_err();
+        assert!(err.to_string().contains("bytes"));
+    }
+
+    #[test]
+    fn counters_accumulate_and_sample() {
+        let mut b = builder();
+        let f = b.function("work", FunctionRole::Compute);
+        let cyc = b.metric("PAPI_TOT_CYC", MetricMode::Accumulating, "cycles");
+        let mut p = Program::new();
+        p.enter(f)
+            .compute_counted(10, vec![(cyc, 1000)])
+            .sample_counter(cyc)
+            .stall(5)
+            .sample_counter(cyc)
+            .compute_counted(10, vec![(cyc, 1000)])
+            .sample_counter(cyc)
+            .leave(f);
+        b.add_rank(p);
+        let trace = simulate(&b.build()).unwrap();
+        let samples: Vec<(u64, u64)> = trace
+            .stream(ProcessId(0))
+            .records()
+            .iter()
+            .filter_map(|r| match r.event {
+                Event::Metric { value, .. } => Some((r.time.0, value)),
+                _ => None,
+            })
+            .collect();
+        // The stall advances time but not the cycle counter.
+        assert_eq!(samples, vec![(10, 1000), (15, 1000), (25, 2000)]);
+    }
+
+    #[test]
+    fn emit_metric_records_literal_values() {
+        let mut b = builder();
+        let fpx = b.metric("FPU_EXC", MetricMode::Delta, "#");
+        let mut p = Program::new();
+        p.emit_metric(fpx, 321).compute(5).emit_metric(fpx, 7);
+        b.add_rank(p);
+        let trace = simulate(&b.build()).unwrap();
+        let values: Vec<u64> = trace
+            .stream(ProcessId(0))
+            .records()
+            .iter()
+            .filter_map(|r| match r.event {
+                Event::Metric { value, .. } => Some(value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, vec![321, 7]);
+    }
+
+    #[test]
+    fn empty_spec_simulates_to_empty_trace() {
+        let b = builder();
+        let trace = simulate(&b.build()).unwrap();
+        assert_eq!(trace.num_processes(), 0);
+        assert_eq!(trace.num_events(), 0);
+    }
+
+    #[test]
+    fn mixed_collective_kinds_synchronise() {
+        let mut b = builder();
+        let calc = b.function("calc", FunctionRole::Compute);
+        let red = b.function("MPI_Reduce", FunctionRole::MpiCollective);
+        let bc = b.function("MPI_Bcast", FunctionRole::MpiCollective);
+        for load in [4u64, 9, 2] {
+            let mut p = Program::new();
+            p.region_compute(calc, load)
+                .reduce(red, 128)
+                .region_compute(calc, load)
+                .bcast(bc, 128);
+            b.add_rank(p);
+        }
+        let trace = simulate(&b.build()).unwrap();
+        // Both collectives synchronise all ranks (ideal network → no cost):
+        // reduce releases at 9, bcast at 9 + 9 = 18.
+        for rank in 0..3 {
+            assert_eq!(
+                trace.stream(ProcessId(rank)).last_time(),
+                Some(Timestamp(18)),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn many_sequential_collectives() {
+        let mut b = builder();
+        let calc = b.function("calc", FunctionRole::Compute);
+        let mpi = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+        for rank in 0..4u64 {
+            let mut p = Program::new();
+            for iter in 0..10u64 {
+                p.region_compute(calc, 1 + (rank + iter) % 3).barrier(mpi);
+            }
+            b.add_rank(p);
+        }
+        let trace = simulate(&b.build()).unwrap();
+        // Barriers synchronise: all ranks share the same final timestamp.
+        let finals: Vec<_> = (0..4)
+            .map(|r| trace.stream(ProcessId(r)).last_time().unwrap())
+            .collect();
+        assert!(finals.windows(2).all(|w| w[0] == w[1]));
+    }
+}

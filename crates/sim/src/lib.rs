@@ -1,0 +1,69 @@
+//! # perfvar-sim — a discrete-event simulator of message-passing programs
+//!
+//! The paper analyses traces of real MPI applications recorded with
+//! Score-P/VampirTrace on HPC clusters. This crate is the substitute
+//! substrate: it *simulates* parallel applications and emits traces with
+//! the same information content, so the analysis pipeline
+//! (`perfvar-analysis`) exercises the same code paths it would on real
+//! measurements.
+//!
+//! ## How it works
+//!
+//! An application is an [`spec::AppSpec`]: one
+//! [`program::Program`] (sequence of [`program::Step`]s)
+//! per rank, plus declarations of functions, metrics, and a
+//! [`params::CommParams`] network cost model.
+//! The [`engine`] executes all rank programs with per-rank virtual clocks:
+//!
+//! * `Compute` advances the rank's clock (and its hardware counters);
+//! * `Collective` operations release *all* participants at
+//!   `max(arrival) + cost` — fast ranks therefore spend the difference
+//!   *waiting inside the MPI call*, which is exactly the effect the
+//!   paper's SOS-time is designed to peel away (its Fig. 3);
+//! * `Send`/`Recv` model point-to-point traffic with a latency/bandwidth
+//!   cost; receivers block until the matching message arrives;
+//! * `Stall` advances wall time *without* advancing counters (an OS
+//!   interruption — the phenomenon of the paper's case study B).
+//!
+//! Every step emits the corresponding `Enter`/`Leave`/message/metric
+//! events into a [`perfvar_trace::Trace`].
+//!
+//! ## Workloads
+//!
+//! [`workloads`] contains faithful models of the paper's three case
+//! studies (COSMO-SPECS, COSMO-SPECS+FD4, WRF) plus synthetic generators
+//! for tests and benchmarks. All are deterministic given a seed.
+//!
+//! ```
+//! use perfvar_sim::prelude::*;
+//!
+//! let spec = workloads::BalancedStencil::new(4, 10).spec();
+//! let trace = simulate(&spec).unwrap();
+//! assert_eq!(trace.num_processes(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod noise;
+pub mod params;
+pub mod program;
+pub mod spec;
+pub mod workloads;
+
+/// Convenient glob-import of the most common simulator types.
+pub mod prelude {
+    pub use crate::engine::{simulate, SimError};
+    pub use crate::noise::{inject_noise, NoiseConfig};
+    pub use crate::params::CommParams;
+    pub use crate::program::{CollectiveKind, FunctionKey, MetricKey, Program, Step};
+    pub use crate::spec::{AppSpec, SpecBuilder};
+    pub use crate::workloads;
+    pub use crate::workloads::Workload;
+}
+
+pub use engine::{simulate, SimError};
+pub use params::CommParams;
+pub use program::{CollectiveKind, FunctionKey, MetricKey, Program, Step};
+pub use spec::{AppSpec, SpecBuilder};

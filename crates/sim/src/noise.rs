@@ -1,0 +1,136 @@
+//! OS-noise injection: decorate any program set with random stalls.
+//!
+//! The paper's case study B attributes its one-off interruption to "an
+//! influence from the operating system". Real systems add such noise all
+//! the time at smaller scales (daemons, interrupts, page faults). This
+//! decorator injects seeded random [`Stall`](crate::program::Step::Stall)
+//! steps after compute steps of existing programs, so any workload can
+//! be re-run "on a noisy machine" — useful for robustness testing of the
+//! detector (does a real outlier still stand out above the noise floor?)
+//! and for noise-sensitivity sweeps.
+
+use crate::program::{Program, Step};
+use crate::spec::AppSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the noise decorator.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Probability that any single `Compute` step is followed by an
+    /// interruption.
+    pub probability: f64,
+    /// Minimum stall length, ticks.
+    pub min_stall: u64,
+    /// Maximum stall length, ticks.
+    pub max_stall: u64,
+    /// RNG seed (deterministic injection).
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> NoiseConfig {
+        NoiseConfig {
+            probability: 0.01,
+            min_stall: 50,
+            max_stall: 500,
+            seed: 1337,
+        }
+    }
+}
+
+/// Returns a copy of `spec` with random stalls injected after compute
+/// steps, per `config`. The injection is deterministic in the seed and
+/// independent per rank (rank index is mixed into the stream).
+pub fn inject_noise(spec: &AppSpec, config: NoiseConfig) -> AppSpec {
+    let mut noisy = spec.clone();
+    for (rank, program) in noisy.programs.iter_mut().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ (rank as u64).wrapping_mul(0x9e37));
+        let mut steps = Vec::with_capacity(program.len());
+        for step in program.steps() {
+            let is_compute = matches!(step, Step::Compute { .. });
+            steps.push(step.clone());
+            if is_compute && rng.gen_bool(config.probability.clamp(0.0, 1.0)) {
+                let ticks =
+                    rng.gen_range(config.min_stall..=config.max_stall.max(config.min_stall));
+                steps.push(Step::Stall { ticks });
+            }
+        }
+        let mut rebuilt = Program::new();
+        for s in steps {
+            rebuilt.push(s);
+        }
+        *program = rebuilt;
+    }
+    noisy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::workloads::{BalancedStencil, SingleOutlier, Workload};
+
+    #[test]
+    fn noise_extends_the_run() {
+        let spec = BalancedStencil::new(4, 20).spec();
+        let clean = simulate(&spec).unwrap();
+        let noisy = simulate(&inject_noise(
+            &spec,
+            NoiseConfig {
+                probability: 0.5,
+                ..NoiseConfig::default()
+            },
+        ))
+        .unwrap();
+        assert!(noisy.span() > clean.span());
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let spec = BalancedStencil::new(3, 5).spec();
+        let untouched = inject_noise(
+            &spec,
+            NoiseConfig {
+                probability: 0.0,
+                ..NoiseConfig::default()
+            },
+        );
+        assert_eq!(untouched, spec);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let spec = BalancedStencil::new(3, 10).spec();
+        let a = inject_noise(&spec, NoiseConfig::default());
+        let b = inject_noise(&spec, NoiseConfig::default());
+        assert_eq!(a, b);
+        let c = inject_noise(
+            &spec,
+            NoiseConfig {
+                seed: 999,
+                probability: 0.9,
+                ..NoiseConfig::default()
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stalls_preserve_program_balance() {
+        let spec = SingleOutlier::new(4, 8, 1).spec();
+        let noisy = inject_noise(
+            &spec,
+            NoiseConfig {
+                probability: 0.8,
+                ..NoiseConfig::default()
+            },
+        );
+        for p in &noisy.programs {
+            assert!(p.check_balanced().is_ok());
+        }
+        // And the noisy spec still simulates fine.
+        assert!(simulate(&noisy).is_ok());
+    }
+}

@@ -1,0 +1,143 @@
+//! Network and collective cost model.
+//!
+//! A classic latency/bandwidth (Hockney-style) model for point-to-point
+//! messages plus a `base + log₂(p)·hop + bytes/bandwidth` model for
+//! collectives. All costs are in trace clock ticks. The defaults assume a
+//! microsecond clock and roughly InfiniBand-class numbers; the exact
+//! values only shape the traces — the analysis is checked against
+//! rankings and ratios, not absolute times.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost parameters of the simulated interconnect, in clock ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommParams {
+    /// Point-to-point wire latency.
+    pub latency: u64,
+    /// Point-to-point bandwidth, bytes transferred per tick.
+    pub bytes_per_tick: u64,
+    /// Sender-side software overhead (time spent inside `MPI_Send`).
+    pub send_overhead: u64,
+    /// Receiver-side software overhead (minimum time inside `MPI_Recv`).
+    pub recv_overhead: u64,
+    /// Fixed cost of a collective once all ranks arrived.
+    pub collective_base: u64,
+    /// Additional collective cost per tree hop (× ⌈log₂ p⌉).
+    pub collective_per_hop: u64,
+    /// Collective payload bandwidth, bytes per tick.
+    pub collective_bytes_per_tick: u64,
+}
+
+impl CommParams {
+    /// InfiniBand-class defaults for a microsecond clock: ~2 µs latency,
+    /// ~3 GB/s bandwidth, ~1 µs overheads.
+    pub fn cluster_defaults() -> CommParams {
+        CommParams {
+            latency: 2,
+            bytes_per_tick: 3_000,
+            send_overhead: 1,
+            recv_overhead: 1,
+            collective_base: 2,
+            collective_per_hop: 2,
+            collective_bytes_per_tick: 2_000,
+        }
+    }
+
+    /// A zero-cost network: messages and collectives take no time beyond
+    /// synchronization. Useful in tests that need exact hand-computable
+    /// timestamps (e.g. reproducing the paper's Fig. 3).
+    pub fn ideal() -> CommParams {
+        CommParams {
+            latency: 0,
+            bytes_per_tick: u64::MAX,
+            send_overhead: 0,
+            recv_overhead: 0,
+            collective_base: 0,
+            collective_per_hop: 0,
+            collective_bytes_per_tick: u64::MAX,
+        }
+    }
+
+    /// Transfer time of a `bytes`-sized point-to-point payload
+    /// (latency + serialisation).
+    pub fn p2p_transfer(&self, bytes: u64) -> u64 {
+        self.latency + div_ceil_saturating(bytes, self.bytes_per_tick)
+    }
+
+    /// Cost of a collective over `num_ranks` ranks moving `bytes` per
+    /// rank, counted from the arrival of the last rank.
+    pub fn collective_cost(&self, num_ranks: usize, bytes: u64) -> u64 {
+        let hops = ceil_log2(num_ranks.max(1));
+        self.collective_base
+            + self.collective_per_hop * hops as u64
+            + div_ceil_saturating(bytes, self.collective_bytes_per_tick)
+    }
+}
+
+impl Default for CommParams {
+    fn default() -> CommParams {
+        CommParams::cluster_defaults()
+    }
+}
+
+/// `⌈bytes / rate⌉`, treating `rate == u64::MAX` as infinitely fast.
+fn div_ceil_saturating(bytes: u64, rate: u64) -> u64 {
+    if rate == u64::MAX || bytes == 0 {
+        0
+    } else {
+        bytes.div_ceil(rate.max(1))
+    }
+}
+
+/// `⌈log₂ n⌉` for `n ≥ 1`.
+pub(crate) fn ceil_log2(n: usize) -> u32 {
+    debug_assert!(n >= 1);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(100), 7);
+        assert_eq!(ceil_log2(200), 8);
+    }
+
+    #[test]
+    fn p2p_transfer_combines_latency_and_bandwidth() {
+        let c = CommParams::cluster_defaults();
+        assert_eq!(c.p2p_transfer(0), 2);
+        assert_eq!(c.p2p_transfer(3_000), 3);
+        assert_eq!(c.p2p_transfer(3_001), 4);
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let c = CommParams::ideal();
+        assert_eq!(c.p2p_transfer(1 << 30), 0);
+        assert_eq!(c.collective_cost(1024, 1 << 30), 0);
+    }
+
+    #[test]
+    fn collective_cost_scales_with_ranks() {
+        let c = CommParams::cluster_defaults();
+        let small = c.collective_cost(2, 0);
+        let large = c.collective_cost(256, 0);
+        assert!(large > small);
+        // 256 ranks → 8 hops → base 2 + 16 = 18.
+        assert_eq!(large, 18);
+    }
+
+    #[test]
+    fn collective_payload_adds_time() {
+        let c = CommParams::cluster_defaults();
+        assert_eq!(c.collective_cost(4, 4_000) - c.collective_cost(4, 0), 2);
+    }
+}

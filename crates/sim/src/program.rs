@@ -1,0 +1,368 @@
+//! Rank programs: the step sequences the engine executes.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a function declared in an [`AppSpec`](crate::spec::AppSpec).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct FunctionKey(pub u32);
+
+/// Index of a metric declared in an [`AppSpec`](crate::spec::AppSpec).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MetricKey(pub u32);
+
+/// The kind of a simulated collective operation. The engine treats them
+/// identically for synchronization (all ranks released together); the kind
+/// selects the function name/role recorded in the trace and whether a
+/// payload cost applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// `MPI_Barrier`-like: pure synchronization, no payload.
+    Barrier,
+    /// `MPI_Allreduce`-like: synchronization plus payload cost.
+    Allreduce,
+    /// `MPI_Reduce`-like.
+    Reduce,
+    /// `MPI_Bcast`-like.
+    Bcast,
+}
+
+/// One step of a rank program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step {
+    /// Enter an application region (emits an `Enter` event).
+    Enter(FunctionKey),
+    /// Leave the innermost open region (emits a `Leave` event).
+    /// The key must match the innermost [`Step::Enter`].
+    Leave(FunctionKey),
+    /// Advance the rank clock by `ticks` of computation. Each listed
+    /// counter is advanced by its delta (hardware-counter simulation).
+    Compute {
+        /// Wall ticks consumed.
+        ticks: u64,
+        /// `(counter, delta)` pairs accumulated during this computation.
+        counters: Vec<(MetricKey, u64)>,
+    },
+    /// Advance the rank clock **without** advancing any counters: the
+    /// process was interrupted (OS noise, case study B of the paper —
+    /// the affected invocation shows a low `PAPI_TOT_CYC` reading).
+    Stall {
+        /// Wall ticks lost to the interruption.
+        ticks: u64,
+    },
+    /// A collective operation over all ranks. Emits `Enter` at arrival and
+    /// `Leave` when the collective completes; fast ranks wait inside.
+    Collective {
+        /// The MPI function recorded in the trace (role must be
+        /// synchronizing, e.g. `MpiCollective`).
+        function: FunctionKey,
+        /// Collective flavour.
+        kind: CollectiveKind,
+        /// Per-rank payload bytes (0 for barrier).
+        bytes: u64,
+    },
+    /// A blocking point-to-point send (`MPI_Send`).
+    Send {
+        /// The MPI function recorded in the trace.
+        function: FunctionKey,
+        /// Destination rank.
+        to: u32,
+        /// Message tag; matching is FIFO per `(src, dst, tag)`.
+        tag: u32,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// A blocking point-to-point receive (`MPI_Recv`); blocks until the
+    /// matching message arrives.
+    Recv {
+        /// The MPI function recorded in the trace.
+        function: FunctionKey,
+        /// Source rank.
+        from: u32,
+        /// Message tag.
+        tag: u32,
+        /// Expected payload size (must match the send).
+        bytes: u64,
+    },
+    /// A non-blocking receive request (`MPI_Irecv`): posts the request
+    /// and returns immediately; completion happens at the next
+    /// [`Step::WaitAll`].
+    IRecv {
+        /// The MPI function recorded in the trace.
+        function: FunctionKey,
+        /// Source rank.
+        from: u32,
+        /// Message tag.
+        tag: u32,
+        /// Expected payload size (must match the send).
+        bytes: u64,
+    },
+    /// Completes all outstanding [`Step::IRecv`] requests
+    /// (`MPI_Waitall`): blocks until every posted message has arrived.
+    /// The recorded function should carry the
+    /// [`MpiWait`](perfvar_trace::FunctionRole::MpiWait) role — this is
+    /// the `MPI_Wait` time §V of the paper subtracts.
+    WaitAll {
+        /// The MPI function recorded in the trace.
+        function: FunctionKey,
+    },
+    /// Emit the current accumulated value of an
+    /// [`Accumulating`](perfvar_trace::MetricMode::Accumulating) counter
+    /// as a metric sample at the current rank time.
+    SampleCounter(MetricKey),
+    /// Emit a literal metric sample (for
+    /// [`Delta`](perfvar_trace::MetricMode::Delta) /
+    /// [`Gauge`](perfvar_trace::MetricMode::Gauge) channels).
+    EmitMetric {
+        /// The metric channel.
+        metric: MetricKey,
+        /// The sample value.
+        value: u64,
+    },
+}
+
+/// The step sequence one rank executes.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    steps: Vec<Step>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Appends a raw step.
+    pub fn push(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// The steps in execution order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the program has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    // ------ builder conveniences used by the workload models ------
+
+    /// `Enter(f)`.
+    pub fn enter(&mut self, f: FunctionKey) -> &mut Self {
+        self.push(Step::Enter(f));
+        self
+    }
+
+    /// `Leave(f)`.
+    pub fn leave(&mut self, f: FunctionKey) -> &mut Self {
+        self.push(Step::Leave(f));
+        self
+    }
+
+    /// Plain computation of `ticks` with no counters.
+    pub fn compute(&mut self, ticks: u64) -> &mut Self {
+        self.push(Step::Compute {
+            ticks,
+            counters: Vec::new(),
+        });
+        self
+    }
+
+    /// Computation that also advances hardware counters.
+    pub fn compute_counted(&mut self, ticks: u64, counters: Vec<(MetricKey, u64)>) -> &mut Self {
+        self.push(Step::Compute { ticks, counters });
+        self
+    }
+
+    /// A `Compute` wrapped in `Enter`/`Leave` of `f`.
+    pub fn region_compute(&mut self, f: FunctionKey, ticks: u64) -> &mut Self {
+        self.enter(f).compute(ticks).leave(f)
+    }
+
+    /// An OS interruption.
+    pub fn stall(&mut self, ticks: u64) -> &mut Self {
+        self.push(Step::Stall { ticks });
+        self
+    }
+
+    /// A barrier collective.
+    pub fn barrier(&mut self, f: FunctionKey) -> &mut Self {
+        self.push(Step::Collective {
+            function: f,
+            kind: CollectiveKind::Barrier,
+            bytes: 0,
+        });
+        self
+    }
+
+    /// An allreduce collective with `bytes` payload per rank.
+    pub fn allreduce(&mut self, f: FunctionKey, bytes: u64) -> &mut Self {
+        self.push(Step::Collective {
+            function: f,
+            kind: CollectiveKind::Allreduce,
+            bytes,
+        });
+        self
+    }
+
+    /// A reduce collective with `bytes` payload per rank.
+    pub fn reduce(&mut self, f: FunctionKey, bytes: u64) -> &mut Self {
+        self.push(Step::Collective {
+            function: f,
+            kind: CollectiveKind::Reduce,
+            bytes,
+        });
+        self
+    }
+
+    /// A broadcast collective with `bytes` payload.
+    pub fn bcast(&mut self, f: FunctionKey, bytes: u64) -> &mut Self {
+        self.push(Step::Collective {
+            function: f,
+            kind: CollectiveKind::Bcast,
+            bytes,
+        });
+        self
+    }
+
+    /// A blocking send.
+    pub fn send(&mut self, f: FunctionKey, to: u32, tag: u32, bytes: u64) -> &mut Self {
+        self.push(Step::Send {
+            function: f,
+            to,
+            tag,
+            bytes,
+        });
+        self
+    }
+
+    /// A blocking receive.
+    pub fn recv(&mut self, f: FunctionKey, from: u32, tag: u32, bytes: u64) -> &mut Self {
+        self.push(Step::Recv {
+            function: f,
+            from,
+            tag,
+            bytes,
+        });
+        self
+    }
+
+    /// A non-blocking receive request.
+    pub fn irecv(&mut self, f: FunctionKey, from: u32, tag: u32, bytes: u64) -> &mut Self {
+        self.push(Step::IRecv {
+            function: f,
+            from,
+            tag,
+            bytes,
+        });
+        self
+    }
+
+    /// Completes all outstanding non-blocking receives.
+    pub fn wait_all(&mut self, f: FunctionKey) -> &mut Self {
+        self.push(Step::WaitAll { function: f });
+        self
+    }
+
+    /// Emit the accumulated value of `m`.
+    pub fn sample_counter(&mut self, m: MetricKey) -> &mut Self {
+        self.push(Step::SampleCounter(m));
+        self
+    }
+
+    /// Emit a literal metric value.
+    pub fn emit_metric(&mut self, m: MetricKey, value: u64) -> &mut Self {
+        self.push(Step::EmitMetric { metric: m, value });
+        self
+    }
+
+    /// Checks that `Enter`/`Leave` pairs in this program nest and balance;
+    /// returns the mismatch description otherwise.
+    pub fn check_balanced(&self) -> Result<(), String> {
+        let mut stack: Vec<FunctionKey> = Vec::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                Step::Enter(f) => stack.push(*f),
+                Step::Leave(f) => match stack.pop() {
+                    Some(top) if top == *f => {}
+                    Some(top) => {
+                        return Err(format!(
+                            "step {i}: Leave({f:?}) does not match open region {top:?}"
+                        ))
+                    }
+                    None => return Err(format!("step {i}: Leave({f:?}) with no open region")),
+                },
+                _ => {}
+            }
+        }
+        if stack.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("program ends with {} open region(s)", stack.len()))
+        }
+    }
+
+    /// Number of collectives this program participates in (SPMD programs
+    /// must agree on this across ranks; the engine checks).
+    pub fn num_collectives(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Collective { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FunctionKey = FunctionKey(0);
+    const G: FunctionKey = FunctionKey(1);
+
+    #[test]
+    fn builder_chains() {
+        let mut p = Program::new();
+        p.enter(F).compute(10).barrier(G).leave(F);
+        assert_eq!(p.len(), 4);
+        assert!(p.check_balanced().is_ok());
+        assert_eq!(p.num_collectives(), 1);
+    }
+
+    #[test]
+    fn unbalanced_detected() {
+        let mut p = Program::new();
+        p.enter(F);
+        assert!(p.check_balanced().unwrap_err().contains("open region"));
+    }
+
+    #[test]
+    fn crossed_regions_detected() {
+        let mut p = Program::new();
+        p.enter(F).enter(G).leave(F);
+        assert!(p.check_balanced().is_err());
+    }
+
+    #[test]
+    fn leave_without_enter_detected() {
+        let mut p = Program::new();
+        p.leave(F);
+        assert!(p.check_balanced().unwrap_err().contains("no open region"));
+    }
+
+    #[test]
+    fn region_compute_is_balanced() {
+        let mut p = Program::new();
+        p.region_compute(F, 5);
+        assert!(p.check_balanced().is_ok());
+        assert_eq!(p.len(), 3);
+    }
+}

@@ -1,0 +1,189 @@
+//! Application specifications: declarations + per-rank programs.
+
+use crate::params::CommParams;
+use crate::program::{FunctionKey, MetricKey, Program};
+use perfvar_trace::{Clock, FunctionRole, MetricMode};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A declared function of the simulated application.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionDecl {
+    /// Name recorded in the trace registry.
+    pub name: String,
+    /// Role recorded in the trace registry (drives SOS-time semantics).
+    pub role: FunctionRole,
+}
+
+/// A declared metric channel of the simulated application.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricDecl {
+    /// Channel name.
+    pub name: String,
+    /// Sample interpretation.
+    pub mode: MetricMode,
+    /// Display unit.
+    pub unit: String,
+}
+
+/// A complete simulated application: everything [`simulate`] needs.
+///
+/// [`simulate`]: crate::engine::simulate
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Trace/workload name.
+    pub name: String,
+    /// Trace clock resolution.
+    pub clock: Clock,
+    /// Network cost model.
+    pub comm: CommParams,
+    /// Declared functions, indexed by [`FunctionKey`].
+    pub functions: Vec<FunctionDecl>,
+    /// Declared metrics, indexed by [`MetricKey`].
+    pub metrics: Vec<MetricDecl>,
+    /// One program per rank; the rank count is `programs.len()`.
+    pub programs: Vec<Program>,
+}
+
+impl AppSpec {
+    /// Number of simulated ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.programs.len()
+    }
+}
+
+/// Builder interning functions/metrics by name and collecting programs.
+#[derive(Debug)]
+pub struct SpecBuilder {
+    name: String,
+    clock: Clock,
+    comm: CommParams,
+    functions: Vec<FunctionDecl>,
+    function_index: HashMap<String, FunctionKey>,
+    metrics: Vec<MetricDecl>,
+    metric_index: HashMap<String, MetricKey>,
+    programs: Vec<Program>,
+}
+
+impl SpecBuilder {
+    /// Starts a spec named `name` with the given clock and network model.
+    pub fn new(name: impl Into<String>, clock: Clock, comm: CommParams) -> SpecBuilder {
+        SpecBuilder {
+            name: name.into(),
+            clock,
+            comm,
+            functions: Vec::new(),
+            function_index: HashMap::new(),
+            metrics: Vec::new(),
+            metric_index: HashMap::new(),
+            programs: Vec::new(),
+        }
+    }
+
+    /// Declares (or re-uses) a function.
+    ///
+    /// # Panics
+    /// Panics on redefinition with a different role.
+    pub fn function(&mut self, name: impl Into<String>, role: FunctionRole) -> FunctionKey {
+        let name = name.into();
+        if let Some(&k) = self.function_index.get(&name) {
+            assert_eq!(
+                self.functions[k.0 as usize].role, role,
+                "function {name:?} redeclared with a different role"
+            );
+            return k;
+        }
+        let k = FunctionKey(self.functions.len() as u32);
+        self.function_index.insert(name.clone(), k);
+        self.functions.push(FunctionDecl { name, role });
+        k
+    }
+
+    /// Declares (or re-uses) a metric channel.
+    ///
+    /// # Panics
+    /// Panics on redefinition with a different mode or unit.
+    pub fn metric(
+        &mut self,
+        name: impl Into<String>,
+        mode: MetricMode,
+        unit: impl Into<String>,
+    ) -> MetricKey {
+        let name = name.into();
+        let unit = unit.into();
+        if let Some(&k) = self.metric_index.get(&name) {
+            let existing = &self.metrics[k.0 as usize];
+            assert!(
+                existing.mode == mode && existing.unit == unit,
+                "metric {name:?} redeclared differently"
+            );
+            return k;
+        }
+        let k = MetricKey(self.metrics.len() as u32);
+        self.metric_index.insert(name.clone(), k);
+        self.metrics.push(MetricDecl { name, mode, unit });
+        k
+    }
+
+    /// Adds the program of the next rank (ranks are numbered in call
+    /// order) and returns its rank index.
+    pub fn add_rank(&mut self, program: Program) -> usize {
+        self.programs.push(program);
+        self.programs.len() - 1
+    }
+
+    /// Finalises the spec.
+    pub fn build(self) -> AppSpec {
+        AppSpec {
+            name: self.name,
+            clock: self.clock,
+            comm: self.comm,
+            functions: self.functions,
+            metrics: self.metrics,
+            programs: self.programs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut b = SpecBuilder::new("t", Clock::microseconds(), CommParams::ideal());
+        let a = b.function("calc", FunctionRole::Compute);
+        let a2 = b.function("calc", FunctionRole::Compute);
+        assert_eq!(a, a2);
+        let m = b.metric("cyc", MetricMode::Accumulating, "cycles");
+        let m2 = b.metric("cyc", MetricMode::Accumulating, "cycles");
+        assert_eq!(m, m2);
+        let spec = b.build();
+        assert_eq!(spec.functions.len(), 1);
+        assert_eq!(spec.metrics.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different role")]
+    fn role_conflict_panics() {
+        let mut b = SpecBuilder::new("t", Clock::microseconds(), CommParams::ideal());
+        b.function("f", FunctionRole::Compute);
+        b.function("f", FunctionRole::MpiWait);
+    }
+
+    #[test]
+    #[should_panic(expected = "redeclared differently")]
+    fn metric_conflict_panics() {
+        let mut b = SpecBuilder::new("t", Clock::microseconds(), CommParams::ideal());
+        b.metric("m", MetricMode::Delta, "#");
+        b.metric("m", MetricMode::Gauge, "#");
+    }
+
+    #[test]
+    fn ranks_number_in_order() {
+        let mut b = SpecBuilder::new("t", Clock::microseconds(), CommParams::ideal());
+        assert_eq!(b.add_rank(Program::new()), 0);
+        assert_eq!(b.add_rank(Program::new()), 1);
+        assert_eq!(b.build().num_ranks(), 2);
+    }
+}

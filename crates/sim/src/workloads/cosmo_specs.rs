@@ -1,0 +1,238 @@
+//! COSMO-SPECS: the paper's case study A (§VII-A, Fig. 4).
+//!
+//! The real application couples the COSMO regional weather model with the
+//! SPECS cloud-microphysics model over a static 2-D (M × N) horizontal
+//! domain decomposition. SPECS cost depends strongly on the presence and
+//! size distribution of cloud particles in each grid cell, so a cloud
+//! sitting over a block of subdomains overloads exactly those ranks —
+//! and the imbalance grows as the cloud develops. All other ranks wait in
+//! the coupling synchronization, so on the timeline *MPI time grows over
+//! the run* while plain per-iteration durations grow *uniformly* — only
+//! SOS-time isolates the overloaded ranks (the paper names processes 44,
+//! 45, 54, 55, 64, 65 of its 10 × 10 run, with process 54 the worst).
+//!
+//! This model reproduces that mechanism: per iteration each rank runs
+//! COSMO dynamics (cheap, uniform), SPECS microphysics (expensive; scaled
+//! by a cloud field), the model coupling, and a closing
+//! allreduce + barrier. The cloud field is an anisotropic Gaussian bump
+//! centred between grid columns 4–5 near row 5 whose amplitude grows
+//! linearly over the iterations; with the default 10 × 10 grid its
+//! support is exactly the paper's six ranks.
+
+use super::{jitter, Workload};
+use crate::params::CommParams;
+use crate::program::Program;
+use crate::spec::{AppSpec, SpecBuilder};
+use perfvar_trace::{Clock, FunctionRole};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the COSMO-SPECS load-imbalance workload.
+#[derive(Clone, Debug)]
+pub struct CosmoSpecs {
+    /// Grid rows (M); ranks = rows × cols.
+    pub rows: usize,
+    /// Grid columns (N).
+    pub cols: usize,
+    /// Number of coupled model iterations.
+    pub iterations: usize,
+    /// COSMO dynamics compute ticks per iteration (uniform).
+    pub cosmo_ticks: u64,
+    /// SPECS microphysics base compute ticks per iteration.
+    pub specs_ticks: u64,
+    /// Coupling compute ticks per iteration.
+    pub coupling_ticks: u64,
+    /// Peak extra SPECS load, as a multiple of `specs_ticks`, reached by
+    /// the cloud-centre rank in the final iteration.
+    pub cloud_amplitude: f64,
+    /// Cloud centre, in (row, col) grid coordinates.
+    pub cloud_center: (f64, f64),
+    /// Cloud extent (Gaussian sigma) in rows and columns.
+    pub cloud_sigma: (f64, f64),
+    /// Weights below this threshold are treated as cloud-free.
+    pub cloud_cutoff: f64,
+    /// Multiplicative compute jitter.
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CosmoSpecs {
+    /// The paper's configuration: 100 ranks (10 × 10), with the cloud over
+    /// ranks {44, 45, 54, 55, 64, 65} and rank 54 at the centre.
+    pub fn paper() -> CosmoSpecs {
+        CosmoSpecs {
+            rows: 10,
+            cols: 10,
+            iterations: 60,
+            cosmo_ticks: 600,
+            specs_ticks: 8_000,
+            coupling_ticks: 400,
+            cloud_amplitude: 2.5,
+            cloud_center: (5.1, 4.35),
+            cloud_sigma: (0.8, 0.55),
+            cloud_cutoff: 0.05,
+            jitter: 0.015,
+            seed: 2016,
+        }
+    }
+
+    /// A scaled-down variant for fast tests (`rows × cols` ranks).
+    pub fn small(rows: usize, cols: usize, iterations: usize) -> CosmoSpecs {
+        CosmoSpecs {
+            rows,
+            cols,
+            iterations,
+            // Scale the cloud position with the grid so a hotspot exists.
+            cloud_center: (rows as f64 / 2.0, cols as f64 / 2.0 - 0.6),
+            cloud_sigma: (rows as f64 / 12.0, cols as f64 / 18.0),
+            ..CosmoSpecs::paper()
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The cloud weight of the subdomain at `(row, col)`, in `[0, 1]`.
+    pub fn cloud_weight(&self, row: usize, col: usize) -> f64 {
+        let (cr, cc) = self.cloud_center;
+        let (sr, sc) = self.cloud_sigma;
+        let dr = (row as f64 - cr) / sr.max(1e-9);
+        let dc = (col as f64 - cc) / sc.max(1e-9);
+        let w = (-(dr * dr + dc * dc) / 2.0).exp();
+        if w < self.cloud_cutoff {
+            0.0
+        } else {
+            w
+        }
+    }
+
+    /// Ranks with a nonzero cloud weight — the ground-truth overloaded
+    /// set (for the paper configuration: {44, 45, 54, 55, 64, 65}).
+    pub fn cloudy_ranks(&self) -> Vec<usize> {
+        (0..self.ranks())
+            .filter(|&r| self.cloud_weight(r / self.cols, r % self.cols) > 0.0)
+            .collect()
+    }
+
+    /// The rank with the maximum cloud weight (paper: 54).
+    pub fn hottest_rank(&self) -> usize {
+        (0..self.ranks())
+            .max_by(|&a, &b| {
+                let wa = self.cloud_weight(a / self.cols, a % self.cols);
+                let wb = self.cloud_weight(b / self.cols, b % self.cols);
+                wa.partial_cmp(&wb).unwrap()
+            })
+            .unwrap()
+    }
+
+    /// SPECS compute ticks of `rank` in `iter` (before jitter): base load
+    /// plus the growing cloud contribution.
+    pub fn specs_load(&self, rank: usize, iter: usize) -> u64 {
+        let w = self.cloud_weight(rank / self.cols, rank % self.cols);
+        let growth = if self.iterations > 1 {
+            iter as f64 / (self.iterations - 1) as f64
+        } else {
+            1.0
+        };
+        let factor = 1.0 + self.cloud_amplitude * w * growth;
+        (self.specs_ticks as f64 * factor).round() as u64
+    }
+}
+
+impl Workload for CosmoSpecs {
+    fn name(&self) -> &str {
+        "cosmo-specs"
+    }
+
+    fn spec(&self) -> AppSpec {
+        let mut b = SpecBuilder::new(
+            self.name(),
+            Clock::microseconds(),
+            CommParams::cluster_defaults(),
+        );
+        let main_f = b.function("main", FunctionRole::Compute);
+        let step_f = b.function("cosmo_specs_step", FunctionRole::Compute);
+        let cosmo_f = b.function("cosmo_dynamics", FunctionRole::Compute);
+        let specs_f = b.function("specs_microphysics", FunctionRole::Compute);
+        let couple_f = b.function("couple_models", FunctionRole::Compute);
+        let allreduce_f = b.function("MPI_Allreduce", FunctionRole::MpiCollective);
+        let barrier_f = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+        let init_f = b.function("model_init", FunctionRole::Compute);
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        for rank in 0..self.ranks() {
+            let mut p = Program::new();
+            p.enter(main_f);
+            p.region_compute(init_f, jitter(self.cosmo_ticks * 4, self.jitter, rng.gen()));
+            for iter in 0..self.iterations {
+                p.enter(step_f);
+                p.region_compute(cosmo_f, jitter(self.cosmo_ticks, self.jitter, rng.gen()));
+                p.region_compute(
+                    specs_f,
+                    jitter(self.specs_load(rank, iter), self.jitter, rng.gen()),
+                );
+                p.region_compute(
+                    couple_f,
+                    jitter(self.coupling_ticks, self.jitter, rng.gen()),
+                );
+                p.allreduce(allreduce_f, 256);
+                p.barrier(barrier_f);
+                p.leave(step_f);
+            }
+            p.leave(main_f);
+            b.add_rank(p);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+
+    #[test]
+    fn paper_config_hotspot_matches_fig4() {
+        let w = CosmoSpecs::paper();
+        assert_eq!(w.ranks(), 100);
+        assert_eq!(w.cloudy_ranks(), vec![44, 45, 54, 55, 64, 65]);
+        assert_eq!(w.hottest_rank(), 54);
+    }
+
+    #[test]
+    fn cloud_load_grows_over_iterations() {
+        let w = CosmoSpecs::paper();
+        let early = w.specs_load(54, 0);
+        let late = w.specs_load(54, w.iterations - 1);
+        assert_eq!(early, w.specs_ticks);
+        assert!(
+            late as f64 > 2.5 * early as f64,
+            "late={late} early={early}"
+        );
+        // Cloud-free ranks stay flat.
+        assert_eq!(w.specs_load(0, 0), w.specs_load(0, w.iterations - 1));
+    }
+
+    #[test]
+    fn small_variant_simulates() {
+        let w = CosmoSpecs::small(3, 3, 4);
+        let trace = simulate(&w.spec()).unwrap();
+        assert_eq!(trace.num_processes(), 9);
+        assert!(trace.num_events() > 0);
+        assert_eq!(trace.name, "cosmo-specs");
+    }
+
+    #[test]
+    fn weights_are_in_unit_interval() {
+        let w = CosmoSpecs::paper();
+        for r in 0..w.rows {
+            for c in 0..w.cols {
+                let v = w.cloud_weight(r, c);
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! COSMO-SPECS+FD4: the paper's case study B (§VII-B, Fig. 5).
+//!
+//! The FD4 framework adds dynamic load balancing to SPECS: the cloud-
+//! dependent cost is re-partitioned every iteration, so per-rank compute
+//! is nearly uniform — the imbalance of case study A is gone. The
+//! phenomenon studied here instead is a *one-off interruption*: during
+//! one `specs_timestep` invocation, one process (the paper's Process 20,
+//! on 200 ranks) is preempted by the operating system. Wall time passes
+//! but almost no CPU cycles are assigned (the paper verified this with
+//! `PAPI_TOT_CYC`), and every other rank waits for it.
+//!
+//! Each iteration runs several SPECS timesteps; each timestep does a halo
+//! exchange with the ring neighbours, computes microphysics, samples the
+//! cycle counter, and synchronises. The interruption is injected as a
+//! [`Stall`](crate::program::Step::Stall) inside one specific timestep
+//! invocation — wall clock advances, the cycle counter does not, exactly
+//! reproducing the case study's signature.
+
+use super::{jitter, Workload};
+use crate::params::CommParams;
+use crate::program::Program;
+use crate::spec::{AppSpec, SpecBuilder};
+use perfvar_trace::{Clock, FunctionRole, MetricMode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the FD4 process-interruption workload.
+#[derive(Clone, Debug)]
+pub struct CosmoSpecsFd4 {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Number of coupled iterations.
+    pub iterations: usize,
+    /// SPECS timesteps per iteration.
+    pub timesteps_per_iteration: usize,
+    /// Compute ticks per (balanced) timestep.
+    pub timestep_ticks: u64,
+    /// FD4 load-balancing overhead ticks per iteration.
+    pub balance_ticks: u64,
+    /// The interrupted rank (paper: Process 20).
+    pub interrupted_rank: usize,
+    /// The iteration containing the interruption.
+    pub interrupted_iteration: usize,
+    /// The timestep (within the iteration) containing the interruption.
+    pub interrupted_timestep: usize,
+    /// Length of the OS interruption, as a multiple of `timestep_ticks`.
+    pub interruption_factor: f64,
+    /// Simulated CPU cycles per compute tick (for `PAPI_TOT_CYC`).
+    pub cycles_per_tick: u64,
+    /// Halo message size per timestep, bytes.
+    pub halo_bytes: u64,
+    /// Multiplicative compute jitter (FD4 balances, but not perfectly).
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CosmoSpecsFd4 {
+    /// The paper's configuration: 200 ranks, Process 20 interrupted once.
+    pub fn paper() -> CosmoSpecsFd4 {
+        CosmoSpecsFd4 {
+            ranks: 200,
+            iterations: 6,
+            timesteps_per_iteration: 6,
+            timestep_ticks: 5_000,
+            balance_ticks: 300,
+            interrupted_rank: 20,
+            interrupted_iteration: 3,
+            interrupted_timestep: 4,
+            interruption_factor: 3.0,
+            cycles_per_tick: 2_500,
+            halo_bytes: 16 * 1024,
+            jitter: 0.02,
+            seed: 512,
+        }
+    }
+
+    /// A scaled-down variant for fast tests.
+    pub fn small(ranks: usize, iterations: usize) -> CosmoSpecsFd4 {
+        CosmoSpecsFd4 {
+            ranks,
+            iterations,
+            timesteps_per_iteration: 3,
+            interrupted_rank: ranks / 4,
+            interrupted_iteration: iterations / 2,
+            interrupted_timestep: 1,
+            ..CosmoSpecsFd4::paper()
+        }
+    }
+
+    /// Global index of the interrupted segment among this rank's
+    /// timesteps (iteration-major), for assertions.
+    pub fn interrupted_global_timestep(&self) -> usize {
+        self.interrupted_iteration * self.timesteps_per_iteration + self.interrupted_timestep
+    }
+}
+
+impl Workload for CosmoSpecsFd4 {
+    fn name(&self) -> &str {
+        "cosmo-specs-fd4"
+    }
+
+    fn spec(&self) -> AppSpec {
+        let mut b = SpecBuilder::new(
+            self.name(),
+            Clock::microseconds(),
+            CommParams::cluster_defaults(),
+        );
+        let main_f = b.function("main", FunctionRole::Compute);
+        let iter_f = b.function("fd4_iteration", FunctionRole::Compute);
+        let ts_f = b.function("specs_timestep", FunctionRole::Compute);
+        let micro_f = b.function("specs_microphysics", FunctionRole::Compute);
+        let lb_f = b.function("fd4_balance", FunctionRole::Compute);
+        let send_f = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let recv_f = b.function("MPI_Recv", FunctionRole::MpiPointToPoint);
+        let allreduce_f = b.function("MPI_Allreduce", FunctionRole::MpiCollective);
+        let barrier_f = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+        let cyc = b.metric("PAPI_TOT_CYC", MetricMode::Accumulating, "cycles");
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let p_count = self.ranks;
+        for rank in 0..p_count {
+            let mut p = Program::new();
+            p.enter(main_f);
+            p.sample_counter(cyc);
+            for iter in 0..self.iterations {
+                p.enter(iter_f);
+                // FD4 re-balances the cloud load: all ranks get (almost)
+                // the same work afterwards.
+                p.region_compute(lb_f, jitter(self.balance_ticks, self.jitter, rng.gen()));
+                for ts in 0..self.timesteps_per_iteration {
+                    p.enter(ts_f);
+                    // Ring halo exchange; even ranks send first to avoid
+                    // a blocking cycle.
+                    let next = ((rank + 1) % p_count) as u32;
+                    let prev = ((rank + p_count - 1) % p_count) as u32;
+                    let tag = (iter * self.timesteps_per_iteration + ts) as u32;
+                    if p_count > 1 {
+                        if rank % 2 == 0 {
+                            p.send(send_f, next, tag, self.halo_bytes);
+                            p.recv(recv_f, prev, tag, self.halo_bytes);
+                        } else {
+                            p.recv(recv_f, prev, tag, self.halo_bytes);
+                            p.send(send_f, next, tag, self.halo_bytes);
+                        }
+                    }
+                    let ticks = jitter(self.timestep_ticks, self.jitter, rng.gen());
+                    p.enter(micro_f);
+                    p.compute_counted(ticks, vec![(cyc, ticks * self.cycles_per_tick)]);
+                    if rank == self.interrupted_rank
+                        && iter == self.interrupted_iteration
+                        && ts == self.interrupted_timestep
+                    {
+                        // The OS preempts the process: wall time passes,
+                        // (almost) no cycles are assigned.
+                        let stall = (self.timestep_ticks as f64 * self.interruption_factor) as u64;
+                        p.stall(stall);
+                    }
+                    p.leave(micro_f);
+                    p.sample_counter(cyc);
+                    p.allreduce(allreduce_f, 64);
+                    p.leave(ts_f);
+                }
+                p.barrier(barrier_f);
+                p.leave(iter_f);
+            }
+            p.leave(main_f);
+            b.add_rank(p);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use perfvar_trace::{Event, ProcessId};
+
+    #[test]
+    fn small_variant_simulates() {
+        let w = CosmoSpecsFd4::small(8, 2);
+        let trace = simulate(&w.spec()).unwrap();
+        assert_eq!(trace.num_processes(), 8);
+        assert!(trace.num_events() > 0);
+    }
+
+    #[test]
+    fn interruption_extends_the_run() {
+        let w = CosmoSpecsFd4::small(6, 2);
+        let with = simulate(&w.spec()).unwrap();
+        let without = simulate(
+            &CosmoSpecsFd4 {
+                interruption_factor: 0.0,
+                ..w.clone()
+            }
+            .spec(),
+        )
+        .unwrap();
+        let expected = (w.timestep_ticks as f64 * w.interruption_factor) as i64;
+        let diff = with.span().0 as i64 - without.span().0 as i64;
+        assert!(
+            (diff - expected).abs() < expected / 5,
+            "diff={diff} expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn cycle_counter_flat_across_stall() {
+        // On the interrupted rank, the cycle samples advance by the same
+        // per-timestep amount whether or not the stall happened — the
+        // stall adds wall time, not cycles.
+        let w = CosmoSpecsFd4::small(4, 2);
+        let trace = simulate(&w.spec()).unwrap();
+        let stream = trace.stream(ProcessId::from_index(w.interrupted_rank));
+        let samples: Vec<u64> = stream
+            .records()
+            .iter()
+            .filter_map(|r| match r.event {
+                Event::Metric { value, .. } => Some(value),
+                _ => None,
+            })
+            .collect();
+        // One leading zero sample + one per timestep.
+        let steps = w.iterations * w.timesteps_per_iteration;
+        assert_eq!(samples.len(), steps + 1);
+        let deltas: Vec<u64> = samples.windows(2).map(|w| w[1] - w[0]).collect();
+        let min = *deltas.iter().min().unwrap() as f64;
+        let max = *deltas.iter().max().unwrap() as f64;
+        // All cycle deltas within jitter of each other (no spike).
+        assert!(max / min < 1.2, "min={min} max={max}");
+    }
+
+    #[test]
+    fn halo_messages_present() {
+        let w = CosmoSpecsFd4::small(4, 1);
+        let trace = simulate(&w.spec()).unwrap();
+        let sends = trace
+            .streams()
+            .iter()
+            .flat_map(|s| s.records())
+            .filter(|r| matches!(r.event, Event::MsgSend { .. }))
+            .count();
+        assert_eq!(sends, 4 * w.timesteps_per_iteration);
+    }
+
+    #[test]
+    fn paper_config_targets_process_20() {
+        let w = CosmoSpecsFd4::paper();
+        assert_eq!(w.ranks, 200);
+        assert_eq!(w.interrupted_rank, 20);
+        assert_eq!(w.interrupted_global_timestep(), 3 * 6 + 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! Simulated application workloads.
+//!
+//! * [`CosmoSpecs`] — case study A of the paper (§VII-A): coupled weather
+//!   model with a static decomposition; cloud microphysics concentrates
+//!   load on a block of ranks, growing over the run.
+//! * [`CosmoSpecsFd4`] — case study B (§VII-B): the FD4 dynamically
+//!   load-balanced variant, with a one-off OS interruption of one process.
+//! * [`Wrf`] — case study C (§VII-C): weather code where one rank suffers
+//!   floating-point exception microtraps, validated against a hardware
+//!   counter.
+//! * [`synthetic`] — parameterisable generators for tests, property tests
+//!   and benchmarks.
+//!
+//! All workloads are deterministic given their seed.
+
+mod cosmo_specs;
+mod cosmo_specs_fd4;
+pub mod synthetic;
+mod wrf;
+
+pub use cosmo_specs::CosmoSpecs;
+pub use cosmo_specs_fd4::CosmoSpecsFd4;
+pub use synthetic::{BalancedStencil, GradualSlowdown, RandomImbalance, SingleOutlier};
+pub use wrf::Wrf;
+
+use crate::spec::AppSpec;
+
+/// A simulated application workload: anything that can produce an
+/// [`AppSpec`] for [`simulate`](crate::engine::simulate).
+pub trait Workload {
+    /// Builds the application specification.
+    fn spec(&self) -> AppSpec;
+
+    /// Workload display name.
+    fn name(&self) -> &str;
+}
+
+/// Shared helper: multiplicative jitter in `[1-amount, 1+amount]` applied
+/// to `ticks`, from a uniform random value `u ∈ [0, 1)`.
+pub(crate) fn jitter(ticks: u64, amount: f64, u: f64) -> u64 {
+    let factor = 1.0 + amount * (2.0 * u - 1.0);
+    ((ticks as f64 * factor).round() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_bounds() {
+        assert_eq!(jitter(1000, 0.0, 0.5), 1000);
+        assert_eq!(jitter(1000, 0.1, 0.0), 900);
+        assert_eq!(jitter(1000, 0.1, 0.9999999), 1100);
+        // Never returns zero.
+        assert_eq!(jitter(1, 0.9, 0.0), 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! Parameterisable synthetic workloads for tests and benchmarks.
+
+use super::{jitter, Workload};
+use crate::params::CommParams;
+use crate::program::Program;
+use crate::spec::{AppSpec, SpecBuilder};
+use perfvar_trace::{Clock, FunctionRole};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A perfectly regular iterative stencil: every rank computes the same
+/// load each iteration (modulo a small jitter), then synchronises.
+///
+/// The "no performance problem" baseline: its SOS-times are flat.
+#[derive(Clone, Debug)]
+pub struct BalancedStencil {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Compute ticks per iteration.
+    pub work: u64,
+    /// Multiplicative jitter amplitude (e.g. `0.02` = ±2 %).
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BalancedStencil {
+    /// A stencil with default work (10 000 ticks) and 2 % jitter.
+    pub fn new(ranks: usize, iterations: usize) -> BalancedStencil {
+        BalancedStencil {
+            ranks,
+            iterations,
+            work: 10_000,
+            jitter: 0.02,
+            seed: 42,
+        }
+    }
+}
+
+impl Workload for BalancedStencil {
+    fn name(&self) -> &str {
+        "balanced-stencil"
+    }
+
+    fn spec(&self) -> AppSpec {
+        let mut b = SpecBuilder::new(
+            self.name(),
+            Clock::microseconds(),
+            CommParams::cluster_defaults(),
+        );
+        let main_f = b.function("main", FunctionRole::Compute);
+        let iter_f = b.function("stencil_iteration", FunctionRole::Compute);
+        let calc_f = b.function("compute_stencil", FunctionRole::Compute);
+        let barrier_f = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        // Draw loads rank-major so each rank has its own jitter sequence.
+        let loads: Vec<Vec<u64>> = (0..self.ranks)
+            .map(|_| {
+                (0..self.iterations)
+                    .map(|_| jitter(self.work, self.jitter, rng.gen::<f64>()))
+                    .collect()
+            })
+            .collect();
+        for rank_loads in &loads {
+            let mut p = Program::new();
+            p.enter(main_f);
+            for &load in rank_loads {
+                p.enter(iter_f);
+                p.region_compute(calc_f, load);
+                p.barrier(barrier_f);
+                p.leave(iter_f);
+            }
+            p.leave(main_f);
+            b.add_rank(p);
+        }
+        b.build()
+    }
+}
+
+/// Per-(rank, iteration) independent uniform random loads — a noisy
+/// workload with no single culprit, for robustness testing.
+#[derive(Clone, Debug)]
+pub struct RandomImbalance {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Minimum compute ticks per iteration.
+    pub min_work: u64,
+    /// Maximum compute ticks per iteration.
+    pub max_work: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomImbalance {
+    /// Loads uniform in `[5_000, 15_000]`.
+    pub fn new(ranks: usize, iterations: usize) -> RandomImbalance {
+        RandomImbalance {
+            ranks,
+            iterations,
+            min_work: 5_000,
+            max_work: 15_000,
+            seed: 7,
+        }
+    }
+}
+
+impl Workload for RandomImbalance {
+    fn name(&self) -> &str {
+        "random-imbalance"
+    }
+
+    fn spec(&self) -> AppSpec {
+        let mut b = SpecBuilder::new(
+            self.name(),
+            Clock::microseconds(),
+            CommParams::cluster_defaults(),
+        );
+        let main_f = b.function("main", FunctionRole::Compute);
+        let iter_f = b.function("iteration", FunctionRole::Compute);
+        let calc_f = b.function("compute", FunctionRole::Compute);
+        let barrier_f = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let loads: Vec<Vec<u64>> = (0..self.ranks)
+            .map(|_| {
+                (0..self.iterations)
+                    .map(|_| rng.gen_range(self.min_work..=self.max_work.max(self.min_work)))
+                    .collect()
+            })
+            .collect();
+        for rank_loads in &loads {
+            let mut p = Program::new();
+            p.enter(main_f);
+            for &load in rank_loads {
+                p.enter(iter_f);
+                p.region_compute(calc_f, load);
+                p.barrier(barrier_f);
+                p.leave(iter_f);
+            }
+            p.leave(main_f);
+            b.add_rank(p);
+        }
+        b.build()
+    }
+}
+
+/// Every rank slows down linearly over the run (e.g. memory fragmentation
+/// or growing working sets): segment durations increase over *time* while
+/// staying balanced across *processes*.
+#[derive(Clone, Debug)]
+pub struct GradualSlowdown {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Compute ticks in the first iteration.
+    pub initial_work: u64,
+    /// Final-iteration work as a multiple of the initial work.
+    pub final_factor: f64,
+}
+
+impl GradualSlowdown {
+    /// A slowdown to 3× the initial load.
+    pub fn new(ranks: usize, iterations: usize) -> GradualSlowdown {
+        GradualSlowdown {
+            ranks,
+            iterations,
+            initial_work: 10_000,
+            final_factor: 3.0,
+        }
+    }
+}
+
+impl Workload for GradualSlowdown {
+    fn name(&self) -> &str {
+        "gradual-slowdown"
+    }
+
+    fn spec(&self) -> AppSpec {
+        let mut b = SpecBuilder::new(
+            self.name(),
+            Clock::microseconds(),
+            CommParams::cluster_defaults(),
+        );
+        let main_f = b.function("main", FunctionRole::Compute);
+        let iter_f = b.function("iteration", FunctionRole::Compute);
+        let calc_f = b.function("compute", FunctionRole::Compute);
+        let barrier_f = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+        let denom = (self.iterations.max(2) - 1) as f64;
+        for _rank in 0..self.ranks {
+            let mut p = Program::new();
+            p.enter(main_f);
+            for iter in 0..self.iterations {
+                let factor = 1.0 + (self.final_factor - 1.0) * iter as f64 / denom;
+                let load = (self.initial_work as f64 * factor).round() as u64;
+                p.enter(iter_f);
+                p.region_compute(calc_f, load);
+                p.barrier(barrier_f);
+                p.leave(iter_f);
+            }
+            p.leave(main_f);
+            b.add_rank(p);
+        }
+        b.build()
+    }
+}
+
+/// A balanced workload with exactly one injected outlier: `outlier_rank`
+/// computes `factor ×` the normal load in `outlier_iteration`. The ground
+/// truth for detection-quality tests and the SOS-vs-inclusive ablation.
+#[derive(Clone, Debug)]
+pub struct SingleOutlier {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Normal compute ticks per iteration.
+    pub work: u64,
+    /// The slow rank.
+    pub outlier_rank: usize,
+    /// The slow iteration.
+    pub outlier_iteration: usize,
+    /// Load multiplier of the outlier invocation.
+    pub factor: f64,
+    /// Multiplicative jitter amplitude for the background load.
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SingleOutlier {
+    /// A 4× outlier on `outlier_rank` in the middle iteration.
+    pub fn new(ranks: usize, iterations: usize, outlier_rank: usize) -> SingleOutlier {
+        SingleOutlier {
+            ranks,
+            iterations,
+            work: 10_000,
+            outlier_rank,
+            outlier_iteration: iterations / 2,
+            factor: 4.0,
+            jitter: 0.02,
+            seed: 99,
+        }
+    }
+}
+
+impl Workload for SingleOutlier {
+    fn name(&self) -> &str {
+        "single-outlier"
+    }
+
+    fn spec(&self) -> AppSpec {
+        let mut b = SpecBuilder::new(
+            self.name(),
+            Clock::microseconds(),
+            CommParams::cluster_defaults(),
+        );
+        let main_f = b.function("main", FunctionRole::Compute);
+        let iter_f = b.function("iteration", FunctionRole::Compute);
+        let calc_f = b.function("compute", FunctionRole::Compute);
+        let barrier_f = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        for rank in 0..self.ranks {
+            let mut p = Program::new();
+            p.enter(main_f);
+            for iter in 0..self.iterations {
+                let mut load = jitter(self.work, self.jitter, rng.gen::<f64>());
+                if rank == self.outlier_rank && iter == self.outlier_iteration {
+                    load = (load as f64 * self.factor).round() as u64;
+                }
+                p.enter(iter_f);
+                p.region_compute(calc_f, load);
+                p.barrier(barrier_f);
+                p.leave(iter_f);
+            }
+            p.leave(main_f);
+            b.add_rank(p);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use perfvar_trace::ProcessId;
+
+    #[test]
+    fn balanced_stencil_simulates() {
+        let trace = simulate(&BalancedStencil::new(4, 5).spec()).unwrap();
+        assert_eq!(trace.num_processes(), 4);
+        // 5 iterations × (2 iter + 2 calc + 2 barrier) + 2 main = 32 per rank.
+        assert_eq!(trace.stream(ProcessId(0)).len(), 32);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = simulate(&RandomImbalance::new(3, 4).spec()).unwrap();
+        let b = simulate(&RandomImbalance::new(3, 4).spec()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut w1 = BalancedStencil::new(3, 4);
+        w1.seed = 1;
+        let mut w2 = BalancedStencil::new(3, 4);
+        w2.seed = 2;
+        assert_ne!(simulate(&w1.spec()).unwrap(), simulate(&w2.spec()).unwrap());
+    }
+
+    #[test]
+    fn gradual_slowdown_grows_span_per_iteration() {
+        let trace = simulate(&GradualSlowdown::new(2, 10).spec()).unwrap();
+        // Final iteration ≈ 3× the first: total span must exceed
+        // 10 × initial and be below 10 × final.
+        let span = trace.span().0;
+        assert!(span > 10 * 10_000 && span < 10 * 30_000 + 50_000, "{span}");
+    }
+
+    #[test]
+    fn single_outlier_extends_exactly_one_iteration() {
+        let w = SingleOutlier::new(3, 5, 1);
+        let trace = simulate(&w.spec()).unwrap();
+        assert_eq!(trace.num_processes(), 3);
+        // The run is longer than a balanced one by roughly (factor-1)*work.
+        let balanced = simulate(
+            &SingleOutlier {
+                factor: 1.0,
+                ..w.clone()
+            }
+            .spec(),
+        )
+        .unwrap();
+        let diff = trace.span().0 as i64 - balanced.span().0 as i64;
+        assert!(
+            (diff - 3 * 10_000).abs() < 2_000,
+            "expected ≈30000 extra ticks, got {diff}"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! WRF: the paper's case study C (§VII-C, Fig. 6).
+//!
+//! The Weather Research and Forecasting model on the 12 km CONUS
+//! benchmark, 64 ranks. The run starts with ~11 seconds of model
+//! initialisation and I/O, then iterates timesteps of dynamics
+//! ("dyn core": density, temperature, pressure, winds) and physical
+//! parameterisations (clouds, rain, radiation). Overall the iterations
+//! show ≈25 % MPI time. The root cause found in the paper: Process 39
+//! executes floating-point-exception microtraps
+//! (`FR_FPU_EXCEPTIONS_SSE_MICROTRAPS`) in the physics code, computing
+//! slower and making everyone else wait; the counter heatmap matches the
+//! SOS-time heatmap exactly.
+//!
+//! This model reproduces the mechanism: physics compute time on each rank
+//! is `base × (1 + cost_per_exception × exceptions)`; rank 39 draws a
+//! high exception count per timestep (others draw a small background
+//! rate), and each timestep emits the count on a delta metric channel so
+//! the analysis can correlate counter and SOS-time.
+
+use super::{jitter, Workload};
+use crate::params::CommParams;
+use crate::program::Program;
+use crate::spec::{AppSpec, SpecBuilder};
+use perfvar_trace::{Clock, FunctionRole, MetricMode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Name of the FPU-exceptions counter channel, as in the paper.
+pub const FPU_EXCEPTIONS_METRIC: &str = "FR_FPU_EXCEPTIONS_SSE_MICROTRAPS";
+
+/// Configuration of the WRF floating-point-exceptions workload.
+#[derive(Clone, Debug)]
+pub struct Wrf {
+    /// Grid rows of the rank decomposition; ranks = rows × cols.
+    pub rows: usize,
+    /// Grid columns of the rank decomposition.
+    pub cols: usize,
+    /// Number of model timesteps after initialisation.
+    pub iterations: usize,
+    /// Initialisation + input I/O ticks (paper: ≈11 s).
+    pub init_ticks: u64,
+    /// Dynamics compute ticks per timestep.
+    pub dyn_ticks: u64,
+    /// Physics compute ticks per timestep (exception-free).
+    pub physics_ticks: u64,
+    /// The afflicted rank (paper: Process 39).
+    pub slow_rank: usize,
+    /// Mean FPU exceptions per timestep on the afflicted rank.
+    pub slow_rank_exceptions: u64,
+    /// Mean background FPU exceptions per timestep on healthy ranks.
+    pub background_exceptions: u64,
+    /// Extra physics ticks per exception (the microtrap cost).
+    pub ticks_per_exception: f64,
+    /// Halo message bytes per neighbour per timestep.
+    pub halo_bytes: u64,
+    /// Multiplicative compute jitter.
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Wrf {
+    /// The paper's configuration: 64 ranks (8 × 8), Process 39 afflicted,
+    /// ≈11 s init, iteration MPI fraction ≈25 %.
+    pub fn paper() -> Wrf {
+        Wrf {
+            rows: 8,
+            cols: 8,
+            iterations: 80,
+            init_ticks: 11_000_000,
+            dyn_ticks: 5_000,
+            physics_ticks: 4_000,
+            slow_rank: 39,
+            slow_rank_exceptions: 40_000,
+            background_exceptions: 150,
+            ticks_per_exception: 0.05,
+            halo_bytes: 32 * 1024,
+            jitter: 0.02,
+            seed: 64,
+        }
+    }
+
+    /// A scaled-down variant for fast tests.
+    pub fn small(rows: usize, cols: usize, iterations: usize) -> Wrf {
+        Wrf {
+            rows,
+            cols,
+            iterations,
+            init_ticks: 50_000,
+            slow_rank: (rows * cols) / 2,
+            ..Wrf::paper()
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Expected physics slowdown factor of the afflicted rank.
+    pub fn slow_factor(&self) -> f64 {
+        1.0 + self.ticks_per_exception * self.slow_rank_exceptions as f64
+            / self.physics_ticks as f64
+    }
+}
+
+impl Workload for Wrf {
+    fn name(&self) -> &str {
+        "wrf-conus12"
+    }
+
+    fn spec(&self) -> AppSpec {
+        let mut b = SpecBuilder::new(
+            self.name(),
+            Clock::microseconds(),
+            CommParams::cluster_defaults(),
+        );
+        let main_f = b.function("main", FunctionRole::Compute);
+        let init_f = b.function("wrf_init", FunctionRole::Compute);
+        let input_f = b.function("read_input", FunctionRole::FileIo);
+        let step_f = b.function("wrf_timestep", FunctionRole::Compute);
+        let dyn_f = b.function("dyn_core", FunctionRole::Compute);
+        let phys_f = b.function("physics_driver", FunctionRole::Compute);
+        let send_f = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let irecv_f = b.function("MPI_Irecv", FunctionRole::MpiPointToPoint);
+        let wait_f = b.function("MPI_Waitall", FunctionRole::MpiWait);
+        let allreduce_f = b.function("MPI_Allreduce", FunctionRole::MpiCollective);
+        let fpx = b.metric(FPU_EXCEPTIONS_METRIC, MetricMode::Delta, "#");
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let (rows, cols) = (self.rows, self.cols);
+        for rank in 0..self.ranks() {
+            let (row, col) = (rank / cols, rank % cols);
+            let mut p = Program::new();
+            p.enter(main_f);
+            // Initialisation phase: model setup + input I/O.
+            p.region_compute(
+                init_f,
+                jitter(self.init_ticks * 7 / 10, self.jitter, rng.gen()),
+            );
+            p.region_compute(
+                input_f,
+                jitter(self.init_ticks * 3 / 10, self.jitter, rng.gen()),
+            );
+            for iter in 0..self.iterations {
+                p.enter(step_f);
+                // Dynamics.
+                p.region_compute(dyn_f, jitter(self.dyn_ticks, self.jitter, rng.gen()));
+                // Halo exchange with the east and south neighbours, using
+                // the non-blocking pattern real WRF uses: post receives,
+                // send, complete in MPI_Waitall (no ordering constraints).
+                let tag = iter as u32;
+                let mut exchanges: Vec<u32> = Vec::new();
+                if cols > 1 {
+                    exchanges.push((row * cols + (col + 1) % cols) as u32);
+                }
+                if rows > 1 {
+                    exchanges.push((((row + 1) % rows) * cols + col) as u32);
+                }
+                let mut receives: Vec<u32> = Vec::new();
+                if cols > 1 {
+                    receives.push((row * cols + (col + cols - 1) % cols) as u32);
+                }
+                if rows > 1 {
+                    receives.push((((row + rows - 1) % rows) * cols + col) as u32);
+                }
+                for &from in &receives {
+                    p.irecv(irecv_f, from, tag, self.halo_bytes);
+                }
+                for &to in &exchanges {
+                    p.send(send_f, to, tag, self.halo_bytes);
+                }
+                if !receives.is_empty() {
+                    p.wait_all(wait_f);
+                }
+                // Physics, slowed down by FPU-exception microtraps.
+                let exceptions = if rank == self.slow_rank {
+                    let base = self.slow_rank_exceptions;
+                    jitter(base, 0.15, rng.gen())
+                } else {
+                    jitter(self.background_exceptions.max(1), 0.5, rng.gen())
+                };
+                let physics = jitter(self.physics_ticks, self.jitter, rng.gen())
+                    + (exceptions as f64 * self.ticks_per_exception).round() as u64;
+                p.enter(phys_f);
+                p.compute(physics);
+                p.emit_metric(fpx, exceptions);
+                p.leave(phys_f);
+                // CFL/diagnostics reduction closes the timestep.
+                p.allreduce(allreduce_f, 128);
+                p.leave(step_f);
+            }
+            p.leave(main_f);
+            b.add_rank(p);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use perfvar_trace::stats::role_time_profile;
+    use perfvar_trace::{Event, ProcessId};
+
+    #[test]
+    fn small_variant_simulates() {
+        let w = Wrf::small(2, 2, 3);
+        let trace = simulate(&w.spec()).unwrap();
+        assert_eq!(trace.num_processes(), 4);
+        assert!(trace.num_events() > 0);
+    }
+
+    #[test]
+    fn slow_rank_emits_high_exception_counts() {
+        let w = Wrf::small(2, 3, 4);
+        let trace = simulate(&w.spec()).unwrap();
+        let per_rank_total = |rank: usize| -> u64 {
+            trace
+                .stream(ProcessId::from_index(rank))
+                .records()
+                .iter()
+                .filter_map(|r| match r.event {
+                    Event::Metric { value, .. } => Some(value),
+                    _ => None,
+                })
+                .sum()
+        };
+        let slow = per_rank_total(w.slow_rank);
+        for rank in 0..w.ranks() {
+            if rank != w.slow_rank {
+                assert!(
+                    slow > 20 * per_rank_total(rank),
+                    "rank {rank} not far below the afflicted rank"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_ranks_wait_for_the_slow_one() {
+        // MPI time on a healthy rank exceeds MPI time on the slow rank:
+        // everyone waits for rank `slow_rank` in the allreduce.
+        let w = Wrf::small(2, 2, 6);
+        let trace = simulate(&w.spec()).unwrap();
+        let profile = role_time_profile(&trace);
+        let mpi = |rank: usize| -> u64 {
+            perfvar_trace::FunctionRole::ALL
+                .iter()
+                .filter(|r| r.is_mpi())
+                .map(|r| profile.ticks(ProcessId::from_index(rank), *r).0)
+                .sum()
+        };
+        let slow = mpi(w.slow_rank);
+        let healthy: u64 = (0..w.ranks())
+            .filter(|&r| r != w.slow_rank)
+            .map(mpi)
+            .min()
+            .unwrap();
+        assert!(
+            healthy > 2 * slow,
+            "healthy min MPI {healthy} vs slow rank MPI {slow}"
+        );
+    }
+
+    #[test]
+    fn paper_config_shape() {
+        let w = Wrf::paper();
+        assert_eq!(w.ranks(), 64);
+        assert_eq!(w.slow_rank, 39);
+        // Afflicted physics runs ≈1.5× slower.
+        assert!(w.slow_factor() > 1.3 && w.slow_factor() < 1.8);
+    }
+}

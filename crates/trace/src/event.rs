@@ -1,0 +1,201 @@
+//! Trace events: the per-process records of application behaviour.
+
+use crate::ids::{FunctionId, MetricId, ProcessId};
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One kind of recorded behaviour.
+///
+/// The set matches what the paper's measurement systems record: function
+/// enter/leave pairs, point-to-point message send/receive endpoints, and
+/// sampled metric (hardware-counter) values. Collective operations are
+/// represented through enter/leave of a function whose
+/// [`FunctionRole`](crate::registry::FunctionRole) is `MpiCollective` —
+/// that is how Score-P/VampirTrace traces look to the analysis too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Event {
+    /// The process entered a function (pushed a call-stack frame).
+    Enter {
+        /// The function being entered.
+        function: FunctionId,
+    },
+    /// The process left a function (popped a call-stack frame).
+    Leave {
+        /// The function being left. Recording it (rather than relying on
+        /// stack inference alone) lets validators detect corrupt traces.
+        function: FunctionId,
+    },
+    /// A point-to-point message left this process.
+    MsgSend {
+        /// Destination process.
+        to: ProcessId,
+        /// Message tag (application-chosen).
+        tag: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A point-to-point message arrived at this process.
+    MsgRecv {
+        /// Source process.
+        from: ProcessId,
+        /// Message tag.
+        tag: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A metric channel sample (hardware counter reading).
+    Metric {
+        /// The sampled channel.
+        metric: MetricId,
+        /// The sampled value; interpretation depends on
+        /// [`MetricMode`](crate::registry::MetricMode).
+        value: u64,
+    },
+}
+
+impl Event {
+    /// Stable numeric tag used by the binary format.
+    pub(crate) fn tag(&self) -> u8 {
+        match self {
+            Event::Enter { .. } => 0,
+            Event::Leave { .. } => 1,
+            Event::MsgSend { .. } => 2,
+            Event::MsgRecv { .. } => 3,
+            Event::Metric { .. } => 4,
+        }
+    }
+
+    /// True for `Enter`.
+    #[inline]
+    pub fn is_enter(&self) -> bool {
+        matches!(self, Event::Enter { .. })
+    }
+
+    /// True for `Leave`.
+    #[inline]
+    pub fn is_leave(&self) -> bool {
+        matches!(self, Event::Leave { .. })
+    }
+
+    /// The function referenced by an `Enter`/`Leave`, if any.
+    #[inline]
+    pub fn function(&self) -> Option<FunctionId> {
+        match self {
+            Event::Enter { function } | Event::Leave { function } => Some(*function),
+            _ => None,
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// When the event happened, in trace clock ticks.
+    pub time: Timestamp,
+    /// What happened.
+    pub event: Event,
+}
+
+impl EventRecord {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(time: Timestamp, event: Event) -> EventRecord {
+        EventRecord { time, event }
+    }
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.event {
+            Event::Enter { function } => write!(f, "{} ENTER {function}", self.time),
+            Event::Leave { function } => write!(f, "{} LEAVE {function}", self.time),
+            Event::MsgSend { to, tag, bytes } => {
+                write!(f, "{} SEND -> {to} tag={tag} bytes={bytes}", self.time)
+            }
+            Event::MsgRecv { from, tag, bytes } => {
+                write!(f, "{} RECV <- {from} tag={tag} bytes={bytes}", self.time)
+            }
+            Event::Metric { metric, value } => {
+                write!(f, "{} METRIC {metric} = {value}", self.time)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_leave_predicates() {
+        let e = Event::Enter {
+            function: FunctionId(1),
+        };
+        let l = Event::Leave {
+            function: FunctionId(1),
+        };
+        assert!(e.is_enter() && !e.is_leave());
+        assert!(l.is_leave() && !l.is_enter());
+        assert_eq!(e.function(), Some(FunctionId(1)));
+        assert_eq!(
+            Event::Metric {
+                metric: MetricId(0),
+                value: 7
+            }
+            .function(),
+            None
+        );
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let events = [
+            Event::Enter {
+                function: FunctionId(0),
+            },
+            Event::Leave {
+                function: FunctionId(0),
+            },
+            Event::MsgSend {
+                to: ProcessId(0),
+                tag: 0,
+                bytes: 0,
+            },
+            Event::MsgRecv {
+                from: ProcessId(0),
+                tag: 0,
+                bytes: 0,
+            },
+            Event::Metric {
+                metric: MetricId(0),
+                value: 0,
+            },
+        ];
+        let mut tags: Vec<u8> = events.iter().map(Event::tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), events.len());
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = EventRecord::new(
+            Timestamp(5),
+            Event::MsgSend {
+                to: ProcessId(2),
+                tag: 9,
+                bytes: 1024,
+            },
+        );
+        assert_eq!(format!("{r}"), "5t SEND -> P2 tag=9 bytes=1024");
+        let m = EventRecord::new(
+            Timestamp(1),
+            Event::Metric {
+                metric: MetricId(0),
+                value: 42,
+            },
+        );
+        assert_eq!(format!("{m}"), "1t METRIC M0 = 42");
+    }
+}

@@ -1,0 +1,130 @@
+//! On-disk trace formats.
+//!
+//! * [`pvt`] — the compact binary **PVT** format (magic `PVTR`):
+//!   varint/zig-zag coded, delta-encoded per-stream timestamps. This is
+//!   what the CLI and simulator write by default (`.pvt`).
+//! * [`text`] — the line-oriented **PVTX** text format (`.pvtx`), carrying
+//!   the same information for human inspection, diffing, and tests.
+//! * [`archive`] — the multi-file **PVTA** archive (`.pvta` directory):
+//!   an anchor file plus one stream file per process, read in parallel —
+//!   the OTF2-style layout for large runs.
+//!
+//! [`write_trace_file`] / [`read_trace_file`] dispatch on the file
+//! extension. Both readers validate the decoded trace before returning it.
+
+pub mod archive;
+pub mod pvt;
+pub mod text;
+pub mod varint;
+
+use crate::error::{TraceError, TraceResult};
+use crate::trace::Trace;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// A trace file format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Binary PVT (single file).
+    Pvt,
+    /// Text PVTX.
+    Text,
+    /// Multi-file PVTA archive directory.
+    Archive,
+}
+
+impl Format {
+    /// Picks a format from a file extension (`pvt` → binary,
+    /// `pvtx`/`txt` → text, `pvta` → archive directory). Defaults to
+    /// binary for unknown extensions.
+    pub fn from_path(path: &Path) -> Format {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("pvtx") | Some("txt") => Format::Text,
+            Some("pvta") => Format::Archive,
+            _ => Format::Pvt,
+        }
+    }
+}
+
+/// Writes `trace` to `path`, choosing the format from the extension.
+pub fn write_trace_file(trace: &Trace, path: impl AsRef<Path>) -> TraceResult<()> {
+    let path = path.as_ref();
+    match Format::from_path(path) {
+        Format::Archive => archive::write_archive(trace, path),
+        Format::Pvt => {
+            let mut w = BufWriter::new(File::create(path)?);
+            pvt::write(trace, &mut w)
+        }
+        Format::Text => {
+            let mut w = BufWriter::new(File::create(path)?);
+            text::write(trace, &mut w)
+        }
+    }
+}
+
+/// Reads a trace from `path`, choosing the format from the extension.
+/// The decoded trace is validated.
+pub fn read_trace_file(path: impl AsRef<Path>) -> TraceResult<Trace> {
+    let path = path.as_ref();
+    if Format::from_path(path) == Format::Archive {
+        return archive::read_archive(path, 0);
+    }
+    let file = File::open(path).map_err(|e| {
+        TraceError::Io(std::io::Error::new(
+            e.kind(),
+            format!("{}: {e}", path.display()),
+        ))
+    })?;
+    let mut r = BufReader::new(file);
+    match Format::from_path(path) {
+        Format::Pvt => pvt::read(&mut r),
+        Format::Text => text::read(&mut r),
+        Format::Archive => unreachable!("handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FunctionRole;
+    use crate::time::{Clock, Timestamp};
+    use crate::trace::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds()).with_name("sample");
+        let f = b.define_function("work", FunctionRole::Compute);
+        let p = b.define_process("p0");
+        b.process_mut(p).enter(Timestamp(0), f).unwrap();
+        b.process_mut(p).leave(Timestamp(9), f).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn format_dispatch_by_extension() {
+        assert_eq!(Format::from_path(Path::new("a.pvt")), Format::Pvt);
+        assert_eq!(Format::from_path(Path::new("a.pvta")), Format::Archive);
+        assert_eq!(Format::from_path(Path::new("a.pvtx")), Format::Text);
+        assert_eq!(Format::from_path(Path::new("a.txt")), Format::Text);
+        assert_eq!(Format::from_path(Path::new("a")), Format::Pvt);
+    }
+
+    #[test]
+    fn file_round_trip_both_formats() {
+        let dir = std::env::temp_dir().join("perfvar-trace-format-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = sample_trace();
+        for name in ["rt.pvt", "rt.pvtx", "rt.pvta"] {
+            let path = dir.join(name);
+            write_trace_file(&t, &path).unwrap();
+            let back = read_trace_file(&path).unwrap();
+            assert_eq!(back, t, "{name}");
+        }
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = read_trace_file("/nonexistent/definitely-missing.pvt").unwrap_err();
+        assert!(err.to_string().contains("definitely-missing.pvt"));
+    }
+}

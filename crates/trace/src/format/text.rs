@@ -1,0 +1,410 @@
+//! The line-oriented **PVTX** text trace format.
+//!
+//! One record per line; `#` starts a comment. The header carries the
+//! definitions, then each process stream follows:
+//!
+//! ```text
+//! PVTX 1
+//! NAME my trace
+//! CLOCK 1000000
+//! PROCESS 0 rank 0
+//! FUNCTION 0 COMP main
+//! FUNCTION 1 MPI_COLL MPI_Barrier
+//! METRIC 0 ACC cycles PAPI_TOT_CYC
+//! STREAM 0
+//! E 0 0
+//! S 10 1 7 4096
+//! R 12 0 7 4096
+//! M 15 0 123456
+//! L 40 0
+//! END
+//! ```
+//!
+//! Event lines: `E/L time function`, `S time to tag bytes`,
+//! `R time from tag bytes`, `M time metric value`. Lines starting with `#`
+//! are comments (only full-line comments: names and units may contain `#`).
+//! Names may contain spaces (they end the line), so they come last on
+//! definition lines.
+
+use crate::error::{TraceError, TraceResult};
+use crate::event::{Event, EventRecord};
+use crate::ids::{FunctionId, MetricId, ProcessId};
+use crate::registry::{FunctionDef, FunctionRole, MetricDef, MetricMode, ProcessDef, Registry};
+use crate::time::{Clock, Timestamp};
+use crate::trace::{EventStream, Trace};
+use std::io::{BufRead, Write};
+
+/// Serialises `trace` to `w` in PVTX text format.
+pub fn write<W: Write>(trace: &Trace, w: &mut W) -> TraceResult<()> {
+    writeln!(w, "PVTX 1")?;
+    if !trace.name.is_empty() {
+        writeln!(w, "NAME {}", trace.name)?;
+    }
+    writeln!(w, "CLOCK {}", trace.clock().ticks_per_second)?;
+    let reg = trace.registry();
+    for (i, p) in reg.processes().iter().enumerate() {
+        writeln!(w, "PROCESS {i} {}", p.name)?;
+    }
+    for (i, f) in reg.functions().iter().enumerate() {
+        writeln!(w, "FUNCTION {i} {} {}", f.role.mnemonic(), f.name)?;
+    }
+    for (i, m) in reg.metrics().iter().enumerate() {
+        writeln!(w, "METRIC {i} {} {} {}", m.mode.mnemonic(), m.unit, m.name)?;
+    }
+    for stream in trace.streams() {
+        writeln!(w, "STREAM {}", stream.process.index())?;
+        for r in stream.records() {
+            match r.event {
+                Event::Enter { function } => writeln!(w, "E {} {}", r.time.0, function.0)?,
+                Event::Leave { function } => writeln!(w, "L {} {}", r.time.0, function.0)?,
+                Event::MsgSend { to, tag, bytes } => {
+                    writeln!(w, "S {} {} {tag} {bytes}", r.time.0, to.0)?
+                }
+                Event::MsgRecv { from, tag, bytes } => {
+                    writeln!(w, "R {} {} {tag} {bytes}", r.time.0, from.0)?
+                }
+                Event::Metric { metric, value } => {
+                    writeln!(w, "M {} {} {value}", r.time.0, metric.0)?
+                }
+            }
+        }
+    }
+    writeln!(w, "END")?;
+    w.flush()?;
+    Ok(())
+}
+
+struct LineParser {
+    line_no: usize,
+}
+
+impl LineParser {
+    fn err(&self, msg: impl std::fmt::Display) -> TraceError {
+        TraceError::Corrupt(format!("PVTX line {}: {msg}", self.line_no))
+    }
+
+    fn parse_u64(&self, tok: Option<&str>, what: &str) -> TraceResult<u64> {
+        tok.ok_or_else(|| self.err(format!("missing {what}")))?
+            .parse::<u64>()
+            .map_err(|_| self.err(format!("invalid {what}")))
+    }
+
+    fn parse_u32(&self, tok: Option<&str>, what: &str) -> TraceResult<u32> {
+        Ok(self.parse_u64(tok, what)? as u32)
+    }
+}
+
+/// Deserialises a PVTX trace from `r` and validates it.
+pub fn read<R: BufRead>(r: &mut R) -> TraceResult<Trace> {
+    let mut name = String::new();
+    let mut clock: Option<Clock> = None;
+    let mut processes: Vec<ProcessDef> = Vec::new();
+    let mut functions: Vec<FunctionDef> = Vec::new();
+    let mut metrics: Vec<MetricDef> = Vec::new();
+    let mut streams: Vec<(ProcessId, Vec<EventRecord>)> = Vec::new();
+    let mut saw_header = false;
+    let mut saw_end = false;
+
+    let mut p = LineParser { line_no: 0 };
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        p.line_no += 1;
+        // `#` introduces a comment only at the start of a line: names and
+        // units may legitimately contain `#` (e.g. a count unit "#").
+        let content = line.trim();
+        if content.is_empty() || content.starts_with('#') {
+            continue;
+        }
+        let mut toks = content.split_whitespace();
+        let keyword = toks.next().unwrap();
+        if !saw_header {
+            if keyword != "PVTX" {
+                return Err(p.err("file does not start with PVTX header"));
+            }
+            let version = p.parse_u64(toks.next(), "version")?;
+            if version != 1 {
+                return Err(TraceError::UnsupportedVersion(version as u32));
+            }
+            saw_header = true;
+            continue;
+        }
+        match keyword {
+            "NAME" => {
+                name = content["NAME".len()..].trim().to_string();
+            }
+            "CLOCK" => {
+                let t = p.parse_u64(toks.next(), "ticks per second")?;
+                if t == 0 {
+                    return Err(p.err("zero clock resolution"));
+                }
+                clock = Some(Clock::new(t));
+            }
+            "PROCESS" => {
+                let idx = p.parse_u64(toks.next(), "process index")? as usize;
+                if idx != processes.len() {
+                    return Err(p.err(format!(
+                        "process index {idx} out of order (expected {})",
+                        processes.len()
+                    )));
+                }
+                let rest: Vec<&str> = toks.collect();
+                processes.push(ProcessDef {
+                    name: rest.join(" "),
+                });
+            }
+            "FUNCTION" => {
+                let idx = p.parse_u64(toks.next(), "function index")? as usize;
+                if idx != functions.len() {
+                    return Err(p.err(format!("function index {idx} out of order")));
+                }
+                let role_tok = toks.next().ok_or_else(|| p.err("missing role"))?;
+                let role = FunctionRole::from_mnemonic(role_tok)
+                    .ok_or_else(|| p.err(format!("unknown role {role_tok:?}")))?;
+                let rest: Vec<&str> = toks.collect();
+                if rest.is_empty() {
+                    return Err(p.err("missing function name"));
+                }
+                functions.push(FunctionDef {
+                    name: rest.join(" "),
+                    role,
+                });
+            }
+            "METRIC" => {
+                let idx = p.parse_u64(toks.next(), "metric index")? as usize;
+                if idx != metrics.len() {
+                    return Err(p.err(format!("metric index {idx} out of order")));
+                }
+                let mode_tok = toks.next().ok_or_else(|| p.err("missing mode"))?;
+                let mode = MetricMode::from_mnemonic(mode_tok)
+                    .ok_or_else(|| p.err(format!("unknown metric mode {mode_tok:?}")))?;
+                let unit = toks
+                    .next()
+                    .ok_or_else(|| p.err("missing unit"))?
+                    .to_string();
+                let rest: Vec<&str> = toks.collect();
+                if rest.is_empty() {
+                    return Err(p.err("missing metric name"));
+                }
+                metrics.push(MetricDef {
+                    name: rest.join(" "),
+                    mode,
+                    unit,
+                });
+            }
+            "STREAM" => {
+                let idx = p.parse_u64(toks.next(), "stream process index")? as usize;
+                if idx != streams.len() {
+                    return Err(p.err(format!("stream index {idx} out of order")));
+                }
+                streams.push((ProcessId::from_index(idx), Vec::new()));
+            }
+            "END" => {
+                saw_end = true;
+            }
+            "E" | "L" | "S" | "R" | "M" => {
+                let (_, records) = streams
+                    .last_mut()
+                    .ok_or_else(|| p.err("event before any STREAM"))?;
+                let time = Timestamp(p.parse_u64(toks.next(), "timestamp")?);
+                let event = match keyword {
+                    "E" => Event::Enter {
+                        function: FunctionId(p.parse_u32(toks.next(), "function id")?),
+                    },
+                    "L" => Event::Leave {
+                        function: FunctionId(p.parse_u32(toks.next(), "function id")?),
+                    },
+                    "S" => Event::MsgSend {
+                        to: ProcessId(p.parse_u32(toks.next(), "destination")?),
+                        tag: p.parse_u32(toks.next(), "tag")?,
+                        bytes: p.parse_u64(toks.next(), "bytes")?,
+                    },
+                    "R" => Event::MsgRecv {
+                        from: ProcessId(p.parse_u32(toks.next(), "source")?),
+                        tag: p.parse_u32(toks.next(), "tag")?,
+                        bytes: p.parse_u64(toks.next(), "bytes")?,
+                    },
+                    "M" => Event::Metric {
+                        metric: MetricId(p.parse_u32(toks.next(), "metric id")?),
+                        value: p.parse_u64(toks.next(), "value")?,
+                    },
+                    _ => unreachable!(),
+                };
+                records.push(EventRecord::new(time, event));
+            }
+            other => return Err(p.err(format!("unknown keyword {other:?}"))),
+        }
+    }
+
+    if !saw_header {
+        return Err(TraceError::Corrupt("empty PVTX file".into()));
+    }
+    if !saw_end {
+        return Err(TraceError::Corrupt("PVTX file missing END marker".into()));
+    }
+    let clock = clock.ok_or_else(|| TraceError::Corrupt("PVTX file missing CLOCK".into()))?;
+    if streams.len() != processes.len() {
+        // Streams are optional for trailing processes with no events.
+        while streams.len() < processes.len() {
+            streams.push((ProcessId::from_index(streams.len()), Vec::new()));
+        }
+        if streams.len() != processes.len() {
+            return Err(TraceError::Corrupt(
+                "more STREAM sections than processes".into(),
+            ));
+        }
+    }
+
+    let registry = Registry::from_parts(processes, functions, metrics);
+    let streams = streams
+        .into_iter()
+        .map(|(pid, records)| EventStream::from_records(pid, records))
+        .collect();
+    Trace::from_parts(name, clock, registry, streams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FunctionRole as R;
+    use crate::trace::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds()).with_name("text sample");
+        let main_f = b.define_function("main program", R::Compute);
+        let mpi = b.define_function("MPI_Barrier", R::MpiCollective);
+        let m = b.define_metric("FPU EXC", MetricMode::Delta, "#");
+        let p0 = b.define_process("rank 0");
+        let p1 = b.define_process("the second rank");
+        {
+            let w = b.process_mut(p0);
+            w.enter(Timestamp(0), main_f).unwrap();
+            w.enter(Timestamp(5), mpi).unwrap();
+            w.send(Timestamp(6), p1, 3, 100).unwrap();
+            w.leave(Timestamp(9), mpi).unwrap();
+            w.metric(Timestamp(10), m, 77).unwrap();
+            w.leave(Timestamp(20), main_f).unwrap();
+        }
+        {
+            let w = b.process_mut(p1);
+            w.enter(Timestamp(1), main_f).unwrap();
+            w.recv(Timestamp(7), p0, 3, 100).unwrap();
+            w.leave(Timestamp(18), main_f).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn round_trip(t: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write(t, &mut buf).unwrap();
+        read(&mut std::io::Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let t = sample();
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn names_with_spaces_survive() {
+        let back = round_trip(&sample());
+        assert_eq!(
+            back.registry().process(ProcessId(1)).name,
+            "the second rank"
+        );
+        assert_eq!(back.registry().function_name(FunctionId(0)), "main program");
+        assert_eq!(back.registry().metric(MetricId(0)).name, "FPU EXC");
+        assert_eq!(back.name, "text sample");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\
+PVTX 1
+# a comment
+NAME t
+
+CLOCK 1000000
+PROCESS 0 p0
+FUNCTION 0 COMP f
+# another comment
+STREAM 0
+E 0 0
+L 5 0
+END
+";
+        let t = read(&mut std::io::Cursor::new(text)).unwrap();
+        assert_eq!(t.num_events(), 2);
+        assert_eq!(t.name, "t");
+    }
+
+    #[test]
+    fn missing_end_rejected() {
+        let text = "PVTX 1\nCLOCK 1000\n";
+        let err = read(&mut std::io::Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("END"));
+    }
+
+    #[test]
+    fn missing_clock_rejected() {
+        let text = "PVTX 1\nEND\n";
+        let err = read(&mut std::io::Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("CLOCK"));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = read(&mut std::io::Cursor::new("BOGUS 1\nEND\n")).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let err = read(&mut std::io::Cursor::new("PVTX 9\nEND\n")).unwrap_err();
+        assert!(matches!(err, TraceError::UnsupportedVersion(9)));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "PVTX 1\nCLOCK 1000\nPROCESS 0 p\nSTREAM 0\nE zero 0\nEND\n";
+        let err = read(&mut std::io::Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("line 5"), "{err}");
+    }
+
+    #[test]
+    fn event_before_stream_rejected() {
+        let text = "PVTX 1\nCLOCK 1000\nPROCESS 0 p\nFUNCTION 0 COMP f\nE 0 0\nEND\n";
+        let err = read(&mut std::io::Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("before any STREAM"));
+    }
+
+    #[test]
+    fn decoded_trace_is_validated() {
+        // Leave of the wrong function must be rejected by validation.
+        let text = "\
+PVTX 1
+CLOCK 1000
+PROCESS 0 p
+FUNCTION 0 COMP f
+FUNCTION 1 COMP g
+STREAM 0
+E 0 0
+L 5 1
+END
+";
+        let err = read(&mut std::io::Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, TraceError::MismatchedLeave { .. }));
+    }
+
+    #[test]
+    fn processes_without_streams_get_empty_streams() {
+        let text = "PVTX 1\nCLOCK 1000\nPROCESS 0 a\nPROCESS 1 b\nEND\n";
+        let t = read(&mut std::io::Cursor::new(text)).unwrap();
+        assert_eq!(t.num_processes(), 2);
+        assert_eq!(t.num_events(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! LEB128 varint and zig-zag codecs over `std::io` streams.
+//!
+//! PVT encodes all integers as unsigned LEB128; signed deltas (timestamp
+//! deltas are non-negative within a stream, but the codec is general) use
+//! zig-zag mapping first.
+
+use crate::error::{TraceError, TraceResult};
+use std::io::{Read, Write};
+
+/// Writes `value` as unsigned LEB128.
+pub fn write_u64<W: Write>(w: &mut W, mut value: u64) -> TraceResult<()> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads an unsigned LEB128 value.
+pub fn read_u64<R: Read>(r: &mut R) -> TraceResult<u64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
+            return Err(TraceError::Corrupt("varint overflows u64".into()));
+        }
+        value |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Zig-zag encodes a signed value.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Writes a signed value (zig-zag + LEB128).
+pub fn write_i64<W: Write>(w: &mut W, value: i64) -> TraceResult<()> {
+    write_u64(w, zigzag(value))
+}
+
+/// Reads a signed value (LEB128 + un-zig-zag).
+pub fn read_i64<R: Read>(r: &mut R) -> TraceResult<i64> {
+    Ok(unzigzag(read_u64(r)?))
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn write_string<W: Write>(w: &mut W, s: &str) -> TraceResult<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Reads a length-prefixed UTF-8 string, rejecting absurd lengths.
+pub fn read_string<R: Read>(r: &mut R) -> TraceResult<String> {
+    const MAX_STRING: u64 = 1 << 20; // 1 MiB is far beyond any symbol name.
+    let len = read_u64(r)?;
+    if len > MAX_STRING {
+        return Err(TraceError::Corrupt(format!(
+            "string length {len} exceeds limit"
+        )));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| TraceError::Corrupt("invalid UTF-8 in string".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip_u64(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v).unwrap();
+        read_u64(&mut Cursor::new(buf)).unwrap()
+    }
+
+    fn round_trip_i64(v: i64) -> i64 {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v).unwrap();
+        read_i64(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn u64_round_trips_boundaries() {
+        for v in [0, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(round_trip_u64(v), v);
+        }
+    }
+
+    #[test]
+    fn i64_round_trips_boundaries() {
+        for v in [0, -1, 1, i64::MIN, i64::MAX, -64, 63, 64, -65] {
+            assert_eq!(round_trip_i64(v), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_negatives_are_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn compact_encoding_sizes() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 127).unwrap();
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_u64(&mut buf, 128).unwrap();
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn truncated_varint_is_corrupt_io() {
+        // A continuation bit with no following byte.
+        let err = read_u64(&mut Cursor::new(vec![0x80u8])).unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes cannot fit in u64.
+        let bytes = vec![0xffu8; 11];
+        let err = read_u64(&mut Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)));
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let mut buf = Vec::new();
+        write_string(&mut buf, "MPI_Allreduce µ").unwrap();
+        let s = read_string(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(s, "MPI_Allreduce µ");
+    }
+
+    #[test]
+    fn absurd_string_length_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX / 2).unwrap();
+        let err = read_string(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 2).unwrap();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let err = read_string(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)));
+    }
+}

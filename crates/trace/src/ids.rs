@@ -1,0 +1,111 @@
+//! Strongly-typed identifiers for trace definitions.
+//!
+//! All identifiers are small dense `u32` indices handed out by the
+//! [`Registry`](crate::registry::Registry) in definition order, so they can
+//! be used directly as vector indices in analyses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the identifier as a `usize`, suitable for indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a dense index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("definition index overflows u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies one parallel processing element (an MPI rank or a thread).
+    ///
+    /// Process identifiers are dense: a trace with `p` processes uses ids
+    /// `P0..P{p-1}` and analyses may index per-process vectors with them.
+    ProcessId,
+    "P"
+);
+
+define_id!(
+    /// Identifies a function (or instrumented region such as a loop body)
+    /// definition in the [`Registry`](crate::registry::Registry).
+    FunctionId,
+    "F"
+);
+
+define_id!(
+    /// Identifies a metric channel (e.g. a hardware performance counter
+    /// such as `PAPI_TOT_CYC`).
+    MetricId,
+    "M"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_index() {
+        let p = ProcessId::from_index(17);
+        assert_eq!(p, ProcessId(17));
+        assert_eq!(p.index(), 17);
+        let f = FunctionId::from_index(0);
+        assert_eq!(usize::from(f), 0);
+    }
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", ProcessId(3)), "P3");
+        assert_eq!(format!("{:?}", FunctionId(5)), "F5");
+        assert_eq!(format!("{}", MetricId(1)), "M1");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert!(FunctionId(9) > FunctionId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn from_index_panics_on_overflow() {
+        let _ = ProcessId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,84 @@
+//! # perfvar-trace — event-trace data model and file formats
+//!
+//! This crate provides the substrate every other `perfvar` crate builds on:
+//! an in-memory model of *program traces* — time-sorted records of
+//! timestamped application behaviour, one stream per parallel process —
+//! together with portable on-disk formats.
+//!
+//! The model mirrors what HPC measurement infrastructures such as Score-P
+//! or VampirTrace record (the paper reproduced by this workspace consumes
+//! their OTF/OTF2 traces):
+//!
+//! * a [`registry::Registry`] of *definitions*: processes,
+//!   functions (each tagged with a [`registry::FunctionRole`]
+//!   such as compute, MPI collective, or MPI point-to-point), and metrics
+//!   (hardware-counter channels such as `PAPI_TOT_CYC`);
+//! * per-process [`trace::EventStream`]s of
+//!   [`event::Event`]s: function enter/leave, message send/receive,
+//!   and metric samples;
+//! * a [`time::Clock`] declaring the tick resolution so analyses can
+//!   convert ticks to seconds.
+//!
+//! Two serialisation formats are provided under [`mod@format`]:
+//!
+//! * **PVT** ([`format::pvt`]) — a compact binary format with
+//!   varint/zig-zag coding and delta-encoded timestamps;
+//! * **PVTX** ([`format::text`]) — a line-oriented human-readable format
+//!   that round-trips the same information and is convenient in tests and
+//!   for manual inspection.
+//!
+//! Traces are validated on construction (monotone timestamps, balanced
+//! enter/leave nesting); see [`validate`].
+//!
+//! ## Example
+//!
+//! ```
+//! use perfvar_trace::prelude::*;
+//!
+//! let mut b = TraceBuilder::new(Clock::microseconds());
+//! let main_f = b.define_function("main", FunctionRole::Compute);
+//! let mpi = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+//! let p0 = b.define_process("rank 0");
+//!
+//! let w = b.process_mut(p0);
+//! w.enter(Timestamp(0), main_f).unwrap();
+//! w.enter(Timestamp(10), mpi).unwrap();
+//! w.leave(Timestamp(25), mpi).unwrap();
+//! w.leave(Timestamp(40), main_f).unwrap();
+//!
+//! let trace = b.finish().unwrap();
+//! assert_eq!(trace.num_processes(), 1);
+//! assert_eq!(trace.stream(p0).len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod event;
+pub mod format;
+pub mod ids;
+pub mod registry;
+pub mod slice;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod validate;
+
+/// Convenient glob-import of the most common types.
+pub mod prelude {
+    pub use crate::error::{TraceError, TraceResult};
+    pub use crate::event::{Event, EventRecord};
+    pub use crate::ids::{FunctionId, MetricId, ProcessId};
+    pub use crate::registry::{FunctionRole, MetricMode, Registry};
+    pub use crate::slice::{slice, slice_invocation};
+    pub use crate::time::{Clock, DurationTicks, Timestamp};
+    pub use crate::trace::{EventStream, Trace, TraceBuilder};
+}
+
+pub use error::{TraceError, TraceResult};
+pub use event::{Event, EventRecord};
+pub use ids::{FunctionId, MetricId, ProcessId};
+pub use registry::{FunctionRole, MetricMode, Registry};
+pub use time::{Clock, DurationTicks, Timestamp};
+pub use trace::{EventStream, Trace, TraceBuilder};

@@ -1,0 +1,551 @@
+//! Trace definitions: processes, functions, and metric channels.
+//!
+//! A [`Registry`] is the definition table shared by all event streams of a
+//! trace. It interns names and hands out dense ids
+//! ([`ProcessId`], [`FunctionId`], [`MetricId`]).
+//!
+//! The crucial piece of semantic information for the paper's analysis is
+//! the [`FunctionRole`]: the SOS-time computation (perfvar-analysis)
+//! subtracts the time spent in *synchronization and communication*
+//! functions from segment durations, and the role tells it which functions
+//! those are. Measurement systems know this from the adapter that recorded
+//! the event (MPI wrapper, OpenMP instrumentation, …); we record it
+//! explicitly. For traces coming from systems without role annotations,
+//! [`FunctionRole::classify_name`] provides the same name-based heuristic
+//! real tools use (prefix `MPI_`, `omp_`, …).
+
+use crate::ids::{FunctionId, MetricId, ProcessId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Semantic category of a function, as recorded by the measurement system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FunctionRole {
+    /// Ordinary application computation.
+    Compute,
+    /// MPI collective operations (barrier, reduce, allreduce, bcast, …).
+    MpiCollective,
+    /// MPI point-to-point operations (send, recv, sendrecv, …).
+    MpiPointToPoint,
+    /// MPI completion/waiting calls (wait, waitall, test, probe, …).
+    MpiWait,
+    /// MPI parallel I/O (`MPI_File_*`).
+    MpiIo,
+    /// Other MPI calls (init, finalize, comm management, …).
+    MpiOther,
+    /// OpenMP synchronization (barrier, critical, lock, taskwait, …).
+    OmpSync,
+    /// POSIX/file I/O.
+    FileIo,
+    /// Explicitly recorded idle time (some tracers emit it).
+    Idle,
+    /// Anything else (library code, unclassified).
+    Other,
+}
+
+impl FunctionRole {
+    /// All roles, in a stable order (used by the file formats and tests).
+    pub const ALL: [FunctionRole; 10] = [
+        FunctionRole::Compute,
+        FunctionRole::MpiCollective,
+        FunctionRole::MpiPointToPoint,
+        FunctionRole::MpiWait,
+        FunctionRole::MpiIo,
+        FunctionRole::MpiOther,
+        FunctionRole::OmpSync,
+        FunctionRole::FileIo,
+        FunctionRole::Idle,
+        FunctionRole::Other,
+    ];
+
+    /// Whether time in this function counts as *synchronization or
+    /// communication* for the SOS-time computation (§V of the paper:
+    /// "we check each segment for synchronization operations, e.g.
+    /// `MPI_Wait`, `MPI_Reduce`, or `omp barrier`, and subtract their
+    /// runtime").
+    #[inline]
+    pub fn is_synchronization(self) -> bool {
+        matches!(
+            self,
+            FunctionRole::MpiCollective
+                | FunctionRole::MpiPointToPoint
+                | FunctionRole::MpiWait
+                | FunctionRole::OmpSync
+        )
+    }
+
+    /// Whether this is any flavour of MPI call (used for "fraction of MPI"
+    /// statistics, as in the paper's timelines where red = MPI).
+    #[inline]
+    pub fn is_mpi(self) -> bool {
+        matches!(
+            self,
+            FunctionRole::MpiCollective
+                | FunctionRole::MpiPointToPoint
+                | FunctionRole::MpiWait
+                | FunctionRole::MpiIo
+                | FunctionRole::MpiOther
+        )
+    }
+
+    /// A compact stable mnemonic used by the text trace format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FunctionRole::Compute => "COMP",
+            FunctionRole::MpiCollective => "MPI_COLL",
+            FunctionRole::MpiPointToPoint => "MPI_P2P",
+            FunctionRole::MpiWait => "MPI_WAIT",
+            FunctionRole::MpiIo => "MPI_IO",
+            FunctionRole::MpiOther => "MPI_OTHER",
+            FunctionRole::OmpSync => "OMP_SYNC",
+            FunctionRole::FileIo => "FILE_IO",
+            FunctionRole::Idle => "IDLE",
+            FunctionRole::Other => "OTHER",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`FunctionRole::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<FunctionRole> {
+        FunctionRole::ALL.into_iter().find(|r| r.mnemonic() == s)
+    }
+
+    /// Stable numeric tag for the binary format.
+    pub(crate) fn tag(self) -> u8 {
+        FunctionRole::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("role present in ALL") as u8
+    }
+
+    /// Inverse of [`FunctionRole::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Option<FunctionRole> {
+        FunctionRole::ALL.get(tag as usize).copied()
+    }
+
+    /// Name-based classification heuristic for traces without explicit
+    /// role annotations, mirroring what profilers do with symbol names.
+    pub fn classify_name(name: &str) -> FunctionRole {
+        let lower = name.to_ascii_lowercase();
+        if let Some(rest) = lower.strip_prefix("mpi_") {
+            if rest.starts_with("wait") || rest.starts_with("test") || rest.starts_with("probe") {
+                FunctionRole::MpiWait
+            } else if rest.starts_with("file_") {
+                FunctionRole::MpiIo
+            } else if [
+                "barrier",
+                "reduce",
+                "allreduce",
+                "bcast",
+                "gather",
+                "allgather",
+                "scatter",
+                "alltoall",
+                "scan",
+                "exscan",
+                "reduce_scatter",
+            ]
+            .iter()
+            .any(|c| rest.starts_with(c))
+            {
+                FunctionRole::MpiCollective
+            } else if [
+                "send", "recv", "isend", "irecv", "sendrecv", "rsend", "bsend", "ssend",
+            ]
+            .iter()
+            .any(|c| rest.starts_with(c))
+            {
+                FunctionRole::MpiPointToPoint
+            } else {
+                FunctionRole::MpiOther
+            }
+        } else if lower.starts_with("omp_")
+            || lower.contains("omp barrier")
+            || lower.starts_with("!$omp")
+        {
+            FunctionRole::OmpSync
+        } else if lower.starts_with("read")
+            || lower.starts_with("write")
+            || lower.starts_with("fread")
+            || lower.starts_with("fwrite")
+            || lower.starts_with("open")
+            || lower.starts_with("close")
+        {
+            FunctionRole::FileIo
+        } else {
+            FunctionRole::Compute
+        }
+    }
+}
+
+impl fmt::Display for FunctionRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// How a metric channel's samples are to be interpreted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricMode {
+    /// Samples are monotonically increasing absolute counter values
+    /// (e.g. raw `PAPI_TOT_CYC` readings); consumers difference them.
+    Accumulating,
+    /// Each sample is the value for the interval since the previous
+    /// sample (already differenced).
+    Delta,
+    /// Each sample is an instantaneous gauge value.
+    Gauge,
+}
+
+impl MetricMode {
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            MetricMode::Accumulating => 0,
+            MetricMode::Delta => 1,
+            MetricMode::Gauge => 2,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<MetricMode> {
+        match tag {
+            0 => Some(MetricMode::Accumulating),
+            1 => Some(MetricMode::Delta),
+            2 => Some(MetricMode::Gauge),
+            _ => None,
+        }
+    }
+
+    /// Mnemonic used by the text format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MetricMode::Accumulating => "ACC",
+            MetricMode::Delta => "DELTA",
+            MetricMode::Gauge => "GAUGE",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`MetricMode::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<MetricMode> {
+        match s {
+            "ACC" => Some(MetricMode::Accumulating),
+            "DELTA" => Some(MetricMode::Delta),
+            "GAUGE" => Some(MetricMode::Gauge),
+            _ => None,
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionDef {
+    /// The function (or instrumented region) name.
+    pub name: String,
+    /// Semantic category.
+    pub role: FunctionRole,
+}
+
+/// A process definition (an MPI rank or other processing element).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessDef {
+    /// Human-readable name, e.g. `"rank 17"`.
+    pub name: String,
+}
+
+/// A metric-channel definition.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricDef {
+    /// Channel name, e.g. `"PAPI_TOT_CYC"`.
+    pub name: String,
+    /// Sample interpretation.
+    pub mode: MetricMode,
+    /// Unit label for display, e.g. `"cycles"` or `"#"`.
+    pub unit: String,
+}
+
+/// The definition table of a trace.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Registry {
+    processes: Vec<ProcessDef>,
+    functions: Vec<FunctionDef>,
+    metrics: Vec<MetricDef>,
+    #[serde(skip)]
+    function_by_name: HashMap<String, FunctionId>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Defines a new process and returns its id.
+    pub fn define_process(&mut self, name: impl Into<String>) -> ProcessId {
+        let id = ProcessId::from_index(self.processes.len());
+        self.processes.push(ProcessDef { name: name.into() });
+        id
+    }
+
+    /// Defines a function with an explicit role, or returns the existing id
+    /// if a function of that name was already defined.
+    ///
+    /// # Panics
+    /// Panics if the name exists with a *different* role — a trace must not
+    /// define the same symbol inconsistently.
+    pub fn define_function(&mut self, name: impl Into<String>, role: FunctionRole) -> FunctionId {
+        let name = name.into();
+        if let Some(&id) = self.function_by_name.get(&name) {
+            let existing = &self.functions[id.index()];
+            assert_eq!(
+                existing.role, role,
+                "function {name:?} redefined with a different role"
+            );
+            return id;
+        }
+        let id = FunctionId::from_index(self.functions.len());
+        self.function_by_name.insert(name.clone(), id);
+        self.functions.push(FunctionDef { name, role });
+        id
+    }
+
+    /// Defines a function, deriving the role from the name via
+    /// [`FunctionRole::classify_name`].
+    pub fn define_function_auto(&mut self, name: impl Into<String>) -> FunctionId {
+        let name = name.into();
+        let role = FunctionRole::classify_name(&name);
+        self.define_function(name, role)
+    }
+
+    /// Defines a metric channel and returns its id.
+    pub fn define_metric(
+        &mut self,
+        name: impl Into<String>,
+        mode: MetricMode,
+        unit: impl Into<String>,
+    ) -> MetricId {
+        let id = MetricId::from_index(self.metrics.len());
+        self.metrics.push(MetricDef {
+            name: name.into(),
+            mode,
+            unit: unit.into(),
+        });
+        id
+    }
+
+    /// Number of defined processes.
+    #[inline]
+    pub fn num_processes(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Number of defined functions.
+    #[inline]
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Number of defined metric channels.
+    #[inline]
+    pub fn num_metrics(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Process definition lookup.
+    #[inline]
+    pub fn process(&self, id: ProcessId) -> &ProcessDef {
+        &self.processes[id.index()]
+    }
+
+    /// Function definition lookup.
+    #[inline]
+    pub fn function(&self, id: FunctionId) -> &FunctionDef {
+        &self.functions[id.index()]
+    }
+
+    /// Metric definition lookup.
+    #[inline]
+    pub fn metric(&self, id: MetricId) -> &MetricDef {
+        &self.metrics[id.index()]
+    }
+
+    /// Function name shorthand.
+    #[inline]
+    pub fn function_name(&self, id: FunctionId) -> &str {
+        &self.functions[id.index()].name
+    }
+
+    /// Role shorthand.
+    #[inline]
+    pub fn function_role(&self, id: FunctionId) -> FunctionRole {
+        self.functions[id.index()].role
+    }
+
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FunctionId> {
+        self.function_by_name.get(name).copied()
+    }
+
+    /// Looks a metric up by name (linear scan; metric tables are tiny).
+    pub fn metric_by_name(&self, name: &str) -> Option<MetricId> {
+        self.metrics
+            .iter()
+            .position(|m| m.name == name)
+            .map(MetricId::from_index)
+    }
+
+    /// Iterates over all process ids in definition order.
+    pub fn process_ids(&self) -> impl ExactSizeIterator<Item = ProcessId> {
+        (0..self.processes.len()).map(ProcessId::from_index)
+    }
+
+    /// Iterates over all function ids in definition order.
+    pub fn function_ids(&self) -> impl ExactSizeIterator<Item = FunctionId> {
+        (0..self.functions.len()).map(FunctionId::from_index)
+    }
+
+    /// Iterates over all metric ids in definition order.
+    pub fn metric_ids(&self) -> impl ExactSizeIterator<Item = MetricId> {
+        (0..self.metrics.len()).map(MetricId::from_index)
+    }
+
+    /// Rebuilds the name index; used by deserializers that bypass
+    /// `define_function`.
+    pub(crate) fn rebuild_index(&mut self) {
+        self.function_by_name = self
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), FunctionId::from_index(i)))
+            .collect();
+    }
+
+    /// Constructs a registry directly from definition vectors (format
+    /// readers use this).
+    pub(crate) fn from_parts(
+        processes: Vec<ProcessDef>,
+        functions: Vec<FunctionDef>,
+        metrics: Vec<MetricDef>,
+    ) -> Registry {
+        let mut r = Registry {
+            processes,
+            functions,
+            metrics,
+            function_by_name: HashMap::new(),
+        };
+        r.rebuild_index();
+        r
+    }
+
+    /// Raw access to all process definitions.
+    pub fn processes(&self) -> &[ProcessDef] {
+        &self.processes
+    }
+
+    /// Raw access to all function definitions.
+    pub fn functions(&self) -> &[FunctionDef] {
+        &self.functions
+    }
+
+    /// Raw access to all metric definitions.
+    pub fn metrics(&self) -> &[MetricDef] {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup() {
+        let mut r = Registry::new();
+        let p = r.define_process("rank 0");
+        let f = r.define_function("calc", FunctionRole::Compute);
+        let m = r.define_metric("PAPI_TOT_CYC", MetricMode::Accumulating, "cycles");
+        assert_eq!(r.process(p).name, "rank 0");
+        assert_eq!(r.function(f).name, "calc");
+        assert_eq!(r.metric(m).unit, "cycles");
+        assert_eq!(r.function_by_name("calc"), Some(f));
+        assert_eq!(r.metric_by_name("PAPI_TOT_CYC"), Some(m));
+        assert_eq!(r.function_by_name("nope"), None);
+    }
+
+    #[test]
+    fn function_definition_is_idempotent() {
+        let mut r = Registry::new();
+        let a = r.define_function("calc", FunctionRole::Compute);
+        let b = r.define_function("calc", FunctionRole::Compute);
+        assert_eq!(a, b);
+        assert_eq!(r.num_functions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different role")]
+    fn inconsistent_role_rejected() {
+        let mut r = Registry::new();
+        r.define_function("calc", FunctionRole::Compute);
+        r.define_function("calc", FunctionRole::MpiWait);
+    }
+
+    #[test]
+    fn roles_classify_mpi_names() {
+        use FunctionRole as R;
+        assert_eq!(R::classify_name("MPI_Barrier"), R::MpiCollective);
+        assert_eq!(R::classify_name("MPI_Allreduce"), R::MpiCollective);
+        assert_eq!(R::classify_name("MPI_Send"), R::MpiPointToPoint);
+        assert_eq!(R::classify_name("MPI_Irecv"), R::MpiPointToPoint);
+        assert_eq!(R::classify_name("MPI_Waitall"), R::MpiWait);
+        assert_eq!(R::classify_name("MPI_Test"), R::MpiWait);
+        assert_eq!(R::classify_name("MPI_File_write_all"), R::MpiIo);
+        assert_eq!(R::classify_name("MPI_Init"), R::MpiOther);
+        assert_eq!(R::classify_name("omp_barrier"), R::OmpSync);
+        assert_eq!(R::classify_name("write_output"), R::FileIo);
+        assert_eq!(R::classify_name("compute_fluxes"), R::Compute);
+    }
+
+    #[test]
+    fn synchronization_roles_match_paper_rule() {
+        use FunctionRole as R;
+        // §V names MPI_Wait, MPI_Reduce and omp barrier as examples of
+        // synchronization time to subtract.
+        assert!(R::MpiWait.is_synchronization());
+        assert!(R::MpiCollective.is_synchronization());
+        assert!(R::OmpSync.is_synchronization());
+        assert!(R::MpiPointToPoint.is_synchronization());
+        // Compute and plain file I/O must not be subtracted.
+        assert!(!R::Compute.is_synchronization());
+        assert!(!R::FileIo.is_synchronization());
+        assert!(!R::MpiIo.is_synchronization());
+        assert!(!R::Idle.is_synchronization());
+    }
+
+    #[test]
+    fn role_tags_round_trip() {
+        for role in FunctionRole::ALL {
+            assert_eq!(FunctionRole::from_tag(role.tag()), Some(role));
+            assert_eq!(FunctionRole::from_mnemonic(role.mnemonic()), Some(role));
+        }
+        assert_eq!(FunctionRole::from_tag(200), None);
+        assert_eq!(FunctionRole::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn metric_mode_tags_round_trip() {
+        for mode in [
+            MetricMode::Accumulating,
+            MetricMode::Delta,
+            MetricMode::Gauge,
+        ] {
+            assert_eq!(MetricMode::from_tag(mode.tag()), Some(mode));
+            assert_eq!(MetricMode::from_mnemonic(mode.mnemonic()), Some(mode));
+        }
+        assert_eq!(MetricMode::from_tag(9), None);
+    }
+
+    #[test]
+    fn mpi_role_grouping() {
+        assert!(FunctionRole::MpiIo.is_mpi());
+        assert!(FunctionRole::MpiOther.is_mpi());
+        assert!(!FunctionRole::Compute.is_mpi());
+        assert!(!FunctionRole::OmpSync.is_mpi());
+    }
+}

@@ -1,0 +1,274 @@
+//! Time-window slicing of traces.
+//!
+//! The paper's case study B works on a recording of *one slow iteration*
+//! ("the analyst used a second measurement run to only record slow
+//! iterations. For normal iterations the analyst discarded the tracing
+//! data"; Fig. 5 "Displayed is just one iteration"). [`fn@slice`] provides
+//! that workflow after the fact: it crops a trace to `[begin, end]`,
+//! keeping streams well-formed by synthesising `Enter` events at the
+//! window start for functions already on the stack and `Leave` events at
+//! the window end for functions still open — the same clamping a
+//! selective recording produces.
+
+use crate::event::{Event, EventRecord};
+use crate::ids::FunctionId;
+use crate::time::Timestamp;
+use crate::trace::{EventStream, Trace};
+use crate::TraceResult;
+
+/// Crops `trace` to the window `[begin, end]` (inclusive bounds;
+/// events exactly at the edges are kept). Invocations overlapping a
+/// boundary are clamped to it. Returns a validated trace whose name is
+/// suffixed with the window.
+///
+/// # Panics
+/// Panics if `begin > end`.
+pub fn slice(trace: &Trace, begin: Timestamp, end: Timestamp) -> TraceResult<Trace> {
+    assert!(begin <= end, "slice window is reversed");
+    let mut streams = Vec::with_capacity(trace.num_processes());
+    for stream in trace.streams() {
+        let mut records: Vec<EventRecord> = Vec::new();
+        let mut stack: Vec<FunctionId> = Vec::new();
+        let mut synthesised_prefix = false;
+        for r in stream.records() {
+            if r.time < begin {
+                // Track the stack so we can open it at the window start.
+                match r.event {
+                    Event::Enter { function } => stack.push(function),
+                    Event::Leave { .. } => {
+                        stack.pop();
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            if !synthesised_prefix {
+                for &f in &stack {
+                    records.push(EventRecord::new(begin, Event::Enter { function: f }));
+                }
+                synthesised_prefix = true;
+            }
+            if r.time > end {
+                break;
+            }
+            match r.event {
+                Event::Enter { function } => stack.push(function),
+                Event::Leave { .. } => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+            records.push(*r);
+        }
+        if !synthesised_prefix && !stack.is_empty() {
+            // The whole window lies inside invocations that started
+            // before it and end after it (no event inside the window).
+            for &f in &stack {
+                records.push(EventRecord::new(begin, Event::Enter { function: f }));
+            }
+        }
+        // Close whatever is still open at the window end.
+        for &f in stack.iter().rev() {
+            records.push(EventRecord::new(end, Event::Leave { function: f }));
+        }
+        streams.push(EventStream::from_records(stream.process, records));
+    }
+    Trace::from_parts(
+        format!("{} [{}..{}]", trace.name, begin.0, end.0),
+        trace.clock(),
+        trace.registry().clone(),
+        streams,
+    )
+}
+
+/// Crops `trace` to the `ordinal`-th invocation window of `function`
+/// (the union over processes: earliest enter to latest leave of that
+/// ordinal) — the "show just this iteration" convenience of Fig. 5(a).
+/// Returns `None` if no process has that many invocations.
+pub fn slice_invocation(
+    trace: &Trace,
+    function: FunctionId,
+    ordinal: usize,
+) -> Option<TraceResult<Trace>> {
+    let mut window: Option<(Timestamp, Timestamp)> = None;
+    for stream in trace.streams() {
+        let mut depth_match = 0usize;
+        let mut open_at: Option<Timestamp> = None;
+        let mut level = 0usize;
+        for r in stream.records() {
+            match r.event {
+                Event::Enter { function: f } if f == function => {
+                    if level == 0 && depth_match == ordinal {
+                        open_at = Some(r.time);
+                    }
+                    level += 1;
+                }
+                Event::Leave { function: f } if f == function => {
+                    level = level.saturating_sub(1);
+                    if level == 0 {
+                        if depth_match == ordinal {
+                            if let Some(start) = open_at.take() {
+                                window = Some(match window {
+                                    None => (start, r.time),
+                                    Some((lo, hi)) => (lo.min(start), hi.max(r.time)),
+                                });
+                            }
+                        }
+                        depth_match += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    window.map(|(lo, hi)| slice(trace, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FunctionRole;
+    use crate::time::Clock;
+    use crate::trace::TraceBuilder;
+    use crate::validate::is_well_formed;
+
+    /// One process: main [0..100] with iters [10..30], [40..60], [70..90].
+    fn iterated_trace() -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let main_f = b.define_function("main", FunctionRole::Compute);
+        let iter_f = b.define_function("iter", FunctionRole::Compute);
+        for _ in 0..2 {
+            let p = b.define_process("p");
+            let w = b.process_mut(p);
+            w.enter(Timestamp(0), main_f).unwrap();
+            for k in 0..3u64 {
+                w.enter(Timestamp(10 + 30 * k), iter_f).unwrap();
+                w.leave(Timestamp(30 + 30 * k), iter_f).unwrap();
+            }
+            w.leave(Timestamp(100), main_f).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn slice_keeps_window_events_and_clamps_boundaries() {
+        let t = iterated_trace();
+        let s = slice(&t, Timestamp(40), Timestamp(60)).unwrap();
+        assert!(is_well_formed(&s));
+        assert_eq!(s.begin(), Timestamp(40));
+        assert_eq!(s.end(), Timestamp(60));
+        // Each process: synthesized Enter(main)@40, the middle iter pair,
+        // synthesized Leave(main)@60 → 4 events.
+        for stream in s.streams() {
+            assert_eq!(stream.len(), 4, "{:?}", stream.records());
+            assert!(matches!(
+                stream.records()[0].event,
+                Event::Enter { function } if function == FunctionId(0)
+            ));
+            assert_eq!(stream.records()[0].time, Timestamp(40));
+            assert_eq!(stream.records()[3].time, Timestamp(60));
+        }
+        assert!(s.name.contains("[40..60]"));
+    }
+
+    #[test]
+    fn slice_entirely_inside_an_invocation() {
+        let t = iterated_trace();
+        // Window [44, 55] lies inside iter #1 with no events inside.
+        let s = slice(&t, Timestamp(44), Timestamp(55)).unwrap();
+        assert!(is_well_formed(&s));
+        for stream in s.streams() {
+            // Enter(main), Enter(iter) at 44; Leave(iter), Leave(main) at 55.
+            assert_eq!(stream.len(), 4);
+            assert!(stream
+                .records()
+                .iter()
+                .take(2)
+                .all(|r| r.time == Timestamp(44)));
+            assert!(stream
+                .records()
+                .iter()
+                .skip(2)
+                .all(|r| r.time == Timestamp(55)));
+        }
+    }
+
+    #[test]
+    fn slice_full_range_is_identity_of_events() {
+        let t = iterated_trace();
+        let s = slice(&t, Timestamp(0), Timestamp(100)).unwrap();
+        assert_eq!(s.num_events(), t.num_events());
+        for (a, b) in s.streams().iter().zip(t.streams()) {
+            assert_eq!(a.records(), b.records());
+        }
+    }
+
+    #[test]
+    fn slice_empty_window_before_everything() {
+        let t = iterated_trace();
+        let s = slice(&t, Timestamp(200), Timestamp(300)).unwrap();
+        assert_eq!(s.num_events(), 0);
+    }
+
+    #[test]
+    fn messages_and_metrics_inside_window_survive() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("f", FunctionRole::Compute);
+        let m = b.define_metric("m", crate::registry::MetricMode::Gauge, "#");
+        let p0 = b.define_process("p0");
+        let p1 = b.define_process("p1");
+        let w = b.process_mut(p0);
+        w.enter(Timestamp(0), f).unwrap();
+        w.send(Timestamp(10), p1, 0, 8).unwrap();
+        w.metric(Timestamp(20), m, 7).unwrap();
+        w.send(Timestamp(90), p1, 0, 8).unwrap();
+        w.leave(Timestamp(100), f).unwrap();
+        let t = b.finish().unwrap();
+        let s = slice(&t, Timestamp(5), Timestamp(50)).unwrap();
+        let kinds: Vec<u8> = s
+            .stream(p0)
+            .records()
+            .iter()
+            .map(|r| r.event.tag())
+            .collect();
+        // Enter(synth), Send@10, Metric@20, Leave(synth) — Send@90 cut.
+        assert_eq!(kinds, vec![0, 2, 4, 1]);
+    }
+
+    #[test]
+    fn slice_invocation_selects_one_iteration() {
+        let t = iterated_trace();
+        let iter_f = t.registry().function_by_name("iter").unwrap();
+        let s = slice_invocation(&t, iter_f, 1).unwrap().unwrap();
+        assert_eq!(s.begin(), Timestamp(40));
+        assert_eq!(s.end(), Timestamp(60));
+        // Out-of-range ordinal.
+        assert!(slice_invocation(&t, iter_f, 9).is_none());
+    }
+
+    #[test]
+    fn slice_invocation_ignores_recursive_inner_matches() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("f", FunctionRole::Compute);
+        let p = b.define_process("p");
+        let w = b.process_mut(p);
+        // f [0..10] containing nested f [2..8]; then f [20..30].
+        w.enter(Timestamp(0), f).unwrap();
+        w.enter(Timestamp(2), f).unwrap();
+        w.leave(Timestamp(8), f).unwrap();
+        w.leave(Timestamp(10), f).unwrap();
+        w.enter(Timestamp(20), f).unwrap();
+        w.leave(Timestamp(30), f).unwrap();
+        let t = b.finish().unwrap();
+        // Ordinal counts top-level invocations only: #1 is [20..30].
+        let s = slice_invocation(&t, f, 1).unwrap().unwrap();
+        assert_eq!((s.begin(), s.end()), (Timestamp(20), Timestamp(30)));
+    }
+
+    #[test]
+    #[should_panic(expected = "reversed")]
+    fn reversed_window_panics() {
+        let t = iterated_trace();
+        let _ = slice(&t, Timestamp(50), Timestamp(10));
+    }
+}

@@ -1,0 +1,339 @@
+//! Basic whole-trace statistics.
+//!
+//! These are the summary numbers a trace browser shows before any deeper
+//! analysis: event counts, per-role time shares, and role shares over
+//! time bins. The paper's timelines read directly off them — e.g.
+//! Fig. 4(a) ("the fraction of MPI increases throughout the execution")
+//! and Fig. 6(a) ("a 25 % fraction of MPI activities") are statements
+//! about [`role_shares_binned`] / [`RoleTimeProfile`].
+
+use crate::event::Event;
+use crate::ids::ProcessId;
+use crate::registry::FunctionRole;
+use crate::time::{DurationTicks, Timestamp};
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Counts of each event kind in a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// Number of `Enter` events.
+    pub enters: usize,
+    /// Number of `Leave` events.
+    pub leaves: usize,
+    /// Number of `MsgSend` events.
+    pub sends: usize,
+    /// Number of `MsgRecv` events.
+    pub recvs: usize,
+    /// Number of `Metric` samples.
+    pub metrics: usize,
+}
+
+impl EventCounts {
+    /// Total number of events.
+    pub fn total(&self) -> usize {
+        self.enters + self.leaves + self.sends + self.recvs + self.metrics
+    }
+}
+
+/// Counts every event kind in the trace.
+pub fn event_counts(trace: &Trace) -> EventCounts {
+    let mut c = EventCounts::default();
+    for stream in trace.streams() {
+        for r in stream.records() {
+            match r.event {
+                Event::Enter { .. } => c.enters += 1,
+                Event::Leave { .. } => c.leaves += 1,
+                Event::MsgSend { .. } => c.sends += 1,
+                Event::MsgRecv { .. } => c.recvs += 1,
+                Event::Metric { .. } => c.metrics += 1,
+            }
+        }
+    }
+    c
+}
+
+/// Exclusive time attributed to each [`FunctionRole`], per process.
+///
+/// "Exclusive" means the interval between consecutive events is attributed
+/// to the role of the function on top of the call stack at that moment
+/// (the innermost active function), which is how trace browsers colour
+/// their timelines.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoleTimeProfile {
+    /// `ticks[process][role_tag]`: exclusive ticks per role per process.
+    ticks: Vec<[u64; FunctionRole::ALL.len()]>,
+}
+
+impl RoleTimeProfile {
+    /// Exclusive ticks of `role` on `process`.
+    pub fn ticks(&self, process: ProcessId, role: FunctionRole) -> DurationTicks {
+        DurationTicks(self.ticks[process.index()][role.tag() as usize])
+    }
+
+    /// Total exclusive ticks on `process` (equals its active span).
+    pub fn process_total(&self, process: ProcessId) -> DurationTicks {
+        DurationTicks(self.ticks[process.index()].iter().sum())
+    }
+
+    /// Exclusive ticks of `role` summed over all processes.
+    pub fn role_total(&self, role: FunctionRole) -> DurationTicks {
+        DurationTicks(self.ticks.iter().map(|row| row[role.tag() as usize]).sum())
+    }
+
+    /// Sum over all roles and processes.
+    pub fn grand_total(&self) -> DurationTicks {
+        DurationTicks(self.ticks.iter().flat_map(|row| row.iter()).sum())
+    }
+
+    /// Fraction (0..=1) of all attributed time that is MPI, across the
+    /// whole trace.
+    pub fn mpi_fraction(&self) -> f64 {
+        let total = self.grand_total().0;
+        if total == 0 {
+            return 0.0;
+        }
+        let mpi: u64 = FunctionRole::ALL
+            .iter()
+            .filter(|r| r.is_mpi())
+            .map(|r| self.role_total(*r).0)
+            .sum();
+        mpi as f64 / total as f64
+    }
+}
+
+/// Computes the per-process exclusive time per role for the whole trace.
+pub fn role_time_profile(trace: &Trace) -> RoleTimeProfile {
+    let mut ticks = vec![[0u64; FunctionRole::ALL.len()]; trace.num_processes()];
+    for stream in trace.streams() {
+        let row = &mut ticks[stream.process.index()];
+        let mut stack: Vec<FunctionRole> = Vec::new();
+        let mut last: Option<Timestamp> = None;
+        for r in stream.records() {
+            if let (Some(prev), Some(&top)) = (last, stack.last()) {
+                row[top.tag() as usize] += (r.time - prev).0;
+            }
+            last = Some(r.time);
+            match r.event {
+                Event::Enter { function } => {
+                    stack.push(trace.registry().function_role(function));
+                }
+                Event::Leave { .. } => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+    }
+    RoleTimeProfile { ticks }
+}
+
+/// Role time shares over equal-width time bins, aggregated across all
+/// processes. `shares[bin][role_tag]` is a fraction of the attributed time
+/// in that bin (rows sum to 1 where any time was attributed).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BinnedRoleShares {
+    /// Start of the first bin.
+    pub begin: Timestamp,
+    /// Width of each bin, in ticks.
+    pub bin_width: DurationTicks,
+    /// `shares[bin][role_tag]` fractions.
+    pub shares: Vec<[f64; FunctionRole::ALL.len()]>,
+}
+
+impl BinnedRoleShares {
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// The MPI share of bin `i`.
+    pub fn mpi_share(&self, i: usize) -> f64 {
+        FunctionRole::ALL
+            .iter()
+            .filter(|r| r.is_mpi())
+            .map(|r| self.shares[i][r.tag() as usize])
+            .sum()
+    }
+
+    /// The share of `role` in bin `i`.
+    pub fn share(&self, i: usize, role: FunctionRole) -> f64 {
+        self.shares[i][role.tag() as usize]
+    }
+
+    /// MPI shares for all bins, in order (the "does MPI grow over the run?"
+    /// series of Fig. 4(a)).
+    pub fn mpi_series(&self) -> Vec<f64> {
+        (0..self.num_bins()).map(|i| self.mpi_share(i)).collect()
+    }
+}
+
+/// Computes role time shares over `num_bins` equal-width bins spanning the
+/// trace. Intervals crossing bin boundaries are split proportionally.
+///
+/// # Panics
+/// Panics if `num_bins` is zero.
+pub fn role_shares_binned(trace: &Trace, num_bins: usize) -> BinnedRoleShares {
+    assert!(num_bins > 0, "need at least one bin");
+    let begin = trace.begin();
+    let span = trace.span().0.max(1);
+    let bin_width = span.div_ceil(num_bins as u64).max(1);
+    let mut ticks = vec![[0u64; FunctionRole::ALL.len()]; num_bins];
+
+    let mut add_interval = |from: Timestamp, to: Timestamp, role: FunctionRole| {
+        let mut start = from.0 - begin.0;
+        let end = to.0 - begin.0;
+        while start < end {
+            let bin = ((start / bin_width) as usize).min(num_bins - 1);
+            // The last bin absorbs any overhang from the ceil-rounded width.
+            let boundary = if bin == num_bins - 1 {
+                u64::MAX
+            } else {
+                (bin as u64 + 1) * bin_width
+            };
+            let chunk_end = end.min(boundary);
+            ticks[bin][role.tag() as usize] += chunk_end - start;
+            start = chunk_end;
+        }
+    };
+
+    for stream in trace.streams() {
+        let mut stack: Vec<FunctionRole> = Vec::new();
+        let mut last: Option<Timestamp> = None;
+        for r in stream.records() {
+            if let (Some(prev), Some(&top)) = (last, stack.last()) {
+                if r.time > prev {
+                    add_interval(prev, r.time, top);
+                }
+            }
+            last = Some(r.time);
+            match r.event {
+                Event::Enter { function } => {
+                    stack.push(trace.registry().function_role(function));
+                }
+                Event::Leave { .. } => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let shares = ticks
+        .into_iter()
+        .map(|row| {
+            let total: u64 = row.iter().sum();
+            let mut out = [0.0; FunctionRole::ALL.len()];
+            if total > 0 {
+                for (o, t) in out.iter_mut().zip(row.iter()) {
+                    *o = *t as f64 / total as f64;
+                }
+            }
+            out
+        })
+        .collect();
+
+    BinnedRoleShares {
+        begin,
+        bin_width: DurationTicks(bin_width),
+        shares,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FunctionRole as R;
+    use crate::time::Clock;
+    use crate::trace::TraceBuilder;
+
+    /// One process: compute 0..10, MPI barrier 10..20, compute 20..40.
+    fn mixed_trace() -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let main_f = b.define_function("main", R::Compute);
+        let mpi = b.define_function("MPI_Barrier", R::MpiCollective);
+        let p = b.define_process("p0");
+        let w = b.process_mut(p);
+        w.enter(Timestamp(0), main_f).unwrap();
+        w.enter(Timestamp(10), mpi).unwrap();
+        w.leave(Timestamp(20), mpi).unwrap();
+        w.leave(Timestamp(40), main_f).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn event_counts_tally() {
+        let t = mixed_trace();
+        let c = event_counts(&t);
+        assert_eq!(c.enters, 2);
+        assert_eq!(c.leaves, 2);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn role_profile_attributes_exclusive_time() {
+        let t = mixed_trace();
+        let p = role_time_profile(&t);
+        // main holds the stack top 0..10 and 20..40 → 30 ticks compute.
+        assert_eq!(p.ticks(ProcessId(0), R::Compute), DurationTicks(30));
+        // barrier holds 10..20 → 10 ticks collective.
+        assert_eq!(p.ticks(ProcessId(0), R::MpiCollective), DurationTicks(10));
+        assert_eq!(p.process_total(ProcessId(0)), DurationTicks(40));
+        assert!((p.mpi_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binned_shares_split_intervals() {
+        let t = mixed_trace();
+        // 4 bins of width 10: [0,10) compute, [10,20) MPI, rest compute.
+        let b = role_shares_binned(&t, 4);
+        assert_eq!(b.num_bins(), 4);
+        assert!((b.share(0, R::Compute) - 1.0).abs() < 1e-12);
+        assert!((b.mpi_share(1) - 1.0).abs() < 1e-12);
+        assert!((b.share(2, R::Compute) - 1.0).abs() < 1e-12);
+        assert!((b.share(3, R::Compute) - 1.0).abs() < 1e-12);
+        let series = b.mpi_series();
+        assert_eq!(series.len(), 4);
+        assert!((series[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_bin_equals_whole_trace_profile() {
+        let t = mixed_trace();
+        let b = role_shares_binned(&t, 1);
+        assert!((b.mpi_share(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let t = TraceBuilder::new(Clock::microseconds()).finish().unwrap();
+        assert_eq!(event_counts(&t).total(), 0);
+        let p = role_time_profile(&t);
+        assert_eq!(p.grand_total(), DurationTicks::ZERO);
+        assert_eq!(p.mpi_fraction(), 0.0);
+        let b = role_shares_binned(&t, 3);
+        assert_eq!(b.num_bins(), 3);
+        assert_eq!(b.mpi_share(0), 0.0);
+    }
+
+    #[test]
+    fn interval_crossing_many_bins_is_conserved() {
+        // One compute region spanning the full trace; shares must be 1.0
+        // in every bin regardless of bin count.
+        let mut bld = TraceBuilder::new(Clock::microseconds());
+        let f = bld.define_function("work", R::Compute);
+        let p = bld.define_process("p");
+        bld.process_mut(p).enter(Timestamp(0), f).unwrap();
+        bld.process_mut(p).leave(Timestamp(1000), f).unwrap();
+        let t = bld.finish().unwrap();
+        for bins in [1, 3, 7, 100] {
+            let b = role_shares_binned(&t, bins);
+            for i in 0..b.num_bins() {
+                assert!(
+                    (b.share(i, R::Compute) - 1.0).abs() < 1e-12,
+                    "bin {i} of {bins}"
+                );
+            }
+        }
+    }
+}

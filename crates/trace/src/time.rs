@@ -1,0 +1,274 @@
+//! Trace time: integer tick timestamps plus a clock declaring resolution.
+//!
+//! Measurement systems record timestamps as integer ticks of a
+//! high-resolution clock. We keep that representation (exact arithmetic,
+//! compact delta encoding on disk) and carry a [`Clock`] alongside the
+//! trace so consumers can convert ticks to seconds when presenting
+//! results.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in trace time, in clock ticks since trace begin.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(pub u64);
+
+/// A span of trace time, in clock ticks.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct DurationTicks(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp (trace begin).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Duration from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> DurationTicks {
+        debug_assert!(
+            earlier.0 <= self.0,
+            "since() called with a later timestamp: {earlier:?} > {self:?}"
+        );
+        DurationTicks(self.0 - earlier.0)
+    }
+
+    /// Saturating duration from `earlier` to `self` (zero if reversed).
+    #[inline]
+    pub fn saturating_since(self, earlier: Timestamp) -> DurationTicks {
+        DurationTicks(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl DurationTicks {
+    /// The zero duration.
+    pub const ZERO: DurationTicks = DurationTicks(0);
+
+    /// Saturating subtraction: `self - other`, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, other: DurationTicks) -> DurationTicks {
+        DurationTicks(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, other: DurationTicks) -> Option<DurationTicks> {
+        self.0.checked_add(other.0).map(DurationTicks)
+    }
+
+    /// The duration as a floating-point tick count (for statistics).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add<DurationTicks> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, d: DurationTicks) -> Timestamp {
+        Timestamp(self.0 + d.0)
+    }
+}
+
+impl AddAssign<DurationTicks> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, d: DurationTicks) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = DurationTicks;
+    #[inline]
+    fn sub(self, other: Timestamp) -> DurationTicks {
+        self.since(other)
+    }
+}
+
+impl Add for DurationTicks {
+    type Output = DurationTicks;
+    #[inline]
+    fn add(self, other: DurationTicks) -> DurationTicks {
+        DurationTicks(self.0 + other.0)
+    }
+}
+
+impl AddAssign for DurationTicks {
+    #[inline]
+    fn add_assign(&mut self, other: DurationTicks) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for DurationTicks {
+    type Output = DurationTicks;
+    #[inline]
+    fn sub(self, other: DurationTicks) -> DurationTicks {
+        debug_assert!(other.0 <= self.0, "duration subtraction underflow");
+        DurationTicks(self.0 - other.0)
+    }
+}
+
+impl std::iter::Sum for DurationTicks {
+    fn sum<I: Iterator<Item = DurationTicks>>(iter: I) -> DurationTicks {
+        DurationTicks(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl fmt::Display for DurationTicks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+/// Declares the resolution of the trace clock.
+///
+/// All timestamps in a trace are ticks of this clock; `ticks_per_second`
+/// converts them to wall time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Clock {
+    /// Number of clock ticks per second of wall time.
+    pub ticks_per_second: u64,
+}
+
+impl Clock {
+    /// A clock with the given resolution.
+    ///
+    /// # Panics
+    /// Panics if `ticks_per_second` is zero.
+    pub fn new(ticks_per_second: u64) -> Clock {
+        assert!(ticks_per_second > 0, "clock resolution must be non-zero");
+        Clock { ticks_per_second }
+    }
+
+    /// A microsecond-resolution clock (10⁶ ticks/s) — the default used by
+    /// the simulator.
+    pub fn microseconds() -> Clock {
+        Clock::new(1_000_000)
+    }
+
+    /// A nanosecond-resolution clock (10⁹ ticks/s).
+    pub fn nanoseconds() -> Clock {
+        Clock::new(1_000_000_000)
+    }
+
+    /// Converts a tick duration to seconds.
+    #[inline]
+    pub fn to_seconds(&self, d: DurationTicks) -> f64 {
+        d.0 as f64 / self.ticks_per_second as f64
+    }
+
+    /// Converts a timestamp to seconds since trace begin.
+    #[inline]
+    pub fn timestamp_seconds(&self, t: Timestamp) -> f64 {
+        t.0 as f64 / self.ticks_per_second as f64
+    }
+
+    /// Converts (whole) seconds to ticks, rounding to nearest.
+    #[inline]
+    pub fn from_seconds(&self, seconds: f64) -> DurationTicks {
+        DurationTicks((seconds * self.ticks_per_second as f64).round() as u64)
+    }
+
+    /// Formats a duration with an adaptive unit (s / ms / µs / ticks).
+    pub fn format_duration(&self, d: DurationTicks) -> String {
+        let secs = self.to_seconds(d);
+        if secs >= 1.0 {
+            format!("{secs:.3} s")
+        } else if secs >= 1e-3 {
+            format!("{:.3} ms", secs * 1e3)
+        } else if secs >= 1e-6 {
+            format!("{:.3} µs", secs * 1e6)
+        } else {
+            format!("{} ticks", d.0)
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Clock {
+        Clock::microseconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp(10) + DurationTicks(5);
+        assert_eq!(t, Timestamp(15));
+        assert_eq!(t - Timestamp(10), DurationTicks(5));
+        assert_eq!(t.since(Timestamp(15)), DurationTicks(0));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(
+            Timestamp(3).saturating_since(Timestamp(10)),
+            DurationTicks::ZERO
+        );
+        assert_eq!(
+            Timestamp(10).saturating_since(Timestamp(3)),
+            DurationTicks(7)
+        );
+    }
+
+    #[test]
+    fn duration_saturating_sub() {
+        assert_eq!(
+            DurationTicks(5).saturating_sub(DurationTicks(9)),
+            DurationTicks::ZERO
+        );
+        assert_eq!(
+            DurationTicks(9).saturating_sub(DurationTicks(5)),
+            DurationTicks(4)
+        );
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: DurationTicks = [1u64, 2, 3].into_iter().map(DurationTicks).sum();
+        assert_eq!(total, DurationTicks(6));
+    }
+
+    #[test]
+    fn clock_conversions() {
+        let c = Clock::microseconds();
+        assert_eq!(c.to_seconds(DurationTicks(2_500_000)), 2.5);
+        assert_eq!(c.from_seconds(2.5), DurationTicks(2_500_000));
+        assert_eq!(c.timestamp_seconds(Timestamp(1_000_000)), 1.0);
+    }
+
+    #[test]
+    fn clock_format_adapts_units() {
+        let c = Clock::microseconds();
+        assert_eq!(c.format_duration(DurationTicks(3_000_000)), "3.000 s");
+        assert_eq!(c.format_duration(DurationTicks(1_500)), "1.500 ms");
+        assert_eq!(c.format_duration(DurationTicks(2)), "2.000 µs");
+        let ns = Clock::nanoseconds();
+        assert_eq!(ns.format_duration(DurationTicks(500)), "500 ticks");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_resolution_rejected() {
+        let _ = Clock::new(0);
+    }
+}

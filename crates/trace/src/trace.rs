@@ -1,0 +1,500 @@
+//! The [`Trace`] container and the validating [`TraceBuilder`].
+
+use crate::error::{TraceError, TraceResult};
+use crate::event::{Event, EventRecord};
+use crate::ids::{FunctionId, MetricId, ProcessId};
+use crate::registry::{FunctionRole, MetricMode, Registry};
+use crate::time::{Clock, DurationTicks, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// The time-sorted event records of one process.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventStream {
+    /// The process this stream belongs to.
+    pub process: ProcessId,
+    records: Vec<EventRecord>,
+}
+
+impl EventStream {
+    /// Creates a stream from already-sorted records (format readers and the
+    /// simulator use this; [`Trace::from_parts`] re-validates).
+    pub fn from_records(process: ProcessId, records: Vec<EventRecord>) -> EventStream {
+        EventStream { process, records }
+    }
+
+    /// Number of events in the stream.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the stream holds no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records, in time order.
+    #[inline]
+    pub fn records(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    /// Timestamp of the first event, if any.
+    pub fn first_time(&self) -> Option<Timestamp> {
+        self.records.first().map(|r| r.time)
+    }
+
+    /// Timestamp of the last event, if any.
+    pub fn last_time(&self) -> Option<Timestamp> {
+        self.records.last().map(|r| r.time)
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, EventRecord> {
+        self.records.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a EventStream {
+    type Item = &'a EventRecord;
+    type IntoIter = std::slice::Iter<'a, EventRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+/// A complete program trace: definitions plus one event stream per process.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Optional human-readable trace name (workload / run description).
+    pub name: String,
+    clock: Clock,
+    registry: Registry,
+    streams: Vec<EventStream>,
+}
+
+impl Trace {
+    /// Assembles a trace from parts, validating every stream
+    /// (see [`crate::validate`]).
+    pub fn from_parts(
+        name: impl Into<String>,
+        clock: Clock,
+        registry: Registry,
+        streams: Vec<EventStream>,
+    ) -> TraceResult<Trace> {
+        let trace = Trace {
+            name: name.into(),
+            clock,
+            registry,
+            streams,
+        };
+        crate::validate::validate(&trace)?;
+        Ok(trace)
+    }
+
+    /// Assembles a trace without validating. Only for callers that have
+    /// already established well-formedness (e.g. property-test generators
+    /// exercising the validator itself).
+    pub fn from_parts_unchecked(
+        name: impl Into<String>,
+        clock: Clock,
+        registry: Registry,
+        streams: Vec<EventStream>,
+    ) -> Trace {
+        Trace {
+            name: name.into(),
+            clock,
+            registry,
+            streams,
+        }
+    }
+
+    /// The trace clock.
+    #[inline]
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// The definition registry.
+    #[inline]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Number of parallel processes (`p` in the paper's `2p` rule).
+    #[inline]
+    pub fn num_processes(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The event stream of one process.
+    #[inline]
+    pub fn stream(&self, process: ProcessId) -> &EventStream {
+        &self.streams[process.index()]
+    }
+
+    /// All event streams, indexed by process.
+    #[inline]
+    pub fn streams(&self) -> &[EventStream] {
+        &self.streams
+    }
+
+    /// Total number of events across all processes.
+    pub fn num_events(&self) -> usize {
+        self.streams.iter().map(EventStream::len).sum()
+    }
+
+    /// Earliest event timestamp in the trace.
+    pub fn begin(&self) -> Timestamp {
+        self.streams
+            .iter()
+            .filter_map(EventStream::first_time)
+            .min()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Latest event timestamp in the trace.
+    pub fn end(&self) -> Timestamp {
+        self.streams
+            .iter()
+            .filter_map(EventStream::last_time)
+            .max()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Full trace span (`end - begin`).
+    pub fn span(&self) -> DurationTicks {
+        self.end().since(self.begin())
+    }
+}
+
+/// Per-process writer used by [`TraceBuilder`]; validates as it appends.
+#[derive(Debug)]
+pub struct ProcessWriter {
+    process: ProcessId,
+    records: Vec<EventRecord>,
+    stack: Vec<FunctionId>,
+    last_time: Option<Timestamp>,
+}
+
+impl ProcessWriter {
+    fn new(process: ProcessId) -> ProcessWriter {
+        ProcessWriter {
+            process,
+            records: Vec::new(),
+            stack: Vec::new(),
+            last_time: None,
+        }
+    }
+
+    fn check_time(&mut self, time: Timestamp) -> TraceResult<()> {
+        if let Some(prev) = self.last_time {
+            if time < prev {
+                return Err(TraceError::NonMonotonicTime {
+                    process: self.process,
+                    previous: prev,
+                    attempted: time,
+                });
+            }
+        }
+        self.last_time = Some(time);
+        Ok(())
+    }
+
+    /// Records entering `function` at `time`.
+    pub fn enter(&mut self, time: Timestamp, function: FunctionId) -> TraceResult<()> {
+        self.check_time(time)?;
+        self.stack.push(function);
+        self.records
+            .push(EventRecord::new(time, Event::Enter { function }));
+        Ok(())
+    }
+
+    /// Records leaving `function` at `time`; must match the innermost open
+    /// invocation.
+    pub fn leave(&mut self, time: Timestamp, function: FunctionId) -> TraceResult<()> {
+        self.check_time(time)?;
+        match self.stack.last().copied() {
+            Some(top) if top == function => {
+                self.stack.pop();
+                self.records
+                    .push(EventRecord::new(time, Event::Leave { function }));
+                Ok(())
+            }
+            other => Err(TraceError::MismatchedLeave {
+                process: self.process,
+                time,
+                left: function,
+                expected: other,
+            }),
+        }
+    }
+
+    /// Records a message send endpoint.
+    pub fn send(
+        &mut self,
+        time: Timestamp,
+        to: ProcessId,
+        tag: u32,
+        bytes: u64,
+    ) -> TraceResult<()> {
+        self.check_time(time)?;
+        self.records
+            .push(EventRecord::new(time, Event::MsgSend { to, tag, bytes }));
+        Ok(())
+    }
+
+    /// Records a message receive endpoint.
+    pub fn recv(
+        &mut self,
+        time: Timestamp,
+        from: ProcessId,
+        tag: u32,
+        bytes: u64,
+    ) -> TraceResult<()> {
+        self.check_time(time)?;
+        self.records
+            .push(EventRecord::new(time, Event::MsgRecv { from, tag, bytes }));
+        Ok(())
+    }
+
+    /// Records a metric sample.
+    pub fn metric(&mut self, time: Timestamp, metric: MetricId, value: u64) -> TraceResult<()> {
+        self.check_time(time)?;
+        self.records
+            .push(EventRecord::new(time, Event::Metric { metric, value }));
+        Ok(())
+    }
+
+    /// Current call-stack depth (open invocations).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The process this writer records for.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+}
+
+/// Incrementally builds a validated [`Trace`].
+///
+/// The builder owns the registry; definitions and event recording are
+/// interleaved freely. [`TraceBuilder::finish`] checks that every process
+/// closed all its invocations.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    name: String,
+    clock: Clock,
+    registry: Registry,
+    writers: Vec<ProcessWriter>,
+}
+
+impl TraceBuilder {
+    /// Creates a builder for a trace using `clock`.
+    pub fn new(clock: Clock) -> TraceBuilder {
+        TraceBuilder {
+            name: String::new(),
+            clock,
+            registry: Registry::new(),
+            writers: Vec::new(),
+        }
+    }
+
+    /// Sets the trace name.
+    pub fn with_name(mut self, name: impl Into<String>) -> TraceBuilder {
+        self.name = name.into();
+        self
+    }
+
+    /// Defines a process and allocates its event stream.
+    pub fn define_process(&mut self, name: impl Into<String>) -> ProcessId {
+        let id = self.registry.define_process(name);
+        self.writers.push(ProcessWriter::new(id));
+        id
+    }
+
+    /// Defines (or re-uses) a function.
+    pub fn define_function(&mut self, name: impl Into<String>, role: FunctionRole) -> FunctionId {
+        self.registry.define_function(name, role)
+    }
+
+    /// Defines a function with a name-derived role.
+    pub fn define_function_auto(&mut self, name: impl Into<String>) -> FunctionId {
+        self.registry.define_function_auto(name)
+    }
+
+    /// Defines a metric channel.
+    pub fn define_metric(
+        &mut self,
+        name: impl Into<String>,
+        mode: MetricMode,
+        unit: impl Into<String>,
+    ) -> MetricId {
+        self.registry.define_metric(name, mode, unit)
+    }
+
+    /// The writer for one process.
+    pub fn process_mut(&mut self, process: ProcessId) -> &mut ProcessWriter {
+        &mut self.writers[process.index()]
+    }
+
+    /// Read access to the registry under construction.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Finalises the trace; fails if any process has unclosed invocations.
+    pub fn finish(self) -> TraceResult<Trace> {
+        let mut streams = Vec::with_capacity(self.writers.len());
+        for w in self.writers {
+            if !w.stack.is_empty() {
+                return Err(TraceError::UnbalancedStack {
+                    process: w.process,
+                    open_frames: w.stack.len(),
+                });
+            }
+            streams.push(EventStream::from_records(w.process, w.records));
+        }
+        // The builder validated incrementally; skip the redundant pass.
+        Ok(Trace {
+            name: self.name,
+            clock: self.clock,
+            registry: self.registry,
+            streams,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_process_trace() -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds()).with_name("t");
+        let f = b.define_function("work", FunctionRole::Compute);
+        let p0 = b.define_process("rank 0");
+        let p1 = b.define_process("rank 1");
+        b.process_mut(p0).enter(Timestamp(0), f).unwrap();
+        b.process_mut(p0).leave(Timestamp(10), f).unwrap();
+        b.process_mut(p1).enter(Timestamp(2), f).unwrap();
+        b.process_mut(p1).leave(Timestamp(20), f).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_trace_with_span() {
+        let t = two_process_trace();
+        assert_eq!(t.num_processes(), 2);
+        assert_eq!(t.num_events(), 4);
+        assert_eq!(t.begin(), Timestamp(0));
+        assert_eq!(t.end(), Timestamp(20));
+        assert_eq!(t.span(), DurationTicks(20));
+        assert_eq!(t.name, "t");
+    }
+
+    #[test]
+    fn empty_trace_has_zero_span() {
+        let b = TraceBuilder::new(Clock::microseconds());
+        let t = b.finish().unwrap();
+        assert_eq!(t.num_processes(), 0);
+        assert_eq!(t.span(), DurationTicks::ZERO);
+    }
+
+    #[test]
+    fn non_monotonic_time_rejected() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("f", FunctionRole::Compute);
+        let p = b.define_process("p");
+        b.process_mut(p).enter(Timestamp(10), f).unwrap();
+        let err = b.process_mut(p).leave(Timestamp(5), f).unwrap_err();
+        assert!(matches!(err, TraceError::NonMonotonicTime { .. }));
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        // Zero-duration invocations are legal (clock granularity).
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("f", FunctionRole::Compute);
+        let p = b.define_process("p");
+        b.process_mut(p).enter(Timestamp(10), f).unwrap();
+        b.process_mut(p).leave(Timestamp(10), f).unwrap();
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn mismatched_leave_rejected() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("f", FunctionRole::Compute);
+        let g = b.define_function("g", FunctionRole::Compute);
+        let p = b.define_process("p");
+        b.process_mut(p).enter(Timestamp(0), f).unwrap();
+        let err = b.process_mut(p).leave(Timestamp(1), g).unwrap_err();
+        assert!(matches!(err, TraceError::MismatchedLeave { .. }));
+    }
+
+    #[test]
+    fn leave_on_empty_stack_rejected() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("f", FunctionRole::Compute);
+        let p = b.define_process("p");
+        let err = b.process_mut(p).leave(Timestamp(1), f).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::MismatchedLeave { expected: None, .. }
+        ));
+    }
+
+    #[test]
+    fn unbalanced_stack_rejected_at_finish() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("f", FunctionRole::Compute);
+        let p = b.define_process("p");
+        b.process_mut(p).enter(Timestamp(0), f).unwrap();
+        let err = b.finish().unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::UnbalancedStack { open_frames: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn writer_tracks_depth() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("f", FunctionRole::Compute);
+        let g = b.define_function("g", FunctionRole::Compute);
+        let p = b.define_process("p");
+        let w = b.process_mut(p);
+        assert_eq!(w.depth(), 0);
+        w.enter(Timestamp(0), f).unwrap();
+        w.enter(Timestamp(1), g).unwrap();
+        assert_eq!(w.depth(), 2);
+        w.leave(Timestamp(2), g).unwrap();
+        assert_eq!(w.depth(), 1);
+    }
+
+    #[test]
+    fn messages_and_metrics_record() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let m = b.define_metric("PAPI_TOT_CYC", MetricMode::Accumulating, "cycles");
+        let p0 = b.define_process("p0");
+        let p1 = b.define_process("p1");
+        b.process_mut(p0).send(Timestamp(1), p1, 7, 64).unwrap();
+        b.process_mut(p1).recv(Timestamp(3), p0, 7, 64).unwrap();
+        b.process_mut(p0).metric(Timestamp(4), m, 12345).unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(t.stream(p0).len(), 2);
+        assert_eq!(t.stream(p1).len(), 1);
+    }
+
+    #[test]
+    fn stream_iteration() {
+        let t = two_process_trace();
+        let s = t.stream(ProcessId(0));
+        let times: Vec<u64> = s.into_iter().map(|r| r.time.0).collect();
+        assert_eq!(times, vec![0, 10]);
+        assert_eq!(s.first_time(), Some(Timestamp(0)));
+        assert_eq!(s.last_time(), Some(Timestamp(10)));
+    }
+}

@@ -1,0 +1,285 @@
+//! Whole-trace well-formedness validation.
+//!
+//! A well-formed trace satisfies, per process stream:
+//!
+//! 1. timestamps are non-decreasing;
+//! 2. `Enter`/`Leave` events nest properly (every leave matches the
+//!    innermost open enter; the stream ends with an empty stack);
+//! 3. every id referenced by an event (function, peer process, metric) is
+//!    defined in the registry;
+//! 4. the stream's declared process id matches its position.
+//!
+//! [`validate`] checks all streams; it is run by [`Trace::from_parts`] and
+//! by the file-format readers, so corrupt inputs are rejected at the
+//! boundary and analyses can index definition tables without bounds
+//! worries.
+
+use crate::error::{TraceError, TraceResult};
+use crate::event::Event;
+use crate::trace::{EventStream, Trace};
+
+/// Validates every stream of `trace`. Returns the first violation found.
+pub fn validate(trace: &Trace) -> TraceResult<()> {
+    for (idx, stream) in trace.streams().iter().enumerate() {
+        if stream.process.index() != idx {
+            return Err(TraceError::Corrupt(format!(
+                "stream #{idx} declares process {}",
+                stream.process
+            )));
+        }
+        validate_stream(trace, stream)?;
+    }
+    Ok(())
+}
+
+/// Validates a single stream against the trace's registry.
+pub fn validate_stream(trace: &Trace, stream: &EventStream) -> TraceResult<()> {
+    let registry = trace.registry();
+    let process = stream.process;
+    if process.index() >= registry.num_processes() {
+        return Err(TraceError::UndefinedReference {
+            kind: "process",
+            index: process.0 as u64,
+        });
+    }
+    let mut stack = Vec::new();
+    let mut last_time = None;
+    for record in stream.records() {
+        if let Some(prev) = last_time {
+            if record.time < prev {
+                return Err(TraceError::NonMonotonicTime {
+                    process,
+                    previous: prev,
+                    attempted: record.time,
+                });
+            }
+        }
+        last_time = Some(record.time);
+        match record.event {
+            Event::Enter { function } => {
+                if function.index() >= registry.num_functions() {
+                    return Err(TraceError::UndefinedReference {
+                        kind: "function",
+                        index: function.0 as u64,
+                    });
+                }
+                stack.push(function);
+            }
+            Event::Leave { function } => {
+                if function.index() >= registry.num_functions() {
+                    return Err(TraceError::UndefinedReference {
+                        kind: "function",
+                        index: function.0 as u64,
+                    });
+                }
+                match stack.last().copied() {
+                    Some(top) if top == function => {
+                        stack.pop();
+                    }
+                    other => {
+                        return Err(TraceError::MismatchedLeave {
+                            process,
+                            time: record.time,
+                            left: function,
+                            expected: other,
+                        })
+                    }
+                }
+            }
+            Event::MsgSend { to, .. } => {
+                if to.index() >= registry.num_processes() {
+                    return Err(TraceError::UndefinedReference {
+                        kind: "process",
+                        index: to.0 as u64,
+                    });
+                }
+            }
+            Event::MsgRecv { from, .. } => {
+                if from.index() >= registry.num_processes() {
+                    return Err(TraceError::UndefinedReference {
+                        kind: "process",
+                        index: from.0 as u64,
+                    });
+                }
+            }
+            Event::Metric { metric, .. } => {
+                if metric.index() >= registry.num_metrics() {
+                    return Err(TraceError::UndefinedReference {
+                        kind: "metric",
+                        index: metric.0 as u64,
+                    });
+                }
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(TraceError::UnbalancedStack {
+            process,
+            open_frames: stack.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Returns `true` iff `trace` passes [`validate`]; convenience for tests.
+pub fn is_well_formed(trace: &Trace) -> bool {
+    validate(trace).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventRecord;
+    use crate::ids::{FunctionId, MetricId, ProcessId};
+    use crate::registry::{FunctionRole, Registry};
+    use crate::time::{Clock, Timestamp};
+
+    fn registry_one_each() -> Registry {
+        let mut r = Registry::new();
+        r.define_process("p0");
+        r.define_function("f", FunctionRole::Compute);
+        r.define_metric("m", crate::registry::MetricMode::Gauge, "#");
+        r
+    }
+
+    fn trace_with(records: Vec<EventRecord>) -> Trace {
+        Trace::from_parts_unchecked(
+            "t",
+            Clock::microseconds(),
+            registry_one_each(),
+            vec![EventStream::from_records(ProcessId(0), records)],
+        )
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let t = trace_with(vec![
+            EventRecord::new(
+                Timestamp(0),
+                Event::Enter {
+                    function: FunctionId(0),
+                },
+            ),
+            EventRecord::new(
+                Timestamp(1),
+                Event::Metric {
+                    metric: MetricId(0),
+                    value: 1,
+                },
+            ),
+            EventRecord::new(
+                Timestamp(2),
+                Event::Leave {
+                    function: FunctionId(0),
+                },
+            ),
+        ]);
+        assert!(is_well_formed(&t));
+    }
+
+    #[test]
+    fn dangling_function_reference_detected() {
+        let t = trace_with(vec![
+            EventRecord::new(
+                Timestamp(0),
+                Event::Enter {
+                    function: FunctionId(9),
+                },
+            ),
+            EventRecord::new(
+                Timestamp(1),
+                Event::Leave {
+                    function: FunctionId(9),
+                },
+            ),
+        ]);
+        assert!(matches!(
+            validate(&t),
+            Err(TraceError::UndefinedReference {
+                kind: "function",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn dangling_peer_process_detected() {
+        let t = trace_with(vec![EventRecord::new(
+            Timestamp(0),
+            Event::MsgSend {
+                to: ProcessId(5),
+                tag: 0,
+                bytes: 0,
+            },
+        )]);
+        assert!(matches!(
+            validate(&t),
+            Err(TraceError::UndefinedReference {
+                kind: "process",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn dangling_metric_detected() {
+        let t = trace_with(vec![EventRecord::new(
+            Timestamp(0),
+            Event::Metric {
+                metric: MetricId(3),
+                value: 0,
+            },
+        )]);
+        assert!(matches!(
+            validate(&t),
+            Err(TraceError::UndefinedReference { kind: "metric", .. })
+        ));
+    }
+
+    #[test]
+    fn time_regression_detected() {
+        let t = trace_with(vec![
+            EventRecord::new(
+                Timestamp(5),
+                Event::Enter {
+                    function: FunctionId(0),
+                },
+            ),
+            EventRecord::new(
+                Timestamp(3),
+                Event::Leave {
+                    function: FunctionId(0),
+                },
+            ),
+        ]);
+        assert!(matches!(
+            validate(&t),
+            Err(TraceError::NonMonotonicTime { .. })
+        ));
+    }
+
+    #[test]
+    fn unbalanced_stream_detected() {
+        let t = trace_with(vec![EventRecord::new(
+            Timestamp(0),
+            Event::Enter {
+                function: FunctionId(0),
+            },
+        )]);
+        assert!(matches!(
+            validate(&t),
+            Err(TraceError::UnbalancedStack { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_position_mismatch_detected() {
+        let t = Trace::from_parts_unchecked(
+            "t",
+            Clock::microseconds(),
+            registry_one_each(),
+            vec![EventStream::from_records(ProcessId(1), vec![])],
+        );
+        assert!(matches!(validate(&t), Err(TraceError::Corrupt(_))));
+    }
+}

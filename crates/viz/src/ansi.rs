@@ -1,0 +1,233 @@
+//! ANSI terminal rendering of [`TimelineChart`]s.
+//!
+//! Renders a chart as a character grid using 24-bit background colours —
+//! a quick look at a trace or SOS heatmap without leaving the terminal.
+//! Wide traces are downsampled per character cell (the colour holding the
+//! most time in the cell wins); tall traces are thinned to a row budget.
+
+use crate::chart::{Row, TimelineChart};
+use crate::color::Color;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Terminal rendering options.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AnsiOptions {
+    /// Plot width in character cells.
+    pub width: usize,
+    /// Maximum number of process rows shown (evenly thinned above).
+    pub max_rows: usize,
+    /// Emit ANSI colour escapes (disable for plain-text tests/logs).
+    pub color: bool,
+}
+
+impl Default for AnsiOptions {
+    fn default() -> AnsiOptions {
+        AnsiOptions {
+            width: 100,
+            max_rows: 40,
+            color: true,
+        }
+    }
+}
+
+/// Renders `chart` as terminal text.
+pub fn render_ansi(chart: &TimelineChart, opts: &AnsiOptions) -> String {
+    let width = opts.width.max(10);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", chart.title);
+    if !chart.subtitle.is_empty() {
+        let _ = writeln!(out, "{}", chart.subtitle);
+    }
+
+    let n = chart.rows.len();
+    let row_step = if opts.max_rows == 0 {
+        1
+    } else {
+        n.div_ceil(opts.max_rows).max(1)
+    };
+    let label_width = chart
+        .rows
+        .iter()
+        .step_by(row_step)
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(0)
+        .min(16);
+
+    for row in chart.rows.iter().step_by(row_step) {
+        let cells = rasterize_row(chart, row, width);
+        let mut label = row.label.clone();
+        label.truncate(label_width);
+        let _ = write!(out, "{label:>label_width$} ");
+        for cell in cells {
+            match cell {
+                Some(c) if opts.color => {
+                    let _ = write!(out, "\x1b[48;2;{};{};{}m \x1b[0m", c.r, c.g, c.b);
+                }
+                Some(c) => {
+                    // Plain text: map luminance to a density character.
+                    let ch = match c.luminance() as u32 {
+                        0..=84 => '█',
+                        85..=169 => '▓',
+                        _ => '░',
+                    };
+                    out.push(ch);
+                }
+                None => out.push(' '),
+            }
+        }
+        out.push('\n');
+    }
+
+    // Time axis.
+    let _ = write!(out, "{:>label_width$} ", "");
+    let t0 = chart.clock.timestamp_seconds(chart.begin);
+    let t1 = chart.clock.timestamp_seconds(chart.end);
+    let left = format!("{t0:.2}s");
+    let right = format!("{t1:.2}s");
+    let pad = width.saturating_sub(left.len() + right.len());
+    let _ = writeln!(out, "{left}{}{right}", " ".repeat(pad));
+
+    // Legends.
+    if !chart.legend.is_empty() {
+        let _ = write!(out, "legend:");
+        for e in &chart.legend {
+            if opts.color {
+                let _ = write!(
+                    out,
+                    " \x1b[48;2;{};{};{}m  \x1b[0m {}",
+                    e.color.r, e.color.g, e.color.b, e.label
+                );
+            } else {
+                let _ = write!(out, " [{}]", e.label);
+            }
+        }
+        out.push('\n');
+    }
+    if let Some(scale) = &chart.scale {
+        let _ = writeln!(
+            out,
+            "scale: {} (cold/blue) → {} (hot/red)  [{}]",
+            scale.min_label, scale.max_label, scale.quantity
+        );
+    }
+    out
+}
+
+/// Downsamples one row into `width` cells; each cell takes the colour
+/// covering the most time within it.
+fn rasterize_row(chart: &TimelineChart, row: &Row, width: usize) -> Vec<Option<Color>> {
+    let t0 = chart.begin.0 as f64;
+    let t1 = (chart.end.0 as f64).max(t0 + 1.0);
+    let cell_ticks = (t1 - t0) / width as f64;
+    let mut cells: Vec<Option<(Color, f64)>> = vec![None; width];
+    for s in &row.spans {
+        let start = s.start.0 as f64;
+        let end = (s.end.0 as f64).max(start + f64::EPSILON);
+        let first = (((start - t0) / cell_ticks) as usize).min(width - 1);
+        let last = (((end - t0) / cell_ticks) as usize).min(width - 1);
+        for (cell, slot) in cells.iter_mut().enumerate().take(last + 1).skip(first) {
+            let c0 = t0 + cell as f64 * cell_ticks;
+            let c1 = c0 + cell_ticks;
+            let overlap = (end.min(c1) - start.max(c0)).max(0.0);
+            match slot {
+                Some((_, t)) if *t >= overlap => {}
+                _ => *slot = Some((s.color, overlap)),
+            }
+        }
+    }
+    cells.into_iter().map(|c| c.map(|(col, _)| col)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::{function_timeline, sos_heatmap, TimelineOptions};
+    use perfvar_analysis::{analyze, AnalysisConfig};
+    use perfvar_sim::prelude::*;
+    use perfvar_sim::workloads::SingleOutlier;
+
+    fn setup() -> (perfvar_trace::Trace, perfvar_analysis::Analysis) {
+        let trace = simulate(&SingleOutlier::new(5, 6, 3).spec()).unwrap();
+        let analysis = analyze(&trace, &AnalysisConfig::default()).unwrap();
+        (trace, analysis)
+    }
+
+    #[test]
+    fn renders_one_line_per_process_plus_chrome() {
+        let (trace, analysis) = setup();
+        let chart = sos_heatmap(&trace, &analysis);
+        let text = render_ansi(
+            &chart,
+            &AnsiOptions {
+                color: false,
+                ..AnsiOptions::default()
+            },
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        // title + subtitle + 5 rows + axis + scale line.
+        assert_eq!(lines.len(), 2 + 5 + 1 + 1, "{text}");
+        assert!(text.contains("SOS-time"));
+        assert!(text.contains("cold/blue"));
+    }
+
+    #[test]
+    fn color_mode_emits_escapes_plain_mode_does_not() {
+        let (trace, analysis) = setup();
+        let chart = sos_heatmap(&trace, &analysis);
+        let colored = render_ansi(&chart, &AnsiOptions::default());
+        assert!(colored.contains("\x1b[48;2;"));
+        let plain = render_ansi(
+            &chart,
+            &AnsiOptions {
+                color: false,
+                ..AnsiOptions::default()
+            },
+        );
+        assert!(!plain.contains('\x1b'));
+    }
+
+    #[test]
+    fn row_thinning() {
+        let trace = simulate(&SingleOutlier::new(30, 3, 7).spec()).unwrap();
+        let chart = function_timeline(&trace, &TimelineOptions::default());
+        let text = render_ansi(
+            &chart,
+            &AnsiOptions {
+                max_rows: 10,
+                color: false,
+                ..AnsiOptions::default()
+            },
+        );
+        let data_rows = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("rank"))
+            .count();
+        assert!(data_rows <= 10, "{data_rows} rows shown");
+    }
+
+    #[test]
+    fn axis_shows_time_range() {
+        let (trace, analysis) = setup();
+        let chart = sos_heatmap(&trace, &analysis);
+        let text = render_ansi(
+            &chart,
+            &AnsiOptions {
+                color: false,
+                ..AnsiOptions::default()
+            },
+        );
+        assert!(text.contains("0.00s"));
+    }
+
+    #[test]
+    fn rasterize_picks_dominant_color() {
+        let (trace, analysis) = setup();
+        let chart = sos_heatmap(&trace, &analysis);
+        let cells = rasterize_row(&chart, &chart.rows[0], 50);
+        assert_eq!(cells.len(), 50);
+        // Full coverage: every cell painted.
+        assert!(cells.iter().all(Option::is_some));
+    }
+}

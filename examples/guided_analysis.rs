@@ -1,0 +1,83 @@
+//! The fully guided workflow: findings → auto-refinement → wait states.
+//!
+//! ```sh
+//! cargo run --release --example guided_analysis
+//! ```
+//!
+//! The paper's conclusion promises to "save the analyst from long
+//! analysis sessions, manually searching for performance problems". This
+//! example shows the most automated version of that promise on the FD4
+//! case study: one call produces ranked findings, the refinement loop
+//! runs unattended until the hotspot is a single invocation, and the
+//! wait-state classification names who paid for it.
+
+use perfvar::analysis::findings::{auto_refine, findings};
+use perfvar::analysis::invocation::replay_all;
+use perfvar::analysis::waitstates::WaitStateAnalysis;
+use perfvar::prelude::*;
+use perfvar::trace::ProcessId;
+
+fn main() {
+    let workload = workloads::CosmoSpecsFd4::paper();
+    println!(
+        "simulating COSMO-SPECS+FD4 ({} ranks) with an injected interruption…",
+        workload.ranks
+    );
+    let trace = simulate(&workload.spec()).expect("simulation succeeds");
+
+    // One call: analyse and refine until the hotspot is isolated.
+    let config = AnalysisConfig::default();
+    let (analysis, steps) = auto_refine(&trace, &config, 8).expect("analysis succeeds");
+    println!(
+        "auto-refined {steps} step(s); segmentation function: {:?}",
+        trace.registry().function_name(analysis.function)
+    );
+
+    // Ranked findings.
+    println!("\nfindings (ranked by severity):");
+    let ranked = findings(&trace, &analysis);
+    for f in &ranked {
+        println!("  [{:>4.0}%] {}", f.severity * 100.0, f.description);
+    }
+    assert!(!ranked.is_empty());
+    let hot = analysis.imbalance.hottest_segment().expect("hotspot found");
+    assert_eq!(hot.process, ProcessId(workload.interrupted_rank as u32));
+    assert_eq!(hot.ordinal, workload.interrupted_global_timestep());
+    println!(
+        "\n→ the interruption is pinned to {} invocation #{} without any",
+        hot.process, hot.ordinal
+    );
+    println!(
+        "  manual searching — {} refinement step(s) ran unattended.",
+        steps
+    );
+
+    // Who paid for it? The wait-state classification names the victims.
+    let replayed = replay_all(&trace);
+    let waits = WaitStateAnalysis::compute(&trace, &replayed);
+    let victim = waits.most_waiting_process().expect("waits classified");
+    println!(
+        "\nwait states: {} classified in total; most-waiting process: {victim}",
+        trace.clock().format_duration(waits.total())
+    );
+    assert_ne!(
+        victim,
+        ProcessId(workload.interrupted_rank as u32),
+        "the culprit is not the one waiting"
+    );
+    println!(
+        "  ({} waits at collectives while {} computes through its interruption)",
+        victim,
+        ProcessId(workload.interrupted_rank as u32)
+    );
+
+    // And what would fixing it buy? The waste quantification.
+    println!(
+        "\nwaste: {} = {:.1}% of aggregate CPU time is spent waiting",
+        trace.clock().format_duration(analysis.waste.total),
+        analysis.waste.waste_fraction() * 100.0
+    );
+    let worst = analysis.waste.worst_ordinal().unwrap();
+    println!("  the costliest segment ordinal is #{worst} — exactly the interrupted one");
+    assert_eq!(worst, workload.interrupted_global_timestep());
+}

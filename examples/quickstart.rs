@@ -1,0 +1,62 @@
+//! Quickstart: generate a trace, run the paper's analysis, look at it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Simulates a small iterative MPI application where rank 2 computes 4×
+//! longer in one iteration, then walks the full perfvar pipeline:
+//! dominant-function identification → SOS-times → imbalance detection →
+//! terminal heatmap.
+
+use perfvar::prelude::*;
+
+fn main() {
+    // 1. A workload: 8 ranks, 12 iterations, rank 2 slow in iteration 6.
+    let workload = workloads::SingleOutlier::new(8, 12, 2);
+    let trace = simulate(&workload.spec()).expect("simulation succeeds");
+    println!(
+        "simulated {:?}: {} processes, {} events\n",
+        trace.name,
+        trace.num_processes(),
+        trace.num_events()
+    );
+
+    // 2. The paper's pipeline in one call.
+    let analysis = analyze(&trace, &AnalysisConfig::default()).expect("analysis succeeds");
+    print!("{}", analysis.render_text(&trace));
+
+    // 3. Where is the hotspot?
+    let hot = analysis
+        .imbalance
+        .hottest_segment()
+        .expect("outlier detected");
+    println!(
+        "\n→ hotspot: {} in iteration {} (SOS-time {})",
+        hot.process,
+        hot.ordinal,
+        trace.clock().format_duration(hot.sos)
+    );
+    assert_eq!(hot.process.index(), 2, "the injected outlier is found");
+    assert_eq!(hot.ordinal, 6);
+
+    // 4. The §VI visualization, in the terminal.
+    let chart = sos_heatmap(&trace, &analysis);
+    println!();
+    print!(
+        "{}",
+        render_ansi(
+            &chart,
+            &AnsiOptions {
+                width: 90,
+                ..AnsiOptions::default()
+            }
+        )
+    );
+
+    // 5. And as an SVG file.
+    let svg = render_svg(&chart, &SvgOptions::default());
+    let out = std::env::temp_dir().join("perfvar-quickstart-sos.svg");
+    std::fs::write(&out, svg).expect("write SVG");
+    println!("\nSVG written to {}", out.display());
+}

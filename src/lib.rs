@@ -1,0 +1,43 @@
+//! # perfvar — detection and visualization of performance variations
+//!
+//! Facade crate re-exporting the `perfvar` workspace: a Rust reproduction
+//! of *"Detection and Visualization of Performance Variations to Guide
+//! Identification of Application Bottlenecks"* (Weber et al., ICPP 2016).
+//!
+//! The pipeline, in paper order:
+//!
+//! 1. **Record / generate a trace** — [`sim`] simulates message-passing
+//!    applications and emits event traces ([`trace`]).
+//! 2. **Identify the time-dominant function** — [`analysis::dominant`].
+//! 3. **Segment the run and compute SOS-times** — [`analysis::sos`].
+//! 4. **Detect imbalances** — [`analysis::imbalance`].
+//! 5. **Visualize** — [`viz`] renders Vampir-style timelines and SOS-time
+//!    heatmaps as SVG or ANSI.
+//!
+//! Beyond the paper's pipeline, the workspace provides the surrounding
+//! toolbox a performance analyst expects: severity-ranked findings with
+//! automated refinement ([`analysis::findings`]), wait-state
+//! classification ([`analysis::waitstates`]), waste quantification
+//! ([`analysis::imbalance::WasteAnalysis`]), call-path trees
+//! ([`analysis::callpath`]), process clustering
+//! ([`analysis::clustering`]), run comparison ([`analysis::compare`]),
+//! message matching and communication matrices ([`analysis::messages`]),
+//! phase detection ([`analysis::phases`]), trace slicing
+//! ([`trace::slice`]), streaming and multi-file trace formats
+//! ([`trace::format`]), and seeded OS-noise injection ([`sim::noise`]).
+//!
+//! See the `examples/` directory for end-to-end walkthroughs of the three
+//! case studies from the paper.
+
+pub use perfvar_analysis as analysis;
+pub use perfvar_sim as sim;
+pub use perfvar_trace as trace;
+pub use perfvar_viz as viz;
+
+/// Convenient glob import covering the whole pipeline.
+pub mod prelude {
+    pub use perfvar_analysis::prelude::*;
+    pub use perfvar_sim::prelude::*;
+    pub use perfvar_trace::prelude::*;
+    pub use perfvar_viz::prelude::*;
+}
