@@ -78,6 +78,20 @@ impl CounterMatrix {
         }
     }
 
+    /// Assembles a matrix from per-process rows built elsewhere (the
+    /// fused streaming pass in [`crate::fused`]).
+    pub(crate) fn from_parts(
+        metric: MetricId,
+        mode: MetricMode,
+        values: Vec<Vec<u64>>,
+    ) -> CounterMatrix {
+        CounterMatrix {
+            metric,
+            mode,
+            values,
+        }
+    }
+
     /// Number of processes (rows).
     pub fn num_processes(&self) -> usize {
         self.values.len()

@@ -1,0 +1,311 @@
+//! The fused analysis pass: segments, SOS inputs and counter rows in one
+//! sweep per process.
+//!
+//! The materialising pipeline replays a process into `O(invocations)`
+//! memory, then re-walks the invocation list to segment it, and then
+//! re-scans the *whole event stream once per metric* to attribute
+//! counters. This module folds all of that into a single
+//! [`ReplayVisitor`](crate::stream::ReplayVisitor) driven by one pass
+//! over the stream: per worker, live state is
+//! `O(stack depth + segments + metrics)` and every metric channel is
+//! attributed during the same sweep. [`fuse_segments`] fans the pass out over
+//! [`par_map_processes`](crate::parallel::par_map_processes) workers and
+//! merges the per-process rows in process order, so the result is
+//! bit-identical to [`Segmentation::new`] +
+//! [`CounterMatrix::for_segments`] (a property test in
+//! `tests/properties.rs` holds the two pipelines equal on arbitrary
+//! traces).
+//!
+//! Counter semantics are timestamp-based, not record-order-based: a
+//! delta sample at time `t` belongs to every segment with
+//! `enter ≤ t < leave` even if the sample record precedes the `Enter`
+//! record in the stream, and an accumulating reading at a boundary `t`
+//! is the last sample with timestamp ≤ `t`. The sink therefore resolves
+//! all boundary work in [`on_tick`](crate::stream::ReplayVisitor::on_tick)
+//! — once per timestamp group — instead of at the individual records.
+
+use crate::counters::CounterMatrix;
+use crate::parallel::par_map_processes;
+use crate::segment::{Segment, Segmentation};
+use crate::stream::{replay_visit, ClosedFrame, ReplayVisitor};
+use perfvar_trace::{DurationTicks, FunctionId, MetricId, MetricMode, ProcessId, Timestamp, Trace};
+
+/// Segmentation plus per-metric counter matrices from one fused pass.
+pub struct FusedSegments {
+    /// The segmentation by the chosen function.
+    pub segmentation: Segmentation,
+    /// One counter matrix per metric channel, in metric-id order.
+    /// Empty when the pass ran with counters disabled.
+    pub counters: Vec<CounterMatrix>,
+}
+
+/// Per-process sink folding segments and counter rows in one pass.
+struct FusedSink<'a> {
+    process: ProcessId,
+    function: FunctionId,
+    /// Metric modes by metric index; empty disables counter tracking.
+    modes: &'a [MetricMode],
+    /// Completed and in-flight segments, in enter order.
+    segments: Vec<Segment>,
+    /// Counter rows, `[metric][segment]`, filled as segments close.
+    rows: Vec<Vec<u64>>,
+    /// Accumulating-metric readings at segment enter, `[metric][segment]`.
+    acc_start: Vec<Vec<u64>>,
+    /// Latest sample value per metric (accumulating readings).
+    last_value: Vec<u64>,
+    /// Delta/gauge sample sums of the current timestamp group.
+    tick_sum: Vec<u64>,
+    /// Metrics with delta/gauge samples in the current group.
+    tick_touched: Vec<usize>,
+    /// Indices of the accumulating metrics (resolved once).
+    acc_metrics: Vec<usize>,
+    /// Stack of open segment indices (nested/recursive invocations).
+    open: Vec<usize>,
+    /// Segments entered in the current timestamp group.
+    entered: Vec<usize>,
+    /// Segments closed in the current timestamp group.
+    closed: Vec<usize>,
+}
+
+impl<'a> FusedSink<'a> {
+    fn new(process: ProcessId, function: FunctionId, modes: &'a [MetricMode]) -> FusedSink<'a> {
+        let nm = modes.len();
+        FusedSink {
+            process,
+            function,
+            modes,
+            segments: Vec::new(),
+            rows: vec![Vec::new(); nm],
+            acc_start: vec![Vec::new(); nm],
+            last_value: vec![0; nm],
+            tick_sum: vec![0; nm],
+            tick_touched: Vec::new(),
+            acc_metrics: modes
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| matches!(m, MetricMode::Accumulating))
+                .map(|(i, _)| i)
+                .collect(),
+            open: Vec::new(),
+            entered: Vec::new(),
+            closed: Vec::new(),
+        }
+    }
+}
+
+impl ReplayVisitor for FusedSink<'_> {
+    fn on_enter(&mut self, function: FunctionId, _depth: u32, time: Timestamp) {
+        if function != self.function {
+            return;
+        }
+        let index = self.segments.len();
+        self.segments.push(Segment {
+            process: self.process,
+            ordinal: index as u32,
+            enter: time,
+            leave: time, // finalised on close
+            sync: DurationTicks::ZERO,
+        });
+        for m in 0..self.modes.len() {
+            self.rows[m].push(0);
+            self.acc_start[m].push(0);
+        }
+        self.open.push(index);
+        self.entered.push(index);
+    }
+
+    fn on_frame(&mut self, frame: &ClosedFrame) {
+        if frame.function != self.function {
+            return;
+        }
+        let index = self.open.pop().expect("balanced segment frames");
+        let seg = &mut self.segments[index];
+        seg.leave = frame.leave;
+        seg.sync = frame.sync_within;
+        self.closed.push(index);
+    }
+
+    fn on_metric(&mut self, metric: MetricId, _time: Timestamp, value: u64) {
+        let Some(mode) = self.modes.get(metric.index()) else {
+            return; // counters disabled
+        };
+        let m = metric.index();
+        match mode {
+            MetricMode::Accumulating => self.last_value[m] = value,
+            MetricMode::Delta | MetricMode::Gauge => {
+                if self.tick_sum[m] == 0 && !self.tick_touched.contains(&m) {
+                    self.tick_touched.push(m);
+                }
+                self.tick_sum[m] += value;
+            }
+        }
+    }
+
+    fn on_tick(&mut self, _time: Timestamp) {
+        // Delta/gauge samples of this group belong to every segment that
+        // is *still open* at group end: a segment closed in this group
+        // excludes them (`t < leave` is strict) while one entered in this
+        // group includes them (`enter ≤ t`).
+        if !self.tick_touched.is_empty() {
+            for touched in std::mem::take(&mut self.tick_touched) {
+                let sum = std::mem::take(&mut self.tick_sum[touched]);
+                for &index in &self.open {
+                    self.rows[touched][index] += sum;
+                }
+            }
+        }
+        // Accumulating boundary readings use the last sample with
+        // timestamp ≤ boundary — i.e. this group's final value, whatever
+        // the record order within the group was.
+        if !self.entered.is_empty() {
+            for index in std::mem::take(&mut self.entered) {
+                for &m in &self.acc_metrics {
+                    self.acc_start[m][index] = self.last_value[m];
+                }
+            }
+        }
+        if !self.closed.is_empty() {
+            for index in std::mem::take(&mut self.closed) {
+                for &m in &self.acc_metrics {
+                    self.rows[m][index] =
+                        self.last_value[m].saturating_sub(self.acc_start[m][index]);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the fused pass over every process of `trace` on up to
+/// `num_threads` workers (0 = hardware parallelism).
+///
+/// When `with_counters` is false the counter machinery is skipped
+/// entirely and [`FusedSegments::counters`] comes back empty.
+pub fn fuse_segments(
+    trace: &Trace,
+    function: FunctionId,
+    num_threads: usize,
+    with_counters: bool,
+) -> FusedSegments {
+    let registry = trace.registry();
+    let modes: Vec<MetricMode> = if with_counters {
+        registry
+            .metric_ids()
+            .map(|m| registry.metric(m).mode)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let partials = par_map_processes(trace, num_threads, |pid| {
+        let mut sink = FusedSink::new(pid, function, &modes);
+        replay_visit(trace, pid, &mut sink);
+        (sink.segments, sink.rows)
+    });
+
+    let mut per_process = Vec::with_capacity(partials.len());
+    let mut values: Vec<Vec<Vec<u64>>> = vec![Vec::with_capacity(partials.len()); modes.len()];
+    for (segments, rows) in partials {
+        per_process.push(segments);
+        for (m, row) in rows.into_iter().enumerate() {
+            values[m].push(row);
+        }
+    }
+    let segmentation = Segmentation::from_parts(function, per_process);
+    // `values` is empty when counters are disabled, so the zip yields
+    // nothing in that case.
+    let counters = registry
+        .metric_ids()
+        .zip(values)
+        .map(|(metric, vals)| CounterMatrix::from_parts(metric, registry.metric(metric).mode, vals))
+        .collect();
+    FusedSegments {
+        segmentation,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::replay_all;
+    use perfvar_trace::{Clock, FunctionRole, TraceBuilder};
+
+    /// Two processes with nested/recursive segment invocations, all
+    /// three metric modes, boundary-coincident samples, and sync calls.
+    fn tricky_trace() -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("seg", FunctionRole::Compute);
+        let barrier = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+        let acc = b.define_metric("CYC", MetricMode::Accumulating, "cycles");
+        let del = b.define_metric("EXC", MetricMode::Delta, "#");
+        let gauge = b.define_metric("MEM", MetricMode::Gauge, "bytes");
+        for pi in 0..2u64 {
+            let p = b.define_process(format!("rank {pi}"));
+            let w = b.process_mut(p);
+            // Recursive segment: outer [0, 20), inner [2, 8).
+            w.metric(Timestamp(0), acc, 10).unwrap();
+            w.enter(Timestamp(0), f).unwrap();
+            w.metric(Timestamp(0), del, 1).unwrap(); // at enter tick
+            w.enter(Timestamp(2), f).unwrap();
+            w.metric(Timestamp(4), del, 2).unwrap(); // inside both
+            w.enter(Timestamp(5), barrier).unwrap();
+            w.leave(Timestamp(7), barrier).unwrap();
+            w.metric(Timestamp(8), acc, 100 + pi).unwrap();
+            w.leave(Timestamp(8), f).unwrap(); // sample at leave tick:
+            w.metric(Timestamp(8), del, 4).unwrap(); // excluded from inner
+            w.metric(Timestamp(8), gauge, 7).unwrap();
+            w.leave(Timestamp(20), f).unwrap();
+            // Zero-duration segment at 25.
+            w.enter(Timestamp(25), f).unwrap();
+            w.metric(Timestamp(25), acc, 500).unwrap();
+            w.leave(Timestamp(25), f).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fused_matches_materialised_pipeline() {
+        let trace = tricky_trace();
+        let f = trace.registry().function_by_name("seg").unwrap();
+        let replayed = replay_all(&trace);
+        let reference = Segmentation::new(&trace, &replayed, f);
+        for threads in [1usize, 2, 4] {
+            let fused = fuse_segments(&trace, f, threads, true);
+            assert_eq!(fused.segmentation, reference, "threads = {threads}");
+            for (matrix, metric) in fused.counters.iter().zip(trace.registry().metric_ids()) {
+                let batch = CounterMatrix::for_segments(&trace, &reference, metric);
+                assert_eq!(matrix, &batch, "metric {metric:?}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_samples_follow_timestamp_semantics() {
+        let trace = tricky_trace();
+        let f = trace.registry().function_by_name("seg").unwrap();
+        let fused = fuse_segments(&trace, f, 1, true);
+        let del = &fused.counters[1];
+        // Outer segment [0,20): samples 1 + 2 + 4 (the leave-tick sample
+        // of the *inner* segment still falls inside the outer one).
+        assert_eq!(del.value(ProcessId(0), 0), Some(7));
+        // Inner segment [2,8): sample 2 only; the t = 8 sample is out.
+        assert_eq!(del.value(ProcessId(0), 1), Some(2));
+        let acc = &fused.counters[0];
+        // Outer: reading_at(20) − reading_at(0) = 100 − 10.
+        assert_eq!(acc.value(ProcessId(0), 0), Some(90));
+        // Inner [2,8): reading_at(8) = 100 (the sample *at* the leave
+        // tick counts for accumulating readings) minus reading_at(2) = 10.
+        assert_eq!(acc.value(ProcessId(0), 1), Some(90));
+        // Zero-duration segment: both boundaries read the same sample.
+        assert_eq!(acc.value(ProcessId(0), 2), Some(0));
+        assert_eq!(del.value(ProcessId(0), 2), Some(0));
+    }
+
+    #[test]
+    fn counters_disabled_skips_attribution() {
+        let trace = tricky_trace();
+        let f = trace.registry().function_by_name("seg").unwrap();
+        let fused = fuse_segments(&trace, f, 2, false);
+        assert!(fused.counters.is_empty());
+        assert_eq!(fused.segmentation.len(), 6);
+    }
+}

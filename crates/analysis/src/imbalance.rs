@@ -18,7 +18,7 @@ use perfvar_trace::{DurationTicks, ProcessId};
 use serde::{Deserialize, Serialize};
 
 /// Detection thresholds.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ImbalanceConfig {
     /// Robust z-score above which a segment/process is an outlier.
     pub z_threshold: f64,
@@ -61,7 +61,7 @@ pub struct Trend {
 }
 
 /// The result of imbalance detection on one SOS matrix.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ImbalanceAnalysis {
     /// Flagged segments, highest score first.
     pub segment_outliers: Vec<Outlier>,

@@ -44,6 +44,7 @@ pub mod compare;
 pub mod counters;
 pub mod dominant;
 pub mod findings;
+pub mod fused;
 pub mod imbalance;
 pub mod invocation;
 pub mod messages;
@@ -53,6 +54,7 @@ pub mod profile;
 pub mod report;
 pub mod segment;
 pub mod sos;
+pub mod stream;
 pub mod waitstates;
 
 /// Convenient glob-import of the analysis pipeline.
@@ -63,14 +65,16 @@ pub mod prelude {
     pub use crate::counters::{correlate_with_sos, CounterMatrix};
     pub use crate::dominant::{DominantRanking, DominantSelection};
     pub use crate::findings::{auto_refine, findings, Finding, FindingKind};
+    pub use crate::fused::{fuse_segments, FusedSegments};
     pub use crate::imbalance::{ImbalanceAnalysis, Outlier, WasteAnalysis};
     pub use crate::invocation::{Invocation, ProcessInvocations};
     pub use crate::messages::{CommMatrix, MatchedMessage, MessageAnalysis};
     pub use crate::phases::{Phase, PhaseConfig, PhaseDetection};
     pub use crate::profile::FunctionProfile;
-    pub use crate::report::{analyze, Analysis, AnalysisConfig, AnalysisError};
+    pub use crate::report::{analyze, analyze_reference, Analysis, AnalysisConfig, AnalysisError};
     pub use crate::segment::{Segment, Segmentation};
     pub use crate::sos::SosMatrix;
+    pub use crate::stream::{replay_visit, ClosedFrame, ReplayVisitor};
     pub use crate::waitstates::{ProcessWaitStates, WaitStateAnalysis};
 }
 
@@ -79,9 +83,11 @@ pub use clustering::ProcessClustering;
 pub use compare::RunComparison;
 pub use counters::CounterMatrix;
 pub use dominant::{DominantRanking, DominantSelection};
+pub use fused::{fuse_segments, FusedSegments};
 pub use imbalance::ImbalanceAnalysis;
 pub use invocation::{Invocation, ProcessInvocations};
 pub use profile::FunctionProfile;
-pub use report::{analyze, Analysis, AnalysisConfig, AnalysisError};
+pub use report::{analyze, analyze_reference, Analysis, AnalysisConfig, AnalysisError};
 pub use segment::{Segment, Segmentation};
 pub use sos::SosMatrix;
+pub use stream::{replay_visit, ClosedFrame, ReplayVisitor};

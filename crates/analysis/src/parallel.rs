@@ -1,9 +1,11 @@
-//! Multi-threaded call-stack replay.
+//! Multi-threaded drivers for per-process pipeline stages.
 //!
-//! Replay is embarrassingly parallel across processes (each stream is
-//! independent), which matters for the paper's large traces (hundreds of
-//! ranks, millions of events). [`replay_all_parallel`] fans the streams
-//! out over crossbeam scoped threads; results land in process order.
+//! Replay — and, since the fused streaming engine, every other
+//! per-process stage — is embarrassingly parallel across processes (each
+//! stream is independent), which matters for the paper's large traces
+//! (hundreds of ranks, millions of events). [`par_map_processes`] fans
+//! the processes out over `std::thread::scope` workers; results land in
+//! process order. [`replay_all_parallel`] is the replay instantiation.
 //!
 //! The sequential [`replay_all`](crate::invocation::replay_all) remains
 //! the reference implementation; an equivalence property test lives in
@@ -12,43 +14,62 @@
 use crate::invocation::{replay_process, ProcessInvocations};
 use perfvar_trace::{ProcessId, Trace};
 
-/// Replays all processes using up to `num_threads` worker threads.
-///
-/// `num_threads == 0` selects the available hardware parallelism. Falls
-/// back to sequential replay for single-process traces or one thread.
-pub fn replay_all_parallel(trace: &Trace, num_threads: usize) -> Vec<ProcessInvocations> {
-    let p = trace.num_processes();
+/// Resolves a configured thread count: `0` means "use the hardware",
+/// and there is never a point in more workers than processes.
+pub fn resolve_threads(num_threads: usize, num_processes: usize) -> usize {
     let threads = if num_threads == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     } else {
         num_threads
-    }
-    .min(p.max(1));
+    };
+    threads.min(num_processes.max(1))
+}
+
+/// Maps `work` over every process of `trace` on up to `num_threads`
+/// scoped worker threads, returning results in process order.
+///
+/// `num_threads == 0` selects the available hardware parallelism. Runs
+/// inline (no threads spawned) for single-process traces or one thread.
+pub fn par_map_processes<T, F>(trace: &Trace, num_threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(ProcessId) -> T + Sync,
+{
+    let p = trace.num_processes();
+    let threads = resolve_threads(num_threads, p);
 
     if threads <= 1 || p <= 1 {
-        return crate::invocation::replay_all(trace);
+        return (0..p).map(|i| work(ProcessId::from_index(i))).collect();
     }
 
-    let mut results: Vec<Option<ProcessInvocations>> = (0..p).map(|_| None).collect();
+    let mut results: Vec<Option<T>> = (0..p).map(|_| None).collect();
     // Distribute contiguous chunks of processes to workers.
     let chunk = p.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    let work = &work;
+    std::thread::scope(|scope| {
         for (worker, slot_chunk) in results.chunks_mut(chunk).enumerate() {
             let start = worker * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (offset, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(replay_process(trace, ProcessId::from_index(start + offset)));
+                    *slot = Some(work(ProcessId::from_index(start + offset)));
                 }
             });
         }
-    })
-    .expect("replay worker panicked");
+    });
     results
         .into_iter()
-        .map(|r| r.expect("every process replayed"))
+        .map(|r| r.expect("every process visited"))
         .collect()
+}
+
+/// Replays all processes using up to `num_threads` worker threads.
+///
+/// `num_threads == 0` selects the available hardware parallelism. Falls
+/// back to sequential replay for single-process traces or one thread.
+pub fn replay_all_parallel(trace: &Trace, num_threads: usize) -> Vec<ProcessInvocations> {
+    par_map_processes(trace, num_threads, |pid| replay_process(trace, pid))
 }
 
 #[cfg(test)]
@@ -109,5 +130,12 @@ mod tests {
         for (i, inv) in par.iter().enumerate() {
             assert_eq!(inv.process, ProcessId::from_index(i));
         }
+    }
+
+    #[test]
+    fn par_map_runs_every_process_once() {
+        let trace = many_process_trace(9);
+        let ids = par_map_processes(&trace, 4, |pid| pid.index());
+        assert_eq!(ids, (0..9).collect::<Vec<_>>());
     }
 }

@@ -13,6 +13,8 @@
 //! ranking is unaffected as long as recursion does not dominate the run.
 
 use crate::invocation::ProcessInvocations;
+use crate::parallel::par_map_processes;
+use crate::stream::{replay_visit, ClosedFrame, ReplayVisitor};
 use perfvar_trace::{DurationTicks, FunctionId, Trace};
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +63,59 @@ impl ProfileTable {
                 if c > 0 {
                     profiles[f].processes += 1;
                     profiles[f].max_count_per_process = profiles[f].max_count_per_process.max(c);
+                }
+            }
+        }
+        ProfileTable { profiles }
+    }
+
+    /// Builds the table in one streaming pass per process, without
+    /// materialising invocations, on up to `num_threads` workers
+    /// (0 = hardware parallelism).
+    ///
+    /// Produces exactly the same table as
+    /// [`from_invocations`](ProfileTable::from_invocations) over
+    /// [`replay_all`](crate::invocation::replay_all) — per-function sums
+    /// are merged per process, in process order — but each worker only
+    /// holds `O(functions + stack depth)` state.
+    pub fn stream(trace: &Trace, num_threads: usize) -> ProfileTable {
+        /// Per-process partial aggregates, one row per function.
+        #[derive(Clone, Default)]
+        struct Row {
+            count: u64,
+            inclusive: u64,
+            exclusive: u64,
+        }
+        struct ProfileSink {
+            rows: Vec<Row>,
+        }
+        impl ReplayVisitor for ProfileSink {
+            fn on_frame(&mut self, frame: &ClosedFrame) {
+                let row = &mut self.rows[frame.function.index()];
+                row.count += 1;
+                row.inclusive += frame.inclusive().0;
+                row.exclusive += frame.exclusive().0;
+            }
+        }
+
+        let nf = trace.registry().num_functions();
+        let partials = par_map_processes(trace, num_threads, |pid| {
+            let mut sink = ProfileSink {
+                rows: vec![Row::default(); nf],
+            };
+            replay_visit(trace, pid, &mut sink);
+            sink.rows
+        });
+        let mut profiles = vec![FunctionProfile::default(); nf];
+        for rows in partials {
+            for (f, row) in rows.into_iter().enumerate() {
+                let p = &mut profiles[f];
+                p.count += row.count;
+                p.inclusive += DurationTicks(row.inclusive);
+                p.exclusive += DurationTicks(row.exclusive);
+                if row.count > 0 {
+                    p.processes += 1;
+                    p.max_count_per_process = p.max_count_per_process.max(row.count);
                 }
             }
         }
@@ -196,6 +251,15 @@ pub(crate) mod tests {
                 .map(|inv| inv.exclusive())
                 .sum();
             assert_eq!(total_exclusive, DurationTicks(18));
+        }
+    }
+
+    #[test]
+    fn streaming_table_equals_materialised_table() {
+        let trace = fig2_trace();
+        let reference = ProfileTable::from_invocations(&trace, &replay_all(&trace));
+        for threads in [1usize, 2, 8] {
+            assert_eq!(ProfileTable::stream(&trace, threads), reference);
         }
     }
 

@@ -1,14 +1,21 @@
 //! The one-stop analysis pipeline and hotspot report.
 //!
-//! [`analyze`] chains the paper's steps: replay → profile →
-//! dominant-function selection → segmentation → SOS matrix → imbalance
-//! detection → counter attribution/correlation. The resulting
-//! [`Analysis`] is a self-contained value (serialisable to JSON by the
-//! CLI) and can be *refined* to a finer segmentation function, exactly as
-//! the analyst does in the paper's case study B.
+//! [`analyze`] chains the paper's steps: profile → dominant-function
+//! selection → segmentation → SOS matrix → imbalance detection →
+//! counter attribution/correlation. The default path is *fused*: every
+//! per-process stage streams over the event stream once (see
+//! [`crate::stream`] and [`crate::fused`]) on
+//! [`AnalysisConfig::threads`] workers. [`analyze_reference`] runs the
+//! original materialising pipeline — replay into invocation lists, then
+//! rescan — and is kept as the executable specification the fused path
+//! is property-tested against. The resulting [`Analysis`] is a
+//! self-contained value (serialisable to JSON by the CLI) and can be
+//! *refined* to a finer segmentation function, exactly as the analyst
+//! does in the paper's case study B.
 
 use crate::counters::{correlate_with_sos, CounterMatrix};
 use crate::dominant::{DominantRanking, DominantSelection};
+use crate::fused::fuse_segments;
 use crate::imbalance::{ImbalanceAnalysis, ImbalanceConfig, WasteAnalysis};
 use crate::parallel::replay_all_parallel;
 use crate::profile::ProfileTable;
@@ -29,7 +36,8 @@ pub struct AnalysisConfig {
     pub segment_function: Option<String>,
     /// Imbalance detection thresholds.
     pub imbalance: ImbalanceConfig,
-    /// Worker threads for replay (0 = hardware parallelism).
+    /// Worker threads for every per-process pipeline stage
+    /// (0 = hardware parallelism).
     pub threads: usize,
     /// Attribute and correlate every metric channel in the trace.
     pub analyze_counters: bool,
@@ -80,7 +88,7 @@ impl fmt::Display for AnalysisError {
 impl std::error::Error for AnalysisError {}
 
 /// Counter attribution of one metric channel.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CounterAnalysis {
     /// The channel.
     pub metric: MetricId,
@@ -91,7 +99,11 @@ pub struct CounterAnalysis {
 }
 
 /// The complete result of the paper's analysis pipeline on one trace.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every component bit-for-bit; the equivalence
+/// property tests rely on it to hold the fused and reference pipelines
+/// (and runs at different thread counts) equal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Analysis {
     /// Name of the analysed trace.
     pub trace_name: String,
@@ -114,47 +126,47 @@ pub struct Analysis {
     pub counters: Vec<CounterAnalysis>,
 }
 
-/// Runs the full pipeline on `trace`.
-pub fn analyze(trace: &Trace, config: &AnalysisConfig) -> Result<Analysis, AnalysisError> {
-    let replayed = replay_all_parallel(trace, config.threads);
-    let profiles = ProfileTable::from_invocations(trace, &replayed);
-    let ranking = DominantRanking::with_multiplier(trace, &profiles, config.dominant_multiplier);
-    let dominant = ranking.selection();
-
-    let function = match &config.segment_function {
+/// Resolves the segmentation function: the configured override, or the
+/// selected dominant function.
+fn segmentation_function(
+    trace: &Trace,
+    dominant: &DominantSelection,
+    config: &AnalysisConfig,
+) -> Result<FunctionId, AnalysisError> {
+    match &config.segment_function {
         Some(name) => trace
             .registry()
             .function_by_name(name)
-            .ok_or_else(|| AnalysisError::UnknownFunction(name.clone()))?,
+            .ok_or_else(|| AnalysisError::UnknownFunction(name.clone())),
         None => dominant.function.ok_or(AnalysisError::NoDominantFunction {
             required_invocations: dominant.required_invocations,
-        })?,
-    };
+        }),
+    }
+}
 
-    let segmentation = Segmentation::new(trace, &replayed, function);
+/// Derives the downstream results shared by both pipeline variants from
+/// a segmentation and its counter matrices.
+fn assemble(
+    trace: &Trace,
+    config: &AnalysisConfig,
+    dominant: DominantSelection,
+    function: FunctionId,
+    profiles: ProfileTable,
+    segmentation: Segmentation,
+    counter_matrices: Vec<CounterMatrix>,
+) -> Analysis {
     let sos = SosMatrix::from_segmentation(&segmentation);
     let imbalance = ImbalanceAnalysis::detect(&sos, config.imbalance);
     let waste = WasteAnalysis::compute(&sos);
-
-    let counters = if config.analyze_counters {
-        trace
-            .registry()
-            .metric_ids()
-            .map(|m| {
-                let matrix = CounterMatrix::for_segments(trace, &segmentation, m);
-                let sos_correlation = correlate_with_sos(&matrix, &sos);
-                CounterAnalysis {
-                    metric: m,
-                    matrix,
-                    sos_correlation,
-                }
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-
-    Ok(Analysis {
+    let counters = counter_matrices
+        .into_iter()
+        .map(|matrix| CounterAnalysis {
+            metric: matrix.metric,
+            sos_correlation: correlate_with_sos(&matrix, &sos),
+            matrix,
+        })
+        .collect();
+    Analysis {
         trace_name: trace.name.clone(),
         dominant,
         function,
@@ -164,7 +176,71 @@ pub fn analyze(trace: &Trace, config: &AnalysisConfig) -> Result<Analysis, Analy
         imbalance,
         waste,
         counters,
-    })
+    }
+}
+
+/// Runs the full pipeline on `trace` — the fused streaming path.
+///
+/// Each per-process stage is a single pass over the process's event
+/// stream on [`AnalysisConfig::threads`] workers: one pass builds the
+/// profile table for dominant-function selection, a second fused pass
+/// produces segments, SOS inputs and every counter channel at once.
+/// Memory per worker is `O(stack depth + segments + functions)` instead
+/// of `O(invocations)`. The result is identical to
+/// [`analyze_reference`] (property-tested in `tests/properties.rs`).
+pub fn analyze(trace: &Trace, config: &AnalysisConfig) -> Result<Analysis, AnalysisError> {
+    let profiles = ProfileTable::stream(trace, config.threads);
+    let ranking = DominantRanking::with_multiplier(trace, &profiles, config.dominant_multiplier);
+    let dominant = ranking.selection();
+    let function = segmentation_function(trace, &dominant, config)?;
+
+    let fused = fuse_segments(trace, function, config.threads, config.analyze_counters);
+    Ok(assemble(
+        trace,
+        config,
+        dominant,
+        function,
+        profiles,
+        fused.segmentation,
+        fused.counters,
+    ))
+}
+
+/// Runs the full pipeline via the materialising reference implementation:
+/// replay every process into invocation lists, then derive the profile,
+/// segmentation and counter matrices from rescans.
+///
+/// Kept as the executable specification of the pipeline semantics; the
+/// fused [`analyze`] must produce bit-identical results.
+pub fn analyze_reference(
+    trace: &Trace,
+    config: &AnalysisConfig,
+) -> Result<Analysis, AnalysisError> {
+    let replayed = replay_all_parallel(trace, config.threads);
+    let profiles = ProfileTable::from_invocations(trace, &replayed);
+    let ranking = DominantRanking::with_multiplier(trace, &profiles, config.dominant_multiplier);
+    let dominant = ranking.selection();
+    let function = segmentation_function(trace, &dominant, config)?;
+
+    let segmentation = Segmentation::new(trace, &replayed, function);
+    let counter_matrices = if config.analyze_counters {
+        trace
+            .registry()
+            .metric_ids()
+            .map(|m| CounterMatrix::for_segments(trace, &segmentation, m))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Ok(assemble(
+        trace,
+        config,
+        dominant,
+        function,
+        profiles,
+        segmentation,
+        counter_matrices,
+    ))
 }
 
 impl Analysis {
@@ -445,5 +521,44 @@ mod tests {
         };
         let a = analyze(&trace, &cfg).unwrap();
         assert!(a.counters.is_empty());
+    }
+
+    #[test]
+    fn fused_equals_reference_pipeline() {
+        let trace = pipeline_trace();
+        for analyze_counters in [true, false] {
+            let cfg = AnalysisConfig {
+                analyze_counters,
+                ..AnalysisConfig::default()
+            };
+            assert_eq!(
+                analyze(&trace, &cfg).unwrap(),
+                analyze_reference(&trace, &cfg).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_analysis() {
+        let trace = pipeline_trace();
+        let at = |threads| {
+            let cfg = AnalysisConfig {
+                threads,
+                ..AnalysisConfig::default()
+            };
+            analyze(&trace, &cfg).unwrap()
+        };
+        let single = at(1);
+        assert_eq!(single, at(8));
+        assert_eq!(single, at(0));
+        let reference = |threads| {
+            let cfg = AnalysisConfig {
+                threads,
+                ..AnalysisConfig::default()
+            };
+            analyze_reference(&trace, &cfg).unwrap()
+        };
+        assert_eq!(reference(1), reference(8));
+        assert_eq!(single, reference(8));
     }
 }

@@ -85,6 +85,15 @@ impl Segmentation {
         }
     }
 
+    /// Assembles a segmentation from per-process rows built elsewhere
+    /// (the fused streaming pass in [`crate::fused`]).
+    pub(crate) fn from_parts(function: FunctionId, per_process: Vec<Vec<Segment>>) -> Segmentation {
+        Segmentation {
+            function,
+            per_process,
+        }
+    }
+
     /// Number of processes covered.
     pub fn num_processes(&self) -> usize {
         self.per_process.len()

@@ -1,0 +1,266 @@
+//! Streaming call-stack replay: the single-pass visitor engine.
+//!
+//! [`replay_visit`] drives the same Fig. 1 stack machine as
+//! [`replay_process`](crate::invocation::replay_process) but never
+//! materialises invocations: instead it pushes each completed frame (and
+//! every metric sample and timestamp-group boundary) into a
+//! [`ReplayVisitor`] sink. Memory stays `O(stack depth)` regardless of
+//! trace length, which is what lets the fused pipeline
+//! ([`crate::fused`]) analyse a process's stream in one pass.
+//!
+//! The visitor contract mirrors the event stream:
+//!
+//! * [`on_enter`](ReplayVisitor::on_enter) fires for every `Enter`
+//!   record, *before* the frame is pushed (so sinks observe enter order —
+//!   depth-first pre-order of the call tree).
+//! * [`on_frame`](ReplayVisitor::on_frame) fires for every `Leave`
+//!   record with the completed frame's full timing split (inclusive,
+//!   children-inclusive, contained synchronization) — exactly the fields
+//!   an [`Invocation`](crate::invocation::Invocation) would carry.
+//! * [`on_metric`](ReplayVisitor::on_metric) fires for every counter
+//!   sample in stream order.
+//! * [`on_tick`](ReplayVisitor::on_tick) fires once per *timestamp
+//!   group*: after the last record carrying a given timestamp and before
+//!   the first record of a later one (and once more at end of stream).
+//!   Counter attribution is defined over timestamps, not record order,
+//!   so sinks that must match the batch semantics bit-for-bit resolve
+//!   boundary readings here.
+//! * [`on_finish`](ReplayVisitor::on_finish) fires after the last tick.
+
+use perfvar_trace::{DurationTicks, Event, FunctionId, MetricId, ProcessId, Timestamp, Trace};
+
+/// A completed stack frame, reported by [`replay_visit`] on `Leave`.
+///
+/// Carries the same timing split as a materialised
+/// [`Invocation`](crate::invocation::Invocation) minus the parent index
+/// (sinks that need parent links can maintain their own index stack from
+/// `on_enter`/`on_frame` pairing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClosedFrame {
+    /// The function the frame executed.
+    pub function: FunctionId,
+    /// Call-stack depth (0 = top level).
+    pub depth: u32,
+    /// Enter timestamp.
+    pub enter: Timestamp,
+    /// Leave timestamp.
+    pub leave: Timestamp,
+    /// Total inclusive time of direct children.
+    pub children_inclusive: DurationTicks,
+    /// Synchronization/communication time contained in the frame (its
+    /// own inclusive time if its role is synchronizing).
+    pub sync_within: DurationTicks,
+}
+
+impl ClosedFrame {
+    /// Inclusive time: full duration from enter to leave.
+    #[inline]
+    pub fn inclusive(&self) -> DurationTicks {
+        self.leave.since(self.enter)
+    }
+
+    /// Exclusive time: inclusive minus direct children.
+    #[inline]
+    pub fn exclusive(&self) -> DurationTicks {
+        self.inclusive().saturating_sub(self.children_inclusive)
+    }
+}
+
+/// Sink for one streaming pass over a process's event stream.
+///
+/// All methods default to no-ops so sinks implement only what they fold.
+pub trait ReplayVisitor {
+    /// A frame is about to be pushed (an `Enter` record).
+    fn on_enter(&mut self, function: FunctionId, depth: u32, time: Timestamp) {
+        let _ = (function, depth, time);
+    }
+
+    /// A frame completed (a `Leave` record), with its full timing split.
+    fn on_frame(&mut self, frame: &ClosedFrame) {
+        let _ = frame;
+    }
+
+    /// A metric channel sample.
+    fn on_metric(&mut self, metric: MetricId, time: Timestamp, value: u64) {
+        let _ = (metric, time, value);
+    }
+
+    /// All records carrying timestamp `time` have been delivered.
+    fn on_tick(&mut self, time: Timestamp) {
+        let _ = time;
+    }
+
+    /// End of stream.
+    fn on_finish(&mut self) {}
+}
+
+/// Replays one process's stream through `visitor` in a single pass.
+///
+/// Implements the same semantics as
+/// [`replay_process`](crate::invocation::replay_process) (the
+/// materialising reference): sync time is the frame's own inclusive time
+/// for synchronization-role functions, else the sum contributed by its
+/// descendants, counted once.
+pub fn replay_visit<V: ReplayVisitor>(trace: &Trace, process: ProcessId, visitor: &mut V) {
+    struct Frame {
+        function: FunctionId,
+        enter: Timestamp,
+        children_inclusive: u64,
+        sync_within: u64,
+    }
+    let registry = trace.registry();
+    let stream = trace.stream(process);
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut tick: Option<Timestamp> = None;
+    for record in stream.records() {
+        match tick {
+            Some(t) if t != record.time => visitor.on_tick(t),
+            _ => {}
+        }
+        tick = Some(record.time);
+        match record.event {
+            Event::Enter { function } => {
+                visitor.on_enter(function, stack.len() as u32, record.time);
+                stack.push(Frame {
+                    function,
+                    enter: record.time,
+                    children_inclusive: 0,
+                    sync_within: 0,
+                });
+            }
+            Event::Leave { function } => {
+                let frame = stack.pop().expect("validated trace: balanced leave");
+                debug_assert_eq!(frame.function, function, "validated trace: matching leave");
+                let inclusive = record.time.since(frame.enter).0;
+                let sync = if registry.function_role(function).is_synchronization() {
+                    inclusive
+                } else {
+                    frame.sync_within
+                };
+                if let Some(parent) = stack.last_mut() {
+                    parent.children_inclusive += inclusive;
+                    parent.sync_within += sync;
+                }
+                visitor.on_frame(&ClosedFrame {
+                    function,
+                    depth: stack.len() as u32,
+                    enter: frame.enter,
+                    leave: record.time,
+                    children_inclusive: DurationTicks(frame.children_inclusive),
+                    sync_within: DurationTicks(sync),
+                });
+            }
+            Event::Metric { metric, value } => visitor.on_metric(metric, record.time, value),
+            _ => {}
+        }
+    }
+    debug_assert!(stack.is_empty(), "validated trace: balanced stream");
+    if let Some(t) = tick {
+        visitor.on_tick(t);
+    }
+    visitor.on_finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::replay_process;
+    use perfvar_trace::{Clock, FunctionRole, MetricMode, TraceBuilder};
+
+    /// Sink that records every callback, for driver-contract tests.
+    #[derive(Default)]
+    struct Recorder {
+        enters: Vec<(FunctionId, u32, u64)>,
+        frames: Vec<ClosedFrame>,
+        metrics: Vec<(MetricId, u64, u64)>,
+        ticks: Vec<u64>,
+        finished: bool,
+    }
+
+    impl ReplayVisitor for Recorder {
+        fn on_enter(&mut self, function: FunctionId, depth: u32, time: Timestamp) {
+            self.enters.push((function, depth, time.0));
+        }
+        fn on_frame(&mut self, frame: &ClosedFrame) {
+            self.frames.push(*frame);
+        }
+        fn on_metric(&mut self, metric: MetricId, time: Timestamp, value: u64) {
+            self.metrics.push((metric, time.0, value));
+        }
+        fn on_tick(&mut self, time: Timestamp) {
+            self.ticks.push(time.0);
+        }
+        fn on_finish(&mut self) {
+            self.finished = true;
+        }
+    }
+
+    fn nested_trace() -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let outer = b.define_function("outer", FunctionRole::Compute);
+        let barrier = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+        let m = b.define_metric("EXC", MetricMode::Delta, "#");
+        let p = b.define_process("p0");
+        let w = b.process_mut(p);
+        w.enter(Timestamp(0), outer).unwrap();
+        w.metric(Timestamp(0), m, 3).unwrap();
+        w.enter(Timestamp(2), barrier).unwrap();
+        w.leave(Timestamp(5), barrier).unwrap();
+        w.metric(Timestamp(5), m, 4).unwrap();
+        w.leave(Timestamp(9), outer).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn callbacks_follow_the_stream() {
+        let trace = nested_trace();
+        let mut r = Recorder::default();
+        replay_visit(&trace, ProcessId(0), &mut r);
+        assert_eq!(r.enters.len(), 2);
+        assert_eq!(r.enters[0].1, 0); // outer at depth 0
+        assert_eq!(r.enters[1].1, 1); // barrier at depth 1
+        assert_eq!(r.metrics, vec![(MetricId(0), 0, 3), (MetricId(0), 5, 4)]);
+        // Tick groups: 0, 2, 5, 9 (one per distinct timestamp).
+        assert_eq!(r.ticks, vec![0, 2, 5, 9]);
+        assert!(r.finished);
+    }
+
+    #[test]
+    fn frames_match_materialised_replay() {
+        let trace = nested_trace();
+        let mut r = Recorder::default();
+        replay_visit(&trace, ProcessId(0), &mut r);
+        let reference = replay_process(&trace, ProcessId(0));
+        // Frames arrive in leave order; compare against the invocations
+        // sorted the same way.
+        assert_eq!(r.frames.len(), reference.len());
+        for frame in &r.frames {
+            let inv = reference
+                .invocations()
+                .iter()
+                .find(|i| i.function == frame.function && i.enter == frame.enter)
+                .expect("frame has a matching invocation");
+            assert_eq!(frame.depth, inv.depth);
+            assert_eq!(frame.leave, inv.leave);
+            assert_eq!(frame.children_inclusive, inv.children_inclusive);
+            assert_eq!(frame.sync_within, inv.sync_within);
+            assert_eq!(frame.inclusive(), inv.inclusive());
+            assert_eq!(frame.exclusive(), inv.exclusive());
+        }
+        // The barrier closed first (leave order) and carries its own
+        // inclusive time as sync.
+        assert_eq!(r.frames[0].sync_within, DurationTicks(3));
+        assert_eq!(r.frames[1].sync_within, DurationTicks(3));
+    }
+
+    #[test]
+    fn empty_stream_only_finishes() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        b.define_process("p0");
+        let trace = b.finish().unwrap();
+        let mut r = Recorder::default();
+        replay_visit(&trace, ProcessId(0), &mut r);
+        assert!(r.enters.is_empty() && r.frames.is_empty() && r.ticks.is_empty());
+        assert!(r.finished);
+    }
+}

@@ -110,6 +110,43 @@ fn bench_extensions(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_analyze_pipeline(c: &mut Criterion) {
+    use perfvar_analysis::{analyze, analyze_reference, AnalysisConfig};
+
+    let mut g = c.benchmark_group("analyze_pipeline");
+    g.sample_size(10);
+    for (ranks, iterations) in [(64usize, 200usize), (256, 50)] {
+        let trace = stencil_trace(ranks, iterations);
+        let events = trace.num_events() as u64;
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(
+            BenchmarkId::new("reference_sequential", ranks),
+            &trace,
+            |b, trace| {
+                let cfg = AnalysisConfig {
+                    threads: 1,
+                    ..AnalysisConfig::default()
+                };
+                b.iter(|| analyze_reference(black_box(trace), &cfg).unwrap())
+            },
+        );
+        for threads in [2usize, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("fused_{ranks}ranks_threads"), threads),
+                &trace,
+                |b, trace| {
+                    let cfg = AnalysisConfig {
+                        threads,
+                        ..AnalysisConfig::default()
+                    };
+                    b.iter(|| analyze(black_box(trace), &cfg).unwrap())
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_streaming_read(c: &mut Criterion) {
     use perfvar_trace::format::pvt;
     let mut g = c.benchmark_group("streaming_read");
@@ -136,6 +173,7 @@ criterion_group!(
     bench_dominant_selection,
     bench_sos_computation,
     bench_extensions,
+    bench_analyze_pipeline,
     bench_streaming_read
 );
 criterion_main!(benches);

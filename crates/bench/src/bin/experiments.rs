@@ -75,6 +75,7 @@ fn main() {
     ablation_sos_vs_durations(&mut report);
     robustness_noise_sweep(&mut report);
     scaling_sweep(&mut report);
+    pipeline_benchmark(&mut report, &out_dir);
 
     let json = report.to_json();
     std::fs::write(out_dir.join("summary.json"), &json).unwrap();
@@ -497,6 +498,112 @@ fn robustness_noise_sweep(report: &mut Report) {
         "the 4× outlier stays detectable above realistic noise floors",
         rows.join(", "),
         all_ok,
+    );
+}
+
+// ───────────────────── pipeline benchmark ─────────────────────
+
+/// Benchmarks the fused streaming pipeline against the materialising
+/// reference on the 64-rank counter stencil and writes
+/// `BENCH_pipeline.json` (events/sec, per-thread-count times, speedup,
+/// peak live-state sizes).
+fn pipeline_benchmark(report: &mut Report, out_dir: &Path) {
+    use perfvar_analysis::prelude::{analyze_reference, replay_visit, ReplayVisitor};
+    use perfvar_trace::FunctionId;
+    use std::time::Instant;
+
+    let trace = perfvar_bench::counter_stencil_trace(64, 200);
+    let events = trace.num_events() as u64;
+    let cfg_at = |threads| AnalysisConfig {
+        threads,
+        ..AnalysisConfig::default()
+    };
+
+    // Best-of-N wall time for one pipeline run.
+    let time_of = |f: &dyn Fn()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let reference_s = time_of(&|| {
+        analyze_reference(&trace, &cfg_at(1)).unwrap();
+    });
+    let mut fused_s = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let t = time_of(&|| {
+            analyze(&trace, &cfg_at(threads)).unwrap();
+        });
+        fused_s.push((threads, t));
+    }
+    let fused_best = fused_s
+        .iter()
+        .map(|(_, t)| *t)
+        .fold(f64::INFINITY, f64::min);
+    let fused_at_8 = fused_s.iter().find(|(n, _)| *n == 8).unwrap().1;
+    let speedup = reference_s / fused_at_8;
+
+    // Peak working-set sizes: the reference materialises every
+    // invocation; a fused worker holds only the live stack plus its
+    // per-function rows and the segments of its own process.
+    let analysis = analyze(&trace, &cfg_at(0)).unwrap();
+    let replayed = perfvar_analysis::invocation::replay_all(&trace);
+    let reference_peak: usize = replayed.iter().map(|p| p.invocations().len()).sum();
+    struct DepthMeter {
+        max_depth: usize,
+    }
+    impl ReplayVisitor for DepthMeter {
+        fn on_enter(&mut self, _f: FunctionId, depth: u32, _t: Timestamp) {
+            self.max_depth = self.max_depth.max(depth as usize + 1);
+        }
+    }
+    let mut meter = DepthMeter { max_depth: 0 };
+    for pid in trace.registry().process_ids() {
+        replay_visit(&trace, pid, &mut meter);
+    }
+    let max_segments_per_process = analysis.segmentation.max_segments_per_process();
+    let fused_peak = meter.max_depth + max_segments_per_process + trace.registry().num_functions();
+
+    let json = serde_json::json!({
+        "trace": serde_json::json!({
+            "workload": "counter-stencil",
+            "ranks": 64,
+            "iterations": 200,
+            "events": events,
+            "metrics": trace.registry().num_metrics(),
+        }),
+        "reference_sequential_s": reference_s,
+        "fused_s": fused_s
+            .iter()
+            .map(|(n, t)| serde_json::json!({"threads": n, "seconds": t}))
+            .collect::<Vec<_>>(),
+        "fused_events_per_sec": events as f64 / fused_best,
+        "speedup_fused8_vs_reference": speedup,
+        "peak_invocations": serde_json::json!({
+            "reference_materialised": reference_peak,
+            "fused_per_worker_live": fused_peak,
+        }),
+    });
+    let path = out_dir.join("BENCH_pipeline.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()).unwrap();
+    println!("    benchmark → {}", path.display());
+
+    report.check(
+        "PIPELINE fused streaming vs materialising reference",
+        "fused analyze() ≥1.5× faster; worker state shrinks from \
+         O(invocations) to O(stack + segments + functions)",
+        format!(
+            "reference {:.3} s, fused@8 {:.3} s ({speedup:.2}×); \
+             {:.1}M events/s; peak state {reference_peak} invocations → {fused_peak} rows",
+            reference_s,
+            fused_at_8,
+            events as f64 / fused_best / 1e6,
+        ),
+        speedup >= 1.5 && fused_peak < reference_peak / 100,
     );
 }
 

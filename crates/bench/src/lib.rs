@@ -8,10 +8,10 @@
 #![forbid(unsafe_code)]
 
 use perfvar_analysis::{analyze, Analysis, AnalysisConfig};
-use perfvar_sim::simulate;
 use perfvar_sim::workloads::Workload;
 use perfvar_sim::workloads::{BalancedStencil, CosmoSpecs, CosmoSpecsFd4, SingleOutlier, Wrf};
-use perfvar_trace::Trace;
+use perfvar_sim::{simulate, CommParams, Program, SpecBuilder};
+use perfvar_trace::{Clock, FunctionRole, MetricMode, Trace};
 
 /// The COSMO-SPECS trace at paper scale (100 ranks, 60 iterations).
 pub fn fig4_trace() -> Trace {
@@ -32,6 +32,45 @@ pub fn fig6_trace() -> Trace {
 /// benches).
 pub fn stencil_trace(ranks: usize, iterations: usize) -> Trace {
     simulate(&BalancedStencil::new(ranks, iterations).spec()).expect("stencil simulates")
+}
+
+/// A balanced stencil trace carrying three hardware-counter channels
+/// (accumulating cycles, delta cache misses, gauge memory), sampled
+/// every iteration — the fixture for end-to-end pipeline benchmarks
+/// where counter attribution is part of the work.
+pub fn counter_stencil_trace(ranks: usize, iterations: usize) -> Trace {
+    let mut b = SpecBuilder::new(
+        "counter-stencil",
+        Clock::microseconds(),
+        CommParams::cluster_defaults(),
+    );
+    let main_f = b.function("main", FunctionRole::Compute);
+    let iter_f = b.function("stencil_iteration", FunctionRole::Compute);
+    let calc_f = b.function("compute_stencil", FunctionRole::Compute);
+    let barrier_f = b.function("MPI_Barrier", FunctionRole::MpiCollective);
+    let cyc = b.metric("PAPI_TOT_CYC", MetricMode::Accumulating, "cycles");
+    let l2m = b.metric("PAPI_L2_TCM", MetricMode::Delta, "misses");
+    let mem = b.metric("MEM_RSS", MetricMode::Gauge, "bytes");
+    for rank in 0..ranks {
+        let mut p = Program::new();
+        p.enter(main_f);
+        p.sample_counter(cyc);
+        for k in 0..iterations {
+            let work = 10_000 + ((rank * 31 + k * 17) % 400) as u64;
+            p.enter(iter_f);
+            p.enter(calc_f);
+            p.compute_counted(work, vec![(cyc, work * 2)]);
+            p.leave(calc_f);
+            p.sample_counter(cyc);
+            p.emit_metric(l2m, work / 10);
+            p.emit_metric(mem, 1 << 20);
+            p.barrier(barrier_f);
+            p.leave(iter_f);
+        }
+        p.leave(main_f);
+        b.add_rank(p);
+    }
+    simulate(&b.build()).expect("counter stencil simulates")
 }
 
 /// A single-outlier trace (ground truth: `outlier_rank`, middle
@@ -57,5 +96,25 @@ mod tests {
         assert_eq!(t.num_processes(), 4);
         let a = analyzed(&t);
         assert!(!a.segmentation.is_empty());
+    }
+
+    #[test]
+    fn counter_stencil_has_all_metric_modes() {
+        let t = counter_stencil_trace(4, 5);
+        assert_eq!(t.registry().num_metrics(), 3);
+        let a = analyzed(&t);
+        assert_eq!(a.counters.len(), 3);
+        // Every channel attributes non-zero values somewhere.
+        for c in &a.counters {
+            assert!(
+                a.segmentation.iter().any(|s| c
+                    .matrix
+                    .value(s.process, s.ordinal as usize)
+                    .unwrap_or(0)
+                    > 0),
+                "metric {:?} attributed nothing",
+                t.registry().metric(c.metric).name
+            );
+        }
     }
 }

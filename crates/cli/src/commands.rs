@@ -2,7 +2,7 @@
 
 use crate::args::{ArgSpec, ParsedArgs};
 use crate::workload_args::{generate_trace, WORKLOAD_NAMES};
-use perfvar_analysis::{analyze as run_analysis, Analysis, AnalysisConfig};
+use perfvar_analysis::{analyze as run_analysis, analyze_reference, Analysis, AnalysisConfig};
 use perfvar_trace::format::{read_trace_file, write_trace_file};
 use perfvar_trace::stats::{event_counts, role_time_profile};
 use perfvar_trace::Trace;
@@ -18,7 +18,8 @@ USAGE:
   perfvar generate <workload> --out <trace.pvt> [--ranks N] [--iterations N] [--seed S]
   perfvar info     <trace>
   perfvar analyze  <trace> [--function NAME] [--refine N] [--multiplier K]
-                   [--auto-refine] [--calltree] [--waitstates] [--phases] [--json]
+                   [--threads N] [--reference] [--auto-refine] [--calltree]
+                   [--waitstates] [--phases] [--json]
   perfvar render   <trace> --chart timeline|sos|comm|comm-bytes|counter:<METRIC>
                    [--out x.svg] [--ansi]
   perfvar report   <trace> --out-dir DIR
@@ -106,7 +107,15 @@ fn analysis_of(trace: &Trace, args: &ParsedArgs) -> Result<Analysis, String> {
     config.dominant_multiplier = args
         .parse_or("multiplier", config.dominant_multiplier)
         .map_err(|e| e.to_string())?;
-    let mut analysis = run_analysis(trace, &config).map_err(|e| e.to_string())?;
+    config.threads = args.parse_or("threads", 0).map_err(|e| e.to_string())?;
+    // --reference runs the materialising pipeline instead of the fused
+    // streaming default (mainly for cross-checks and benchmarking).
+    let pipeline = if args.has("reference") {
+        analyze_reference
+    } else {
+        run_analysis
+    };
+    let mut analysis = pipeline(trace, &config).map_err(|e| e.to_string())?;
     let refine_steps: usize = args.parse_or("refine", 0).map_err(|e| e.to_string())?;
     for _ in 0..refine_steps {
         match analysis.refine(trace, &config) {
@@ -120,8 +129,15 @@ fn analysis_of(trace: &Trace, args: &ParsedArgs) -> Result<Analysis, String> {
 /// `perfvar analyze <trace>`
 pub fn analyze(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["function", "refine", "multiplier"],
-        flags: &["json", "auto-refine", "calltree", "waitstates", "phases"],
+        valued: &["function", "refine", "multiplier", "threads"],
+        flags: &[
+            "json",
+            "auto-refine",
+            "calltree",
+            "waitstates",
+            "phases",
+            "reference",
+        ],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
     let path = args.positional(0).ok_or("missing trace path")?;
@@ -159,8 +175,9 @@ pub fn analyze(argv: Vec<String>) -> Result<(), String> {
                 );
             }
         }
+        let threads: usize = args.parse_or("threads", 0).map_err(|e| e.to_string())?;
         if args.has("waitstates") {
-            let replayed = perfvar_analysis::parallel::replay_all_parallel(&trace, 0);
+            let replayed = perfvar_analysis::parallel::replay_all_parallel(&trace, threads);
             let ws = perfvar_analysis::waitstates::WaitStateAnalysis::compute(&trace, &replayed);
             println!(
                 "  wait states: {} total classified",
@@ -179,7 +196,7 @@ pub fn analyze(argv: Vec<String>) -> Result<(), String> {
             }
         }
         if args.has("calltree") {
-            let replayed = perfvar_analysis::parallel::replay_all_parallel(&trace, 0);
+            let replayed = perfvar_analysis::parallel::replay_all_parallel(&trace, threads);
             let tree = perfvar_analysis::callpath::CallTree::build(&replayed);
             println!("  call tree (by aggregated inclusive time):");
             for line in tree.render_text(trace.registry(), 5).lines() {
@@ -200,7 +217,15 @@ pub fn analyze(argv: Vec<String>) -> Result<(), String> {
 /// `perfvar render <trace> --chart <kind>`
 pub fn render(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["chart", "out", "function", "refine", "multiplier", "width"],
+        valued: &[
+            "chart",
+            "out",
+            "function",
+            "refine",
+            "multiplier",
+            "threads",
+            "width",
+        ],
         flags: &["ansi"],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
@@ -286,7 +311,7 @@ pub fn render(argv: Vec<String>) -> Result<(), String> {
 /// `perfvar report <trace> --out-dir DIR` — text report plus every chart.
 pub fn report(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["out-dir", "function", "refine", "multiplier"],
+        valued: &["out-dir", "function", "refine", "multiplier", "threads"],
         flags: &[],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
@@ -451,7 +476,7 @@ pub fn report(argv: Vec<String>) -> Result<(), String> {
 /// `perfvar compare <before> <after>` — SOS-based run comparison.
 pub fn compare(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["function", "multiplier"],
+        valued: &["function", "multiplier", "threads"],
         flags: &["json"],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
@@ -482,7 +507,7 @@ pub fn compare(argv: Vec<String>) -> Result<(), String> {
 /// `perfvar cluster <trace>` — process-similarity clustering.
 pub fn cluster(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["clusters", "threshold", "function", "multiplier"],
+        valued: &["clusters", "threshold", "function", "multiplier", "threads"],
         flags: &["json"],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
@@ -533,7 +558,14 @@ pub fn cluster(argv: Vec<String>) -> Result<(), String> {
 /// segment (the paper's "record only the slow iteration" workflow).
 pub fn slice(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["from-tick", "to-tick", "segment", "function", "multiplier"],
+        valued: &[
+            "from-tick",
+            "to-tick",
+            "segment",
+            "function",
+            "multiplier",
+            "threads",
+        ],
         flags: &[],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
@@ -630,6 +662,28 @@ mod tests {
         info(argv(&[trace_str])).unwrap();
         analyze(argv(&[trace_str])).unwrap();
         analyze(argv(&[trace_str, "--json"])).unwrap();
+    }
+
+    #[test]
+    fn analyze_reference_and_threads_flags() {
+        let dir = tmp_dir("ref-threads");
+        let trace_path = dir.join("t.pvt");
+        let ts = trace_path.to_str().unwrap();
+        generate(argv(&[
+            "outlier",
+            "--out",
+            ts,
+            "--ranks",
+            "4",
+            "--iterations",
+            "5",
+        ]))
+        .unwrap();
+        analyze(argv(&[ts, "--threads", "2"])).unwrap();
+        analyze(argv(&[ts, "--reference", "--threads", "2"])).unwrap();
+        analyze(argv(&[ts, "--threads", "2", "--waitstates", "--calltree"])).unwrap();
+        let err = analyze(argv(&[ts, "--threads", "zap"])).unwrap_err();
+        assert!(err.contains("invalid"));
     }
 
     #[test]

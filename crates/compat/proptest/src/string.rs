@@ -1,0 +1,45 @@
+//! String generation from the tiny regex subset the workspace uses.
+
+use crate::test_runner::TestRng;
+
+/// Generates a string for `pattern`.
+///
+/// Real proptest treats `&str` strategies as full regexes. The workspace
+/// only uses `\PC{lo,hi}` ("printable, i.e. not control, characters with a
+/// length in `[lo, hi]`"), so that is what is implemented; any other
+/// pattern falls back to a short printable-ASCII string, which keeps the
+/// strategy total rather than panicking inside a test.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let (lo, hi) = parse_repeat_bounds(pattern).unwrap_or((0, 64));
+    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+    let mut out = String::with_capacity(len);
+    for _ in 0..len {
+        out.push(printable_char(rng));
+    }
+    out
+}
+
+/// Extracts `(lo, hi)` from a trailing `{lo,hi}` repetition, if present.
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern.rfind('}')?;
+    let body = pattern.get(open + 1..close)?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// A random non-control character: mostly ASCII, sometimes wider Unicode
+/// (so parsers see multi-byte input too).
+fn printable_char(rng: &mut TestRng) -> char {
+    match rng.below(8) {
+        0..=5 => (0x20 + rng.below(0x5f) as u32) as u8 as char,
+        6 => {
+            // Latin-1 and general BMP letters/symbols.
+            char::from_u32(0xA1 + rng.below(0x500) as u32).unwrap_or('¤')
+        }
+        _ => {
+            // Occasionally venture further out (CJK block).
+            char::from_u32(0x4E00 + rng.below(0x100) as u32).unwrap_or('中')
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Serialization/deserialization error type shared with `serde_json`.
+
+use std::fmt;
+
+/// A (de)serialization failure: a shape mismatch, a missing field, or a
+/// JSON syntax error when parsing text.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

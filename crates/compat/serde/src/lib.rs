@@ -1,0 +1,55 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The perfvar workspace builds in environments with no crates.io access,
+//! so this facade replaces real serde with the minimal surface the
+//! workspace uses: `#[derive(Serialize, Deserialize)]` plus JSON
+//! round-trips through `serde_json`. Instead of serde's visitor-based
+//! data model, both traits convert through a JSON-like [`Value`] tree —
+//! ample for the trace/analysis/report types involved, and externally
+//! indistinguishable for the formats the workspace writes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::{Number, Value};
+
+/// Types that can be converted into a [`Value`] tree.
+///
+/// The derive macro implements this field-by-field; JSON text is produced
+/// from the `Value` by `serde_json`.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`], reporting shape mismatches.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Support functions for derive-generated code. Not part of the public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Looks up `name` in an object value and deserializes it.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v.get(name) {
+            Some(f) => T::from_value(f),
+            None => Err(Error::custom(format!("missing field `{name}`"))),
+        }
+    }
+}

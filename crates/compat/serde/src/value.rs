@@ -1,0 +1,176 @@
+//! The JSON-like value tree both facade traits convert through.
+
+/// A JSON-like value: the intermediate representation for all
+/// (de)serialization in the offline serde facade.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object. Insertion order is preserved; keys are not deduped.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (always `< 0`; non-negative values normalize
+    /// to [`Number::U64`]).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+impl Number {
+    /// Returns the number as `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(x) => x as f64,
+            Number::I64(x) => x as f64,
+            Number::F64(x) => x,
+        }
+    }
+
+    /// Returns the number as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(x) => Some(x),
+            Number::I64(x) => u64::try_from(x).ok(),
+            Number::F64(x) if x >= 0.0 && x <= u64::MAX as f64 && x.fract() == 0.0 => {
+                Some(x as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// Returns the number as `i64` if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(x) => i64::try_from(x).ok(),
+            Number::I64(x) => Some(x),
+            Number::F64(x) if x.fract() == 0.0 && x >= i64::MIN as f64 && x <= i64::MAX as f64 => {
+                Some(x as i64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::U64(a), Number::U64(b)) => a == b,
+            (Number::I64(a), Number::I64(b)) => a == b,
+            (Number::F64(a), Number::F64(b)) => a == b,
+            // Mixed integer/float comparisons go through f64, mirroring
+            // how the JSON text would round-trip.
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl Value {
+    /// Returns the value stored under `key` if `self` is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if `self` is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the element slice if `self` is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the entry slice if `self` is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// True if `self` is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Short name of the value's JSON type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Number(a), Value::Number(b)) => a == b,
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            _ => false,
+        }
+    }
+}

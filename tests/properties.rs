@@ -61,12 +61,14 @@ fn trace_strategy() -> impl Strategy<Value = Trace> {
                 .enumerate()
                 .map(|(i, role)| b.define_function(format!("f{i}"), *role))
                 .collect();
-            for _ in 0..3 {
-                b.define_metric(
-                    format!("m{}", b.registry().num_metrics()),
-                    MetricMode::Gauge,
-                    "#",
-                );
+            // One channel of each mode so counter-attribution paths are
+            // exercised across all batch semantics.
+            for mode in [
+                MetricMode::Accumulating,
+                MetricMode::Delta,
+                MetricMode::Gauge,
+            ] {
+                b.define_metric(format!("m{}", b.registry().num_metrics()), mode, "#");
             }
             let pids: Vec<_> = (0..procs.len())
                 .map(|i| b.define_process(format!("rank {i}")))
@@ -184,6 +186,28 @@ proptest! {
                 );
             }
         }
+    }
+
+    // ── fused streaming pipeline ≡ materialising reference ──
+
+    #[test]
+    fn fused_analysis_equals_reference(
+        trace in trace_strategy(),
+        threads in 0usize..5,
+        segment_override in 0u8..8,
+    ) {
+        // Half the cases pin the segmentation function (covering traces
+        // with no dominant function); the rest use automatic selection.
+        let segment_function = (segment_override < 4)
+            .then(|| format!("f{}", segment_override % 6));
+        let cfg = AnalysisConfig {
+            threads,
+            segment_function,
+            ..AnalysisConfig::default()
+        };
+        // The fused single-pass pipeline must agree bit-for-bit with the
+        // materialising reference — including in the error cases.
+        prop_assert_eq!(analyze(&trace, &cfg), analyze_reference(&trace, &cfg));
     }
 
     // ── segmentation / SOS invariants ──
