@@ -71,7 +71,19 @@ impl DominantRanking {
         profiles: &ProfileTable,
         multiplier: u64,
     ) -> DominantRanking {
-        let p = trace.num_processes() as u64;
+        DominantRanking::with_multiplier_for(trace.num_processes(), profiles, multiplier)
+    }
+
+    /// Like [`with_multiplier`](DominantRanking::with_multiplier) but
+    /// taking the process count directly — the selection depends on the
+    /// trace only through `p`, so out-of-core callers that never hold a
+    /// [`Trace`] rank with this.
+    pub fn with_multiplier_for(
+        num_processes: usize,
+        profiles: &ProfileTable,
+        multiplier: u64,
+    ) -> DominantRanking {
+        let p = num_processes as u64;
         let required = multiplier * p;
         let mut ranking: Vec<(FunctionId, DurationTicks)> = profiles
             .iter()

@@ -13,7 +13,7 @@
 //! a single invocation, then stop.
 
 use crate::report::{analyze, Analysis, AnalysisConfig};
-use perfvar_trace::{ProcessId, Trace};
+use perfvar_trace::{Clock, ProcessId, Registry, Trace, TraceMeta};
 use serde::{Deserialize, Serialize};
 
 /// The kind of a finding.
@@ -64,8 +64,19 @@ pub struct Finding {
 
 /// Extracts the ranked findings of an analysis.
 pub fn findings(trace: &Trace, analysis: &Analysis) -> Vec<Finding> {
+    findings_impl(trace.clock(), trace.registry(), analysis)
+}
+
+/// Like [`findings`] but working from trace *metadata* — the findings
+/// only consult the clock (to format durations) and the registry (to
+/// name metrics), so the out-of-core path extracts them without ever
+/// holding a [`Trace`].
+pub fn findings_meta(meta: &TraceMeta, analysis: &Analysis) -> Vec<Finding> {
+    findings_impl(meta.clock, &meta.registry, analysis)
+}
+
+fn findings_impl(clock: Clock, registry: &Registry, analysis: &Analysis) -> Vec<Finding> {
     let mut out = Vec::new();
-    let clock = trace.clock();
     let waste_fraction = analysis.waste.waste_fraction();
 
     if !analysis.imbalance.process_outliers.is_empty() {
@@ -166,7 +177,7 @@ pub fn findings(trace: &Trace, analysis: &Analysis) -> Vec<Finding> {
     for counter in &analysis.counters {
         if let Some(r) = counter.sos_correlation {
             if r.abs() > 0.8 {
-                let metric = trace.registry().metric(counter.metric).name.clone();
+                let metric = registry.metric(counter.metric).name.clone();
                 out.push(Finding {
                     kind: FindingKind::CounterCorrelation {
                         metric: metric.clone(),

@@ -5,11 +5,11 @@
 //! memory, then re-walks the invocation list to segment it, and then
 //! re-scans the *whole event stream once per metric* to attribute
 //! counters. This module folds all of that into a single
-//! [`ReplayVisitor`](crate::stream::ReplayVisitor) driven by one pass
+//! [`ReplayVisitor`] driven by one pass
 //! over the stream: per worker, live state is
 //! `O(stack depth + segments + metrics)` and every metric channel is
 //! attributed during the same sweep. [`fuse_segments`] fans the pass out over
-//! [`par_map_processes`](crate::parallel::par_map_processes) workers and
+//! [`par_map_processes`] workers and
 //! merges the per-process rows in process order, so the result is
 //! bit-identical to [`Segmentation::new`] +
 //! [`CounterMatrix::for_segments`] (a property test in
@@ -40,7 +40,9 @@ pub struct FusedSegments {
 }
 
 /// Per-process sink folding segments and counter rows in one pass.
-struct FusedSink<'a> {
+/// Shared by [`fuse_segments`] and the out-of-core path
+/// ([`crate::outofcore`]), which drives it from a disk cursor.
+pub(crate) struct FusedSink<'a> {
     process: ProcessId,
     function: FunctionId,
     /// Metric modes by metric index; empty disables counter tracking.
@@ -68,7 +70,11 @@ struct FusedSink<'a> {
 }
 
 impl<'a> FusedSink<'a> {
-    fn new(process: ProcessId, function: FunctionId, modes: &'a [MetricMode]) -> FusedSink<'a> {
+    pub(crate) fn new(
+        process: ProcessId,
+        function: FunctionId,
+        modes: &'a [MetricMode],
+    ) -> FusedSink<'a> {
         let nm = modes.len();
         FusedSink {
             process,
@@ -90,6 +96,59 @@ impl<'a> FusedSink<'a> {
             entered: Vec::new(),
             closed: Vec::new(),
         }
+    }
+
+    /// Dismantles the sink into its per-process partial: the segments (in
+    /// enter order) and the counter rows, `[metric][segment]`.
+    pub(crate) fn into_parts(self) -> (Vec<Segment>, Vec<Vec<u64>>) {
+        (self.segments, self.rows)
+    }
+}
+
+/// The metric modes the fused pass attributes, in metric-id order; empty
+/// (counters disabled) skips the counter machinery entirely.
+pub(crate) fn metric_modes(
+    registry: &perfvar_trace::Registry,
+    with_counters: bool,
+) -> Vec<MetricMode> {
+    if with_counters {
+        registry
+            .metric_ids()
+            .map(|m| registry.metric(m).mode)
+            .collect()
+    } else {
+        Vec::new()
+    }
+}
+
+/// Merges per-process fused partials (in process order) into the final
+/// [`FusedSegments`]. The merge is identical for in-memory and
+/// out-of-core producers, which is what keeps the two bit-equal.
+pub(crate) fn merge_fused(
+    registry: &perfvar_trace::Registry,
+    function: FunctionId,
+    modes: &[MetricMode],
+    partials: Vec<(Vec<Segment>, Vec<Vec<u64>>)>,
+) -> FusedSegments {
+    let mut per_process = Vec::with_capacity(partials.len());
+    let mut values: Vec<Vec<Vec<u64>>> = vec![Vec::with_capacity(partials.len()); modes.len()];
+    for (segments, rows) in partials {
+        per_process.push(segments);
+        for (m, row) in rows.into_iter().enumerate() {
+            values[m].push(row);
+        }
+    }
+    let segmentation = Segmentation::from_parts(function, per_process);
+    // `values` is empty when counters are disabled, so the zip yields
+    // nothing in that case.
+    let counters = registry
+        .metric_ids()
+        .zip(values)
+        .map(|(metric, vals)| CounterMatrix::from_parts(metric, registry.metric(metric).mode, vals))
+        .collect();
+    FusedSegments {
+        segmentation,
+        counters,
     }
 }
 
@@ -187,40 +246,13 @@ pub fn fuse_segments(
     with_counters: bool,
 ) -> FusedSegments {
     let registry = trace.registry();
-    let modes: Vec<MetricMode> = if with_counters {
-        registry
-            .metric_ids()
-            .map(|m| registry.metric(m).mode)
-            .collect()
-    } else {
-        Vec::new()
-    };
+    let modes = metric_modes(registry, with_counters);
     let partials = par_map_processes(trace, num_threads, |pid| {
         let mut sink = FusedSink::new(pid, function, &modes);
         replay_visit(trace, pid, &mut sink);
-        (sink.segments, sink.rows)
+        sink.into_parts()
     });
-
-    let mut per_process = Vec::with_capacity(partials.len());
-    let mut values: Vec<Vec<Vec<u64>>> = vec![Vec::with_capacity(partials.len()); modes.len()];
-    for (segments, rows) in partials {
-        per_process.push(segments);
-        for (m, row) in rows.into_iter().enumerate() {
-            values[m].push(row);
-        }
-    }
-    let segmentation = Segmentation::from_parts(function, per_process);
-    // `values` is empty when counters are disabled, so the zip yields
-    // nothing in that case.
-    let counters = registry
-        .metric_ids()
-        .zip(values)
-        .map(|(metric, vals)| CounterMatrix::from_parts(metric, registry.metric(metric).mode, vals))
-        .collect();
-    FusedSegments {
-        segmentation,
-        counters,
-    }
+    merge_fused(registry, function, &modes, partials)
 }
 
 #[cfg(test)]

@@ -23,7 +23,12 @@
 //! The foundation is [`invocation`]: a call-stack replay that turns each
 //! process's event stream into a list of function invocations with
 //! inclusive/exclusive times (the paper's Fig. 1 semantics) and the
-//! synchronization time contained in each.
+//! synchronization time contained in each. The default pipeline
+//! ([`report::analyze`]) *fuses* those semantics into one streaming pass
+//! per process (see [`stream`] and [`fused`]); for traces too large to
+//! load at all, [`outofcore::analyze_path`] drives the identical fused
+//! pipeline straight from the on-disk file through the incremental
+//! cursors of `perfvar-trace`, holding only per-worker streaming state.
 //!
 //! ```
 //! use perfvar_analysis::prelude::*;
@@ -48,6 +53,7 @@ pub mod fused;
 pub mod imbalance;
 pub mod invocation;
 pub mod messages;
+pub mod outofcore;
 pub mod parallel;
 pub mod phases;
 pub mod profile;
@@ -64,17 +70,21 @@ pub mod prelude {
     pub use crate::compare::{RunComparison, RunSummary};
     pub use crate::counters::{correlate_with_sos, CounterMatrix};
     pub use crate::dominant::{DominantRanking, DominantSelection};
-    pub use crate::findings::{auto_refine, findings, Finding, FindingKind};
+    pub use crate::findings::{auto_refine, findings, findings_meta, Finding, FindingKind};
     pub use crate::fused::{fuse_segments, FusedSegments};
     pub use crate::imbalance::{ImbalanceAnalysis, Outlier, WasteAnalysis};
     pub use crate::invocation::{Invocation, ProcessInvocations};
     pub use crate::messages::{CommMatrix, MatchedMessage, MessageAnalysis};
+    pub use crate::outofcore::{
+        analyze_path, analyze_path_with, OutOfCoreAnalysis, PathAnalysisError, RecoveryMode,
+        StreamFailure,
+    };
     pub use crate::phases::{Phase, PhaseConfig, PhaseDetection};
     pub use crate::profile::FunctionProfile;
     pub use crate::report::{analyze, analyze_reference, Analysis, AnalysisConfig, AnalysisError};
     pub use crate::segment::{Segment, Segmentation};
     pub use crate::sos::SosMatrix;
-    pub use crate::stream::{replay_visit, ClosedFrame, ReplayVisitor};
+    pub use crate::stream::{replay_visit, ClosedFrame, ReplayMachine, ReplayVisitor};
     pub use crate::waitstates::{ProcessWaitStates, WaitStateAnalysis};
 }
 
@@ -86,8 +96,12 @@ pub use dominant::{DominantRanking, DominantSelection};
 pub use fused::{fuse_segments, FusedSegments};
 pub use imbalance::ImbalanceAnalysis;
 pub use invocation::{Invocation, ProcessInvocations};
+pub use outofcore::{
+    analyze_path, analyze_path_with, OutOfCoreAnalysis, PathAnalysisError, RecoveryMode,
+    StreamFailure,
+};
 pub use profile::FunctionProfile;
 pub use report::{analyze, analyze_reference, Analysis, AnalysisConfig, AnalysisError};
 pub use segment::{Segment, Segmentation};
 pub use sos::SosMatrix;
-pub use stream::{replay_visit, ClosedFrame, ReplayVisitor};
+pub use stream::{replay_visit, ClosedFrame, ReplayMachine, ReplayVisitor};

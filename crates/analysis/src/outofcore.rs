@@ -1,0 +1,870 @@
+//! Out-of-core analysis: feed the fused pipeline straight from disk.
+//!
+//! [`analyze`](crate::report::analyze) needs a materialised
+//! [`Trace`](perfvar_trace::Trace) — `O(events)` memory — even though the
+//! fused pipeline itself only ever looks at one record at a time.
+//! [`analyze_path`] removes that requirement: it drives the *same* sinks
+//! ([`ProfileSink`](crate::profile), [`FusedSink`](crate::fused)) through
+//! the *same* stack machine ([`ReplayMachine`]) from the incremental
+//! format cursors of `perfvar-trace`
+//! ([`ArchiveCursor`], [`PvtStreamReader`]), so the result is
+//! bit-identical to the in-memory pipeline (property-tested in
+//! `tests/properties.rs`) while each worker holds only
+//!
+//! `O(read buffer + stack depth + segments + functions + metrics)`
+//!
+//! — independent of trace length.
+//!
+//! ## Data flow
+//!
+//! ```text
+//! archive dir ──► ArchiveCursor ──► stream(p)   (one per rank, parallel)
+//!                                      │ EventRecord
+//!                                      ▼
+//!                                 ReplayMachine ──► ProfileSink   (pass 1)
+//!                                      │                │ rows
+//!                                      │                ▼
+//!                                      │        ProfileTable::from_rows
+//!                                      │                │ dominant function
+//!                                      ▼                ▼
+//!                                 ReplayMachine ──► FusedSink     (pass 2)
+//!                                                       │ segments + rows
+//!                                                       ▼
+//!                                                  merge_fused ──► assemble
+//! ```
+//!
+//! Two passes are inherent: the dominant function that segments the run
+//! is only known after the profile pass. Archives fan the ranks out over
+//! [`par_map_ranks`] workers in both passes; single-file PVT traces are
+//! decoded sequentially (the streams are concatenated in one file) but
+//! still in `O(1)` memory per pass.
+//!
+//! ## Damaged inputs
+//!
+//! A truncated or corrupt stream tail surfaces as
+//! [`TraceError::CorruptStream`] naming the process and byte offset. In
+//! [`RecoveryMode::Strict`] (the default of [`analyze_path`]) that error
+//! aborts the analysis. [`RecoveryMode::Partial`] instead records a
+//! [`StreamFailure`] per unreadable rank and analyses the recovered ones
+//! — a failed rank contributes exactly what an empty stream would, and
+//! [`OutOfCoreAnalysis::failures`] reports what was lost. Note that in a
+//! single-file PVT trace every rank *after* a corrupt stream is also
+//! unreachable (the file is sequential), while archive ranks fail
+//! independently.
+
+use crate::dominant::DominantRanking;
+use crate::fused::{merge_fused, metric_modes, FusedSink};
+use crate::parallel::par_map_ranks;
+use crate::profile::{ProfileRow, ProfileSink, ProfileTable};
+use crate::report::{assemble, segmentation_function, Analysis, AnalysisConfig, AnalysisError};
+use crate::segment::Segment;
+use crate::stream::ReplayMachine;
+use perfvar_trace::format::cursor::ArchiveCursor;
+use perfvar_trace::format::pvt::PvtStreamReader;
+use perfvar_trace::format::{read_trace_file, Format};
+use perfvar_trace::{
+    EventRecord, MetricMode, ProcessId, Registry, Timestamp, TraceError, TraceMeta,
+};
+use std::fmt;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+/// What to do when a per-process stream cannot be decoded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Abort on the first stream error (the default): the analysis either
+    /// covers the whole trace or fails with the typed
+    /// [`TraceError::CorruptStream`].
+    #[default]
+    Strict,
+    /// Analyse the readable ranks; record a [`StreamFailure`] for each
+    /// unreadable one. Failed ranks contribute like empty streams.
+    Partial,
+}
+
+/// One rank that could not be analysed in [`RecoveryMode::Partial`].
+#[derive(Debug)]
+pub struct StreamFailure {
+    /// The rank whose stream failed.
+    pub process: ProcessId,
+    /// Why — typically [`TraceError::CorruptStream`] with the byte
+    /// offset, or an I/O error for a missing stream file.
+    pub error: TraceError,
+}
+
+/// Errors of the out-of-core pipeline: either the file could not be
+/// decoded, or the (successfully decoded) trace failed the analysis
+/// itself (no dominant function, unknown override).
+#[derive(Debug)]
+pub enum PathAnalysisError {
+    /// Reading or decoding the trace file failed.
+    Trace(TraceError),
+    /// The analysis pipeline rejected the trace.
+    Analysis(AnalysisError),
+}
+
+impl fmt::Display for PathAnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathAnalysisError::Trace(e) => write!(f, "{e}"),
+            PathAnalysisError::Analysis(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PathAnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PathAnalysisError::Trace(e) => Some(e),
+            PathAnalysisError::Analysis(e) => Some(e),
+        }
+    }
+}
+
+impl From<TraceError> for PathAnalysisError {
+    fn from(e: TraceError) -> PathAnalysisError {
+        PathAnalysisError::Trace(e)
+    }
+}
+
+impl From<AnalysisError> for PathAnalysisError {
+    fn from(e: AnalysisError) -> PathAnalysisError {
+        PathAnalysisError::Analysis(e)
+    }
+}
+
+/// The result of an out-of-core analysis: the [`Analysis`] itself plus
+/// the trace metadata gathered while streaming (there is no
+/// [`Trace`](perfvar_trace::Trace) to consult afterwards) and, in
+/// [`RecoveryMode::Partial`], the ranks that could not be read.
+#[derive(Debug)]
+pub struct OutOfCoreAnalysis {
+    /// The pipeline result — bit-identical to
+    /// [`analyze`](crate::report::analyze) of the same trace.
+    pub analysis: Analysis,
+    /// Name, clock, registry and extent of the analysed trace. In
+    /// partial mode, event count and span cover the recovered ranks only.
+    pub meta: TraceMeta,
+    /// Ranks that could not be analysed (empty in strict mode).
+    pub failures: Vec<StreamFailure>,
+}
+
+impl OutOfCoreAnalysis {
+    /// Whether any rank was lost to a stream failure.
+    pub fn is_partial(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Number of ranks whose streams decoded fully.
+    pub fn recovered_ranks(&self) -> usize {
+        self.meta.num_processes() - self.failures.len()
+    }
+
+    /// Re-runs the out-of-core pipeline with the next-finer segmentation
+    /// function (§VII-B refinement, mirroring
+    /// [`Analysis::refine`]). Returns `Ok(None)` when no finer candidate
+    /// exists.
+    pub fn refine(
+        &self,
+        path: impl AsRef<Path>,
+        config: &AnalysisConfig,
+        mode: RecoveryMode,
+    ) -> Result<Option<OutOfCoreAnalysis>, PathAnalysisError> {
+        let Some(pos) = self
+            .analysis
+            .dominant
+            .candidates
+            .iter()
+            .position(|f| *f == self.analysis.function)
+        else {
+            return Ok(None);
+        };
+        let Some(next) = self.analysis.dominant.candidates.get(pos + 1) else {
+            return Ok(None);
+        };
+        let next_name = self.meta.registry.function_name(*next).to_string();
+        let cfg = AnalysisConfig {
+            segment_function: Some(next_name),
+            ..config.clone()
+        };
+        analyze_path_with(path, &cfg, mode).map(Some)
+    }
+}
+
+/// Runs the full analysis pipeline on a trace *file* without
+/// materialising the trace, in [`RecoveryMode::Strict`].
+///
+/// Archives (`.pvta`) stream one cursor per rank on
+/// [`AnalysisConfig::threads`] workers; binary traces (`.pvt`) stream
+/// sequentially; text traces (`.pvtx`) are loaded (they are
+/// human-scale by construction). The result equals
+/// [`analyze`](crate::report::analyze) of
+/// [`read_trace_file`] bit for bit.
+///
+/// ```
+/// use perfvar_analysis::outofcore::analyze_path;
+/// use perfvar_analysis::report::{analyze, AnalysisConfig};
+/// use perfvar_trace::format::write_trace_file;
+/// use perfvar_trace::{Clock, FunctionRole, Timestamp, TraceBuilder};
+///
+/// // Two ranks, six iterations each, written as a PVTA archive.
+/// let mut b = TraceBuilder::new(Clock::microseconds()).with_name("demo");
+/// let f = b.define_function("iteration", FunctionRole::Compute);
+/// for pi in 0..2u64 {
+///     let p = b.define_process(format!("rank {pi}"));
+///     let w = b.process_mut(p);
+///     for k in 0..6u64 {
+///         w.enter(Timestamp(k * 10), f).unwrap();
+///         w.leave(Timestamp(k * 10 + 4 + pi), f).unwrap();
+///     }
+/// }
+/// let trace = b.finish().unwrap();
+/// let dir = std::env::temp_dir().join("perfvar-analyze-path-doc.pvta");
+/// write_trace_file(&trace, &dir).unwrap();
+///
+/// let config = AnalysisConfig::default();
+/// let from_disk = analyze_path(&dir, &config).unwrap();
+/// let in_memory = analyze(&trace, &config).unwrap();
+/// assert_eq!(from_disk, in_memory);
+/// ```
+pub fn analyze_path(
+    path: impl AsRef<Path>,
+    config: &AnalysisConfig,
+) -> Result<Analysis, PathAnalysisError> {
+    analyze_path_with(path, config, RecoveryMode::Strict).map(|r| r.analysis)
+}
+
+/// Like [`analyze_path`] but with an explicit [`RecoveryMode`] and the
+/// full [`OutOfCoreAnalysis`] result (trace metadata, failed ranks).
+pub fn analyze_path_with(
+    path: impl AsRef<Path>,
+    config: &AnalysisConfig,
+    mode: RecoveryMode,
+) -> Result<OutOfCoreAnalysis, PathAnalysisError> {
+    let path = path.as_ref();
+    match Format::from_path(path) {
+        Format::Archive => analyze_archive(path, config, mode),
+        Format::Pvt => analyze_pvt(path, config, mode),
+        Format::Text => {
+            // Text traces are for inspection and tests — human-scale by
+            // construction — so loading them is fine.
+            let trace = read_trace_file(path)?;
+            let analysis = crate::report::analyze(&trace, config)?;
+            Ok(OutOfCoreAnalysis {
+                meta: TraceMeta::of(&trace),
+                analysis,
+                failures: Vec::new(),
+            })
+        }
+    }
+}
+
+/// Per-rank result of the profile pass: the profile rows plus the
+/// rank's contribution to the trace metadata.
+struct RankProfile {
+    rows: Vec<ProfileRow>,
+    num_events: u64,
+    first: Option<Timestamp>,
+    last: Option<Timestamp>,
+}
+
+impl RankProfile {
+    fn empty(num_functions: usize) -> RankProfile {
+        RankProfile {
+            rows: vec![ProfileRow::default(); num_functions],
+            num_events: 0,
+            first: None,
+            last: None,
+        }
+    }
+}
+
+/// An empty fused partial — what a failed rank contributes (identical to
+/// an empty stream).
+fn empty_fused(num_metrics: usize) -> (Vec<Segment>, Vec<Vec<u64>>) {
+    (Vec::new(), vec![Vec::new(); num_metrics])
+}
+
+/// Accumulates trace extent while streaming.
+#[derive(Default)]
+struct Extent {
+    num_events: u64,
+    first: Option<Timestamp>,
+    last: Option<Timestamp>,
+}
+
+impl Extent {
+    fn record(&mut self, time: Timestamp) {
+        self.num_events += 1;
+        if self.first.is_none_or(|f| time < f) {
+            self.first = Some(time);
+        }
+        if self.last.is_none_or(|l| time > l) {
+            self.last = Some(time);
+        }
+    }
+
+    fn absorb(&mut self, num_events: u64, first: Option<Timestamp>, last: Option<Timestamp>) {
+        self.num_events += num_events;
+        if let Some(f) = first {
+            if self.first.is_none_or(|cur| f < cur) {
+                self.first = Some(f);
+            }
+        }
+        if let Some(l) = last {
+            if self.last.is_none_or(|cur| l > cur) {
+                self.last = Some(l);
+            }
+        }
+    }
+
+    fn meta(self, name: String, clock: perfvar_trace::Clock, registry: Registry) -> TraceMeta {
+        TraceMeta {
+            name,
+            clock,
+            registry,
+            num_events: self.num_events,
+            begin: self.first.unwrap_or(Timestamp::ZERO),
+            end: self.last.unwrap_or(Timestamp::ZERO),
+        }
+    }
+}
+
+/// Archive driver: both passes fan the ranks out over worker threads,
+/// each worker streaming its rank's file through a cursor.
+fn analyze_archive(
+    dir: &Path,
+    config: &AnalysisConfig,
+    mode: RecoveryMode,
+) -> Result<OutOfCoreAnalysis, PathAnalysisError> {
+    let cursor = ArchiveCursor::open(dir)?;
+    let registry = cursor.registry();
+    let np = cursor.num_processes();
+    let nf = registry.num_functions();
+
+    // Pass 1: profile every rank (+ extent for the metadata).
+    let pass1: Vec<Result<RankProfile, TraceError>> =
+        par_map_ranks(np, config.threads, |pid| profile_rank(&cursor, pid, nf));
+
+    let mut failed = vec![false; np];
+    let mut failures = Vec::new();
+    let mut extent = Extent::default();
+    let mut partial_rows = Vec::with_capacity(np);
+    for (i, result) in pass1.into_iter().enumerate() {
+        match result {
+            Ok(rank) => {
+                extent.absorb(rank.num_events, rank.first, rank.last);
+                partial_rows.push(rank.rows);
+            }
+            Err(error) => {
+                if mode == RecoveryMode::Strict {
+                    return Err(error.into());
+                }
+                failed[i] = true;
+                failures.push(StreamFailure {
+                    process: ProcessId::from_index(i),
+                    error,
+                });
+                partial_rows.push(RankProfile::empty(nf).rows);
+            }
+        }
+    }
+
+    let profiles = ProfileTable::from_rows(nf, partial_rows);
+    let ranking = DominantRanking::with_multiplier_for(np, &profiles, config.dominant_multiplier);
+    let dominant = ranking.selection();
+    let function = segmentation_function(registry, &dominant, config)?;
+
+    // Pass 2: fused segmentation + counters, skipping ranks that already
+    // failed the profile pass.
+    let modes = metric_modes(registry, config.analyze_counters);
+    let failed_ref = &failed;
+    let pass2: Vec<Result<FusedPartial, TraceError>> =
+        par_map_ranks(np, config.threads, |pid| {
+            if failed_ref[pid.index()] {
+                return Ok(empty_fused(modes.len()));
+            }
+            fuse_rank(&cursor, pid, function, &modes)
+        });
+
+    let mut partials = Vec::with_capacity(np);
+    for (i, result) in pass2.into_iter().enumerate() {
+        match result {
+            Ok(partial) => partials.push(partial),
+            Err(error) => {
+                if mode == RecoveryMode::Strict {
+                    return Err(error.into());
+                }
+                // The file changed between the passes; degrade the rank.
+                failures.push(StreamFailure {
+                    process: ProcessId::from_index(i),
+                    error,
+                });
+                partials.push(empty_fused(modes.len()));
+            }
+        }
+    }
+    failures.sort_by_key(|f| f.process.index());
+
+    let fused = merge_fused(registry, function, &modes, partials);
+    let meta = extent.meta(cursor.name().to_string(), cursor.clock(), registry.clone());
+    let analysis = assemble(
+        meta.name.clone(),
+        config,
+        dominant,
+        function,
+        profiles,
+        fused.segmentation,
+        fused.counters,
+    );
+    Ok(OutOfCoreAnalysis {
+        analysis,
+        meta,
+        failures,
+    })
+}
+
+/// Streams one archive rank through the profile sink.
+fn profile_rank(
+    cursor: &ArchiveCursor,
+    pid: ProcessId,
+    num_functions: usize,
+) -> Result<RankProfile, TraceError> {
+    let mut stream = cursor.stream(pid)?;
+    let mut machine = ReplayMachine::new(cursor.registry());
+    let mut sink = ProfileSink::new(num_functions);
+    let mut extent = Extent::default();
+    while let Some(record) = stream.next_record()? {
+        extent.record(record.time);
+        machine.step(&record, &mut sink);
+    }
+    machine.finish(&mut sink);
+    Ok(RankProfile {
+        rows: sink.rows,
+        num_events: extent.num_events,
+        first: extent.first,
+        last: extent.last,
+    })
+}
+
+/// One rank's fused-pass partial: its segments plus one counter row per
+/// metric channel.
+type FusedPartial = (Vec<Segment>, Vec<Vec<u64>>);
+
+/// Streams one archive rank through the fused sink.
+fn fuse_rank(
+    cursor: &ArchiveCursor,
+    pid: ProcessId,
+    function: perfvar_trace::FunctionId,
+    modes: &[MetricMode],
+) -> Result<FusedPartial, TraceError> {
+    let mut stream = cursor.stream(pid)?;
+    let mut machine = ReplayMachine::new(cursor.registry());
+    let mut sink = FusedSink::new(pid, function, modes);
+    while let Some(record) = stream.next_record()? {
+        machine.step(&record, &mut sink);
+    }
+    machine.finish(&mut sink);
+    Ok(sink.into_parts())
+}
+
+fn open_annotated(path: &Path) -> Result<File, TraceError> {
+    File::open(path).map_err(|e| {
+        TraceError::Io(std::io::Error::new(
+            e.kind(),
+            format!("{}: {e}", path.display()),
+        ))
+    })
+}
+
+/// The outcome of one sequential pass over a PVT file: per-rank results
+/// for ranks `0..first_failed`, and the error that stopped the pass.
+struct SequentialPass<T> {
+    per_rank: Vec<T>,
+    error: Option<(ProcessId, TraceError)>,
+}
+
+/// Drives one pass over a single-file PVT trace: `make_sink` opens a
+/// fresh sink per rank, `close` extracts its per-rank result. Ranks with
+/// no events still produce a (default) result, in rank order.
+fn pvt_pass<S, T>(
+    path: &Path,
+    registry: &Registry,
+    num_processes: usize,
+    mut make_sink: impl FnMut(ProcessId) -> S,
+    mut feed: impl FnMut(&mut S, &EventRecord, &mut ReplayMachine),
+    mut close: impl FnMut(S, &mut ReplayMachine) -> T,
+) -> Result<SequentialPass<T>, TraceError> {
+    let reader = PvtStreamReader::new(BufReader::new(open_annotated(path)?))?;
+    let mut machine = ReplayMachine::new(registry);
+    let mut per_rank: Vec<T> = Vec::with_capacity(num_processes);
+    let mut current: Option<(ProcessId, S)> = None;
+    let mut error = None;
+
+    for item in reader {
+        match item {
+            Ok((pid, record)) => {
+                let switching = !matches!(&current, Some((active, _)) if *active == pid);
+                if switching {
+                    // Close the active rank, pad ranks with no events,
+                    // and open the new one.
+                    if let Some((_, sink)) = current.take() {
+                        per_rank.push(close(sink, &mut machine));
+                    }
+                    while per_rank.len() < pid.index() {
+                        let empty = make_sink(ProcessId::from_index(per_rank.len()));
+                        per_rank.push(close(empty, &mut machine));
+                    }
+                    current = Some((pid, make_sink(pid)));
+                }
+                let (_, sink) = current.as_mut().expect("sink opened above");
+                feed(sink, &record, &mut machine);
+            }
+            Err(e) => {
+                // The reader names the failing process; everything from
+                // there on is unreachable in a sequential file.
+                let failing = match &e {
+                    TraceError::CorruptStream { process, .. } => *process,
+                    _ => current
+                        .as_ref()
+                        .map(|(pid, _)| *pid)
+                        .unwrap_or(ProcessId::from_index(per_rank.len())),
+                };
+                error = Some((failing, e));
+                break;
+            }
+        }
+    }
+    if error.is_none() {
+        if let Some((_, sink)) = current.take() {
+            per_rank.push(close(sink, &mut machine));
+        }
+        while per_rank.len() < num_processes {
+            let empty = make_sink(ProcessId::from_index(per_rank.len()));
+            per_rank.push(close(empty, &mut machine));
+        }
+    }
+    Ok(SequentialPass { per_rank, error })
+}
+
+/// Single-file PVT driver: two sequential passes, `O(1)` memory each.
+fn analyze_pvt(
+    path: &Path,
+    config: &AnalysisConfig,
+    mode: RecoveryMode,
+) -> Result<OutOfCoreAnalysis, PathAnalysisError> {
+    // Header only: name, clock, registry (the streams start after).
+    let header = PvtStreamReader::new(BufReader::new(open_annotated(path)?))?;
+    let name = header.name().to_string();
+    let clock = header.clock();
+    let registry = header.registry().clone();
+    drop(header);
+    let np = registry.num_processes();
+    let nf = registry.num_functions();
+
+    // Pass 1: profile + extent.
+    let mut extent = Extent::default();
+    let pass1 = pvt_pass(
+        path,
+        &registry,
+        np,
+        |_| ProfileSink::new(nf),
+        |sink, record, machine| {
+            extent.record(record.time);
+            machine.step(record, sink);
+        },
+        |mut sink, machine| {
+            machine.finish(&mut sink);
+            sink.rows
+        },
+    )?;
+    let mut failures = Vec::new();
+    let mut first_failed = np;
+    let mut partial_rows = pass1.per_rank;
+    if let Some((failing, error)) = pass1.error {
+        if mode == RecoveryMode::Strict {
+            return Err(error.into());
+        }
+        first_failed = partial_rows.len().min(failing.index());
+        partial_rows.truncate(first_failed);
+        failures.push(StreamFailure {
+            process: failing,
+            error,
+        });
+        for i in first_failed..np {
+            let pid = ProcessId::from_index(i);
+            if pid != failing {
+                failures.push(StreamFailure {
+                    process: pid,
+                    error: TraceError::Corrupt(format!(
+                        "stream of {pid} is unreachable behind the corrupt stream of {failing}"
+                    )),
+                });
+            }
+            partial_rows.push(vec![ProfileRow::default(); nf]);
+        }
+        failures.sort_by_key(|f| f.process.index());
+    }
+
+    let profiles = ProfileTable::from_rows(nf, partial_rows);
+    let ranking = DominantRanking::with_multiplier_for(np, &profiles, config.dominant_multiplier);
+    let dominant = ranking.selection();
+    let function = segmentation_function(&registry, &dominant, config)?;
+
+    // Pass 2: fused segmentation + counters. In partial mode the pass
+    // stops where pass 1 did; unreachable ranks contribute empties.
+    let modes = metric_modes(&registry, config.analyze_counters);
+    let pass2 = pvt_pass(
+        path,
+        &registry,
+        np,
+        |pid| FusedSink::new(pid, function, &modes),
+        |sink, record, machine| machine.step(record, sink),
+        |mut sink, machine| {
+            machine.finish(&mut sink);
+            sink.into_parts()
+        },
+    )?;
+    let mut partials = pass2.per_rank;
+    if let Some((_, error)) = pass2.error {
+        if mode == RecoveryMode::Strict {
+            return Err(error.into());
+        }
+    }
+    partials.truncate(first_failed.min(partials.len()));
+    while partials.len() < np {
+        partials.push(empty_fused(modes.len()));
+    }
+
+    let fused = merge_fused(&registry, function, &modes, partials);
+    let meta = extent.meta(name, clock, registry);
+    let analysis = assemble(
+        meta.name.clone(),
+        config,
+        dominant,
+        function,
+        profiles,
+        fused.segmentation,
+        fused.counters,
+    );
+    Ok(OutOfCoreAnalysis {
+        analysis,
+        meta,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::analyze;
+    use perfvar_trace::format::{archive, write_trace_file};
+    use perfvar_trace::{Clock, FunctionRole, MetricMode as Mode, Trace, TraceBuilder};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("perfvar-outofcore-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// Multi-rank trace with nested calls, sync functions, and all three
+    /// metric modes.
+    fn rich_trace(ranks: u64) -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds()).with_name("ooc");
+        let iter_f = b.define_function("iteration", FunctionRole::Compute);
+        let inner_f = b.define_function("inner", FunctionRole::Compute);
+        let mpi_f = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+        let acc = b.define_metric("CYC", Mode::Accumulating, "cycles");
+        let del = b.define_metric("EXC", Mode::Delta, "#");
+        for pi in 0..ranks {
+            let p = b.define_process(format!("rank {pi}"));
+            let w = b.process_mut(p);
+            let mut t = 0u64;
+            let mut cyc = 0u64;
+            for k in 0..6u64 {
+                let load = 100 + (pi * 13 + k * 7) % 40;
+                w.enter(Timestamp(t), iter_f).unwrap();
+                w.metric(Timestamp(t), acc, cyc).unwrap();
+                w.enter(Timestamp(t + 5), inner_f).unwrap();
+                w.metric(Timestamp(t + 9), del, k + 1).unwrap();
+                w.leave(Timestamp(t + load / 2), inner_f).unwrap();
+                t += load;
+                cyc += load * 3;
+                w.enter(Timestamp(t), mpi_f).unwrap();
+                w.leave(Timestamp(t + 20), mpi_f).unwrap();
+                t += 20;
+                w.metric(Timestamp(t), acc, cyc).unwrap();
+                w.leave(Timestamp(t), iter_f).unwrap();
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn archive_path_equals_in_memory() {
+        let trace = rich_trace(5);
+        let dir = tmp("eq.pvta");
+        write_trace_file(&trace, &dir).unwrap();
+        let config = AnalysisConfig::default();
+        let reference = analyze(&trace, &config).unwrap();
+        for threads in [1usize, 2, 0] {
+            let cfg = AnalysisConfig {
+                threads,
+                ..config.clone()
+            };
+            let ooc = analyze_path_with(&dir, &cfg, RecoveryMode::Strict).unwrap();
+            assert_eq!(ooc.analysis, reference, "threads = {threads}");
+            assert_eq!(ooc.meta, TraceMeta::of(&trace));
+            assert!(!ooc.is_partial());
+        }
+    }
+
+    #[test]
+    fn pvt_path_equals_in_memory() {
+        let trace = rich_trace(4);
+        let path = tmp("eq.pvt");
+        write_trace_file(&trace, &path).unwrap();
+        let config = AnalysisConfig::default();
+        assert_eq!(
+            analyze_path(&path, &config).unwrap(),
+            analyze(&trace, &config).unwrap()
+        );
+    }
+
+    #[test]
+    fn text_path_equals_in_memory() {
+        let trace = rich_trace(3);
+        let path = tmp("eq.pvtx");
+        write_trace_file(&trace, &path).unwrap();
+        let config = AnalysisConfig::default();
+        assert_eq!(
+            analyze_path(&path, &config).unwrap(),
+            analyze(&trace, &config).unwrap()
+        );
+    }
+
+    #[test]
+    fn truncated_archive_stream_strict_names_rank_and_offset() {
+        let trace = rich_trace(4);
+        let dir = tmp("trunc.pvta");
+        write_trace_file(&trace, &dir).unwrap();
+        let stream2 = dir.join(archive::stream_file(2));
+        let bytes = std::fs::read(&stream2).unwrap();
+        std::fs::write(&stream2, &bytes[..bytes.len() - 9]).unwrap();
+
+        let err = analyze_path(&dir, &AnalysisConfig::default()).unwrap_err();
+        let PathAnalysisError::Trace(TraceError::CorruptStream {
+            process, offset, ..
+        }) = err
+        else {
+            panic!("expected CorruptStream, got {err}");
+        };
+        assert_eq!(process, ProcessId(2));
+        assert!(offset > 0 && offset < bytes.len() as u64);
+    }
+
+    #[test]
+    fn truncated_archive_stream_partial_recovers_other_ranks() {
+        let trace = rich_trace(4);
+        let dir = tmp("partial.pvta");
+        write_trace_file(&trace, &dir).unwrap();
+        let stream1 = dir.join(archive::stream_file(1));
+        let bytes = std::fs::read(&stream1).unwrap();
+        std::fs::write(&stream1, &bytes[..bytes.len() - 7]).unwrap();
+
+        let config = AnalysisConfig::default();
+        let ooc = analyze_path_with(&dir, &config, RecoveryMode::Partial).unwrap();
+        assert!(ooc.is_partial());
+        assert_eq!(ooc.recovered_ranks(), 3);
+        assert_eq!(ooc.failures.len(), 1);
+        assert_eq!(ooc.failures[0].process, ProcessId(1));
+        assert!(matches!(
+            ooc.failures[0].error,
+            TraceError::CorruptStream { .. }
+        ));
+        // Rank 1 contributes exactly what an empty stream would.
+        assert_eq!(ooc.analysis.segmentation.process(ProcessId(1)).len(), 0);
+        assert!(!ooc.analysis.segmentation.process(ProcessId(0)).is_empty());
+    }
+
+    #[test]
+    fn truncated_pvt_partial_loses_trailing_ranks() {
+        let trace = rich_trace(4);
+        let path = tmp("trunc.pvt");
+        write_trace_file(&trace, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut deep into the file: some rank's stream ends mid-event.
+        std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+
+        let config = AnalysisConfig::default();
+        let strict = analyze_path(&path, &config).unwrap_err();
+        assert!(
+            matches!(
+                strict,
+                PathAnalysisError::Trace(TraceError::CorruptStream { .. })
+            ),
+            "{strict}"
+        );
+
+        let ooc = analyze_path_with(&path, &config, RecoveryMode::Partial).unwrap();
+        assert!(ooc.is_partial());
+        // Sequential file: the corrupt rank and everything after it fail.
+        let first_failed = ooc.failures[0].process.index();
+        assert_eq!(ooc.failures.len(), 4 - first_failed);
+        assert_eq!(ooc.recovered_ranks(), first_failed);
+        for i in 0..first_failed {
+            assert!(!ooc
+                .analysis
+                .segmentation
+                .process(ProcessId::from_index(i))
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn missing_archive_stream_partial_reports_path() {
+        let trace = rich_trace(3);
+        let dir = tmp("missing.pvta");
+        write_trace_file(&trace, &dir).unwrap();
+        std::fs::remove_file(dir.join(archive::stream_file(1))).unwrap();
+        let ooc =
+            analyze_path_with(&dir, &AnalysisConfig::default(), RecoveryMode::Partial).unwrap();
+        assert_eq!(ooc.failures.len(), 1);
+        assert!(ooc.failures[0].error.to_string().contains("stream-1.pvts"));
+    }
+
+    #[test]
+    fn refine_steps_to_finer_function() {
+        let trace = rich_trace(4);
+        let dir = tmp("refine.pvta");
+        write_trace_file(&trace, &dir).unwrap();
+        let config = AnalysisConfig::default();
+        let ooc = analyze_path_with(&dir, &config, RecoveryMode::Strict).unwrap();
+        let refined = ooc
+            .refine(&dir, &config, RecoveryMode::Strict)
+            .unwrap()
+            .expect("a finer candidate exists");
+        // Matches the in-memory refinement exactly.
+        let reference = analyze(&trace, &config).unwrap();
+        let refined_ref = reference.refine(&trace, &config).unwrap();
+        assert_eq!(refined.analysis, refined_ref);
+    }
+
+    #[test]
+    fn no_dominant_function_is_an_analysis_error() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f = b.define_function("main", FunctionRole::Compute);
+        let p = b.define_process("p0");
+        b.process_mut(p).enter(Timestamp(0), f).unwrap();
+        b.process_mut(p).leave(Timestamp(10), f).unwrap();
+        let trace = b.finish().unwrap();
+        let dir = tmp("nodom.pvta");
+        write_trace_file(&trace, &dir).unwrap();
+        let err = analyze_path(&dir, &AnalysisConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            PathAnalysisError::Analysis(AnalysisError::NoDominantFunction { .. })
+        ));
+    }
+}

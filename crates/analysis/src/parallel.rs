@@ -27,17 +27,20 @@ pub fn resolve_threads(num_threads: usize, num_processes: usize) -> usize {
     threads.min(num_processes.max(1))
 }
 
-/// Maps `work` over every process of `trace` on up to `num_threads`
-/// scoped worker threads, returning results in process order.
+/// Maps `work` over the ranks `0..num_ranks` on up to `num_threads`
+/// scoped worker threads, returning results in rank order.
 ///
-/// `num_threads == 0` selects the available hardware parallelism. Runs
-/// inline (no threads spawned) for single-process traces or one thread.
-pub fn par_map_processes<T, F>(trace: &Trace, num_threads: usize, work: F) -> Vec<T>
+/// The trace-independent core of [`par_map_processes`]: the out-of-core
+/// path uses it to fan workers out over archive streams without holding
+/// a [`Trace`]. `num_threads == 0` selects the available hardware
+/// parallelism; runs inline (no threads spawned) for a single rank or
+/// one thread.
+pub fn par_map_ranks<T, F>(num_ranks: usize, num_threads: usize, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(ProcessId) -> T + Sync,
 {
-    let p = trace.num_processes();
+    let p = num_ranks;
     let threads = resolve_threads(num_threads, p);
 
     if threads <= 1 || p <= 1 {
@@ -45,7 +48,7 @@ where
     }
 
     let mut results: Vec<Option<T>> = (0..p).map(|_| None).collect();
-    // Distribute contiguous chunks of processes to workers.
+    // Distribute contiguous chunks of ranks to workers.
     let chunk = p.div_ceil(threads);
     let work = &work;
     std::thread::scope(|scope| {
@@ -60,8 +63,21 @@ where
     });
     results
         .into_iter()
-        .map(|r| r.expect("every process visited"))
+        .map(|r| r.expect("every rank visited"))
         .collect()
+}
+
+/// Maps `work` over every process of `trace` on up to `num_threads`
+/// scoped worker threads, returning results in process order.
+///
+/// `num_threads == 0` selects the available hardware parallelism. Runs
+/// inline (no threads spawned) for single-process traces or one thread.
+pub fn par_map_processes<T, F>(trace: &Trace, num_threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(ProcessId) -> T + Sync,
+{
+    par_map_ranks(trace.num_processes(), num_threads, work)
 }
 
 /// Replays all processes using up to `num_threads` worker threads.

@@ -33,6 +33,39 @@ pub struct FunctionProfile {
     pub max_count_per_process: u64,
 }
 
+/// Per-process partial aggregates, one row per function. Produced by
+/// [`ProfileSink`], merged by [`ProfileTable::from_rows`].
+#[derive(Clone, Default)]
+pub(crate) struct ProfileRow {
+    pub(crate) count: u64,
+    pub(crate) inclusive: u64,
+    pub(crate) exclusive: u64,
+}
+
+/// Streaming visitor accumulating one process's profile rows. Shared by
+/// [`ProfileTable::stream`] and the out-of-core path
+/// ([`crate::outofcore`]), which drives it from a disk cursor.
+pub(crate) struct ProfileSink {
+    pub(crate) rows: Vec<ProfileRow>,
+}
+
+impl ProfileSink {
+    pub(crate) fn new(num_functions: usize) -> ProfileSink {
+        ProfileSink {
+            rows: vec![ProfileRow::default(); num_functions],
+        }
+    }
+}
+
+impl ReplayVisitor for ProfileSink {
+    fn on_frame(&mut self, frame: &ClosedFrame) {
+        let row = &mut self.rows[frame.function.index()];
+        row.count += 1;
+        row.inclusive += frame.inclusive().0;
+        row.exclusive += frame.exclusive().0;
+    }
+}
+
 /// Profiles for every defined function, indexed by [`FunctionId`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ProfileTable {
@@ -79,34 +112,23 @@ impl ProfileTable {
     /// are merged per process, in process order — but each worker only
     /// holds `O(functions + stack depth)` state.
     pub fn stream(trace: &Trace, num_threads: usize) -> ProfileTable {
-        /// Per-process partial aggregates, one row per function.
-        #[derive(Clone, Default)]
-        struct Row {
-            count: u64,
-            inclusive: u64,
-            exclusive: u64,
-        }
-        struct ProfileSink {
-            rows: Vec<Row>,
-        }
-        impl ReplayVisitor for ProfileSink {
-            fn on_frame(&mut self, frame: &ClosedFrame) {
-                let row = &mut self.rows[frame.function.index()];
-                row.count += 1;
-                row.inclusive += frame.inclusive().0;
-                row.exclusive += frame.exclusive().0;
-            }
-        }
-
         let nf = trace.registry().num_functions();
         let partials = par_map_processes(trace, num_threads, |pid| {
-            let mut sink = ProfileSink {
-                rows: vec![Row::default(); nf],
-            };
+            let mut sink = ProfileSink::new(nf);
             replay_visit(trace, pid, &mut sink);
             sink.rows
         });
-        let mut profiles = vec![FunctionProfile::default(); nf];
+        ProfileTable::from_rows(nf, partials)
+    }
+
+    /// Merges per-process [`ProfileRow`] partials (in process order) into
+    /// the final table. The merge is identical for in-memory and
+    /// out-of-core producers, which is what keeps the two bit-equal.
+    pub(crate) fn from_rows(
+        num_functions: usize,
+        partials: impl IntoIterator<Item = Vec<ProfileRow>>,
+    ) -> ProfileTable {
+        let mut profiles = vec![FunctionProfile::default(); num_functions];
         for rows in partials {
             for (f, row) in rows.into_iter().enumerate() {
                 let p = &mut profiles[f];

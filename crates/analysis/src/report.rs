@@ -21,7 +21,7 @@ use crate::parallel::replay_all_parallel;
 use crate::profile::ProfileTable;
 use crate::segment::Segmentation;
 use crate::sos::SosMatrix;
-use perfvar_trace::{FunctionId, MetricId, Trace};
+use perfvar_trace::{FunctionId, MetricId, Registry, Trace, TraceMeta};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -128,14 +128,13 @@ pub struct Analysis {
 
 /// Resolves the segmentation function: the configured override, or the
 /// selected dominant function.
-fn segmentation_function(
-    trace: &Trace,
+pub(crate) fn segmentation_function(
+    registry: &Registry,
     dominant: &DominantSelection,
     config: &AnalysisConfig,
 ) -> Result<FunctionId, AnalysisError> {
     match &config.segment_function {
-        Some(name) => trace
-            .registry()
+        Some(name) => registry
             .function_by_name(name)
             .ok_or_else(|| AnalysisError::UnknownFunction(name.clone())),
         None => dominant.function.ok_or(AnalysisError::NoDominantFunction {
@@ -144,10 +143,11 @@ fn segmentation_function(
     }
 }
 
-/// Derives the downstream results shared by both pipeline variants from
-/// a segmentation and its counter matrices.
-fn assemble(
-    trace: &Trace,
+/// Derives the downstream results shared by all pipeline variants
+/// (fused, reference, out-of-core) from a segmentation and its counter
+/// matrices.
+pub(crate) fn assemble(
+    trace_name: String,
     config: &AnalysisConfig,
     dominant: DominantSelection,
     function: FunctionId,
@@ -167,7 +167,7 @@ fn assemble(
         })
         .collect();
     Analysis {
-        trace_name: trace.name.clone(),
+        trace_name,
         dominant,
         function,
         profiles,
@@ -188,15 +188,46 @@ fn assemble(
 /// Memory per worker is `O(stack depth + segments + functions)` instead
 /// of `O(invocations)`. The result is identical to
 /// [`analyze_reference`] (property-tested in `tests/properties.rs`).
+/// For traces too large to load at all, see
+/// [`analyze_path`](crate::outofcore::analyze_path), which produces the
+/// same `Analysis` straight from disk.
+///
+/// ```
+/// use perfvar_analysis::report::{analyze, AnalysisConfig};
+/// use perfvar_trace::{Clock, FunctionRole, Timestamp, TraceBuilder};
+///
+/// // Four ranks, eight iterations each; rank 2's sixth iteration is slow.
+/// let mut b = TraceBuilder::new(Clock::microseconds()).with_name("demo");
+/// let iter_f = b.define_function("iteration", FunctionRole::Compute);
+/// for pi in 0..4u64 {
+///     let p = b.define_process(format!("rank {pi}"));
+///     let w = b.process_mut(p);
+///     let mut t = 0;
+///     for k in 0..8u64 {
+///         let load = if pi == 2 && k == 5 { 500 } else { 100 };
+///         w.enter(Timestamp(t), iter_f).unwrap();
+///         t += load;
+///         w.leave(Timestamp(t), iter_f).unwrap();
+///     }
+/// }
+/// let trace = b.finish().unwrap();
+///
+/// let analysis = analyze(&trace, &AnalysisConfig::default()).unwrap();
+/// // "iteration" passes the 2p rule and segments the run …
+/// assert_eq!(trace.registry().function_name(analysis.function), "iteration");
+/// // … and the injected hotspot is flagged on rank 2, ordinal 5.
+/// let hot = analysis.imbalance.hottest_segment().unwrap();
+/// assert_eq!((hot.process.index(), hot.ordinal), (2, 5));
+/// ```
 pub fn analyze(trace: &Trace, config: &AnalysisConfig) -> Result<Analysis, AnalysisError> {
     let profiles = ProfileTable::stream(trace, config.threads);
     let ranking = DominantRanking::with_multiplier(trace, &profiles, config.dominant_multiplier);
     let dominant = ranking.selection();
-    let function = segmentation_function(trace, &dominant, config)?;
+    let function = segmentation_function(trace.registry(), &dominant, config)?;
 
     let fused = fuse_segments(trace, function, config.threads, config.analyze_counters);
     Ok(assemble(
-        trace,
+        trace.name.clone(),
         config,
         dominant,
         function,
@@ -220,7 +251,7 @@ pub fn analyze_reference(
     let profiles = ProfileTable::from_invocations(trace, &replayed);
     let ranking = DominantRanking::with_multiplier(trace, &profiles, config.dominant_multiplier);
     let dominant = ranking.selection();
-    let function = segmentation_function(trace, &dominant, config)?;
+    let function = segmentation_function(trace.registry(), &dominant, config)?;
 
     let segmentation = Segmentation::new(trace, &replayed, function);
     let counter_matrices = if config.analyze_counters {
@@ -233,7 +264,7 @@ pub fn analyze_reference(
         Vec::new()
     };
     Ok(assemble(
-        trace,
+        trace.name.clone(),
         config,
         dominant,
         function,
@@ -265,17 +296,25 @@ impl Analysis {
 
     /// Renders a human-readable hotspot report.
     pub fn render_text(&self, trace: &Trace) -> String {
+        self.render_text_meta(&TraceMeta::of(trace))
+    }
+
+    /// Renders the hotspot report from trace *metadata* alone — the
+    /// out-of-core path never holds a [`Trace`], only a [`TraceMeta`]
+    /// assembled while streaming. [`render_text`](Analysis::render_text)
+    /// is this with `TraceMeta::of(trace)`.
+    pub fn render_text_meta(&self, meta: &TraceMeta) -> String {
         use std::fmt::Write as _;
-        let reg = trace.registry();
-        let clock = trace.clock();
+        let reg = &meta.registry;
+        let clock = meta.clock;
         let mut out = String::new();
         let _ = writeln!(out, "perfvar analysis of {:?}", self.trace_name);
         let _ = writeln!(
             out,
             "  processes: {}, events: {}, span: {}",
-            trace.num_processes(),
-            trace.num_events(),
-            clock.format_duration(trace.span()),
+            meta.num_processes(),
+            meta.num_events,
+            clock.format_duration(meta.span()),
         );
         let _ = writeln!(
             out,

@@ -26,8 +26,15 @@
 //!   so sinks that must match the batch semantics bit-for-bit resolve
 //!   boundary readings here.
 //! * [`on_finish`](ReplayVisitor::on_finish) fires after the last tick.
+//!
+//! The stack machine itself is exposed as [`ReplayMachine`] so callers
+//! that do not hold a `Trace` — the out-of-core path in
+//! [`crate::outofcore`], which reads records straight off a disk cursor
+//! — can drive the identical semantics one record at a time.
 
-use perfvar_trace::{DurationTicks, Event, FunctionId, MetricId, ProcessId, Timestamp, Trace};
+use perfvar_trace::{
+    DurationTicks, Event, EventRecord, FunctionId, MetricId, ProcessId, Registry, Timestamp, Trace,
+};
 
 /// A completed stack frame, reported by [`replay_visit`] on `Leave`.
 ///
@@ -94,56 +101,83 @@ pub trait ReplayVisitor {
     fn on_finish(&mut self) {}
 }
 
-/// Replays one process's stream through `visitor` in a single pass.
+struct Frame {
+    function: FunctionId,
+    enter: Timestamp,
+    children_inclusive: u64,
+    sync_within: u64,
+}
+
+/// The incremental Fig. 1 stack machine behind [`replay_visit`].
 ///
-/// Implements the same semantics as
-/// [`replay_process`](crate::invocation::replay_process) (the
-/// materialising reference): sync time is the frame's own inclusive time
-/// for synchronization-role functions, else the sum contributed by its
-/// descendants, counted once.
-pub fn replay_visit<V: ReplayVisitor>(trace: &Trace, process: ProcessId, visitor: &mut V) {
-    struct Frame {
-        function: FunctionId,
-        enter: Timestamp,
-        children_inclusive: u64,
-        sync_within: u64,
+/// [`replay_visit`] drives it from an in-memory
+/// [`EventStream`](perfvar_trace::EventStream); the out-of-core path
+/// ([`crate::outofcore`]) drives it record by record from a disk cursor.
+/// Both produce identical visitor callback sequences: feed every record
+/// of one process's stream (already validated — balanced and
+/// time-ordered, which both the trace builder and the format cursors
+/// guarantee) to [`step`](ReplayMachine::step), then call
+/// [`finish`](ReplayMachine::finish) exactly once.
+///
+/// Live state is the open call stack plus one pending tick timestamp —
+/// `O(stack depth)` regardless of stream length.
+pub struct ReplayMachine {
+    /// Per-function synchronization-role flags (resolved once so stepping
+    /// never touches the registry).
+    sync_role: Vec<bool>,
+    stack: Vec<Frame>,
+    tick: Option<Timestamp>,
+    max_depth: usize,
+}
+
+impl ReplayMachine {
+    /// Creates a machine for streams described by `registry`.
+    pub fn new(registry: &Registry) -> ReplayMachine {
+        ReplayMachine {
+            sync_role: registry
+                .function_ids()
+                .map(|f| registry.function_role(f).is_synchronization())
+                .collect(),
+            stack: Vec::new(),
+            tick: None,
+            max_depth: 0,
+        }
     }
-    let registry = trace.registry();
-    let stream = trace.stream(process);
-    let mut stack: Vec<Frame> = Vec::new();
-    let mut tick: Option<Timestamp> = None;
-    for record in stream.records() {
-        match tick {
+
+    /// Feeds one record, firing the due visitor callbacks.
+    pub fn step<V: ReplayVisitor>(&mut self, record: &EventRecord, visitor: &mut V) {
+        match self.tick {
             Some(t) if t != record.time => visitor.on_tick(t),
             _ => {}
         }
-        tick = Some(record.time);
+        self.tick = Some(record.time);
         match record.event {
             Event::Enter { function } => {
-                visitor.on_enter(function, stack.len() as u32, record.time);
-                stack.push(Frame {
+                visitor.on_enter(function, self.stack.len() as u32, record.time);
+                self.stack.push(Frame {
                     function,
                     enter: record.time,
                     children_inclusive: 0,
                     sync_within: 0,
                 });
+                self.max_depth = self.max_depth.max(self.stack.len());
             }
             Event::Leave { function } => {
-                let frame = stack.pop().expect("validated trace: balanced leave");
-                debug_assert_eq!(frame.function, function, "validated trace: matching leave");
+                let frame = self.stack.pop().expect("validated stream: balanced leave");
+                debug_assert_eq!(frame.function, function, "validated stream: matching leave");
                 let inclusive = record.time.since(frame.enter).0;
-                let sync = if registry.function_role(function).is_synchronization() {
+                let sync = if self.sync_role[function.index()] {
                     inclusive
                 } else {
                     frame.sync_within
                 };
-                if let Some(parent) = stack.last_mut() {
+                if let Some(parent) = self.stack.last_mut() {
                     parent.children_inclusive += inclusive;
                     parent.sync_within += sync;
                 }
                 visitor.on_frame(&ClosedFrame {
                     function,
-                    depth: stack.len() as u32,
+                    depth: self.stack.len() as u32,
                     enter: frame.enter,
                     leave: record.time,
                     children_inclusive: DurationTicks(frame.children_inclusive),
@@ -154,11 +188,75 @@ pub fn replay_visit<V: ReplayVisitor>(trace: &Trace, process: ProcessId, visitor
             _ => {}
         }
     }
-    debug_assert!(stack.is_empty(), "validated trace: balanced stream");
-    if let Some(t) = tick {
-        visitor.on_tick(t);
+
+    /// Ends the stream: fires the final tick (if any records were fed)
+    /// and `on_finish`. The machine is reusable for another stream
+    /// afterwards.
+    pub fn finish<V: ReplayVisitor>(&mut self, visitor: &mut V) {
+        debug_assert!(self.stack.is_empty(), "validated stream: balanced");
+        if let Some(t) = self.tick.take() {
+            visitor.on_tick(t);
+        }
+        visitor.on_finish();
     }
-    visitor.on_finish();
+
+    /// Deepest call stack observed so far (across all streams fed since
+    /// construction) — the out-of-core benchmarks account per-worker
+    /// memory with it.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+/// Replays one process's stream through `visitor` in a single pass.
+///
+/// Implements the same semantics as
+/// [`replay_process`](crate::invocation::replay_process) (the
+/// materialising reference): sync time is the frame's own inclusive time
+/// for synchronization-role functions, else the sum contributed by its
+/// descendants, counted once.
+///
+/// ```
+/// use perfvar_analysis::stream::{replay_visit, ClosedFrame, ReplayVisitor};
+/// use perfvar_trace::{Clock, FunctionRole, ProcessId, Timestamp, TraceBuilder};
+///
+/// /// Counts completed frames and sums their exclusive time.
+/// #[derive(Default)]
+/// struct ExclusiveSum {
+///     frames: usize,
+///     exclusive_ticks: u64,
+/// }
+///
+/// impl ReplayVisitor for ExclusiveSum {
+///     fn on_frame(&mut self, frame: &ClosedFrame) {
+///         self.frames += 1;
+///         self.exclusive_ticks += frame.exclusive().0;
+///     }
+/// }
+///
+/// let mut b = TraceBuilder::new(Clock::microseconds());
+/// let outer = b.define_function("outer", FunctionRole::Compute);
+/// let inner = b.define_function("inner", FunctionRole::Compute);
+/// let p = b.define_process("rank 0");
+/// let w = b.process_mut(p);
+/// w.enter(Timestamp(0), outer).unwrap();
+/// w.enter(Timestamp(3), inner).unwrap();
+/// w.leave(Timestamp(7), inner).unwrap();
+/// w.leave(Timestamp(10), outer).unwrap();
+/// let trace = b.finish().unwrap();
+///
+/// let mut sink = ExclusiveSum::default();
+/// replay_visit(&trace, ProcessId(0), &mut sink);
+/// assert_eq!(sink.frames, 2);
+/// // inner: 4 exclusive ticks; outer: 10 − 4 = 6.
+/// assert_eq!(sink.exclusive_ticks, 10);
+/// ```
+pub fn replay_visit<V: ReplayVisitor>(trace: &Trace, process: ProcessId, visitor: &mut V) {
+    let mut machine = ReplayMachine::new(trace.registry());
+    for record in trace.stream(process).records() {
+        machine.step(record, visitor);
+    }
+    machine.finish(visitor);
 }
 
 #[cfg(test)]
@@ -251,6 +349,27 @@ mod tests {
         // inclusive time as sync.
         assert_eq!(r.frames[0].sync_within, DurationTicks(3));
         assert_eq!(r.frames[1].sync_within, DurationTicks(3));
+    }
+
+    #[test]
+    fn machine_driven_stepping_equals_replay_visit() {
+        let trace = nested_trace();
+        let mut whole = Recorder::default();
+        replay_visit(&trace, ProcessId(0), &mut whole);
+
+        let mut stepped = Recorder::default();
+        let mut machine = ReplayMachine::new(trace.registry());
+        for record in trace.stream(ProcessId(0)).records() {
+            machine.step(record, &mut stepped);
+        }
+        machine.finish(&mut stepped);
+
+        assert_eq!(stepped.enters, whole.enters);
+        assert_eq!(stepped.frames, whole.frames);
+        assert_eq!(stepped.metrics, whole.metrics);
+        assert_eq!(stepped.ticks, whole.ticks);
+        assert!(stepped.finished);
+        assert_eq!(machine.max_depth(), 2);
     }
 
     #[test]

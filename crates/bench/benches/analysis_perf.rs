@@ -147,6 +147,33 @@ fn bench_analyze_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_out_of_core(c: &mut Criterion) {
+    use perfvar_analysis::{analyze, analyze_path, AnalysisConfig};
+    use perfvar_trace::format::write_trace_file;
+
+    let mut g = c.benchmark_group("out_of_core");
+    g.sample_size(10);
+    let dir = std::env::temp_dir().join("perfvar-bench-ooc");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (ranks, iterations) in [(64usize, 200usize), (256, 50)] {
+        let trace = stencil_trace(ranks, iterations);
+        let events = trace.num_events() as u64;
+        let archive = dir.join(format!("stencil-{ranks}.pvta"));
+        write_trace_file(&trace, &archive).unwrap();
+        let cfg = AnalysisConfig::default();
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::new("in_memory", ranks), &trace, |b, trace| {
+            b.iter(|| analyze(black_box(trace), &cfg).unwrap())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("analyze_path", ranks),
+            &archive,
+            |b, archive| b.iter(|| analyze_path(black_box(archive), &cfg).unwrap()),
+        );
+    }
+    g.finish();
+}
+
 fn bench_streaming_read(c: &mut Criterion) {
     use perfvar_trace::format::pvt;
     let mut g = c.benchmark_group("streaming_read");
@@ -174,6 +201,7 @@ criterion_group!(
     bench_sos_computation,
     bench_extensions,
     bench_analyze_pipeline,
+    bench_out_of_core,
     bench_streaming_read
 );
 criterion_main!(benches);

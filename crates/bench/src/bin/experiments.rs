@@ -568,6 +568,78 @@ fn pipeline_benchmark(report: &mut Report, out_dir: &Path) {
     let max_segments_per_process = analysis.segmentation.max_segments_per_process();
     let fused_peak = meter.max_depth + max_segments_per_process + trace.registry().num_functions();
 
+    // Out-of-core: the same fused pipeline fed straight from an archive
+    // on disk (`analyze_path`). Per-worker live state no longer depends
+    // on the trace length at all — just the stream read buffer plus the
+    // replay stack, the worker's own segments, and per-function rows.
+    let archive_dir = out_dir.join("bench-archives");
+    std::fs::create_dir_all(&archive_dir).unwrap();
+    let mut ooc_rows = Vec::new();
+    let mut ooc_summary = Vec::new();
+    let mut ooc_ok = true;
+    for &(ranks, iterations) in &[(64usize, 200usize), (256, 50)] {
+        let t = perfvar_bench::counter_stencil_trace(ranks, iterations);
+        let ev = t.num_events() as u64;
+        let archive = archive_dir.join(format!("stencil-{ranks}.pvta"));
+        perfvar_trace::format::write_trace_file(&t, &archive).unwrap();
+        let cfg = cfg_at(0);
+        // Both routes start from the file path: the in-memory route has
+        // to materialise the whole trace before it can analyze. The two
+        // measurements are interleaved (one rep of each per round,
+        // best-of-5) so slow rounds on a shared box hit both equally.
+        let mut in_memory_s = f64::INFINITY;
+        let mut ooc_s = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            let loaded = perfvar_trace::format::read_trace_file(&archive).unwrap();
+            analyze(&loaded, &cfg).unwrap();
+            in_memory_s = in_memory_s.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            perfvar_analysis::analyze_path(&archive, &cfg).unwrap();
+            ooc_s = ooc_s.min(start.elapsed().as_secs_f64());
+        }
+        let from_disk = perfvar_analysis::analyze_path(&archive, &cfg).unwrap();
+        let mut m = DepthMeter { max_depth: 0 };
+        for pid in t.registry().process_ids() {
+            replay_visit(&t, pid, &mut m);
+        }
+        let worker_items = m.max_depth
+            + from_disk.segmentation.max_segments_per_process()
+            + t.registry().num_functions();
+        // The out-of-core route streams every event twice (profile pass,
+        // then fused pass) to keep per-worker memory flat, so its wall
+        // time carries an inherent ~2× decode factor. The gate compares
+        // *per-pass* streaming throughput against the in-memory path's
+        // end-to-end event rate: each pass must move events at least
+        // 1/1.5 as fast as the whole in-memory pipeline.
+        let wall_ratio = ooc_s / in_memory_s;
+        let per_pass_ratio = (ooc_s / 2.0) / in_memory_s;
+        ooc_ok &= per_pass_ratio <= 1.5 && worker_items < t.num_events() / 100;
+        ooc_summary.push(format!(
+            "{ranks} ranks: in-memory {in_memory_s:.3} s vs out-of-core {ooc_s:.3} s \
+             over 2 passes ({per_pass_ratio:.2}× per pass, {wall_ratio:.2}× wall, \
+             {:.1}M ev/s streamed); worker holds {worker_items} items, not {ev} events",
+            2.0 * ev as f64 / ooc_s / 1e6
+        ));
+        ooc_rows.push(serde_json::json!({
+            "ranks": ranks,
+            "iterations": iterations,
+            "events": ev,
+            "in_memory_s": in_memory_s,
+            "out_of_core_s": ooc_s,
+            "out_of_core_passes": 2,
+            "out_of_core_events_per_sec": ev as f64 / ooc_s,
+            "streamed_events_per_sec_per_pass": 2.0 * ev as f64 / ooc_s,
+            "slowdown_per_pass_vs_in_memory": per_pass_ratio,
+            "slowdown_ooc_vs_in_memory": wall_ratio,
+            "peak_state": serde_json::json!({
+                "in_memory_resident_events": ev,
+                "ooc_worker_live_items": worker_items,
+                "ooc_read_buffer_bytes": 8192,
+            }),
+        }));
+    }
+
     let json = serde_json::json!({
         "trace": serde_json::json!({
             "workload": "counter-stencil",
@@ -587,6 +659,7 @@ fn pipeline_benchmark(report: &mut Report, out_dir: &Path) {
             "reference_materialised": reference_peak,
             "fused_per_worker_live": fused_peak,
         }),
+        "out_of_core": ooc_rows,
     });
     let path = out_dir.join("BENCH_pipeline.json");
     std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()).unwrap();
@@ -604,6 +677,16 @@ fn pipeline_benchmark(report: &mut Report, out_dir: &Path) {
             events as f64 / fused_best / 1e6,
         ),
         speedup >= 1.5 && fused_peak < reference_peak / 100,
+    );
+
+    report.check(
+        "OUT-OF-CORE analyze_path vs in-memory fused",
+        "each of the two streaming passes moves events within 1.5× of the \
+         in-memory path's end-to-end rate (wall ≈ 2 passes, recorded in \
+         BENCH_pipeline.json); per-worker state is O(buffer + stack + \
+         segments + functions), independent of trace length (64 and 256 ranks)",
+        ooc_summary.join("; "),
+        ooc_ok,
     );
 }
 

@@ -2,8 +2,11 @@
 
 use crate::args::{ArgSpec, ParsedArgs};
 use crate::workload_args::{generate_trace, WORKLOAD_NAMES};
-use perfvar_analysis::{analyze as run_analysis, analyze_reference, Analysis, AnalysisConfig};
-use perfvar_trace::format::{read_trace_file, write_trace_file};
+use perfvar_analysis::{
+    analyze as run_analysis, analyze_path_with, analyze_reference, Analysis, AnalysisConfig,
+    OutOfCoreAnalysis, RecoveryMode,
+};
+use perfvar_trace::format::{read_trace_file, write_trace_file, Format};
 use perfvar_trace::stats::{event_counts, role_time_profile};
 use perfvar_trace::Trace;
 use perfvar_viz::chart::{counter_heatmap, function_timeline, sos_heatmap, TimelineOptions};
@@ -19,7 +22,7 @@ USAGE:
   perfvar info     <trace>
   perfvar analyze  <trace> [--function NAME] [--refine N] [--multiplier K]
                    [--threads N] [--reference] [--auto-refine] [--calltree]
-                   [--waitstates] [--phases] [--json]
+                   [--waitstates] [--phases] [--json] [--in-memory] [--partial]
   perfvar render   <trace> --chart timeline|sos|comm|comm-bytes|counter:<METRIC>
                    [--out x.svg] [--ansi]
   perfvar report   <trace> --out-dir DIR
@@ -29,7 +32,11 @@ USAGE:
   perfvar convert  <in.pvt|in.pvtx> <out.pvt|out.pvtx>
 
 Workloads: cosmo-specs, cosmo-specs-fd4, wrf (the paper's case studies),
-           balanced, random, gradual, outlier (synthetic).";
+           balanced, random, gradual, outlier (synthetic).
+
+Archives (.pvta) are analyzed out-of-core by default: rank streams are
+decoded straight from disk without materialising the trace. --in-memory
+opts out; --partial recovers the intact ranks of a damaged archive.";
 
 fn load_trace(path: &str) -> Result<Trace, String> {
     read_trace_file(path).map_err(|e| format!("cannot read trace {path}: {e}"))
@@ -99,7 +106,7 @@ pub fn info(argv: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn analysis_of(trace: &Trace, args: &ParsedArgs) -> Result<Analysis, String> {
+fn config_of(args: &ParsedArgs) -> Result<AnalysisConfig, String> {
     let mut config = AnalysisConfig {
         segment_function: args.value("function").map(str::to_string),
         ..AnalysisConfig::default()
@@ -108,6 +115,11 @@ fn analysis_of(trace: &Trace, args: &ParsedArgs) -> Result<Analysis, String> {
         .parse_or("multiplier", config.dominant_multiplier)
         .map_err(|e| e.to_string())?;
     config.threads = args.parse_or("threads", 0).map_err(|e| e.to_string())?;
+    Ok(config)
+}
+
+fn analysis_of(trace: &Trace, args: &ParsedArgs) -> Result<Analysis, String> {
+    let config = config_of(args)?;
     // --reference runs the materialising pipeline instead of the fused
     // streaming default (mainly for cross-checks and benchmarking).
     let pipeline = if args.has("reference") {
@@ -126,6 +138,86 @@ fn analysis_of(trace: &Trace, args: &ParsedArgs) -> Result<Analysis, String> {
     Ok(analysis)
 }
 
+/// Whether `path` should be analyzed out-of-core: archives stream their
+/// rank files from disk in parallel, so the default for `.pvta` inputs
+/// is to never materialise the trace. `--in-memory` opts out.
+fn wants_out_of_core(path: &str, args: &ParsedArgs) -> bool {
+    !args.has("in-memory") && Format::from_path(Path::new(path)) == Format::Archive
+}
+
+/// Runs the fused pipeline straight from disk (`analyze_path_with`),
+/// honouring the same --function/--multiplier/--threads/--refine knobs
+/// as the in-memory route plus --partial for damaged archives.
+fn analysis_of_path(path: &str, args: &ParsedArgs) -> Result<OutOfCoreAnalysis, String> {
+    let config = config_of(args)?;
+    let mode = if args.has("partial") {
+        RecoveryMode::Partial
+    } else {
+        RecoveryMode::Strict
+    };
+    let mut result = analyze_path_with(path, &config, mode).map_err(|e| e.to_string())?;
+    let refine_steps: usize = args.parse_or("refine", 0).map_err(|e| e.to_string())?;
+    for _ in 0..refine_steps {
+        match result
+            .refine(path, &config, mode)
+            .map_err(|e| e.to_string())?
+        {
+            Some(finer) => result = finer,
+            None => return Err("no finer segmentation function available".to_string()),
+        }
+    }
+    Ok(result)
+}
+
+fn print_phases(sos: &perfvar_analysis::SosMatrix) {
+    let detection = perfvar_analysis::phases::PhaseDetection::detect_durations(
+        sos,
+        perfvar_analysis::phases::PhaseConfig::default(),
+    );
+    println!("  duration phases: {}", detection.len());
+    for (i, phase) in detection.phases.iter().enumerate() {
+        println!(
+            "    phase {i}: ordinals {}..{} mean {:.0} ticks",
+            phase.start, phase.end, phase.mean
+        );
+    }
+}
+
+/// The out-of-core `analyze` route: the archive is streamed from disk
+/// and the trace is never materialised, so only analyses that work from
+/// the [`Analysis`] itself (phases, findings) are offered here.
+fn analyze_out_of_core(path: &str, args: &ParsedArgs) -> Result<(), String> {
+    let result = analysis_of_path(path, args)?;
+    if args.has("json") {
+        let json = serde_json::to_string_pretty(&result.analysis)
+            .map_err(|e| format!("serialisation failed: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+    print!("{}", result.analysis.render_text_meta(&result.meta));
+    if result.is_partial() {
+        println!(
+            "  PARTIAL RESULT: {}/{} ranks recovered; lost streams:",
+            result.recovered_ranks(),
+            result.meta.num_processes()
+        );
+        for failure in &result.failures {
+            println!("    {}: {}", failure.process, failure.error);
+        }
+    }
+    if args.has("phases") {
+        print_phases(&result.analysis.sos);
+    }
+    let findings = perfvar_analysis::findings::findings_meta(&result.meta, &result.analysis);
+    if !findings.is_empty() {
+        println!("  findings (ranked by severity):");
+        for f in &findings {
+            println!("    [{:>4.0}%] {}", f.severity * 100.0, f.description);
+        }
+    }
+    Ok(())
+}
+
 /// `perfvar analyze <trace>`
 pub fn analyze(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
@@ -137,10 +229,21 @@ pub fn analyze(argv: Vec<String>) -> Result<(), String> {
             "waitstates",
             "phases",
             "reference",
+            "in-memory",
+            "partial",
         ],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
     let path = args.positional(0).ok_or("missing trace path")?;
+    // Replay-based extras and the reference pipeline need the whole
+    // trace in memory; everything else streams archives from disk.
+    let needs_trace = args.has("reference")
+        || args.has("auto-refine")
+        || args.has("waitstates")
+        || args.has("calltree");
+    if wants_out_of_core(path, &args) && !needs_trace {
+        return analyze_out_of_core(path, &args);
+    }
     let trace = load_trace(path)?;
     let analysis = if args.has("auto-refine") {
         let config = AnalysisConfig::default();
@@ -163,17 +266,7 @@ pub fn analyze(argv: Vec<String>) -> Result<(), String> {
     } else {
         print!("{}", analysis.render_text(&trace));
         if args.has("phases") {
-            let detection = perfvar_analysis::phases::PhaseDetection::detect_durations(
-                &analysis.sos,
-                perfvar_analysis::phases::PhaseConfig::default(),
-            );
-            println!("  duration phases: {}", detection.len());
-            for (i, phase) in detection.phases.iter().enumerate() {
-                println!(
-                    "    phase {i}: ordinals {}..{} mean {:.0} ticks",
-                    phase.start, phase.end, phase.mean
-                );
-            }
+            print_phases(&analysis.sos);
         }
         let threads: usize = args.parse_or("threads", 0).map_err(|e| e.to_string())?;
         if args.has("waitstates") {
@@ -214,6 +307,17 @@ pub fn analyze(argv: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Analysis for chart-producing commands: archives compute it
+/// out-of-core (bit-identical to the in-memory result) while the trace
+/// is still loaded for the chart geometry itself.
+fn chart_analysis(path: &str, trace: &Trace, args: &ParsedArgs) -> Result<Analysis, String> {
+    if wants_out_of_core(path, args) {
+        Ok(analysis_of_path(path, args)?.analysis)
+    } else {
+        analysis_of(trace, args)
+    }
+}
+
 /// `perfvar render <trace> --chart <kind>`
 pub fn render(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
@@ -226,7 +330,7 @@ pub fn render(argv: Vec<String>) -> Result<(), String> {
             "threads",
             "width",
         ],
-        flags: &["ansi"],
+        flags: &["ansi", "in-memory"],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
     let path = args.positional(0).ok_or("missing trace path")?;
@@ -257,12 +361,12 @@ pub fn render(argv: Vec<String>) -> Result<(), String> {
     let chart = match chart_kind {
         "timeline" => function_timeline(&trace, &TimelineOptions::default()),
         "sos" => {
-            let analysis = analysis_of(&trace, &args)?;
+            let analysis = chart_analysis(path, &trace, &args)?;
             sos_heatmap(&trace, &analysis)
         }
         other => match other.strip_prefix("counter:") {
             Some(metric_name) => {
-                let analysis = analysis_of(&trace, &args)?;
+                let analysis = chart_analysis(path, &trace, &args)?;
                 let metric = trace
                     .registry()
                     .metric_by_name(metric_name)
@@ -312,13 +416,13 @@ pub fn render(argv: Vec<String>) -> Result<(), String> {
 pub fn report(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
         valued: &["out-dir", "function", "refine", "multiplier", "threads"],
-        flags: &[],
+        flags: &["in-memory"],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
     let path = args.positional(0).ok_or("missing trace path")?;
     let out_dir = args.value("out-dir").ok_or("missing --out-dir DIR")?;
     let trace = load_trace(path)?;
-    let analysis = analysis_of(&trace, &args)?;
+    let analysis = chart_analysis(path, &trace, &args)?;
     std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
     let dir = Path::new(out_dir);
 
@@ -857,6 +961,93 @@ mod tests {
         // Far too many refinement steps must fail gracefully.
         let err = analyze(argv(&[ts, "--refine", "99"])).unwrap_err();
         assert!(err.contains("no finer"));
+    }
+
+    #[test]
+    fn analyze_archive_routes_out_of_core() {
+        let dir = tmp_dir("ooc-analyze");
+        let pvt = dir.join("t.pvt");
+        let arch = dir.join("t.pvta");
+        generate(argv(&[
+            "outlier",
+            "--out",
+            pvt.to_str().unwrap(),
+            "--ranks",
+            "4",
+            "--iterations",
+            "5",
+        ]))
+        .unwrap();
+        convert(argv(&[pvt.to_str().unwrap(), arch.to_str().unwrap()])).unwrap();
+        let a = arch.to_str().unwrap();
+        // Default archive route is out-of-core; all these knobs ride it.
+        analyze(argv(&[a])).unwrap();
+        analyze(argv(&[a, "--json", "--threads", "2"])).unwrap();
+        analyze(argv(&[a, "--phases", "--multiplier", "2"])).unwrap();
+        // Opting out and replay-based extras use the in-memory pipeline.
+        analyze(argv(&[a, "--in-memory"])).unwrap();
+        analyze(argv(&[a, "--waitstates", "--calltree"])).unwrap();
+    }
+
+    #[test]
+    fn analyze_truncated_archive_strict_vs_partial() {
+        let dir = tmp_dir("ooc-partial");
+        let pvt = dir.join("t.pvt");
+        let arch = dir.join("t.pvta");
+        generate(argv(&[
+            "outlier",
+            "--out",
+            pvt.to_str().unwrap(),
+            "--ranks",
+            "4",
+            "--iterations",
+            "5",
+        ]))
+        .unwrap();
+        convert(argv(&[pvt.to_str().unwrap(), arch.to_str().unwrap()])).unwrap();
+        // Chop the tail off one rank's stream file.
+        let stream = arch.join("stream-2.pvts");
+        let len = std::fs::metadata(&stream).unwrap().len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&stream)
+            .unwrap();
+        file.set_len(len - 7).unwrap();
+        let a = arch.to_str().unwrap();
+        // Strict (default) fails with the typed rank-and-offset error...
+        let err = analyze(argv(&[a])).unwrap_err();
+        assert!(
+            err.contains("P2") && err.contains("corrupt at byte"),
+            "{err}"
+        );
+        // ...while --partial recovers the other ranks.
+        analyze(argv(&[a, "--partial"])).unwrap();
+    }
+
+    #[test]
+    fn render_and_report_from_archive() {
+        let dir = tmp_dir("ooc-render");
+        let pvt = dir.join("t.pvt");
+        let arch = dir.join("t.pvta");
+        generate(argv(&[
+            "cosmo-specs-fd4",
+            "--out",
+            pvt.to_str().unwrap(),
+            "--ranks",
+            "4",
+            "--iterations",
+            "2",
+        ]))
+        .unwrap();
+        convert(argv(&[pvt.to_str().unwrap(), arch.to_str().unwrap()])).unwrap();
+        let a = arch.to_str().unwrap();
+        let svg = dir.join("sos.svg");
+        render(argv(&[a, "--chart", "sos", "--out", svg.to_str().unwrap()])).unwrap();
+        assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+        let out = dir.join("out");
+        report(argv(&[a, "--out-dir", out.to_str().unwrap()])).unwrap();
+        assert!(out.join("report.txt").exists());
+        assert!(out.join("sos.svg").exists());
     }
 
     #[test]

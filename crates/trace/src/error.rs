@@ -51,6 +51,22 @@ pub enum TraceError {
     UnsupportedVersion(u32),
     /// Wrapped I/O error.
     Io(io::Error),
+    /// A per-process event stream failed to decode or validate mid-body.
+    ///
+    /// Raised by the streaming readers ([`crate::format::pvt::PvtStreamReader`]
+    /// and [`crate::format::cursor::StreamCursor`]) so that consumers of
+    /// truncated or corrupt files learn *which* process broke and *where*:
+    /// `offset` is the number of stream-payload bytes successfully consumed
+    /// before the error (the position of the truncation/corruption within
+    /// that process's event data).
+    CorruptStream {
+        /// The process whose stream failed.
+        process: ProcessId,
+        /// Byte offset into the stream payload at which decoding failed.
+        offset: u64,
+        /// The underlying decode or validation error.
+        source: Box<TraceError>,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -94,6 +110,11 @@ impl fmt::Display for TraceError {
                 write!(f, "unsupported PVT format version {v}")
             }
             TraceError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceError::CorruptStream {
+                process,
+                offset,
+                source,
+            } => write!(f, "stream of {process} corrupt at byte {offset}: {source}"),
         }
     }
 }
@@ -102,6 +123,7 @@ impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceError::Io(e) => Some(e),
+            TraceError::CorruptStream { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -137,6 +159,20 @@ mod tests {
 
         let e = TraceError::UnsupportedVersion(99);
         assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn corrupt_stream_names_process_and_offset() {
+        let e = TraceError::CorruptStream {
+            process: ProcessId(3),
+            offset: 123,
+            source: Box::new(TraceError::Corrupt("unknown event tag 9".into())),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("P3") && msg.contains("123"), "{msg}");
+        assert!(msg.contains("unknown event tag"), "{msg}");
+        let src = std::error::Error::source(&e).expect("chained source");
+        assert!(src.to_string().contains("unknown event tag"));
     }
 
     #[test]

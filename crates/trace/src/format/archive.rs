@@ -24,11 +24,11 @@ use crate::ids::ProcessId;
 use crate::time::Clock;
 use crate::trace::{EventStream, Trace};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const ANCHOR_MAGIC: &[u8; 4] = b"PVTD";
-const STREAM_MAGIC: &[u8; 4] = b"PVTS";
+pub(crate) const STREAM_MAGIC: &[u8; 4] = b"PVTS";
 /// Archive format version.
 pub const VERSION: u64 = 1;
 
@@ -64,28 +64,37 @@ pub fn write_archive(trace: &Trace, dir: impl AsRef<Path>) -> TraceResult<()> {
     Ok(())
 }
 
-fn read_anchor(dir: &Path) -> TraceResult<(String, Clock, crate::registry::Registry)> {
+/// Reads the anchor file: name, clock, and definition tables. Shared by
+/// [`read_archive`] and the incremental
+/// [`ArchiveCursor`](super::cursor::ArchiveCursor).
+pub(crate) fn read_anchor(dir: &Path) -> TraceResult<(String, Clock, crate::registry::Registry)> {
     let mut r = BufReader::new(File::open(dir.join(ANCHOR_FILE)).map_err(|e| {
         TraceError::Io(std::io::Error::new(
             e.kind(),
             format!("{}: {e}", dir.join(ANCHOR_FILE).display()),
         ))
     })?);
+    read_anchor_body(&mut r).map_err(super::truncated_header_as_corrupt)
+}
+
+fn read_anchor_body<R: BufRead>(
+    r: &mut R,
+) -> TraceResult<(String, Clock, crate::registry::Registry)> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != ANCHOR_MAGIC {
         return Err(TraceError::Corrupt("bad anchor magic".into()));
     }
-    let version = read_u64(&mut r)?;
+    let version = read_u64(r)?;
     if version != VERSION {
         return Err(TraceError::UnsupportedVersion(version as u32));
     }
-    let name = read_string(&mut r)?;
-    let ticks = read_u64(&mut r)?;
+    let name = read_string(r)?;
+    let ticks = read_u64(r)?;
     if ticks == 0 {
         return Err(TraceError::Corrupt("zero clock resolution".into()));
     }
-    let registry = read_registry(&mut r)?;
+    let registry = read_registry(r)?;
     Ok((name, Clock::new(ticks), registry))
 }
 
@@ -247,5 +256,22 @@ mod tests {
     fn missing_anchor_reported() {
         let err = read_archive(tmp("nonexistent.pvta"), 1).unwrap_err();
         assert!(err.to_string().contains("anchor.pvtd"));
+    }
+
+    #[test]
+    fn empty_or_header_only_anchor_is_typed_corrupt() {
+        // Regression: truncation inside the anchor header must surface as
+        // a typed format error, not a bare I/O EOF.
+        let dir = tmp("shortanchor.pvta");
+        std::fs::create_dir_all(&dir).unwrap();
+        for content in [&b""[..], &b"PV"[..], &b"PVTD\x01"[..]] {
+            std::fs::write(dir.join(ANCHOR_FILE), content).unwrap();
+            let err = read_archive(&dir, 1).unwrap_err();
+            assert!(
+                matches!(err, TraceError::Corrupt(_)),
+                "{} bytes: {err}",
+                content.len()
+            );
+        }
     }
 }

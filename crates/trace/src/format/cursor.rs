@@ -1,0 +1,680 @@
+//! Incremental event cursors: decode PVT/PVTA streams without a
+//! [`Trace`](crate::trace::Trace).
+//!
+//! The batch readers ([`pvt::read`](super::pvt::read),
+//! [`archive::read_archive`](super::archive::read_archive)) materialise
+//! every event stream in memory before analysis can start, so the memory
+//! ceiling of the whole pipeline is set by ingestion. The cursors in this
+//! module move the streaming boundary to the file descriptor:
+//!
+//! * [`StreamCursor`] decodes one process's delta-coded event stream
+//!   record by record, validating incrementally (monotone timestamps,
+//!   balanced nesting, defined references) and tracking the byte offset
+//!   so failures are reported precisely;
+//! * [`ArchiveCursor`] opens a PVTA archive directory, reads the anchor
+//!   (name, clock, definitions) once, and hands out one independent
+//!   [`StreamCursor`] per process — workers can pull different ranks from
+//!   disk in parallel without any shared mutable state.
+//!
+//! Live state per cursor is `O(read buffer + call-stack depth)`; the
+//! event *payload* never lands in memory as a whole. Decode and
+//! validation logic is shared with the batch readers (one implementation,
+//! property-tested for equality), so a cursor consumed to completion
+//! gives the same guarantees as reading and validating the full trace.
+//!
+//! Errors raised while decoding a stream body are wrapped in
+//! [`TraceError::CorruptStream`] carrying the process id and the byte
+//! offset within the stream file — the contract the out-of-core analysis
+//! path relies on to report which ranks of a damaged archive were
+//! recovered.
+
+use super::archive::{read_anchor, stream_file, STREAM_MAGIC};
+use super::varint::{decode_u64_slice, read_u64};
+use crate::error::{TraceError, TraceResult};
+use crate::event::{Event, EventRecord};
+use crate::ids::{FunctionId, MetricId, ProcessId};
+use crate::registry::Registry;
+use crate::time::{Clock, Timestamp};
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+
+/// The table sizes of a [`Registry`] — everything incremental validation
+/// needs to check references, small enough to copy into every worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegistryShape {
+    /// Number of defined processes.
+    pub processes: usize,
+    /// Number of defined functions.
+    pub functions: usize,
+    /// Number of defined metric channels.
+    pub metrics: usize,
+}
+
+impl RegistryShape {
+    /// Extracts the shape of a registry.
+    pub fn of(registry: &Registry) -> RegistryShape {
+        RegistryShape {
+            processes: registry.num_processes(),
+            functions: registry.num_functions(),
+            metrics: registry.num_metrics(),
+        }
+    }
+}
+
+/// Reads a varint and narrows it to a `u32` id, reporting the table it
+/// points into on overflow.
+pub(crate) fn read_id_u32<R: BufRead>(r: &mut R, kind: &'static str) -> TraceResult<u32> {
+    let v = read_u64(r)?;
+    u32::try_from(v).map_err(|_| TraceError::UndefinedReference { kind, index: v })
+}
+
+/// Upper bound on the wire size of one event record: at most five
+/// varints of at most ten bytes each. When the read buffer holds at
+/// least this much, a whole record can be decoded from the slice with a
+/// single `consume`, skipping per-varint buffer accounting.
+const MAX_EVENT_BYTES: usize = 50;
+
+/// Decodes one delta-coded event record (the shared wire format of PVT
+/// stream bodies and PVTA stream files): `{tag, time-delta, payload…}`.
+/// Returns the absolute timestamp and the event.
+pub(crate) fn decode_event<R: BufRead>(r: &mut R, prev_time: u64) -> TraceResult<(u64, Event)> {
+    let buf = r.fill_buf()?;
+    if buf.len() >= MAX_EVENT_BYTES {
+        if let Some((used, time, event)) = decode_event_slice(buf, prev_time) {
+            r.consume(used);
+            return Ok((time, event));
+        }
+        // Malformed record: fall through without consuming so the
+        // stream decoder reproduces the exact error and offset.
+    }
+    decode_event_stream(r, prev_time)
+}
+
+/// Slice fast path of [`decode_event`]: the buffer is known to hold a
+/// full record, so every field is decoded with plain index arithmetic.
+/// `None` on any malformed field — the caller re-decodes from the stream
+/// to produce the error.
+#[inline]
+fn decode_event_slice(buf: &[u8], prev_time: u64) -> Option<(usize, u64, Event)> {
+    #[inline]
+    fn take_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+        let (v, n) = decode_u64_slice(&buf[*pos..])?;
+        *pos += n;
+        Some(v)
+    }
+    #[inline]
+    fn take_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+        u32::try_from(take_u64(buf, pos)?).ok()
+    }
+    let mut pos = 0usize;
+    let tag = take_u64(buf, &mut pos)?;
+    let delta = take_u64(buf, &mut pos)?;
+    let time = prev_time.checked_add(delta)?;
+    let event = match tag {
+        0 => Event::Enter {
+            function: FunctionId(take_u32(buf, &mut pos)?),
+        },
+        1 => Event::Leave {
+            function: FunctionId(take_u32(buf, &mut pos)?),
+        },
+        2 => Event::MsgSend {
+            to: ProcessId(take_u32(buf, &mut pos)?),
+            tag: take_u32(buf, &mut pos)?,
+            bytes: take_u64(buf, &mut pos)?,
+        },
+        3 => Event::MsgRecv {
+            from: ProcessId(take_u32(buf, &mut pos)?),
+            tag: take_u32(buf, &mut pos)?,
+            bytes: take_u64(buf, &mut pos)?,
+        },
+        4 => Event::Metric {
+            metric: MetricId(take_u32(buf, &mut pos)?),
+            value: take_u64(buf, &mut pos)?,
+        },
+        _ => return None,
+    };
+    Some((pos, time, event))
+}
+
+/// Stream path of [`decode_event`]: used near the end of the buffer and
+/// to turn malformed records into their precise errors.
+fn decode_event_stream<R: BufRead>(r: &mut R, prev_time: u64) -> TraceResult<(u64, Event)> {
+    let tag = read_u64(r)?;
+    let delta = read_u64(r)?;
+    let time = prev_time
+        .checked_add(delta)
+        .ok_or_else(|| TraceError::Corrupt("timestamp overflow".into()))?;
+    let event = match tag {
+        0 => Event::Enter {
+            function: FunctionId(read_id_u32(r, "function")?),
+        },
+        1 => Event::Leave {
+            function: FunctionId(read_id_u32(r, "function")?),
+        },
+        2 => Event::MsgSend {
+            to: ProcessId(read_id_u32(r, "process")?),
+            tag: read_id_u32(r, "tag")?,
+            bytes: read_u64(r)?,
+        },
+        3 => Event::MsgRecv {
+            from: ProcessId(read_id_u32(r, "process")?),
+            tag: read_id_u32(r, "tag")?,
+            bytes: read_u64(r)?,
+        },
+        4 => Event::Metric {
+            metric: MetricId(read_id_u32(r, "metric")?),
+            value: read_u64(r)?,
+        },
+        other => return Err(TraceError::Corrupt(format!("unknown event tag {other}"))),
+    };
+    Ok((time, event))
+}
+
+/// Incrementally validates one decoded event against the registry shape
+/// and the running call stack (references in range, balanced nesting).
+/// Timestamp monotonicity is implied by the delta coding and checked by
+/// [`decode_event`]'s overflow test.
+pub(crate) fn check_event(
+    shape: RegistryShape,
+    process: ProcessId,
+    time: u64,
+    event: &Event,
+    stack: &mut Vec<FunctionId>,
+) -> TraceResult<()> {
+    match *event {
+        Event::Enter { function } => {
+            if function.index() >= shape.functions {
+                return Err(TraceError::UndefinedReference {
+                    kind: "function",
+                    index: function.0 as u64,
+                });
+            }
+            stack.push(function);
+        }
+        Event::Leave { function } => match stack.last().copied() {
+            Some(top) if top == function => {
+                stack.pop();
+            }
+            other => {
+                return Err(TraceError::MismatchedLeave {
+                    process,
+                    time: Timestamp(time),
+                    left: function,
+                    expected: other,
+                })
+            }
+        },
+        Event::MsgSend { to, .. } if to.index() >= shape.processes => {
+            return Err(TraceError::UndefinedReference {
+                kind: "process",
+                index: to.0 as u64,
+            });
+        }
+        Event::MsgRecv { from, .. } if from.index() >= shape.processes => {
+            return Err(TraceError::UndefinedReference {
+                kind: "process",
+                index: from.0 as u64,
+            });
+        }
+        Event::Metric { metric, .. } if metric.index() >= shape.metrics => {
+            return Err(TraceError::UndefinedReference {
+                kind: "metric",
+                index: metric.0 as u64,
+            });
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// `Read` adapter counting the bytes consumed so far, so stream cursors
+/// can report the exact failure position inside a file.
+#[derive(Debug)]
+pub(crate) struct CountingReader<R> {
+    inner: R,
+    offset: u64,
+}
+
+impl<R: Read> CountingReader<R> {
+    pub(crate) fn new(inner: R) -> CountingReader<R> {
+        CountingReader { inner, offset: 0 }
+    }
+
+    /// Bytes consumed since construction.
+    pub(crate) fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.offset += n as u64;
+        Ok(n)
+    }
+}
+
+impl<R: BufRead> BufRead for CountingReader<R> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.offset += amt as u64;
+        self.inner.consume(amt);
+    }
+}
+
+/// Incremental cursor over one process's event stream.
+///
+/// Yields [`EventRecord`]s one at a time from a PVTA stream file (see
+/// [`ArchiveCursor::stream`]), decoding and validating on the fly. Live
+/// state is the read buffer plus the call-stack of open invocations —
+/// independent of the number of events.
+///
+/// Any error while decoding the body comes back as
+/// [`TraceError::CorruptStream`] naming the process and the byte offset
+/// within the stream file; the cursor then *fuses* (yields `None`
+/// forever). A stream that ends with open invocations, or with trailing
+/// bytes after the declared record count, is an error too — consuming a
+/// cursor to completion certifies the stream exactly as the batch reader
+/// would.
+#[derive(Debug)]
+pub struct StreamCursor<R: BufRead> {
+    reader: CountingReader<R>,
+    process: ProcessId,
+    shape: RegistryShape,
+    remaining: u64,
+    prev_time: u64,
+    stack: Vec<FunctionId>,
+    done: bool,
+    poisoned: bool,
+}
+
+impl<R: BufRead> StreamCursor<R> {
+    /// Opens a cursor over a PVTS stream file body: verifies the magic
+    /// and the declared process index, then positions before the first
+    /// record. Header-level damage is reported as plain
+    /// [`TraceError::Corrupt`] (there is no trustworthy offset yet).
+    pub fn open_stream(reader: R, process: ProcessId, shape: RegistryShape) -> TraceResult<Self> {
+        let mut reader = CountingReader::new(reader);
+        let mut magic = [0u8; 4];
+        reader
+            .read_exact(&mut magic)
+            .map_err(|_| TraceError::Corrupt(format!("truncated stream header of {process}")))?;
+        if &magic != STREAM_MAGIC {
+            return Err(TraceError::Corrupt(format!(
+                "bad stream magic for {process}"
+            )));
+        }
+        let declared = read_u64(&mut reader)?;
+        if declared != process.index() as u64 {
+            return Err(TraceError::Corrupt(format!(
+                "stream file of {process} declares process {declared}"
+            )));
+        }
+        let remaining = read_u64(&mut reader)?;
+        Ok(StreamCursor {
+            reader,
+            process,
+            shape,
+            remaining,
+            prev_time: 0,
+            stack: Vec::new(),
+            done: false,
+            poisoned: false,
+        })
+    }
+
+    /// The process this cursor decodes.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// Records left to decode (per the stream's declared count).
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Bytes consumed from the stream file so far.
+    pub fn byte_offset(&self) -> u64 {
+        self.reader.offset()
+    }
+
+    fn fail(&mut self, source: TraceError) -> TraceError {
+        self.poisoned = true;
+        TraceError::CorruptStream {
+            process: self.process,
+            offset: self.reader.offset(),
+            source: Box::new(source),
+        }
+    }
+
+    /// Decodes and validates the next record, `Ok(None)` at a clean end
+    /// of stream. After an error the cursor is poisoned and keeps
+    /// returning `Ok(None)`.
+    pub fn next_record(&mut self) -> TraceResult<Option<EventRecord>> {
+        if self.done || self.poisoned {
+            return Ok(None);
+        }
+        if self.remaining == 0 {
+            if !self.stack.is_empty() {
+                let e = TraceError::UnbalancedStack {
+                    process: self.process,
+                    open_frames: self.stack.len(),
+                };
+                return Err(self.fail(e));
+            }
+            let mut probe = [0u8; 1];
+            match self.reader.read(&mut probe) {
+                Ok(0) => {}
+                Ok(_) => {
+                    let e = TraceError::Corrupt("trailing bytes after final record".into());
+                    return Err(self.fail(e));
+                }
+                Err(e) => return Err(self.fail(TraceError::Io(e))),
+            }
+            self.done = true;
+            return Ok(None);
+        }
+        let (time, event) = match decode_event(&mut self.reader, self.prev_time) {
+            Ok(v) => v,
+            Err(e) => return Err(self.fail(e)),
+        };
+        if let Err(e) = check_event(self.shape, self.process, time, &event, &mut self.stack) {
+            return Err(self.fail(e));
+        }
+        self.prev_time = time;
+        self.remaining -= 1;
+        Ok(Some(EventRecord::new(Timestamp(time), event)))
+    }
+}
+
+impl<R: BufRead> Iterator for StreamCursor<R> {
+    type Item = TraceResult<EventRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// Read-only handle on a PVTA archive directory, holding the anchor
+/// (name, clock, definitions) and handing out per-process
+/// [`StreamCursor`]s.
+///
+/// The handle itself is cheap and immutable (`&ArchiveCursor` is `Sync`),
+/// so parallel workers share one and open their own stream cursors:
+///
+/// ```
+/// use perfvar_trace::format::{archive, cursor::ArchiveCursor};
+/// use perfvar_trace::prelude::*;
+///
+/// let mut b = TraceBuilder::new(Clock::microseconds()).with_name("demo");
+/// let f = b.define_function("work", FunctionRole::Compute);
+/// let p = b.define_process("rank 0");
+/// b.process_mut(p).enter(Timestamp(0), f).unwrap();
+/// b.process_mut(p).leave(Timestamp(5), f).unwrap();
+/// let dir = std::env::temp_dir().join("perfvar-cursor-doc.pvta");
+/// archive::write_archive(&b.finish().unwrap(), &dir).unwrap();
+///
+/// let archive = ArchiveCursor::open(&dir).unwrap();
+/// assert_eq!(archive.num_processes(), 1);
+/// let events: Vec<_> = archive.stream(p).unwrap().collect::<Result<_, _>>().unwrap();
+/// assert_eq!(events.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ArchiveCursor {
+    dir: PathBuf,
+    name: String,
+    clock: Clock,
+    registry: Registry,
+}
+
+impl ArchiveCursor {
+    /// Opens an archive directory: reads and validates the anchor file
+    /// only. No stream file is touched yet.
+    pub fn open(dir: impl AsRef<Path>) -> TraceResult<ArchiveCursor> {
+        let dir = dir.as_ref();
+        let (name, clock, registry) = read_anchor(dir)?;
+        Ok(ArchiveCursor {
+            dir: dir.to_path_buf(),
+            name,
+            clock,
+            registry,
+        })
+    }
+
+    /// The trace name from the anchor.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The trace clock.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// The definition tables from the anchor.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Number of processes (= stream files) the anchor declares.
+    pub fn num_processes(&self) -> usize {
+        self.registry.num_processes()
+    }
+
+    /// Opens the event cursor of one process's stream file.
+    pub fn stream(&self, process: ProcessId) -> TraceResult<StreamCursor<BufReader<File>>> {
+        let path = self.dir.join(stream_file(process.index()));
+        let file = File::open(&path).map_err(|e| {
+            TraceError::Io(std::io::Error::new(
+                e.kind(),
+                format!("{}: {e}", path.display()),
+            ))
+        })?;
+        StreamCursor::open_stream(
+            BufReader::new(file),
+            process,
+            RegistryShape::of(&self.registry),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::archive::write_archive;
+    use crate::registry::FunctionRole;
+    use crate::trace::{Trace, TraceBuilder};
+
+    fn sample(num_processes: usize) -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds()).with_name("cursor sample");
+        let f = b.define_function("work", FunctionRole::Compute);
+        let barrier = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+        for pi in 0..num_processes {
+            let p = b.define_process(format!("rank {pi}"));
+            let w = b.process_mut(p);
+            let mut t = pi as u64;
+            for _ in 0..10 {
+                w.enter(Timestamp(t), f).unwrap();
+                t += 4;
+                w.enter(Timestamp(t), barrier).unwrap();
+                t += 1;
+                w.leave(Timestamp(t), barrier).unwrap();
+                w.leave(Timestamp(t), f).unwrap();
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("perfvar-cursor-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn cursor_yields_same_events_as_batch_reader() {
+        let t = sample(3);
+        let dir = tmp("same.pvta");
+        write_archive(&t, &dir).unwrap();
+        let archive = ArchiveCursor::open(&dir).unwrap();
+        assert_eq!(archive.name(), "cursor sample");
+        assert_eq!(archive.clock(), t.clock());
+        assert_eq!(archive.registry(), t.registry());
+        for pid in t.registry().process_ids() {
+            let events: Vec<EventRecord> = archive
+                .stream(pid)
+                .unwrap()
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(events, t.stream(pid).records(), "{pid}");
+        }
+    }
+
+    #[test]
+    fn truncated_tail_names_process_and_offset() {
+        let t = sample(3);
+        let dir = tmp("trunc.pvta");
+        write_archive(&t, &dir).unwrap();
+        // Chop the tail off stream 1.
+        let path = dir.join(stream_file(1));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let archive = ArchiveCursor::open(&dir).unwrap();
+        // Stream 0 still reads clean.
+        let ok: Result<Vec<_>, _> = archive.stream(ProcessId(0)).unwrap().collect();
+        assert!(ok.is_ok());
+        // Stream 1 fails with process id and a positive byte offset.
+        let err = archive
+            .stream(ProcessId(1))
+            .unwrap()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        match err {
+            TraceError::CorruptStream {
+                process, offset, ..
+            } => {
+                assert_eq!(process, ProcessId(1));
+                assert!(offset > 0, "offset {offset}");
+                assert!(offset <= bytes.len() as u64);
+            }
+            other => panic!("expected CorruptStream, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cursor_fuses_after_error() {
+        let t = sample(1);
+        let dir = tmp("fuse.pvta");
+        write_archive(&t, &dir).unwrap();
+        let path = dir.join(stream_file(0));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let archive = ArchiveCursor::open(&dir).unwrap();
+        let mut cursor = archive.stream(ProcessId(0)).unwrap();
+        let mut saw_err = false;
+        for item in cursor.by_ref() {
+            if item.is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err);
+        assert!(cursor.next().is_none(), "cursor fuses after an error");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let t = sample(1);
+        let dir = tmp("trailing.pvta");
+        write_archive(&t, &dir).unwrap();
+        let path = dir.join(stream_file(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0xAB);
+        std::fs::write(&path, &bytes).unwrap();
+        let archive = ArchiveCursor::open(&dir).unwrap();
+        let err = archive
+            .stream(ProcessId(0))
+            .unwrap()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(
+            matches!(err, TraceError::CorruptStream { process, .. } if process == ProcessId(0)),
+            "{err}"
+        );
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn unbalanced_stream_rejected_at_end() {
+        // Hand-craft a stream whose declared count covers only the Enter.
+        use crate::format::varint::write_u64;
+        let t = sample(1);
+        let dir = tmp("unbalanced.pvta");
+        write_archive(&t, &dir).unwrap();
+        let path = dir.join(stream_file(0));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(STREAM_MAGIC);
+        write_u64(&mut bytes, 0).unwrap(); // declared index
+        write_u64(&mut bytes, 1).unwrap(); // one record
+        write_u64(&mut bytes, 0).unwrap(); // tag: Enter
+        write_u64(&mut bytes, 5).unwrap(); // delta
+        write_u64(&mut bytes, 0).unwrap(); // function 0
+        std::fs::write(&path, &bytes).unwrap();
+        let archive = ArchiveCursor::open(&dir).unwrap();
+        let err = archive
+            .stream(ProcessId(0))
+            .unwrap()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(err.to_string().contains("unclosed"), "{err}");
+        assert!(matches!(err, TraceError::CorruptStream { .. }));
+    }
+
+    #[test]
+    fn header_damage_reported_plainly() {
+        let t = sample(2);
+        let dir = tmp("badhead.pvta");
+        write_archive(&t, &dir).unwrap();
+        std::fs::write(dir.join(stream_file(0)), b"XXXX").unwrap();
+        let archive = ArchiveCursor::open(&dir).unwrap();
+        let err = archive.stream(ProcessId(0)).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err}");
+        // Index mismatch: stream 1's file under stream 0's name.
+        std::fs::copy(dir.join(stream_file(1)), dir.join(stream_file(0))).unwrap();
+        let err = archive.stream(ProcessId(0)).unwrap_err();
+        assert!(err.to_string().contains("declares process"), "{err}");
+    }
+
+    #[test]
+    fn missing_stream_file_reports_path() {
+        let t = sample(2);
+        let dir = tmp("missingstream.pvta");
+        write_archive(&t, &dir).unwrap();
+        std::fs::remove_file(dir.join(stream_file(1))).unwrap();
+        let archive = ArchiveCursor::open(&dir).unwrap();
+        let err = archive.stream(ProcessId(1)).unwrap_err();
+        assert!(err.to_string().contains("stream-1.pvts"), "{err}");
+    }
+
+    #[test]
+    fn empty_stream_is_clean() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        b.define_process("idle");
+        let t = b.finish().unwrap();
+        let dir = tmp("emptystream.pvta");
+        write_archive(&t, &dir).unwrap();
+        let archive = ArchiveCursor::open(&dir).unwrap();
+        let mut cursor = archive.stream(ProcessId(0)).unwrap();
+        assert_eq!(cursor.remaining(), 0);
+        assert!(cursor.next_record().unwrap().is_none());
+    }
+}

@@ -8,11 +8,16 @@
 //! * [`archive`] — the multi-file **PVTA** archive (`.pvta` directory):
 //!   an anchor file plus one stream file per process, read in parallel —
 //!   the OTF2-style layout for large runs.
+//! * [`cursor`] — incremental event cursors
+//!   ([`cursor::StreamCursor`], [`cursor::ArchiveCursor`]) that decode
+//!   PVT/PVTA streams record by record *without* materialising a
+//!   [`Trace`], for out-of-core analysis of files larger than memory.
 //!
 //! [`write_trace_file`] / [`read_trace_file`] dispatch on the file
 //! extension. Both readers validate the decoded trace before returning it.
 
 pub mod archive;
+pub mod cursor;
 pub mod pvt;
 pub mod text;
 pub mod varint;
@@ -22,6 +27,19 @@ use crate::trace::Trace;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
+
+/// Maps an I/O EOF hit while parsing a file header to a typed
+/// [`TraceError::Corrupt`]: a zero-length or header-only file is a
+/// malformed file, not an I/O failure. Errors that already carry format
+/// meaning pass through unchanged.
+pub(crate) fn truncated_header_as_corrupt(e: TraceError) -> TraceError {
+    match e {
+        TraceError::Io(ref io) if io.kind() == std::io::ErrorKind::UnexpectedEof => {
+            TraceError::Corrupt("file ends inside the header (empty or truncated file)".into())
+        }
+        other => other,
+    }
+}
 
 /// A trace file format.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,5 +144,33 @@ mod tests {
     fn missing_file_reports_path() {
         let err = read_trace_file("/nonexistent/definitely-missing.pvt").unwrap_err();
         assert!(err.to_string().contains("definitely-missing.pvt"));
+    }
+
+    #[test]
+    fn zero_length_file_is_typed_corrupt() {
+        // Regression: an empty .pvt used to surface as a generic I/O EOF.
+        let dir = std::env::temp_dir().join("perfvar-trace-format-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.pvt");
+        std::fs::write(&path, b"").unwrap();
+        let err = read_trace_file(&path).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("header"), "{err}");
+    }
+
+    #[test]
+    fn header_only_file_is_typed_corrupt() {
+        // A file cut off inside the header (magic + partial varints) must
+        // report a format error, not an I/O one.
+        let dir = std::env::temp_dir().join("perfvar-trace-format-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = sample_trace();
+        let full = pvt::to_bytes(&t).unwrap();
+        for cut in [2usize, 4, 5, 6] {
+            let path = dir.join(format!("short-{cut}.pvt"));
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = read_trace_file(&path).unwrap_err();
+            assert!(matches!(err, TraceError::Corrupt(_)), "cut at {cut}: {err}");
+        }
     }
 }

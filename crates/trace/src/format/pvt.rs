@@ -20,14 +20,15 @@
 //! event: absolute). Deltas are small in practice, so event records are
 //! typically 3–6 bytes.
 
+use super::cursor::{check_event, decode_event, CountingReader, RegistryShape};
 use super::varint::{read_string, read_u64, write_string, write_u64};
 use crate::error::{TraceError, TraceResult};
 use crate::event::{Event, EventRecord};
-use crate::ids::{FunctionId, MetricId, ProcessId};
+use crate::ids::{FunctionId, ProcessId};
 use crate::registry::{FunctionDef, FunctionRole, MetricDef, MetricMode, ProcessDef, Registry};
 use crate::time::{Clock, Timestamp};
 use crate::trace::{EventStream, Trace};
-use std::io::{Read, Write};
+use std::io::{BufRead, Read, Write};
 
 const MAGIC: &[u8; 4] = b"PVTR";
 const TRAILER: &[u8; 4] = b"PVTE";
@@ -100,13 +101,8 @@ pub(crate) fn write_stream_events<W: Write>(records: &[EventRecord], w: &mut W) 
     Ok(())
 }
 
-fn read_id_u32<R: Read>(r: &mut R, kind: &'static str) -> TraceResult<u32> {
-    let v = read_u64(r)?;
-    u32::try_from(v).map_err(|_| TraceError::UndefinedReference { kind, index: v })
-}
-
 /// Decodes the definition tables (shared by PVT and the archive format).
-pub(crate) fn read_registry<R: Read>(r: &mut R) -> TraceResult<Registry> {
+pub(crate) fn read_registry<R: BufRead>(r: &mut R) -> TraceResult<Registry> {
     const MAX_DEFS: u64 = 1 << 24;
     let np = read_u64(r)?;
     let nf = read_u64(r)?;
@@ -144,47 +140,24 @@ pub(crate) fn read_registry<R: Read>(r: &mut R) -> TraceResult<Registry> {
     Ok(Registry::from_parts(processes, functions, metrics))
 }
 
-/// Decodes one event stream written by [`write_stream_events`].
-pub(crate) fn read_stream_events<R: Read>(r: &mut R) -> TraceResult<Vec<EventRecord>> {
+/// Decodes one event stream written by [`write_stream_events`]
+/// (delegating the per-record wire format to the shared
+/// [`decode_event`]).
+pub(crate) fn read_stream_events<R: BufRead>(r: &mut R) -> TraceResult<Vec<EventRecord>> {
     let count = read_u64(r)?;
     let mut records = Vec::with_capacity((count as usize).min(1 << 20));
     let mut time = 0u64;
     for _ in 0..count {
-        let tag = read_u64(r)?;
-        let delta = read_u64(r)?;
-        time = time
-            .checked_add(delta)
-            .ok_or_else(|| TraceError::Corrupt("timestamp overflow".into()))?;
-        let event = match tag {
-            0 => Event::Enter {
-                function: FunctionId(read_id_u32(r, "function")?),
-            },
-            1 => Event::Leave {
-                function: FunctionId(read_id_u32(r, "function")?),
-            },
-            2 => Event::MsgSend {
-                to: ProcessId(read_id_u32(r, "process")?),
-                tag: read_id_u32(r, "tag")?,
-                bytes: read_u64(r)?,
-            },
-            3 => Event::MsgRecv {
-                from: ProcessId(read_id_u32(r, "process")?),
-                tag: read_id_u32(r, "tag")?,
-                bytes: read_u64(r)?,
-            },
-            4 => Event::Metric {
-                metric: MetricId(read_id_u32(r, "metric")?),
-                value: read_u64(r)?,
-            },
-            other => return Err(TraceError::Corrupt(format!("unknown event tag {other}"))),
-        };
+        let (t, event) = decode_event(r, time)?;
+        time = t;
         records.push(EventRecord::new(Timestamp(time), event));
     }
     Ok(records)
 }
 
-/// Deserialises a PVT trace from `r` and validates it.
-pub fn read<R: Read>(r: &mut R) -> TraceResult<Trace> {
+/// Parses the PVT file header: magic, version, name, clock, definitions.
+/// Shared by the batch [`read`] and the streaming [`PvtStreamReader`].
+fn read_header<R: BufRead>(r: &mut R) -> TraceResult<(String, Clock, Registry)> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -201,9 +174,13 @@ pub fn read<R: Read>(r: &mut R) -> TraceResult<Trace> {
     if ticks_per_second == 0 {
         return Err(TraceError::Corrupt("zero clock resolution".into()));
     }
-    let clock = Clock::new(ticks_per_second);
-
     let registry = read_registry(r)?;
+    Ok((name, Clock::new(ticks_per_second), registry))
+}
+
+/// Deserialises a PVT trace from `r` and validates it.
+pub fn read<R: BufRead>(r: &mut R) -> TraceResult<Trace> {
+    let (name, clock, registry) = read_header(r).map_err(super::truncated_header_as_corrupt)?;
     let np = registry.num_processes();
     let mut streams = Vec::with_capacity(np);
     for pi in 0..np {
@@ -247,11 +224,13 @@ pub fn read<R: Read>(r: &mut R) -> TraceResult<Trace> {
 /// assert!(reader.finished());
 /// ```
 #[derive(Debug)]
-pub struct PvtStreamReader<R: Read> {
-    reader: R,
+pub struct PvtStreamReader<R: BufRead> {
+    reader: CountingReader<R>,
     name: String,
     clock: Clock,
     registry: Registry,
+    /// Registry table sizes, for the shared incremental validation.
+    shape: RegistryShape,
     /// Process currently being decoded.
     current_process: usize,
     /// Events left in the current process stream.
@@ -266,33 +245,23 @@ pub struct PvtStreamReader<R: Read> {
     poisoned: bool,
 }
 
-impl<R: Read> PvtStreamReader<R> {
+impl<R: BufRead> PvtStreamReader<R> {
     /// Opens a PVT stream: reads and validates header and definitions.
-    pub fn new(mut reader: R) -> TraceResult<PvtStreamReader<R>> {
-        let mut magic = [0u8; 4];
-        reader.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(TraceError::Corrupt(format!(
-                "bad magic {magic:02x?}, not a PVT file"
-            )));
-        }
-        let version = read_u64(&mut reader)?;
-        if version != VERSION {
-            return Err(TraceError::UnsupportedVersion(version as u32));
-        }
-        let name = read_string(&mut reader)?;
-        let ticks_per_second = read_u64(&mut reader)?;
-        if ticks_per_second == 0 {
-            return Err(TraceError::Corrupt("zero clock resolution".into()));
-        }
-        let clock = Clock::new(ticks_per_second);
-        let registry = read_registry(&mut reader)?;
+    ///
+    /// A file that ends inside the header (zero-length or header-only) is
+    /// reported as a typed [`TraceError::Corrupt`], not a bare I/O EOF.
+    pub fn new(reader: R) -> TraceResult<PvtStreamReader<R>> {
+        let mut reader = CountingReader::new(reader);
+        let (name, clock, registry) =
+            read_header(&mut reader).map_err(super::truncated_header_as_corrupt)?;
+        let shape = RegistryShape::of(&registry);
 
         let mut this = PvtStreamReader {
             reader,
             name,
             clock,
             registry,
+            shape,
             current_process: 0,
             remaining: 0,
             prev_time: 0,
@@ -322,6 +291,12 @@ impl<R: Read> PvtStreamReader<R> {
     /// Whether the stream was consumed to the trailer successfully.
     pub fn finished(&self) -> bool {
         self.finished
+    }
+
+    /// Bytes consumed from the underlying reader so far (the position of
+    /// a decode failure within the file).
+    pub fn byte_offset(&self) -> u64 {
+        self.reader.offset()
     }
 
     /// Moves to the next process stream (or the trailer).
@@ -356,80 +331,9 @@ impl<R: Read> PvtStreamReader<R> {
             return Ok(None);
         }
         let process = ProcessId::from_index(self.current_process - 1);
-        let tag = read_u64(&mut self.reader)?;
-        let delta = read_u64(&mut self.reader)?;
-        let time = self
-            .prev_time
-            .checked_add(delta)
-            .ok_or_else(|| TraceError::Corrupt("timestamp overflow".into()))?;
+        let (time, event) = decode_event(&mut self.reader, self.prev_time)?;
+        check_event(self.shape, process, time, &event, &mut self.stack)?;
         self.prev_time = time;
-        let event = match tag {
-            0 => Event::Enter {
-                function: FunctionId(read_id_u32(&mut self.reader, "function")?),
-            },
-            1 => Event::Leave {
-                function: FunctionId(read_id_u32(&mut self.reader, "function")?),
-            },
-            2 => Event::MsgSend {
-                to: ProcessId(read_id_u32(&mut self.reader, "process")?),
-                tag: read_id_u32(&mut self.reader, "tag")?,
-                bytes: read_u64(&mut self.reader)?,
-            },
-            3 => Event::MsgRecv {
-                from: ProcessId(read_id_u32(&mut self.reader, "process")?),
-                tag: read_id_u32(&mut self.reader, "tag")?,
-                bytes: read_u64(&mut self.reader)?,
-            },
-            4 => Event::Metric {
-                metric: MetricId(read_id_u32(&mut self.reader, "metric")?),
-                value: read_u64(&mut self.reader)?,
-            },
-            other => return Err(TraceError::Corrupt(format!("unknown event tag {other}"))),
-        };
-        // Incremental validation.
-        match event {
-            Event::Enter { function } => {
-                if function.index() >= self.registry.num_functions() {
-                    return Err(TraceError::UndefinedReference {
-                        kind: "function",
-                        index: function.0 as u64,
-                    });
-                }
-                self.stack.push(function);
-            }
-            Event::Leave { function } => match self.stack.last().copied() {
-                Some(top) if top == function => {
-                    self.stack.pop();
-                }
-                other => {
-                    return Err(TraceError::MismatchedLeave {
-                        process,
-                        time: Timestamp(time),
-                        left: function,
-                        expected: other,
-                    })
-                }
-            },
-            Event::MsgSend { to, .. } if to.index() >= self.registry.num_processes() => {
-                return Err(TraceError::UndefinedReference {
-                    kind: "process",
-                    index: to.0 as u64,
-                });
-            }
-            Event::MsgRecv { from, .. } if from.index() >= self.registry.num_processes() => {
-                return Err(TraceError::UndefinedReference {
-                    kind: "process",
-                    index: from.0 as u64,
-                });
-            }
-            Event::Metric { metric, .. } if metric.index() >= self.registry.num_metrics() => {
-                return Err(TraceError::UndefinedReference {
-                    kind: "metric",
-                    index: metric.0 as u64,
-                });
-            }
-            _ => {}
-        }
         let record = EventRecord::new(Timestamp(time), event);
         self.remaining -= 1;
         if self.remaining == 0 {
@@ -439,9 +343,13 @@ impl<R: Read> PvtStreamReader<R> {
     }
 }
 
-impl<R: Read> Iterator for PvtStreamReader<R> {
+impl<R: BufRead> Iterator for PvtStreamReader<R> {
     type Item = TraceResult<(ProcessId, EventRecord)>;
 
+    /// Yields `(process, record)` pairs; a decode or validation failure
+    /// mid-body comes back as [`TraceError::CorruptStream`] naming the
+    /// process being decoded and the byte offset within the file, after
+    /// which the iterator fuses.
     fn next(&mut self) -> Option<Self::Item> {
         if self.poisoned {
             return None;
@@ -451,7 +359,11 @@ impl<R: Read> Iterator for PvtStreamReader<R> {
             Ok(None) => None,
             Err(e) => {
                 self.poisoned = true;
-                Some(Err(e))
+                Some(Err(TraceError::CorruptStream {
+                    process: ProcessId::from_index(self.current_process.saturating_sub(1)),
+                    offset: self.reader.offset(),
+                    source: Box::new(e),
+                }))
             }
         }
     }

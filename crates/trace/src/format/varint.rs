@@ -5,7 +5,7 @@
 //! zig-zag mapping first.
 
 use crate::error::{TraceError, TraceResult};
-use std::io::{Read, Write};
+use std::io::{BufRead, Read, Write};
 
 /// Writes `value` as unsigned LEB128.
 pub fn write_u64<W: Write>(w: &mut W, mut value: u64) -> TraceResult<()> {
@@ -21,7 +21,46 @@ pub fn write_u64<W: Write>(w: &mut W, mut value: u64) -> TraceResult<()> {
 }
 
 /// Reads an unsigned LEB128 value.
-pub fn read_u64<R: Read>(r: &mut R) -> TraceResult<u64> {
+///
+/// Decoding is the hot loop of every trace reader, so when the whole
+/// varint sits inside the reader's buffered slice it is decoded directly
+/// from that slice and consumed in one step; only varints that straddle
+/// a buffer boundary (or overlong/truncated encodings) take the
+/// byte-at-a-time fallback.
+pub fn read_u64<R: BufRead>(r: &mut R) -> TraceResult<u64> {
+    if let Some((value, used)) = decode_u64_slice(r.fill_buf()?) {
+        r.consume(used);
+        return Ok(value);
+    }
+    read_u64_bytewise(r)
+}
+
+/// Decodes one unsigned LEB128 value from the front of a slice, returning
+/// the value and its encoded length. `None` when the slice ends inside
+/// the varint or the encoding overflows u64 — callers fall back to
+/// [`read_u64`]'s bytewise path, which reproduces the exact error without
+/// having consumed anything.
+#[inline]
+pub(crate) fn decode_u64_slice(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().take(10).enumerate() {
+        if shift == 63 && (b & 0x7f) > 1 {
+            return None;
+        }
+        value |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Fallback decoder working on any `Read`: used when a varint crosses
+/// the buffer boundary. Nothing has been consumed at this point, so it
+/// restarts from the first byte.
+fn read_u64_bytewise<R: Read>(r: &mut R) -> TraceResult<u64> {
     let mut value: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -57,7 +96,7 @@ pub fn write_i64<W: Write>(w: &mut W, value: i64) -> TraceResult<()> {
 }
 
 /// Reads a signed value (LEB128 + un-zig-zag).
-pub fn read_i64<R: Read>(r: &mut R) -> TraceResult<i64> {
+pub fn read_i64<R: BufRead>(r: &mut R) -> TraceResult<i64> {
     Ok(unzigzag(read_u64(r)?))
 }
 
@@ -69,7 +108,7 @@ pub fn write_string<W: Write>(w: &mut W, s: &str) -> TraceResult<()> {
 }
 
 /// Reads a length-prefixed UTF-8 string, rejecting absurd lengths.
-pub fn read_string<R: Read>(r: &mut R) -> TraceResult<String> {
+pub fn read_string<R: BufRead>(r: &mut R) -> TraceResult<String> {
     const MAX_STRING: u64 = 1 << 20; // 1 MiB is far beyond any symbol name.
     let len = read_u64(r)?;
     if len > MAX_STRING {
@@ -133,6 +172,25 @@ mod tests {
         buf.clear();
         write_u64(&mut buf, u64::MAX).unwrap();
         assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn tiny_buffer_forces_the_bytewise_fallback() {
+        // With a 1-byte BufRead buffer every multi-byte varint straddles
+        // the boundary, so the fallback must decode identically to the
+        // fast path.
+        for v in [0u64, 127, 128, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).unwrap();
+            let mut r = std::io::BufReader::with_capacity(1, Cursor::new(buf));
+            assert_eq!(read_u64(&mut r).unwrap(), v);
+        }
+        let err = read_u64(&mut std::io::BufReader::with_capacity(
+            1,
+            Cursor::new(vec![0xffu8; 11]),
+        ))
+        .unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)));
     }
 
     #[test]

@@ -19,16 +19,27 @@
 //! * a [`time::Clock`] declaring the tick resolution so analyses can
 //!   convert ticks to seconds.
 //!
-//! Two serialisation formats are provided under [`mod@format`]:
+//! Three serialisation formats are provided under [`mod@format`]:
 //!
 //! * **PVT** ([`format::pvt`]) — a compact binary format with
 //!   varint/zig-zag coding and delta-encoded timestamps;
 //! * **PVTX** ([`format::text`]) — a line-oriented human-readable format
 //!   that round-trips the same information and is convenient in tests and
-//!   for manual inspection.
+//!   for manual inspection;
+//! * **PVTA** ([`format::archive`]) — a multi-file archive directory
+//!   (anchor file plus one stream file per process, OTF2-style) whose
+//!   streams are written without coordination and read in parallel.
 //!
 //! Traces are validated on construction (monotone timestamps, balanced
 //! enter/leave nesting); see [`validate`].
+//!
+//! For files too large to materialise, [`format::cursor`] offers
+//! incremental per-process cursors ([`format::cursor::StreamCursor`],
+//! [`format::cursor::ArchiveCursor`]) that decode and validate one event
+//! record at a time while holding only the read buffer and the open call
+//! stack — the substrate of `perfvar-analysis`'s out-of-core path.
+//! Truncated or corrupt stream bodies surface as
+//! [`TraceError::CorruptStream`], naming the process and byte offset.
 //!
 //! ## Example
 //!
@@ -73,7 +84,7 @@ pub mod prelude {
     pub use crate::registry::{FunctionRole, MetricMode, Registry};
     pub use crate::slice::{slice, slice_invocation};
     pub use crate::time::{Clock, DurationTicks, Timestamp};
-    pub use crate::trace::{EventStream, Trace, TraceBuilder};
+    pub use crate::trace::{EventStream, Trace, TraceBuilder, TraceMeta};
 }
 
 pub use error::{TraceError, TraceResult};
@@ -81,4 +92,4 @@ pub use event::{Event, EventRecord};
 pub use ids::{FunctionId, MetricId, ProcessId};
 pub use registry::{FunctionRole, MetricMode, Registry};
 pub use time::{Clock, DurationTicks, Timestamp};
-pub use trace::{EventStream, Trace, TraceBuilder};
+pub use trace::{EventStream, Trace, TraceBuilder, TraceMeta};

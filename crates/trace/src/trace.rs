@@ -169,6 +169,60 @@ impl Trace {
     }
 }
 
+/// Summary of a trace that fits in memory regardless of trace size.
+///
+/// Out-of-core analyses ([`perfvar-analysis`'s `analyze_path`]) cannot hold
+/// a [`Trace`] but still need its identity (name, clock, definitions) and
+/// extent (event count, time span) to assemble reports. `TraceMeta` carries
+/// exactly that: everything a [`Trace`] knows *except* the event streams.
+///
+/// Construct one from an in-memory trace with [`TraceMeta::of`], or
+/// assemble it field by field while streaming a file (the registry comes
+/// from the header; `num_events`, `begin`, and `end` are accumulated as
+/// records go by).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceMeta {
+    /// Human-readable trace name (workload / run description).
+    pub name: String,
+    /// The trace clock.
+    pub clock: Clock,
+    /// Definition tables: processes, functions, metrics.
+    pub registry: Registry,
+    /// Total number of events across all processes.
+    pub num_events: u64,
+    /// Earliest event timestamp ([`Timestamp::ZERO`] for empty traces,
+    /// matching [`Trace::begin`]).
+    pub begin: Timestamp,
+    /// Latest event timestamp ([`Timestamp::ZERO`] for empty traces,
+    /// matching [`Trace::end`]).
+    pub end: Timestamp,
+}
+
+impl TraceMeta {
+    /// Captures the metadata of an in-memory trace.
+    pub fn of(trace: &Trace) -> TraceMeta {
+        TraceMeta {
+            name: trace.name.clone(),
+            clock: trace.clock(),
+            registry: trace.registry().clone(),
+            num_events: trace.num_events() as u64,
+            begin: trace.begin(),
+            end: trace.end(),
+        }
+    }
+
+    /// Number of parallel processes.
+    #[inline]
+    pub fn num_processes(&self) -> usize {
+        self.registry.num_processes()
+    }
+
+    /// Full trace span (`end - begin`).
+    pub fn span(&self) -> DurationTicks {
+        self.end.since(self.begin)
+    }
+}
+
 /// Per-process writer used by [`TraceBuilder`]; validates as it appends.
 #[derive(Debug)]
 pub struct ProcessWriter {
@@ -486,6 +540,24 @@ mod tests {
         let t = b.finish().unwrap();
         assert_eq!(t.stream(p0).len(), 2);
         assert_eq!(t.stream(p1).len(), 1);
+    }
+
+    #[test]
+    fn trace_meta_mirrors_trace() {
+        let t = two_process_trace();
+        let meta = TraceMeta::of(&t);
+        assert_eq!(meta.name, t.name);
+        assert_eq!(meta.num_processes(), t.num_processes());
+        assert_eq!(meta.num_events, t.num_events() as u64);
+        assert_eq!(meta.begin, t.begin());
+        assert_eq!(meta.end, t.end());
+        assert_eq!(meta.span(), t.span());
+
+        let empty = TraceBuilder::new(Clock::microseconds()).finish().unwrap();
+        let meta = TraceMeta::of(&empty);
+        assert_eq!(meta.begin, Timestamp::ZERO);
+        assert_eq!(meta.end, Timestamp::ZERO);
+        assert_eq!(meta.span(), DurationTicks::ZERO);
     }
 
     #[test]

@@ -143,6 +143,42 @@ fn refinement_chain_terminates() {
 }
 
 #[test]
+fn out_of_core_pipeline_finds_the_same_outlier() {
+    use perfvar::analysis::{analyze_path, analyze_path_with, RecoveryMode};
+
+    let trace = simulate(&workloads::SingleOutlier::new(8, 15, 5).spec()).unwrap();
+    let dir = tmp("outlier-ooc.pvta");
+    write_trace_file(&trace, &dir).unwrap();
+
+    // Simulate → archive → stream-from-disk: identical verdict.
+    let in_memory = analyze(&trace, &AnalysisConfig::default()).unwrap();
+    let from_disk = analyze_path(&dir, &AnalysisConfig::default()).unwrap();
+    assert_eq!(from_disk, in_memory);
+    assert_eq!(from_disk.imbalance.hottest_process(), Some(ProcessId(5)));
+
+    // Damage one rank's stream tail: strict mode reports the typed
+    // error with process id and byte offset; partial mode still
+    // localises the outlier from the surviving ranks.
+    let stream = dir.join("stream-2.pvts");
+    let bytes = std::fs::read(&stream).unwrap();
+    std::fs::write(&stream, &bytes[..bytes.len() - 9]).unwrap();
+    let err = analyze_path(&dir, &AnalysisConfig::default()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("P2"), "{msg}");
+    assert!(msg.contains("corrupt at byte"), "{msg}");
+
+    let partial =
+        analyze_path_with(&dir, &AnalysisConfig::default(), RecoveryMode::Partial).unwrap();
+    assert!(partial.is_partial());
+    assert_eq!(partial.recovered_ranks(), 7);
+    assert_eq!(partial.failures[0].process, ProcessId(2));
+    assert_eq!(
+        partial.analysis.imbalance.hottest_process(),
+        Some(ProcessId(5))
+    );
+}
+
+#[test]
 fn counter_attribution_survives_serialisation() {
     let trace = simulate(&workloads::Wrf::small(2, 2, 5).spec()).unwrap();
     let path = tmp("wrf-counters.pvt");

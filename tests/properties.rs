@@ -339,6 +339,50 @@ proptest! {
         let back = archive::read_archive(&dir, threads).unwrap();
         prop_assert_eq!(back, trace);
     }
+
+    // ── out-of-core analyze_path ≡ in-memory analyze ──
+
+    #[test]
+    fn out_of_core_analysis_equals_in_memory(
+        trace in trace_strategy(),
+        threads in 0usize..5,
+        segment_override in 0u8..8,
+    ) {
+        use perfvar::analysis::{analyze_path_with, RecoveryMode};
+        use perfvar::trace::format::write_trace_file;
+        // Same configuration split as `fused_analysis_equals_reference`:
+        // half the cases pin the segmentation function, the rest rely on
+        // dominant selection (including its error path). The trace
+        // strategy defines one metric channel of every mode, so counter
+        // attribution is compared across all batch semantics too.
+        let segment_function = (segment_override < 4)
+            .then(|| format!("f{}", segment_override % 6));
+        let cfg = AnalysisConfig {
+            threads,
+            segment_function,
+            ..AnalysisConfig::default()
+        };
+        let dir = std::env::temp_dir()
+            .join("perfvar-prop-ooc")
+            .join(format!("t{}.pvta", std::process::id()));
+        write_trace_file(&trace, &dir).unwrap();
+        match (analyze(&trace, &cfg), analyze_path_with(&dir, &cfg, RecoveryMode::Strict)) {
+            (Ok(mem), Ok(ooc)) => {
+                // Bit-identical analysis, and the metadata the cursor
+                // reconstructs matches the materialised trace.
+                prop_assert_eq!(&ooc.analysis, &mem);
+                prop_assert!(!ooc.is_partial());
+                prop_assert_eq!(&ooc.meta, &perfvar::trace::TraceMeta::of(&trace));
+            }
+            (Err(mem), Err(ooc)) => prop_assert_eq!(mem.to_string(), ooc.to_string()),
+            (mem, ooc) => prop_assert!(
+                false,
+                "routes disagree: in-memory {:?} vs out-of-core {:?}",
+                mem.map(|_| ()),
+                ooc.map(|_| ())
+            ),
+        }
+    }
 }
 
 proptest! {
