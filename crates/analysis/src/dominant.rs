@@ -53,8 +53,14 @@ pub struct DominantSelection {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DominantRanking {
     required_invocations: u64,
-    /// `(function, aggregated inclusive)` in descending inclusive order.
-    ranking: Vec<(FunctionId, DurationTicks)>,
+    /// `(function, aggregated inclusive, invocation count)` in the
+    /// deterministic dominant order: inclusive time descending, then
+    /// invocation count descending, then function id ascending. The
+    /// count tie-break prefers the *finer* function (more invocations →
+    /// more segments), and the id tie-break pins ties completely so
+    /// every pipeline variant and thread count selects the same
+    /// function.
+    ranking: Vec<(FunctionId, DurationTicks, u64)>,
 }
 
 impl DominantRanking {
@@ -85,12 +91,19 @@ impl DominantRanking {
     ) -> DominantRanking {
         let p = num_processes as u64;
         let required = multiplier * p;
-        let mut ranking: Vec<(FunctionId, DurationTicks)> = profiles
+        let mut ranking: Vec<(FunctionId, DurationTicks, u64)> = profiles
             .iter()
             .filter(|(_, prof)| prof.count >= required && prof.count > 0)
-            .map(|(f, prof)| (f, prof.inclusive))
+            .map(|(f, prof)| (f, prof.inclusive, prof.count))
             .collect();
-        ranking.sort_by_key(|(f, incl)| (std::cmp::Reverse(*incl), f.0));
+        // Deterministic tie-break: time, then invocation count, then id.
+        // Aggregated sums are independent of worker scheduling, so the
+        // order — and therefore the dominant function — is identical for
+        // `analyze`, `analyze_reference` and `analyze_path` at any
+        // thread count.
+        ranking.sort_by_key(|(f, incl, count)| {
+            (std::cmp::Reverse(*incl), std::cmp::Reverse(*count), f.0)
+        });
         DominantRanking {
             required_invocations: required,
             ranking,
@@ -99,7 +112,7 @@ impl DominantRanking {
 
     /// The time-dominant function (rank 0), if any function qualifies.
     pub fn dominant(&self) -> Option<FunctionId> {
-        self.ranking.first().map(|(f, _)| *f)
+        self.ranking.first().map(|(f, ..)| *f)
     }
 
     /// The invocation-count threshold in force.
@@ -109,15 +122,15 @@ impl DominantRanking {
 
     /// All qualifying candidates, highest aggregated inclusive first.
     pub fn candidates(&self) -> impl ExactSizeIterator<Item = FunctionId> + '_ {
-        self.ranking.iter().map(|(f, _)| *f)
+        self.ranking.iter().map(|(f, ..)| *f)
     }
 
     /// The aggregated inclusive time of a candidate, if it qualifies.
     pub fn inclusive_of(&self, function: FunctionId) -> Option<DurationTicks> {
         self.ranking
             .iter()
-            .find(|(f, _)| *f == function)
-            .map(|(_, d)| *d)
+            .find(|(f, ..)| *f == function)
+            .map(|(_, d, _)| *d)
     }
 
     /// Refinement (§VII-B): the next candidate **after** `current` in the
@@ -125,8 +138,8 @@ impl DominantRanking {
     /// time, giving finer segments. Returns `None` if `current` is not a
     /// candidate or is already the finest.
     pub fn refine(&self, current: FunctionId) -> Option<FunctionId> {
-        let pos = self.ranking.iter().position(|(f, _)| *f == current)?;
-        self.ranking.get(pos + 1).map(|(f, _)| *f)
+        let pos = self.ranking.iter().position(|(f, ..)| *f == current)?;
+        self.ranking.get(pos + 1).map(|(f, ..)| *f)
     }
 
     /// Summarises the selection (for reports and the CLI).
@@ -140,7 +153,7 @@ impl DominantRanking {
 
     /// Explains the outcome for one function.
     pub fn explain(&self, function: FunctionId, profiles: &ProfileTable) -> SelectionOutcome {
-        if let Some(pos) = self.ranking.iter().position(|(f, _)| *f == function) {
+        if let Some(pos) = self.ranking.iter().position(|(f, ..)| *f == function) {
             return if pos == 0 {
                 SelectionOutcome::Dominant
             } else {
@@ -274,6 +287,90 @@ mod tests {
         let (ranking, _) = ranking_of(&trace);
         assert_eq!(ranking.dominant(), Some(f1));
         assert_eq!(ranking.refine(f1), Some(f2));
+    }
+
+    /// Regression: equal aggregated inclusive time must fall back to the
+    /// invocation count (descending) *before* the id, so the finer
+    /// function wins. Previously the sort jumped straight from time to
+    /// id and `f2` here would lose despite segmenting the run better.
+    #[test]
+    fn ties_on_time_break_by_invocation_count() {
+        let mut b = TraceBuilder::new(Clock::microseconds());
+        let f1 = b.define_function("coarse", FunctionRole::Compute);
+        let f2 = b.define_function("fine", FunctionRole::Compute);
+        let p = b.define_process("p0");
+        let w = b.process_mut(p);
+        // f1: 2 invocations × 5 ticks; f2: 5 invocations × 2 ticks.
+        // Both aggregate to 10 ticks inclusive, but f2 is invoked more.
+        for base in [0u64, 10] {
+            w.enter(Timestamp(base), f1).unwrap();
+            w.leave(Timestamp(base + 5), f1).unwrap();
+        }
+        for base in [20u64, 30, 40, 50, 60] {
+            w.enter(Timestamp(base), f2).unwrap();
+            w.leave(Timestamp(base + 2), f2).unwrap();
+        }
+        let trace = b.finish().unwrap();
+        let (ranking, _) = ranking_of(&trace);
+        assert_eq!(ranking.inclusive_of(f1), ranking.inclusive_of(f2));
+        assert_eq!(ranking.dominant(), Some(f2), "higher count must win ties");
+        assert_eq!(ranking.refine(f2), Some(f1));
+    }
+
+    mod properties {
+        use super::*;
+        use crate::profile::ProfileRow;
+        use proptest::prelude::*;
+
+        /// A per-process partial with small values so aggregated sums
+        /// collide often — ties are the interesting case here.
+        fn rows(num_functions: usize) -> impl Strategy<Value = Vec<ProfileRow>> {
+            proptest::collection::vec(
+                (0u64..4, 0u64..6).prop_map(|(count, inclusive)| ProfileRow {
+                    count,
+                    inclusive: count.min(1) * inclusive,
+                    exclusive: 0,
+                }),
+                num_functions..num_functions + 1,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The candidate ranking is strictly ordered by
+            /// `(inclusive ↓, count ↓, id ↑)` — no two adjacent entries
+            /// compare equal, so the dominant function is a pure
+            /// function of the aggregated profile, independent of
+            /// worker scheduling or which pipeline produced it.
+            #[test]
+            fn ranking_is_strictly_ordered(
+                partials in proptest::collection::vec(rows(6), 1..4),
+                multiplier in 0u64..3,
+            ) {
+                let num_processes = partials.len();
+                let profiles = ProfileTable::from_rows(6, partials);
+                let ranking = DominantRanking::with_multiplier_for(
+                    num_processes,
+                    &profiles,
+                    multiplier,
+                );
+                let keys: Vec<_> = ranking
+                    .candidates()
+                    .map(|f| {
+                        let prof = profiles.get(f);
+                        (
+                            std::cmp::Reverse(prof.inclusive),
+                            std::cmp::Reverse(prof.count),
+                            f.0,
+                        )
+                    })
+                    .collect();
+                for pair in keys.windows(2) {
+                    prop_assert!(pair[0] < pair[1], "ranking not strict: {pair:?}");
+                }
+            }
+        }
     }
 
     #[test]

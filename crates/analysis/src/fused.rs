@@ -67,6 +67,14 @@ pub(crate) struct FusedSink<'a> {
     entered: Vec<usize>,
     /// Segments closed in the current timestamp group.
     closed: Vec<usize>,
+    /// Peak of `open.len()`: the live-segment gauge of the telemetry
+    /// layer (nested/recursive invocations hold several segments open).
+    peak_open: usize,
+    /// Segments whose contained sync time exceeded their inclusive time
+    /// (possible after timestamp repair on malformed streams); their SOS
+    /// is clamped to zero by [`Segment::sos`], and the telemetry layer
+    /// surfaces the count.
+    sos_underflows: u64,
 }
 
 impl<'a> FusedSink<'a> {
@@ -95,6 +103,8 @@ impl<'a> FusedSink<'a> {
             open: Vec::new(),
             entered: Vec::new(),
             closed: Vec::new(),
+            peak_open: 0,
+            sos_underflows: 0,
         }
     }
 
@@ -102,6 +112,16 @@ impl<'a> FusedSink<'a> {
     /// enter order) and the counter rows, `[metric][segment]`.
     pub(crate) fn into_parts(self) -> (Vec<Segment>, Vec<Vec<u64>>) {
         (self.segments, self.rows)
+    }
+
+    /// Most segments simultaneously open at any point of the pass.
+    pub(crate) fn peak_open(&self) -> usize {
+        self.peak_open
+    }
+
+    /// Closed segments whose sync time exceeded their inclusive time.
+    pub(crate) fn sos_underflows(&self) -> u64 {
+        self.sos_underflows
     }
 }
 
@@ -170,6 +190,7 @@ impl ReplayVisitor for FusedSink<'_> {
             self.acc_start[m].push(0);
         }
         self.open.push(index);
+        self.peak_open = self.peak_open.max(self.open.len());
         self.entered.push(index);
     }
 
@@ -181,6 +202,10 @@ impl ReplayVisitor for FusedSink<'_> {
         let seg = &mut self.segments[index];
         seg.leave = frame.leave;
         seg.sync = frame.sync_within;
+        if seg.sync > seg.duration() {
+            // SOS-time would underflow; `Segment::sos` clamps it to zero.
+            self.sos_underflows += 1;
+        }
         self.closed.push(index);
     }
 
@@ -245,12 +270,44 @@ pub fn fuse_segments(
     num_threads: usize,
     with_counters: bool,
 ) -> FusedSegments {
+    fuse_segments_observed(
+        trace,
+        function,
+        num_threads,
+        with_counters,
+        &crate::telemetry::Telemetry::noop(),
+    )
+}
+
+/// Like [`fuse_segments`] but recording per-worker events, segment
+/// counts, SOS-underflow clamps and peak-state gauges into `telemetry`
+/// (see [`crate::telemetry`]). With [`Telemetry::noop`] this *is*
+/// [`fuse_segments`].
+///
+/// [`Telemetry::noop`]: crate::telemetry::Telemetry::noop
+pub fn fuse_segments_observed(
+    trace: &Trace,
+    function: FunctionId,
+    num_threads: usize,
+    with_counters: bool,
+    telemetry: &crate::telemetry::Telemetry,
+) -> FusedSegments {
+    use crate::telemetry::Stage;
     let registry = trace.registry();
     let modes = metric_modes(registry, with_counters);
     let partials = par_map_processes(trace, num_threads, |pid| {
         let mut sink = FusedSink::new(pid, function, &modes);
-        replay_visit(trace, pid, &mut sink);
-        sink.into_parts()
+        let stats = replay_visit(trace, pid, &mut sink);
+        let mut w = telemetry.worker(Stage::Fuse);
+        w.events(stats.events);
+        w.stack_depth(stats.max_depth);
+        w.live_segments(sink.peak_open());
+        w.sos_clamped(sink.sos_underflows());
+        let parts = sink.into_parts();
+        w.segments(parts.0.len() as u64);
+        drop(w);
+        telemetry.rank_done();
+        parts
     });
     merge_fused(registry, function, &modes, partials)
 }
@@ -260,6 +317,47 @@ mod tests {
     use super::*;
     use crate::invocation::replay_all;
     use perfvar_trace::{Clock, FunctionRole, TraceBuilder};
+
+    /// Regression: a frame carrying more sync time than inclusive time
+    /// (clock skew, truncated stream) is counted by the sink so the
+    /// telemetry layer can surface it, and the resulting segment's SOS
+    /// time clamps to zero instead of wrapping.
+    #[test]
+    fn sos_underflow_is_counted_and_clamped() {
+        let f = FunctionId(0);
+        let mut sink = FusedSink::new(ProcessId(0), f, &[]);
+        sink.on_enter(f, 0, Timestamp(10));
+        sink.on_frame(&ClosedFrame {
+            function: f,
+            depth: 0,
+            enter: Timestamp(10),
+            leave: Timestamp(14),
+            children_inclusive: DurationTicks::ZERO,
+            sync_within: DurationTicks(9), // > the 4-tick duration
+        });
+        assert_eq!(sink.sos_underflows(), 1);
+        assert_eq!(sink.peak_open(), 1);
+        let (segments, _) = sink.into_parts();
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].sos(), DurationTicks::ZERO);
+    }
+
+    /// Well-formed frames (sync ≤ duration) never trip the counter.
+    #[test]
+    fn sos_underflow_counter_stays_zero_on_sane_frames() {
+        let f = FunctionId(0);
+        let mut sink = FusedSink::new(ProcessId(0), f, &[]);
+        sink.on_enter(f, 0, Timestamp(0));
+        sink.on_frame(&ClosedFrame {
+            function: f,
+            depth: 0,
+            enter: Timestamp(0),
+            leave: Timestamp(10),
+            children_inclusive: DurationTicks::ZERO,
+            sync_within: DurationTicks(10), // == duration: boundary, no clamp
+        });
+        assert_eq!(sink.sos_underflows(), 0);
+    }
 
     /// Two processes with nested/recursive segment invocations, all
     /// three metric modes, boundary-coincident samples, and sync calls.

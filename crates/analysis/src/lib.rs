@@ -61,6 +61,7 @@ pub mod report;
 pub mod segment;
 pub mod sos;
 pub mod stream;
+pub mod telemetry;
 pub mod waitstates;
 
 /// Convenient glob-import of the analysis pipeline.
@@ -76,15 +77,18 @@ pub mod prelude {
     pub use crate::invocation::{Invocation, ProcessInvocations};
     pub use crate::messages::{CommMatrix, MatchedMessage, MessageAnalysis};
     pub use crate::outofcore::{
-        analyze_path, analyze_path_with, OutOfCoreAnalysis, PathAnalysisError, RecoveryMode,
-        StreamFailure,
+        analyze_path, analyze_path_observed, analyze_path_with, OutOfCoreAnalysis,
+        PathAnalysisError, RecoveryMode, StreamFailure,
     };
     pub use crate::phases::{Phase, PhaseConfig, PhaseDetection};
     pub use crate::profile::FunctionProfile;
-    pub use crate::report::{analyze, analyze_reference, Analysis, AnalysisConfig, AnalysisError};
+    pub use crate::report::{
+        analyze, analyze_observed, analyze_reference, Analysis, AnalysisConfig, AnalysisError,
+    };
     pub use crate::segment::{Segment, Segmentation};
     pub use crate::sos::SosMatrix;
     pub use crate::stream::{replay_visit, ClosedFrame, ReplayMachine, ReplayVisitor};
+    pub use crate::telemetry::{PipelineStats, Progress, Stage, Telemetry};
     pub use crate::waitstates::{ProcessWaitStates, WaitStateAnalysis};
 }
 
@@ -97,11 +101,14 @@ pub use fused::{fuse_segments, FusedSegments};
 pub use imbalance::ImbalanceAnalysis;
 pub use invocation::{Invocation, ProcessInvocations};
 pub use outofcore::{
-    analyze_path, analyze_path_with, OutOfCoreAnalysis, PathAnalysisError, RecoveryMode,
-    StreamFailure,
+    analyze_path, analyze_path_observed, analyze_path_with, OutOfCoreAnalysis, PathAnalysisError,
+    RecoveryMode, StreamFailure,
 };
 pub use profile::FunctionProfile;
-pub use report::{analyze, analyze_reference, Analysis, AnalysisConfig, AnalysisError};
+pub use report::{
+    analyze, analyze_observed, analyze_reference, Analysis, AnalysisConfig, AnalysisError,
+};
 pub use segment::{Segment, Segmentation};
 pub use sos::SosMatrix;
 pub use stream::{replay_visit, ClosedFrame, ReplayMachine, ReplayVisitor};
+pub use telemetry::{PipelineStats, Telemetry};

@@ -59,6 +59,7 @@ use crate::profile::{ProfileRow, ProfileSink, ProfileTable};
 use crate::report::{assemble, segmentation_function, Analysis, AnalysisConfig, AnalysisError};
 use crate::segment::Segment;
 use crate::stream::ReplayMachine;
+use crate::telemetry::{Stage, Telemetry};
 use perfvar_trace::format::cursor::ArchiveCursor;
 use perfvar_trace::format::pvt::PvtStreamReader;
 use perfvar_trace::format::{read_trace_file, Format};
@@ -242,15 +243,34 @@ pub fn analyze_path_with(
     config: &AnalysisConfig,
     mode: RecoveryMode,
 ) -> Result<OutOfCoreAnalysis, PathAnalysisError> {
+    analyze_path_observed(path, config, mode, &Telemetry::noop())
+}
+
+/// Like [`analyze_path_with`] but recording per-stage wall time,
+/// decode/replay throughput and peak-state gauges into `telemetry` (see
+/// [`crate::telemetry`]), including one progress tick per completed rank.
+/// With [`Telemetry::noop`] this *is* [`analyze_path_with`].
+pub fn analyze_path_observed(
+    path: impl AsRef<Path>,
+    config: &AnalysisConfig,
+    mode: RecoveryMode,
+    telemetry: &Telemetry,
+) -> Result<OutOfCoreAnalysis, PathAnalysisError> {
     let path = path.as_ref();
     match Format::from_path(path) {
-        Format::Archive => analyze_archive(path, config, mode),
-        Format::Pvt => analyze_pvt(path, config, mode),
+        Format::Archive => analyze_archive(path, config, mode, telemetry),
+        Format::Pvt => analyze_pvt(path, config, mode, telemetry),
         Format::Text => {
             // Text traces are for inspection and tests — human-scale by
             // construction — so loading them is fine.
-            let trace = read_trace_file(path)?;
-            let analysis = crate::report::analyze(&trace, config)?;
+            let trace = {
+                let _span = telemetry.span(Stage::Load);
+                let trace = read_trace_file(path)?;
+                let mut w = telemetry.worker(Stage::Load);
+                w.bytes(std::fs::metadata(path).map(|m| m.len()).unwrap_or(0));
+                trace
+            };
+            let analysis = crate::report::analyze_observed(&trace, config, telemetry)?;
             Ok(OutOfCoreAnalysis {
                 meta: TraceMeta::of(&trace),
                 analysis,
@@ -337,6 +357,7 @@ fn analyze_archive(
     dir: &Path,
     config: &AnalysisConfig,
     mode: RecoveryMode,
+    telemetry: &Telemetry,
 ) -> Result<OutOfCoreAnalysis, PathAnalysisError> {
     let cursor = ArchiveCursor::open(dir)?;
     let registry = cursor.registry();
@@ -344,8 +365,13 @@ fn analyze_archive(
     let nf = registry.num_functions();
 
     // Pass 1: profile every rank (+ extent for the metadata).
-    let pass1: Vec<Result<RankProfile, TraceError>> =
-        par_map_ranks(np, config.threads, |pid| profile_rank(&cursor, pid, nf));
+    telemetry.begin_ranks(Stage::Profile, np);
+    let pass1: Vec<Result<RankProfile, TraceError>> = {
+        let _span = telemetry.span(Stage::Profile);
+        par_map_ranks(np, config.threads, |pid| {
+            profile_rank(&cursor, pid, nf, telemetry)
+        })
+    };
 
     let mut failed = vec![false; np];
     let mut failures = Vec::new();
@@ -362,6 +388,7 @@ fn analyze_archive(
                     return Err(error.into());
                 }
                 failed[i] = true;
+                telemetry.count_recovery(1);
                 failures.push(StreamFailure {
                     process: ProcessId::from_index(i),
                     error,
@@ -380,13 +407,16 @@ fn analyze_archive(
     // failed the profile pass.
     let modes = metric_modes(registry, config.analyze_counters);
     let failed_ref = &failed;
-    let pass2: Vec<Result<FusedPartial, TraceError>> =
+    telemetry.begin_ranks(Stage::Fuse, np);
+    let pass2: Vec<Result<FusedPartial, TraceError>> = {
+        let _span = telemetry.span(Stage::Fuse);
         par_map_ranks(np, config.threads, |pid| {
             if failed_ref[pid.index()] {
                 return Ok(empty_fused(modes.len()));
             }
-            fuse_rank(&cursor, pid, function, &modes)
-        });
+            fuse_rank(&cursor, pid, function, &modes, telemetry)
+        })
+    };
 
     let mut partials = Vec::with_capacity(np);
     for (i, result) in pass2.into_iter().enumerate() {
@@ -397,6 +427,7 @@ fn analyze_archive(
                     return Err(error.into());
                 }
                 // The file changed between the passes; degrade the rank.
+                telemetry.count_recovery(1);
                 failures.push(StreamFailure {
                     process: ProcessId::from_index(i),
                     error,
@@ -407,6 +438,7 @@ fn analyze_archive(
     }
     failures.sort_by_key(|f| f.process.index());
 
+    let _span = telemetry.span(Stage::Assemble);
     let fused = merge_fused(registry, function, &modes, partials);
     let meta = extent.meta(cursor.name().to_string(), cursor.clock(), registry.clone());
     let analysis = assemble(
@@ -430,6 +462,7 @@ fn profile_rank(
     cursor: &ArchiveCursor,
     pid: ProcessId,
     num_functions: usize,
+    telemetry: &Telemetry,
 ) -> Result<RankProfile, TraceError> {
     let mut stream = cursor.stream(pid)?;
     let mut machine = ReplayMachine::new(cursor.registry());
@@ -440,6 +473,12 @@ fn profile_rank(
         machine.step(&record, &mut sink);
     }
     machine.finish(&mut sink);
+    let mut w = telemetry.worker(Stage::Profile);
+    w.events(machine.events_stepped());
+    w.bytes(stream.byte_offset());
+    w.stack_depth(machine.max_depth());
+    drop(w);
+    telemetry.rank_done();
     Ok(RankProfile {
         rows: sink.rows,
         num_events: extent.num_events,
@@ -458,6 +497,7 @@ fn fuse_rank(
     pid: ProcessId,
     function: perfvar_trace::FunctionId,
     modes: &[MetricMode],
+    telemetry: &Telemetry,
 ) -> Result<FusedPartial, TraceError> {
     let mut stream = cursor.stream(pid)?;
     let mut machine = ReplayMachine::new(cursor.registry());
@@ -466,7 +506,17 @@ fn fuse_rank(
         machine.step(&record, &mut sink);
     }
     machine.finish(&mut sink);
-    Ok(sink.into_parts())
+    let mut w = telemetry.worker(Stage::Fuse);
+    w.events(machine.events_stepped());
+    w.bytes(stream.byte_offset());
+    w.stack_depth(machine.max_depth());
+    w.live_segments(sink.peak_open());
+    w.sos_clamped(sink.sos_underflows());
+    let parts = sink.into_parts();
+    w.segments(parts.0.len() as u64);
+    drop(w);
+    telemetry.rank_done();
+    Ok(parts)
 }
 
 fn open_annotated(path: &Path) -> Result<File, TraceError> {
@@ -479,10 +529,14 @@ fn open_annotated(path: &Path) -> Result<File, TraceError> {
 }
 
 /// The outcome of one sequential pass over a PVT file: per-rank results
-/// for ranks `0..first_failed`, and the error that stopped the pass.
+/// for ranks `0..first_failed`, the error that stopped the pass, and the
+/// pass's telemetry figures (events stepped, bytes decoded, peak depth).
 struct SequentialPass<T> {
     per_rank: Vec<T>,
     error: Option<(ProcessId, TraceError)>,
+    events: u64,
+    bytes: u64,
+    max_depth: usize,
 }
 
 /// Drives one pass over a single-file PVT trace: `make_sink` opens a
@@ -496,13 +550,13 @@ fn pvt_pass<S, T>(
     mut feed: impl FnMut(&mut S, &EventRecord, &mut ReplayMachine),
     mut close: impl FnMut(S, &mut ReplayMachine) -> T,
 ) -> Result<SequentialPass<T>, TraceError> {
-    let reader = PvtStreamReader::new(BufReader::new(open_annotated(path)?))?;
+    let mut reader = PvtStreamReader::new(BufReader::new(open_annotated(path)?))?;
     let mut machine = ReplayMachine::new(registry);
     let mut per_rank: Vec<T> = Vec::with_capacity(num_processes);
     let mut current: Option<(ProcessId, S)> = None;
     let mut error = None;
 
-    for item in reader {
+    for item in reader.by_ref() {
         match item {
             Ok((pid, record)) => {
                 let switching = !matches!(&current, Some((active, _)) if *active == pid);
@@ -545,7 +599,13 @@ fn pvt_pass<S, T>(
             per_rank.push(close(empty, &mut machine));
         }
     }
-    Ok(SequentialPass { per_rank, error })
+    Ok(SequentialPass {
+        per_rank,
+        error,
+        events: machine.events_stepped(),
+        bytes: reader.byte_offset(),
+        max_depth: machine.max_depth(),
+    })
 }
 
 /// Single-file PVT driver: two sequential passes, `O(1)` memory each.
@@ -553,6 +613,7 @@ fn analyze_pvt(
     path: &Path,
     config: &AnalysisConfig,
     mode: RecoveryMode,
+    telemetry: &Telemetry,
 ) -> Result<OutOfCoreAnalysis, PathAnalysisError> {
     // Header only: name, clock, registry (the streams start after).
     let header = PvtStreamReader::new(BufReader::new(open_annotated(path)?))?;
@@ -564,21 +625,32 @@ fn analyze_pvt(
     let nf = registry.num_functions();
 
     // Pass 1: profile + extent.
+    telemetry.begin_ranks(Stage::Profile, np);
     let mut extent = Extent::default();
-    let pass1 = pvt_pass(
-        path,
-        &registry,
-        np,
-        |_| ProfileSink::new(nf),
-        |sink, record, machine| {
-            extent.record(record.time);
-            machine.step(record, sink);
-        },
-        |mut sink, machine| {
-            machine.finish(&mut sink);
-            sink.rows
-        },
-    )?;
+    let pass1 = {
+        let _span = telemetry.span(Stage::Profile);
+        pvt_pass(
+            path,
+            &registry,
+            np,
+            |_| ProfileSink::new(nf),
+            |sink, record, machine| {
+                extent.record(record.time);
+                machine.step(record, sink);
+            },
+            |mut sink, machine| {
+                machine.finish(&mut sink);
+                telemetry.rank_done();
+                sink.rows
+            },
+        )?
+    };
+    {
+        let mut w = telemetry.worker(Stage::Profile);
+        w.events(pass1.events);
+        w.bytes(pass1.bytes);
+        w.stack_depth(pass1.max_depth);
+    }
     let mut failures = Vec::new();
     let mut first_failed = np;
     let mut partial_rows = pass1.per_rank;
@@ -588,6 +660,7 @@ fn analyze_pvt(
         }
         first_failed = partial_rows.len().min(failing.index());
         partial_rows.truncate(first_failed);
+        telemetry.count_recovery((np - first_failed) as u64);
         failures.push(StreamFailure {
             process: failing,
             error,
@@ -615,17 +688,33 @@ fn analyze_pvt(
     // Pass 2: fused segmentation + counters. In partial mode the pass
     // stops where pass 1 did; unreachable ranks contribute empties.
     let modes = metric_modes(&registry, config.analyze_counters);
-    let pass2 = pvt_pass(
-        path,
-        &registry,
-        np,
-        |pid| FusedSink::new(pid, function, &modes),
-        |sink, record, machine| machine.step(record, sink),
-        |mut sink, machine| {
-            machine.finish(&mut sink);
-            sink.into_parts()
-        },
-    )?;
+    telemetry.begin_ranks(Stage::Fuse, np);
+    let pass2 = {
+        let _span = telemetry.span(Stage::Fuse);
+        pvt_pass(
+            path,
+            &registry,
+            np,
+            |pid| FusedSink::new(pid, function, &modes),
+            |sink, record, machine| machine.step(record, sink),
+            |mut sink, machine| {
+                machine.finish(&mut sink);
+                telemetry.rank_done();
+                let mut w = telemetry.worker(Stage::Fuse);
+                w.live_segments(sink.peak_open());
+                w.sos_clamped(sink.sos_underflows());
+                let parts = sink.into_parts();
+                w.segments(parts.0.len() as u64);
+                parts
+            },
+        )?
+    };
+    {
+        let mut w = telemetry.worker(Stage::Fuse);
+        w.events(pass2.events);
+        w.bytes(pass2.bytes);
+        w.stack_depth(pass2.max_depth);
+    }
     let mut partials = pass2.per_rank;
     if let Some((_, error)) = pass2.error {
         if mode == RecoveryMode::Strict {
@@ -637,6 +726,7 @@ fn analyze_pvt(
         partials.push(empty_fused(modes.len()));
     }
 
+    let _span = telemetry.span(Stage::Assemble);
     let fused = merge_fused(&registry, function, &modes, partials);
     let meta = extent.meta(name, clock, registry);
     let analysis = assemble(

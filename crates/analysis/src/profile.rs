@@ -112,10 +112,29 @@ impl ProfileTable {
     /// are merged per process, in process order — but each worker only
     /// holds `O(functions + stack depth)` state.
     pub fn stream(trace: &Trace, num_threads: usize) -> ProfileTable {
+        ProfileTable::stream_observed(trace, num_threads, &crate::telemetry::Telemetry::noop())
+    }
+
+    /// Like [`stream`](ProfileTable::stream) but recording per-worker
+    /// event counts and peak stack depth into `telemetry` (see
+    /// [`crate::telemetry`]). With
+    /// [`Telemetry::noop`](crate::telemetry::Telemetry::noop) this *is*
+    /// [`stream`](ProfileTable::stream).
+    pub fn stream_observed(
+        trace: &Trace,
+        num_threads: usize,
+        telemetry: &crate::telemetry::Telemetry,
+    ) -> ProfileTable {
+        use crate::telemetry::Stage;
         let nf = trace.registry().num_functions();
         let partials = par_map_processes(trace, num_threads, |pid| {
             let mut sink = ProfileSink::new(nf);
-            replay_visit(trace, pid, &mut sink);
+            let stats = replay_visit(trace, pid, &mut sink);
+            let mut w = telemetry.worker(Stage::Profile);
+            w.events(stats.events);
+            w.stack_depth(stats.max_depth);
+            drop(w);
+            telemetry.rank_done();
             sink.rows
         });
         ProfileTable::from_rows(nf, partials)

@@ -15,12 +15,13 @@
 
 use crate::counters::{correlate_with_sos, CounterMatrix};
 use crate::dominant::{DominantRanking, DominantSelection};
-use crate::fused::fuse_segments;
+use crate::fused::fuse_segments_observed;
 use crate::imbalance::{ImbalanceAnalysis, ImbalanceConfig, WasteAnalysis};
 use crate::parallel::replay_all_parallel;
 use crate::profile::ProfileTable;
 use crate::segment::Segmentation;
 use crate::sos::SosMatrix;
+use crate::telemetry::{Stage, Telemetry};
 use perfvar_trace::{FunctionId, MetricId, Registry, Trace, TraceMeta};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -220,12 +221,39 @@ pub(crate) fn assemble(
 /// assert_eq!((hot.process.index(), hot.ordinal), (2, 5));
 /// ```
 pub fn analyze(trace: &Trace, config: &AnalysisConfig) -> Result<Analysis, AnalysisError> {
-    let profiles = ProfileTable::stream(trace, config.threads);
+    analyze_observed(trace, config, &Telemetry::noop())
+}
+
+/// Like [`analyze`] but recording per-stage wall time, throughput
+/// counters and peak-state gauges into `telemetry` (see
+/// [`crate::telemetry`]). With [`Telemetry::noop`] this *is* [`analyze`]
+/// — the instrumentation reduces to always-false branches.
+pub fn analyze_observed(
+    trace: &Trace,
+    config: &AnalysisConfig,
+    telemetry: &Telemetry,
+) -> Result<Analysis, AnalysisError> {
+    telemetry.begin_ranks(Stage::Profile, trace.num_processes());
+    let profiles = {
+        let _span = telemetry.span(Stage::Profile);
+        ProfileTable::stream_observed(trace, config.threads, telemetry)
+    };
     let ranking = DominantRanking::with_multiplier(trace, &profiles, config.dominant_multiplier);
     let dominant = ranking.selection();
     let function = segmentation_function(trace.registry(), &dominant, config)?;
 
-    let fused = fuse_segments(trace, function, config.threads, config.analyze_counters);
+    telemetry.begin_ranks(Stage::Fuse, trace.num_processes());
+    let fused = {
+        let _span = telemetry.span(Stage::Fuse);
+        fuse_segments_observed(
+            trace,
+            function,
+            config.threads,
+            config.analyze_counters,
+            telemetry,
+        )
+    };
+    let _span = telemetry.span(Stage::Assemble);
     Ok(assemble(
         trace.name.clone(),
         config,

@@ -142,6 +142,22 @@ mod tests {
     use crate::invocation::replay_all;
     use perfvar_trace::{Clock, FunctionRole, TraceBuilder};
 
+    /// Regression: a segment whose recorded sync time exceeds its
+    /// inclusive time (possible with clock skew or truncated streams)
+    /// must clamp SOS time to zero, never wrap around to a huge value.
+    #[test]
+    fn sos_clamps_to_zero_when_sync_exceeds_duration() {
+        let seg = Segment {
+            process: ProcessId(0),
+            ordinal: 0,
+            enter: Timestamp(10),
+            leave: Timestamp(14),
+            sync: DurationTicks(9),
+        };
+        assert_eq!(seg.duration(), DurationTicks(4));
+        assert_eq!(seg.sos(), DurationTicks::ZERO);
+    }
+
     /// Two processes, two iterations each; iteration contains calc + MPI.
     fn trace_two_iters() -> (Trace, FunctionId) {
         let mut b = TraceBuilder::new(Clock::microseconds());

@@ -128,6 +128,7 @@ pub struct ReplayMachine {
     stack: Vec<Frame>,
     tick: Option<Timestamp>,
     max_depth: usize,
+    events: u64,
 }
 
 impl ReplayMachine {
@@ -141,11 +142,13 @@ impl ReplayMachine {
             stack: Vec::new(),
             tick: None,
             max_depth: 0,
+            events: 0,
         }
     }
 
     /// Feeds one record, firing the due visitor callbacks.
     pub fn step<V: ReplayVisitor>(&mut self, record: &EventRecord, visitor: &mut V) {
+        self.events += 1;
         match self.tick {
             Some(t) if t != record.time => visitor.on_tick(t),
             _ => {}
@@ -206,6 +209,30 @@ impl ReplayMachine {
     pub fn max_depth(&self) -> usize {
         self.max_depth
     }
+
+    /// Records stepped so far (across all streams fed since
+    /// construction) — the telemetry layer's events-replayed counter.
+    pub fn events_stepped(&self) -> u64 {
+        self.events
+    }
+
+    /// Snapshot of the machine's replay statistics.
+    pub fn stats(&self) -> ReplayStats {
+        ReplayStats {
+            events: self.events,
+            max_depth: self.max_depth,
+        }
+    }
+}
+
+/// Lightweight statistics of a replay pass: what the telemetry layer
+/// (see [`crate::telemetry`]) records per worker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Records stepped through the machine.
+    pub events: u64,
+    /// Deepest call stack observed.
+    pub max_depth: usize,
 }
 
 /// Replays one process's stream through `visitor` in a single pass.
@@ -251,12 +278,21 @@ impl ReplayMachine {
 /// // inner: 4 exclusive ticks; outer: 10 − 4 = 6.
 /// assert_eq!(sink.exclusive_ticks, 10);
 /// ```
-pub fn replay_visit<V: ReplayVisitor>(trace: &Trace, process: ProcessId, visitor: &mut V) {
+///
+/// Returns the pass's [`ReplayStats`] (event count, peak stack depth)
+/// so instrumented callers can feed the telemetry layer; uninstrumented
+/// callers simply ignore them.
+pub fn replay_visit<V: ReplayVisitor>(
+    trace: &Trace,
+    process: ProcessId,
+    visitor: &mut V,
+) -> ReplayStats {
     let mut machine = ReplayMachine::new(trace.registry());
     for record in trace.stream(process).records() {
         machine.step(record, visitor);
     }
     machine.finish(visitor);
+    machine.stats()
 }
 
 #[cfg(test)]
@@ -370,6 +406,22 @@ mod tests {
         assert_eq!(stepped.ticks, whole.ticks);
         assert!(stepped.finished);
         assert_eq!(machine.max_depth(), 2);
+        assert_eq!(
+            machine.events_stepped(),
+            trace.stream(ProcessId(0)).records().len() as u64
+        );
+    }
+
+    #[test]
+    fn replay_visit_reports_stats() {
+        let trace = nested_trace();
+        let mut r = Recorder::default();
+        let stats = replay_visit(&trace, ProcessId(0), &mut r);
+        assert_eq!(
+            stats.events,
+            trace.stream(ProcessId(0)).records().len() as u64
+        );
+        assert_eq!(stats.max_depth, 2);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Telemetry correctness on the bench fixture: the counters the
+//! instrumented pipelines record must sum to totals that are knowable
+//! independently — event counts from the trace, segment counts from the
+//! produced segmentation — on both the in-memory and out-of-core routes.
+
+use perfvar_analysis::{
+    analyze, analyze_observed, analyze_path_observed, AnalysisConfig, RecoveryMode, Telemetry,
+};
+use perfvar_bench::counter_stencil_trace;
+use perfvar_trace::format::write_trace_file;
+
+#[test]
+fn in_memory_counters_sum_to_known_event_totals() {
+    let trace = counter_stencil_trace(8, 30);
+    let config = AnalysisConfig::default();
+    let telemetry = Telemetry::enabled();
+    let analysis = analyze_observed(&trace, &config, &telemetry).expect("analysis succeeds");
+    let stats = telemetry.snapshot().expect("enabled recorder snapshots");
+
+    // The profile pass and the fuse pass each replay every record of
+    // every stream exactly once.
+    let total_events = trace.num_events() as u64;
+    assert_eq!(
+        stats.stage("profile").expect("profile stage").events,
+        total_events
+    );
+    assert_eq!(
+        stats.stage("fuse").expect("fuse stage").events,
+        total_events
+    );
+    assert_eq!(stats.totals.events_replayed, 2 * total_events);
+
+    // One emitted segment per invocation of the segmentation function.
+    assert_eq!(
+        stats.totals.segments_emitted,
+        analysis.segmentation.len() as u64
+    );
+
+    assert_eq!(stats.ranks, 8);
+    // main → stencil_iteration → compute_stencil/MPI_Barrier nesting.
+    assert!(stats.peaks.max_stack_depth >= 3, "{:?}", stats.peaks);
+    // At least one worker buffer per rank per instrumented pass.
+    assert!(stats.peaks.worker_buffers >= 16, "{:?}", stats.peaks);
+    // A well-formed fixture never trips the SOS-underflow detector.
+    assert_eq!(stats.totals.sos_clamped, 0);
+
+    // Observation is free of side effects: the uninstrumented entry
+    // point produces the identical analysis.
+    assert_eq!(analysis, analyze(&trace, &config).expect("reference run"));
+}
+
+#[test]
+fn out_of_core_counters_cover_both_disk_passes() {
+    let trace = counter_stencil_trace(6, 20);
+    let dir = std::env::temp_dir().join("perfvar-bench-telemetry");
+    std::fs::create_dir_all(&dir).unwrap();
+    let archive = dir.join("stencil.pvta");
+    write_trace_file(&trace, &archive).expect("archive written");
+
+    let config = AnalysisConfig::default();
+    let telemetry = Telemetry::enabled();
+    let result = analyze_path_observed(&archive, &config, RecoveryMode::Strict, &telemetry)
+        .expect("out-of-core analysis succeeds");
+    let stats = telemetry.snapshot().expect("enabled recorder snapshots");
+
+    // Two full passes over every stream: event counts double the trace.
+    let total_events = trace.num_events() as u64;
+    assert_eq!(stats.totals.events_replayed, 2 * total_events);
+
+    // Both passes decode the same streams from disk, so they observe
+    // the same byte count, and the total is their sum.
+    let profile = stats.stage("profile").expect("profile stage");
+    let fuse = stats.stage("fuse").expect("fuse stage");
+    assert!(profile.bytes > 0);
+    assert_eq!(profile.bytes, fuse.bytes);
+    assert_eq!(stats.totals.bytes_decoded, profile.bytes + fuse.bytes);
+
+    assert_eq!(stats.ranks, 6);
+    assert_eq!(stats.totals.recovery_events, 0);
+
+    // The observed out-of-core result matches the in-memory pipeline.
+    assert_eq!(
+        result.analysis,
+        analyze(&trace, &config).expect("reference run")
+    );
+}

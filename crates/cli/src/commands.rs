@@ -3,14 +3,16 @@
 use crate::args::{ArgSpec, ParsedArgs};
 use crate::workload_args::{generate_trace, WORKLOAD_NAMES};
 use perfvar_analysis::{
-    analyze as run_analysis, analyze_path_with, analyze_reference, Analysis, AnalysisConfig,
-    OutOfCoreAnalysis, RecoveryMode,
+    analyze_observed, analyze_path_observed, analyze_reference, Analysis, AnalysisConfig,
+    OutOfCoreAnalysis, RecoveryMode, Telemetry,
 };
+use perfvar_trace::format::cursor::ArchiveCursor;
 use perfvar_trace::format::{read_trace_file, write_trace_file, Format};
 use perfvar_trace::stats::{event_counts, role_time_profile};
 use perfvar_trace::Trace;
 use perfvar_viz::chart::{counter_heatmap, function_timeline, sos_heatmap, TimelineOptions};
 use perfvar_viz::{render_ansi, render_svg, AnsiOptions, SvgOptions};
+use std::io::IsTerminal;
 use std::path::Path;
 
 /// Top-level usage text.
@@ -23,6 +25,7 @@ USAGE:
   perfvar analyze  <trace> [--function NAME] [--refine N] [--multiplier K]
                    [--threads N] [--reference] [--auto-refine] [--calltree]
                    [--waitstates] [--phases] [--json] [--in-memory] [--partial]
+                   [--stats] [--stats-json]
   perfvar render   <trace> --chart timeline|sos|comm|comm-bytes|counter:<METRIC>
                    [--out x.svg] [--ansi]
   perfvar report   <trace> --out-dir DIR
@@ -36,7 +39,12 @@ Workloads: cosmo-specs, cosmo-specs-fd4, wrf (the paper's case studies),
 
 Archives (.pvta) are analyzed out-of-core by default: rank streams are
 decoded straight from disk without materialising the trace. --in-memory
-opts out; --partial recovers the intact ranks of a damaged archive.";
+opts out; --partial recovers the intact ranks of a damaged archive.
+
+--stats prints a per-stage pipeline timing table (wall time, events/s,
+bytes/s, peak state) to stderr; --stats-json emits the same data as JSON
+on stdout (combined with --json it becomes {\"analysis\": …, \"stats\": …}).
+Out-of-core runs on a terminal show a live N/M-ranks progress line.";
 
 fn load_trace(path: &str) -> Result<Trace, String> {
     read_trace_file(path).map_err(|e| format!("cannot read trace {path}: {e}"))
@@ -118,16 +126,77 @@ fn config_of(args: &ParsedArgs) -> Result<AnalysisConfig, String> {
     Ok(config)
 }
 
-fn analysis_of(trace: &Trace, args: &ParsedArgs) -> Result<Analysis, String> {
-    let config = config_of(args)?;
-    // --reference runs the materialising pipeline instead of the fused
-    // streaming default (mainly for cross-checks and benchmarking).
-    let pipeline = if args.has("reference") {
-        analyze_reference
+/// Normalises a `--threads` request for a run over `num_processes`
+/// ranks: `0` (the default) means "use the available hardware
+/// parallelism", and any larger request is capped at the rank count —
+/// the pipeline parallelises over ranks, so extra workers would idle.
+/// Explains the adjustment when the user explicitly asked for a count.
+fn normalize_threads(args: &ParsedArgs, num_processes: usize) -> Result<usize, String> {
+    let requested: usize = args.parse_or("threads", 0).map_err(|e| e.to_string())?;
+    let resolved = perfvar_analysis::parallel::resolve_threads(requested, num_processes);
+    if args.value("threads").is_some() && resolved != requested {
+        if requested == 0 {
+            eprintln!(
+                "--threads 0: using {resolved} worker thread(s) \
+                 (hardware parallelism, capped at the rank count)"
+            );
+        } else {
+            eprintln!(
+                "capping --threads {requested} to {resolved}: the pipeline \
+                 runs one worker per rank at most"
+            );
+        }
+    }
+    Ok(resolved)
+}
+
+/// Builds the telemetry recorder the `analyze` flags ask for: `--stats`
+/// and `--stats-json` enable recording; out-of-core runs on a terminal
+/// additionally get a live progress line on stderr. Everything else
+/// runs with the zero-cost noop recorder.
+fn telemetry_of(args: &ParsedArgs, live_progress: bool) -> Telemetry {
+    let wants_stats = args.has("stats") || args.has("stats-json");
+    let progress = live_progress && std::io::stderr().is_terminal();
+    if !wants_stats && !progress {
+        return Telemetry::noop();
+    }
+    let telemetry = Telemetry::enabled();
+    if progress {
+        telemetry.with_progress(|p| {
+            eprint!(
+                "\r[{}] {}/{} ranks, {:.1} Mevents/s",
+                p.stage,
+                p.ranks_done,
+                p.ranks_total,
+                p.events_per_sec() / 1e6
+            );
+        })
     } else {
-        run_analysis
-    };
-    let mut analysis = pipeline(trace, &config).map_err(|e| e.to_string())?;
+        telemetry
+    }
+}
+
+fn analysis_of(trace: &Trace, args: &ParsedArgs) -> Result<Analysis, String> {
+    analysis_of_observed(trace, args, &Telemetry::noop())
+}
+
+/// Like [`analysis_of`] but recording pipeline telemetry. The fused
+/// streaming default is instrumented; `--reference` runs the
+/// materialising pipeline instead (mainly for cross-checks and
+/// benchmarking), which records nothing.
+fn analysis_of_observed(
+    trace: &Trace,
+    args: &ParsedArgs,
+    telemetry: &Telemetry,
+) -> Result<Analysis, String> {
+    let mut config = config_of(args)?;
+    config.threads = normalize_threads(args, trace.num_processes())?;
+    let mut analysis = if args.has("reference") {
+        analyze_reference(trace, &config)
+    } else {
+        analyze_observed(trace, &config, telemetry)
+    }
+    .map_err(|e| e.to_string())?;
     let refine_steps: usize = args.parse_or("refine", 0).map_err(|e| e.to_string())?;
     for _ in 0..refine_steps {
         match analysis.refine(trace, &config) {
@@ -149,13 +218,28 @@ fn wants_out_of_core(path: &str, args: &ParsedArgs) -> bool {
 /// honouring the same --function/--multiplier/--threads/--refine knobs
 /// as the in-memory route plus --partial for damaged archives.
 fn analysis_of_path(path: &str, args: &ParsedArgs) -> Result<OutOfCoreAnalysis, String> {
-    let config = config_of(args)?;
+    analysis_of_path_observed(path, args, &Telemetry::noop())
+}
+
+/// Like [`analysis_of_path`] but recording pipeline telemetry.
+fn analysis_of_path_observed(
+    path: &str,
+    args: &ParsedArgs,
+    telemetry: &Telemetry,
+) -> Result<OutOfCoreAnalysis, String> {
+    let mut config = config_of(args)?;
+    // The archive anchor declares the rank count, so --threads is
+    // normalised without decoding a single event record.
+    if let Ok(cursor) = ArchiveCursor::open(Path::new(path)) {
+        config.threads = normalize_threads(args, cursor.num_processes())?;
+    }
     let mode = if args.has("partial") {
         RecoveryMode::Partial
     } else {
         RecoveryMode::Strict
     };
-    let mut result = analyze_path_with(path, &config, mode).map_err(|e| e.to_string())?;
+    let mut result =
+        analyze_path_observed(path, &config, mode, telemetry).map_err(|e| e.to_string())?;
     let refine_steps: usize = args.parse_or("refine", 0).map_err(|e| e.to_string())?;
     for _ in 0..refine_steps {
         match result
@@ -187,10 +271,30 @@ fn print_phases(sos: &perfvar_analysis::SosMatrix) {
 /// and the trace is never materialised, so only analyses that work from
 /// the [`Analysis`] itself (phases, findings) are offered here.
 fn analyze_out_of_core(path: &str, args: &ParsedArgs) -> Result<(), String> {
-    let result = analysis_of_path(path, args)?;
-    if args.has("json") {
-        let json = serde_json::to_string_pretty(&result.analysis)
+    let telemetry = telemetry_of(args, true);
+    let live_progress = telemetry.is_enabled() && std::io::stderr().is_terminal();
+    let result = analysis_of_path_observed(path, args, &telemetry);
+    if live_progress {
+        eprint!("\r\x1b[2K"); // clear the progress line
+    }
+    let result = result?;
+    let stats = telemetry.snapshot();
+    if args.has("stats-json") && !args.has("json") {
+        let stats = stats.expect("--stats-json enables telemetry");
+        let json = serde_json::to_string_pretty(&stats)
             .map_err(|e| format!("serialisation failed: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+    if args.has("json") {
+        let doc = match &stats {
+            Some(s) if args.has("stats-json") => {
+                serde_json::json!({"analysis": result.analysis, "stats": s})
+            }
+            _ => serde_json::to_value(&result.analysis),
+        };
+        let json =
+            serde_json::to_string_pretty(&doc).map_err(|e| format!("serialisation failed: {e}"))?;
         println!("{json}");
         return Ok(());
     }
@@ -215,6 +319,11 @@ fn analyze_out_of_core(path: &str, args: &ParsedArgs) -> Result<(), String> {
             println!("    [{:>4.0}%] {}", f.severity * 100.0, f.description);
         }
     }
+    if args.has("stats") {
+        if let Some(s) = &stats {
+            eprint!("{}", s.render_table());
+        }
+    }
     Ok(())
 }
 
@@ -231,6 +340,8 @@ pub fn analyze(argv: Vec<String>) -> Result<(), String> {
             "reference",
             "in-memory",
             "partial",
+            "stats",
+            "stats-json",
         ],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
@@ -245,6 +356,7 @@ pub fn analyze(argv: Vec<String>) -> Result<(), String> {
         return analyze_out_of_core(path, &args);
     }
     let trace = load_trace(path)?;
+    let telemetry = telemetry_of(&args, false);
     let analysis = if args.has("auto-refine") {
         let config = AnalysisConfig::default();
         let (sharp, steps) = perfvar_analysis::findings::auto_refine(&trace, &config, 8)
@@ -257,11 +369,25 @@ pub fn analyze(argv: Vec<String>) -> Result<(), String> {
         }
         sharp
     } else {
-        analysis_of(&trace, &args)?
+        analysis_of_observed(&trace, &args, &telemetry)?
     };
-    if args.has("json") {
-        let json = serde_json::to_string_pretty(&analysis)
+    let stats = telemetry.snapshot();
+    if args.has("stats-json") && !args.has("json") {
+        let stats = stats.expect("--stats-json enables telemetry");
+        let json = serde_json::to_string_pretty(&stats)
             .map_err(|e| format!("serialisation failed: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+    if args.has("json") {
+        let doc = match &stats {
+            Some(s) if args.has("stats-json") => {
+                serde_json::json!({"analysis": analysis, "stats": s})
+            }
+            _ => serde_json::to_value(&analysis),
+        };
+        let json =
+            serde_json::to_string_pretty(&doc).map_err(|e| format!("serialisation failed: {e}"))?;
         println!("{json}");
     } else {
         print!("{}", analysis.render_text(&trace));
@@ -301,6 +427,11 @@ pub fn analyze(argv: Vec<String>) -> Result<(), String> {
             println!("  findings (ranked by severity):");
             for f in &findings {
                 println!("    [{:>4.0}%] {}", f.severity * 100.0, f.description);
+            }
+        }
+        if args.has("stats") {
+            if let Some(s) = &stats {
+                eprint!("{}", s.render_table());
             }
         }
     }
@@ -788,6 +919,38 @@ mod tests {
         analyze(argv(&[ts, "--threads", "2", "--waitstates", "--calltree"])).unwrap();
         let err = analyze(argv(&[ts, "--threads", "zap"])).unwrap_err();
         assert!(err.contains("invalid"));
+        // Degenerate requests are normalised instead of rejected:
+        // 0 resolves to the hardware parallelism, and a request beyond
+        // the rank count caps at one worker per rank (here 4 ranks).
+        analyze(argv(&[ts, "--threads", "0"])).unwrap();
+        analyze(argv(&[ts, "--threads", "99"])).unwrap();
+    }
+
+    #[test]
+    fn analyze_stats_flags() {
+        let dir = tmp_dir("stats-flags");
+        let trace_path = dir.join("t.pvt");
+        let ts = trace_path.to_str().unwrap();
+        generate(argv(&[
+            "outlier",
+            "--out",
+            ts,
+            "--ranks",
+            "4",
+            "--iterations",
+            "5",
+        ]))
+        .unwrap();
+        // All stats/report combinations run on both pipelines' routes.
+        analyze(argv(&[ts, "--stats"])).unwrap();
+        analyze(argv(&[ts, "--stats-json"])).unwrap();
+        analyze(argv(&[ts, "--stats-json", "--json"])).unwrap();
+        let arch = dir.join("t.pvta");
+        convert(argv(&[ts, arch.to_str().unwrap()])).unwrap();
+        let a = arch.to_str().unwrap();
+        analyze(argv(&[a, "--stats"])).unwrap();
+        analyze(argv(&[a, "--stats-json"])).unwrap();
+        analyze(argv(&[a, "--stats-json", "--json"])).unwrap();
     }
 
     #[test]

@@ -95,3 +95,101 @@ fn full_workflow_through_the_binary() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+/// Generates a 4-rank trace and returns (pvt path, archive path).
+fn trace_and_archive(name: &str) -> (PathBuf, PathBuf) {
+    let dir = tmp_dir(name);
+    let pvt = dir.join("t.pvt");
+    let arch = dir.join("t.pvta");
+    let out = perfvar(&[
+        "generate",
+        "outlier",
+        "--out",
+        pvt.to_str().unwrap(),
+        "--ranks",
+        "4",
+        "--iterations",
+        "6",
+    ]);
+    assert!(out.status.success());
+    let out = perfvar(&["convert", pvt.to_str().unwrap(), arch.to_str().unwrap()]);
+    assert!(out.status.success());
+    (pvt, arch)
+}
+
+#[test]
+fn stats_json_round_trips_for_both_pipelines() {
+    let (pvt, arch) = trace_and_archive("stats-json");
+    // Out-of-core archive route and the in-memory route both emit a
+    // stats document that parses back into the typed form.
+    for path in [arch.to_str().unwrap(), pvt.to_str().unwrap()] {
+        let out = perfvar(&["analyze", path, "--stats-json"]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stats: perfvar_analysis::PipelineStats =
+            serde_json::from_slice(&out.stdout).expect("stats parse back");
+        assert!(stats.wall_s > 0.0, "{path}: no wall time recorded");
+        assert!(stats.ranks == 4, "{path}: ranks {}", stats.ranks);
+        assert!(
+            stats.totals.events_replayed > 0,
+            "{path}: no events recorded"
+        );
+        let fuse = stats.stage("fuse").expect("fuse stage present");
+        assert!(fuse.events > 0);
+        assert!(stats.events_per_sec() > 0.0);
+    }
+    // The archive route additionally decodes from disk → bytes recorded.
+    let out = perfvar(&["analyze", arch.to_str().unwrap(), "--stats-json"]);
+    let stats: perfvar_analysis::PipelineStats = serde_json::from_slice(&out.stdout).unwrap();
+    assert!(stats.totals.bytes_decoded > 0);
+    assert!(stats.bytes_per_sec() > 0.0);
+}
+
+#[test]
+fn stats_json_combines_with_json() {
+    let (_pvt, arch) = trace_and_archive("stats-json-combined");
+    let out = perfvar(&["analyze", arch.to_str().unwrap(), "--stats-json", "--json"]);
+    assert!(out.status.success());
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(doc.get("analysis").is_some(), "analysis key");
+    let stats = doc.get("stats").expect("stats key");
+    assert!(stats.get("stages").is_some());
+}
+
+#[test]
+fn stats_table_goes_to_stderr() {
+    let (_pvt, arch) = trace_and_archive("stats-table");
+    let out = perfvar(&["analyze", arch.to_str().unwrap(), "--stats"]);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("pipeline stats:"), "{err}");
+    assert!(err.contains("fuse"), "{err}");
+    // The report itself still lands on stdout.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("segmentation function"), "{text}");
+}
+
+#[test]
+fn threads_zero_and_oversubscription_are_normalized() {
+    let (pvt, arch) = trace_and_archive("threads-normalize");
+    // --threads 0 resolves to the hardware parallelism with a message.
+    let out = perfvar(&["analyze", pvt.to_str().unwrap(), "--threads", "0"]);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--threads 0: using"), "{err}");
+    // Requests beyond the rank count cap at one worker per rank, on
+    // both the in-memory and the out-of-core route.
+    for path in [pvt.to_str().unwrap(), arch.to_str().unwrap()] {
+        let out = perfvar(&["analyze", path, "--threads", "99"]);
+        assert!(out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("capping --threads 99 to 4"), "{path}: {err}");
+    }
+    // An exact in-range request stays silent.
+    let out = perfvar(&["analyze", pvt.to_str().unwrap(), "--threads", "2"]);
+    assert!(out.status.success());
+    assert!(out.stderr.is_empty(), "unexpected stderr");
+}

@@ -261,7 +261,7 @@ pub fn sos_heatmap_with(
     analysis: &Analysis,
     max_spans_per_row: usize,
 ) -> TimelineChart {
-    let scale = ColorScale::fit(analysis.sos.iter_sos().map(|(_, _, v)| v.0 as f64));
+    let scale = ColorScale::from_values(analysis.sos.iter_sos().map(|(_, _, v)| v.0 as f64));
     let registry = trace.registry();
     let rows = (0..analysis.segmentation.num_processes())
         .map(|p| {
@@ -326,7 +326,7 @@ pub fn counter_heatmap(
     analysis: &Analysis,
     counter: &CounterMatrix,
 ) -> TimelineChart {
-    let scale = ColorScale::fit(counter.iter().map(|(_, _, v)| v as f64));
+    let scale = ColorScale::from_values(counter.iter().map(|(_, _, v)| v as f64));
     let registry = trace.registry();
     let metric_def = registry.metric(counter.metric);
     let rows = (0..analysis.segmentation.num_processes())

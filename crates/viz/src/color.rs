@@ -96,8 +96,41 @@ impl ColorScale {
         ColorScale::new(min, max)
     }
 
-    /// Normalises `v` to `[0, 1]`; constant scales map everything to 0.5.
+    /// Fits a scale to the *finite* values only. Metric vectors can
+    /// legitimately contain NaN (0/0 imbalance ratios) or be constant
+    /// (perfectly balanced runs); this constructor makes every such
+    /// degenerate input normalise to the scale midpoint — neutral white —
+    /// instead of painting the whole view cold:
+    ///
+    /// - infinities and NaN never widen the range,
+    /// - all-equal or single-value inputs yield a constant scale
+    ///   (`min == max`), where [`normalize`](ColorScale::normalize)
+    ///   returns 0.5 for everything,
+    /// - empty / all-NaN inputs do the same.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> ColorScale {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            if v.is_finite() {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        if min > max {
+            // No finite values at all: a constant scale at zero.
+            return ColorScale::new(0.0, 0.0);
+        }
+        ColorScale::new(min, max)
+    }
+
+    /// Normalises `v` to `[0, 1]`; constant scales and non-finite values
+    /// map to 0.5 (the neutral midpoint of a diverging [`HeatScale`]) so
+    /// NaN can never leak into colour interpolation and masquerade as
+    /// the cold end.
     pub fn normalize(&self, v: f64) -> f64 {
+        if !v.is_finite() {
+            return 0.5;
+        }
         let range = self.max - self.min;
         if range <= f64::EPSILON {
             0.5
@@ -223,6 +256,49 @@ mod tests {
         assert_eq!(constant.normalize(4.0), 0.5);
         let empty = ColorScale::fit([]);
         assert_eq!((empty.min, empty.max), (0.0, 1.0));
+    }
+
+    #[test]
+    fn from_values_ignores_non_finite() {
+        let s = ColorScale::from_values([f64::NAN, 3.0, f64::INFINITY, 7.0]);
+        assert_eq!((s.min, s.max), (3.0, 7.0));
+        assert_eq!(s.normalize(5.0), 0.5);
+    }
+
+    #[test]
+    fn from_values_all_equal_maps_to_midpoint() {
+        let s = ColorScale::from_values([4.0, 4.0, 4.0]);
+        assert_eq!(s.normalize(4.0), 0.5);
+        // The midpoint of the heat scale is neutral white, not cold blue.
+        assert!(s.heat(4.0).luminance() > 200.0);
+    }
+
+    #[test]
+    fn from_values_single_value_maps_to_midpoint() {
+        let s = ColorScale::from_values([42.0]);
+        assert_eq!(s.normalize(42.0), 0.5);
+        assert!(s.heat(42.0).luminance() > 200.0);
+    }
+
+    #[test]
+    fn from_values_all_nan_maps_to_midpoint() {
+        let s = ColorScale::from_values([f64::NAN, f64::NAN]);
+        assert_eq!(s.normalize(f64::NAN), 0.5);
+        assert_eq!(s.normalize(1.0), 0.5);
+        assert!(s.heat(f64::NAN).luminance() > 200.0);
+    }
+
+    /// Regression: NaN metric values used to flow through `normalize`
+    /// unclamped (`clamp` propagates NaN) and saturate to 0 in colour
+    /// interpolation — rendering as the cold end of the scale instead of
+    /// the neutral midpoint.
+    #[test]
+    fn normalize_never_returns_nan() {
+        let s = ColorScale::new(10.0, 20.0);
+        assert_eq!(s.normalize(f64::NAN), 0.5);
+        assert_eq!(s.normalize(f64::INFINITY), 0.5);
+        assert_eq!(s.normalize(f64::NEG_INFINITY), 0.5);
+        assert!(s.heat(f64::NAN).luminance() > 200.0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub fn render_comm_matrix_svg(
             CommQuantity::Bytes => comm.bytes[i][j],
         }
     };
-    let scale = ColorScale::fit(
+    let scale = ColorScale::from_values(
         (0..n)
             .flat_map(|i| (0..n).map(move |j| (i, j)))
             .map(|(i, j)| values(i, j) as f64)

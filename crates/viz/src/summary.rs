@@ -81,7 +81,7 @@ pub fn function_summary(trace: &Trace, profiles: &ProfileTable, max_bars: usize)
 /// here too).
 pub fn process_load_chart(trace: &Trace, analysis: &Analysis) -> BarChart {
     let totals = analysis.sos.process_totals();
-    let scale = ColorScale::fit(totals.iter().map(|d| d.0 as f64));
+    let scale = ColorScale::from_values(totals.iter().map(|d| d.0 as f64));
     let registry = trace.registry();
     let bars = totals
         .iter()
