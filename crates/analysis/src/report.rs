@@ -56,6 +56,32 @@ impl Default for AnalysisConfig {
     }
 }
 
+impl AnalysisConfig {
+    /// Canonical string of every field that affects the *result* of the
+    /// pipeline — the configuration half of a content-addressed result
+    /// cache key.
+    ///
+    /// [`threads`](AnalysisConfig::threads) is deliberately excluded:
+    /// the pipeline is property-tested to produce bit-identical results
+    /// at every thread count, so two runs differing only in parallelism
+    /// must share a cache entry. Everything else participates, including
+    /// the float thresholds (encoded via [`f64::to_bits`] so the key
+    /// never depends on decimal formatting). Two configs with equal keys
+    /// produce equal [`Analysis`] values on equal input; any change to a
+    /// result-affecting field changes the key (each field lands in a
+    /// fixed, delimited position).
+    pub fn result_key(&self) -> String {
+        format!(
+            "v1;mult={};func={:?};z={:016x};excess={:016x};counters={}",
+            self.dominant_multiplier,
+            self.segment_function,
+            self.imbalance.z_threshold.to_bits(),
+            self.imbalance.min_relative_excess.to_bits(),
+            self.analyze_counters,
+        )
+    }
+}
+
 /// Pipeline errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnalysisError {
@@ -627,5 +653,52 @@ mod tests {
         };
         assert_eq!(reference(1), reference(8));
         assert_eq!(single, reference(8));
+    }
+
+    #[test]
+    fn result_key_tracks_result_affecting_fields_only() {
+        let base = AnalysisConfig::default();
+        // Thread count is result-irrelevant (asserted above) → same key.
+        let threaded = AnalysisConfig {
+            threads: 8,
+            ..base.clone()
+        };
+        assert_eq!(base.result_key(), threaded.result_key());
+        // Every result-affecting field changes the key.
+        let variants = [
+            AnalysisConfig {
+                dominant_multiplier: 3,
+                ..base.clone()
+            },
+            AnalysisConfig {
+                segment_function: Some("inner".to_string()),
+                ..base.clone()
+            },
+            AnalysisConfig {
+                imbalance: crate::imbalance::ImbalanceConfig {
+                    z_threshold: 2.0,
+                    ..base.imbalance
+                },
+                ..base.clone()
+            },
+            AnalysisConfig {
+                imbalance: crate::imbalance::ImbalanceConfig {
+                    min_relative_excess: 0.25,
+                    ..base.imbalance
+                },
+                ..base.clone()
+            },
+            AnalysisConfig {
+                analyze_counters: false,
+                ..base.clone()
+            },
+        ];
+        let mut keys: Vec<String> = variants.iter().map(|c| c.result_key()).collect();
+        keys.push(base.result_key());
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 }

@@ -33,6 +33,8 @@ USAGE:
   perfvar cluster  <trace> [--clusters K] [--threshold T] [--json]
   perfvar slice    <in> <out> (--from-tick T --to-tick T | --segment N [--function NAME])
   perfvar convert  <in.pvt|in.pvtx> <out.pvt|out.pvtx>
+  perfvar serve    [--addr HOST:PORT] [--workers N] [--threads N]
+                   [--cache-entries N] [--cache-dir DIR]
 
 Workloads: cosmo-specs, cosmo-specs-fd4, wrf (the paper's case studies),
            balanced, random, gradual, outlier (synthetic).
@@ -44,7 +46,12 @@ opts out; --partial recovers the intact ranks of a damaged archive.
 --stats prints a per-stage pipeline timing table (wall time, events/s,
 bytes/s, peak state) to stderr; --stats-json emits the same data as JSON
 on stdout (combined with --json it becomes {\"analysis\": …, \"stats\": …}).
-Out-of-core runs on a terminal show a live N/M-ranks progress line.";
+Out-of-core runs on a terminal show a live N/M-ranks progress line.
+
+serve starts an analysis daemon answering GET /analyze?path=…,
+GET /refine?path=…&steps=N, and GET /stats with the --json output
+shapes; results are cached content-addressed (archive digest + config)
+so repeated and concurrent requests analyze each trace exactly once.";
 
 fn load_trace(path: &str) -> Result<Trace, String> {
     read_trace_file(path).map_err(|e| format!("cannot read trace {path}: {e}"))
@@ -863,6 +870,45 @@ pub fn convert(argv: Vec<String>) -> Result<(), String> {
     write_trace_file(&trace, output).map_err(|e| format!("cannot write {output}: {e}"))?;
     println!("converted {input} -> {output}");
     Ok(())
+}
+
+/// `perfvar serve [--addr HOST:PORT] [--workers N] [--threads N]
+/// [--cache-entries N] [--cache-dir DIR]`
+///
+/// Runs the analysis daemon until killed. The listening address is
+/// printed (and flushed) before serving starts so scripts can scrape
+/// the resolved port when binding `:0`.
+pub fn serve(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["addr", "workers", "threads", "cache-entries", "cache-dir"],
+        flags: &[],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    if let Some(extra) = args.positional(0) {
+        return Err(format!(
+            "serve takes no positional arguments (got {extra:?})"
+        ));
+    }
+    let addr = args.value("addr").unwrap_or("127.0.0.1:7787").to_string();
+    let mut options = perfvar_server::ServeOptions::default();
+    options.workers = args
+        .parse_or("workers", options.workers)
+        .map_err(|e| e.to_string())?;
+    options.threads = args
+        .parse_or("threads", options.threads)
+        .map_err(|e| e.to_string())?;
+    options.cache_entries = args
+        .parse_or("cache-entries", options.cache_entries)
+        .map_err(|e| e.to_string())?;
+    options.cache_dir = args.value("cache-dir").map(std::path::PathBuf::from);
+
+    let server = perfvar_server::Server::bind(&addr, options)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    println!("perfvar serve: listening on http://{local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| e.to_string())
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! perfvar compare  <before> <after> [--json]
 //! perfvar cluster  <trace> [--clusters K] [--json]
 //! perfvar convert  <in> <out>
+//! perfvar serve    [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-dir DIR]
 //! ```
 //!
 //! Traces use the PVT binary format (`.pvt`) or the PVTX text format
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         "cluster" => commands::cluster(rest),
         "slice" => commands::slice(rest),
         "convert" => commands::convert(rest),
+        "serve" => commands::serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

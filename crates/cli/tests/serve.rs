@@ -1,0 +1,195 @@
+//! End-to-end tests of `perfvar serve`: spawn the real binary on an
+//! ephemeral port and assert the served JSON is byte-identical to what
+//! the CLI prints — the contract that lets dashboards consume either
+//! interchangeably.
+
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+fn perfvar(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perfvar"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("perfvar-serve-tests").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Generates the counter-rich fixture and archives it as `.pvta`.
+fn fixture_archive(name: &str) -> PathBuf {
+    let dir = tmp_dir(name);
+    let pvt = dir.join("t.pvt");
+    let pvta = dir.join("t.pvta");
+    let out = perfvar(&[
+        "generate",
+        "outlier",
+        "--out",
+        pvt.to_str().unwrap(),
+        "--ranks",
+        "4",
+        "--iterations",
+        "8",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = perfvar(&["convert", pvt.to_str().unwrap(), pvta.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    pvta
+}
+
+/// A running daemon child process, killed on drop so a failing
+/// assertion never leaks a listener.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_perfvar"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon spawns");
+        // The daemon prints (and flushes) its resolved address before
+        // accepting, so one line-read is a reliable readiness barrier.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("daemon announces its address");
+        let addr = line
+            .trim()
+            .rsplit_once("http://")
+            .map(|(_, a)| a.to_string())
+            .unwrap_or_else(|| panic!("unexpected announcement {line:?}"));
+        Daemon { child, addr }
+    }
+
+    fn get(&self, target: &str) -> perfvar_server::HttpResponse {
+        perfvar_server::client::get(&self.addr, target).expect("request succeeds")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn served_analysis_is_byte_identical_to_cli_json() {
+    let archive = fixture_archive("identical");
+    let path = archive.to_str().unwrap();
+    let daemon = Daemon::spawn(&[]);
+
+    let cli = perfvar(&["analyze", path, "--json"]);
+    assert!(
+        cli.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+    let cli_json = String::from_utf8(cli.stdout).unwrap();
+
+    let target = format!(
+        "/analyze?path={}",
+        perfvar_server::http::percent_encode(path)
+    );
+    let served = daemon.get(&target);
+    assert_eq!(served.status, 200, "{}", served.body);
+    assert_eq!(
+        served.body, cli_json,
+        "served body must match `perfvar analyze --json` byte for byte"
+    );
+
+    // Warm hit: still identical.
+    assert_eq!(daemon.get(&target).body, cli_json);
+}
+
+#[test]
+fn served_refinement_matches_the_cli_refine_flag() {
+    let archive = fixture_archive("refined");
+    let path = archive.to_str().unwrap();
+    let daemon = Daemon::spawn(&[]);
+
+    let cli = perfvar(&["analyze", path, "--json", "--refine", "1"]);
+    assert!(
+        cli.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+    let cli_json = String::from_utf8(cli.stdout).unwrap();
+
+    let target = format!(
+        "/refine?path={}&steps=1",
+        perfvar_server::http::percent_encode(path)
+    );
+    let served = daemon.get(&target);
+    assert_eq!(served.status, 200, "{}", served.body);
+    assert_eq!(served.body, cli_json);
+}
+
+#[test]
+fn stats_endpoint_returns_the_pipeline_stats_shape() {
+    let archive = fixture_archive("stats");
+    let path = archive.to_str().unwrap();
+    let daemon = Daemon::spawn(&[]);
+
+    let target = format!(
+        "/analyze?path={}",
+        perfvar_server::http::percent_encode(path)
+    );
+    assert_eq!(daemon.get(&target).status, 200);
+
+    let stats = daemon.get("/stats");
+    assert_eq!(stats.status, 200, "{}", stats.body);
+    let parsed: perfvar_analysis::PipelineStats =
+        serde_json::from_str(&stats.body).expect("stats parse as PipelineStats");
+    assert_eq!(parsed.ranks, 4);
+    assert!(parsed.totals.events_replayed > 0);
+}
+
+#[test]
+fn daemon_errors_are_json_with_typed_statuses() {
+    let daemon = Daemon::spawn(&[]);
+
+    let resp = daemon.get("/analyze?path=%2Fmissing%2Ft.pvta");
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    assert!(resp.body.contains("\"error\""), "{}", resp.body);
+
+    let resp = daemon.get("/analyze");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    let resp = daemon.get("/nope");
+    assert_eq!(resp.status, 404, "{}", resp.body);
+
+    // Still alive after the errors.
+    assert_eq!(daemon.get("/health").status, 200);
+}
+
+#[test]
+fn serve_rejects_bad_invocations() {
+    let out = perfvar(&["serve", "positional"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no positional"));
+
+    let out = perfvar(&["serve", "--addr", "definitely-not-an-address"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot bind"));
+}

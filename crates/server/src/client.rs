@@ -1,0 +1,66 @@
+//! A tiny blocking HTTP client for the daemon's API — used by the CLI
+//! smoke checks, the benchmark harness, and the integration tests. Not
+//! a general HTTP client: one GET per connection, whole-body reads.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// One response from the daemon: status code and complete body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body (JSON for every daemon endpoint).
+    pub body: String,
+}
+
+/// Issues `GET {target}` against `addr` (e.g. `"127.0.0.1:7787"`,
+/// target `"/analyze?path=%2Ftmp%2Ft.pvta"`) and reads the full
+/// response.
+pub fn get(addr: &str, target: &str) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("status line has no numeric code"))?;
+    Ok(HttpResponse {
+        status,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_response() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Length: 3\r\n\r\n{}\n";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.body, "{}\n");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http at all").is_err());
+    }
+}

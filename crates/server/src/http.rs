@@ -1,0 +1,220 @@
+//! Minimal HTTP/1.1 subset over [`std::net::TcpStream`] — just enough
+//! for the analysis daemon: GET requests with query strings in, JSON
+//! bodies out, one request per connection (`Connection: close`).
+//!
+//! Deliberately not a general HTTP implementation: no keep-alive, no
+//! chunked transfer, no request bodies. Request lines and header blocks
+//! are size-capped so a misbehaving client cannot grow server memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request line (method + target + version).
+const MAX_REQUEST_LINE: usize = 16 * 1024;
+/// Most headers read (and discarded) per request.
+const MAX_HEADERS: usize = 100;
+
+/// One parsed request: the method, the decoded path, and the decoded
+/// query parameters in order of appearance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The percent-decoded path component of the target.
+    pub path: String,
+    /// Percent-decoded `key=value` query parameters; a bare `key` (no
+    /// `=`) decodes to an empty value, so it doubles as a flag.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first value of query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether query parameter `name` appears at all (flag style).
+    pub fn has_param(&self, name: &str) -> bool {
+        self.query.iter().any(|(k, _)| k == name)
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-for-space in a URL component. Invalid
+/// escapes pass through verbatim (lenient, like most servers).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    match b? {
+        b @ b'0'..=b'9' => Some(b - b'0'),
+        b @ b'a'..=b'f' => Some(b - b'a' + 10),
+        b @ b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-encodes a URL query component: unreserved characters pass
+/// through, everything else becomes `%XX`. The inverse of
+/// [`percent_decode`] for any input.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b'/' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn bad(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+/// Reads and parses one request from the connection, draining (and
+/// ignoring) the header block. Errors on anything that is not a
+/// well-formed HTTP/1.x request line.
+pub fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .by_ref()
+        .take(MAX_REQUEST_LINE as u64)
+        .read_line(&mut line)?;
+    if line.len() >= MAX_REQUEST_LINE {
+        return Err(bad("request line too long"));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| bad("request line has no target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| bad("request line has no version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol {version:?}")));
+    }
+    // Drain headers until the blank line; their content is irrelevant to
+    // the GET-only JSON API.
+    for _ in 0..MAX_HEADERS {
+        let mut header = String::new();
+        let n = reader
+            .by_ref()
+            .take(MAX_REQUEST_LINE as u64)
+            .read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let query = raw_query
+        .map(|q| {
+            q.split('&')
+                .filter(|pair| !pair.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(pair), String::new()),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(raw_path),
+        query,
+    })
+}
+
+/// The standard reason phrase of the status codes the daemon emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete JSON response and flushes it. The connection is
+/// closed by the caller afterwards (`Connection: close` is advertised).
+pub fn write_response(stream: &TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason_phrase(status),
+        body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_round_trip() {
+        for s in ["/tmp/trace dir/t.pvta", "a+b&c=d", "naïve", "plain"] {
+            assert_eq!(percent_decode(&percent_encode(s)), s, "{s}");
+        }
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        // Invalid escapes pass through.
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn request_params() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/analyze".into(),
+            query: vec![
+                ("path".into(), "/tmp/t.pvta".into()),
+                ("partial".into(), String::new()),
+            ],
+        };
+        assert_eq!(req.param("path"), Some("/tmp/t.pvta"));
+        assert!(req.has_param("partial"));
+        assert!(!req.has_param("metric"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # perfvar-server — the analysis daemon
+//!
+//! Serves perfvar analyses as JSON over a minimal std-only HTTP/1.1
+//! layer ([`http`]): `GET /analyze?path=…` returns the same bytes as
+//! `perfvar analyze --json`, computed once and then answered from a
+//! content-addressed cache.
+//!
+//! The interesting parts:
+//!
+//! * [`cache`] — results keyed on *content* (archive byte digest +
+//!   result-affecting config), not paths: an in-memory LRU with an
+//!   optional on-disk JSON spill. Thread count is excluded from the
+//!   key because the pipeline is bit-identical at every parallelism.
+//! * [`singleflight`] — N concurrent requests for the same uncached
+//!   trace trigger exactly one analysis; the rest wait and share it.
+//! * [`server`] — the accept loop, worker pool, routing, and the
+//!   shared [`Telemetry`](perfvar_analysis::Telemetry) recorder behind
+//!   `GET /stats`.
+//! * [`client`] — a matching minimal blocking client for tests,
+//!   benchmarks, and smoke checks.
+//!
+//! ```no_run
+//! use perfvar_server::{Server, ServeOptions};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeOptions::default())?;
+//! println!("listening on {}", server.local_addr()?);
+//! server.run()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod singleflight;
+
+pub use cache::{cache_key, CachedResult, ResultCache};
+pub use client::{get, HttpResponse};
+pub use server::{ServeError, ServeOptions, Server, ServerHandle};
+pub use singleflight::Singleflight;

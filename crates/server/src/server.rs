@@ -1,0 +1,472 @@
+//! The analysis daemon: a thread-pooled TCP accept loop routing GET
+//! requests through the content-addressed cache and singleflight group
+//! into the out-of-core analysis pipeline.
+//!
+//! # Endpoints
+//!
+//! * `GET /analyze?path=P` — full [`Analysis`](perfvar_analysis::Analysis) JSON for the trace at
+//!   `P`, byte-identical to `perfvar analyze P --json`. Optional
+//!   parameters: `function=NAME` (force the segmentation function),
+//!   `multiplier=K` (dominant-function invocation threshold), `partial`
+//!   (recover readable ranks of a damaged archive), `metric=NAME`
+//!   (serve one hardware-counter correlation instead of the full
+//!   report).
+//! * `GET /refine?path=P&steps=N` — the analysis after `N` refinement
+//!   steps into the dominant function's callees (`steps` defaults
+//!   to 1), mirroring `perfvar refine`.
+//! * `GET /stats` — cumulative pipeline telemetry across all analyses
+//!   this daemon has run, in the `perfvar stats --json` shape.
+//! * `GET /health` — liveness probe, `{"status": "ok"}`.
+//!
+//! Errors come back as `{"error": "…"}` with a 4xx/5xx status: 404 for
+//! missing files/routes/metrics, 400 for malformed parameters, 422 for
+//! corrupt traces (the typed `CorruptStream` diagnosis in the message),
+//! 405 for non-GET methods, 500 for internal failures.
+
+use crate::cache::{cache_key, CachedResult, ResultCache};
+use crate::http::{read_request, write_response, Request};
+use crate::singleflight::Singleflight;
+use perfvar_analysis::parallel::resolve_threads;
+use perfvar_analysis::{analyze_path_observed, AnalysisConfig, RecoveryMode, Telemetry};
+use perfvar_trace::format::cursor::ArchiveCursor;
+use perfvar_trace::format::digest::{constituent_files, digest_path};
+use perfvar_trace::format::Format;
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Worker threads handling connections (each analysis additionally
+    /// parallelises internally over ranks).
+    pub workers: usize,
+    /// Analysis threads per request; `0` means available parallelism,
+    /// capped at the rank count.
+    pub threads: usize,
+    /// In-memory cache capacity in entries.
+    pub cache_entries: usize,
+    /// Directory for the on-disk JSON spill; `None` disables spilling.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: 8,
+            threads: 0,
+            cache_entries: 64,
+            cache_dir: None,
+        }
+    }
+}
+
+/// A serve-layer error: the HTTP status plus the JSON `error` message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// The HTTP status code (4xx/5xx).
+    pub status: u16,
+    /// Human-readable diagnosis, sent as `{"error": message}`.
+    pub message: String,
+}
+
+impl ServeError {
+    fn new(status: u16, message: impl Into<String>) -> ServeError {
+        ServeError {
+            status,
+            message: message.into(),
+        }
+    }
+
+    /// The JSON response body for this error.
+    pub fn body(&self) -> String {
+        let doc = serde_json::json!({ "error": self.message.clone() });
+        let mut body = serde_json::to_string_pretty(&doc).unwrap_or_default();
+        body.push('\n');
+        body
+    }
+}
+
+/// One file's freshness signature: length and modification time.
+type FileSig = (PathBuf, u64, Option<SystemTime>);
+
+/// Memoises archive digests by path, invalidated when any constituent
+/// file's size or mtime changes. This is what keeps warm requests off
+/// the disk: re-hashing the archive on every hit would read the whole
+/// trace back in.
+#[derive(Default)]
+struct DigestMemo {
+    known: Mutex<HashMap<PathBuf, (Vec<FileSig>, u128)>>,
+}
+
+impl DigestMemo {
+    fn signature(path: &Path) -> Result<Vec<FileSig>, ServeError> {
+        let files = constituent_files(path).map_err(trace_error)?;
+        files
+            .into_iter()
+            .map(|f| {
+                let meta = std::fs::metadata(&f).map_err(|e| io_error(&f, &e))?;
+                Ok((f, meta.len(), meta.modified().ok()))
+            })
+            .collect()
+    }
+
+    fn digest_of(&self, path: &Path) -> Result<u128, ServeError> {
+        let sig = DigestMemo::signature(path)?;
+        if let Some((known_sig, digest)) = self.known.lock().unwrap().get(path) {
+            if *known_sig == sig {
+                return Ok(*digest);
+            }
+        }
+        let digest = digest_path(path).map_err(trace_error)?;
+        self.known
+            .lock()
+            .unwrap()
+            .insert(path.to_path_buf(), (sig, digest));
+        Ok(digest)
+    }
+}
+
+fn io_error(path: &Path, e: &std::io::Error) -> ServeError {
+    let status = match e.kind() {
+        std::io::ErrorKind::NotFound => 404,
+        _ => 500,
+    };
+    ServeError::new(status, format!("{}: {e}", path.display()))
+}
+
+fn trace_error(e: perfvar_trace::TraceError) -> ServeError {
+    match e {
+        perfvar_trace::TraceError::Io(ref io) if io.kind() == std::io::ErrorKind::NotFound => {
+            ServeError::new(404, e.to_string())
+        }
+        perfvar_trace::TraceError::Io(_) => ServeError::new(500, e.to_string()),
+        other => ServeError::new(422, other.to_string()),
+    }
+}
+
+fn path_error(e: perfvar_analysis::PathAnalysisError) -> ServeError {
+    let message = e.to_string();
+    // I/O-level misses (the archive or a stream file vanished) are 404;
+    // everything else — corrupt streams, empty traces, analysis
+    // failures — is a content problem on an existing input: 422.
+    if message.contains("No such file") || message.contains("not found") {
+        ServeError::new(404, message)
+    } else {
+        ServeError::new(422, message)
+    }
+}
+
+struct ServerState {
+    telemetry: Telemetry,
+    cache: ResultCache,
+    flights: Singleflight<Result<Arc<CachedResult>, ServeError>>,
+    digests: DigestMemo,
+    threads: usize,
+    stop: AtomicBool,
+}
+
+/// One analysis request, decoded from the query string.
+struct AnalyzeParams {
+    path: PathBuf,
+    config: AnalysisConfig,
+    mode: RecoveryMode,
+    refine_steps: usize,
+    metric: Option<String>,
+}
+
+fn params_of(req: &Request, refine: bool) -> Result<AnalyzeParams, ServeError> {
+    let path = req
+        .param("path")
+        .ok_or_else(|| ServeError::new(400, "missing required parameter: path"))?;
+    if path.is_empty() {
+        return Err(ServeError::new(400, "missing required parameter: path"));
+    }
+    let mut config = AnalysisConfig {
+        segment_function: req.param("function").map(str::to_string),
+        ..AnalysisConfig::default()
+    };
+    if let Some(raw) = req.param("multiplier") {
+        config.dominant_multiplier = raw
+            .parse()
+            .map_err(|e| ServeError::new(400, format!("invalid multiplier {raw:?}: {e}")))?;
+    }
+    let mode = if req.has_param("partial") {
+        RecoveryMode::Partial
+    } else {
+        RecoveryMode::Strict
+    };
+    let refine_steps = if refine {
+        match req.param("steps") {
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| ServeError::new(400, format!("invalid steps {raw:?}: {e}")))?,
+            None => 1,
+        }
+    } else {
+        0
+    };
+    Ok(AnalyzeParams {
+        path: PathBuf::from(path),
+        config,
+        mode,
+        refine_steps,
+        metric: req.param("metric").map(str::to_string),
+    })
+}
+
+impl ServerState {
+    /// Normalises the thread count exactly like the CLI does: for
+    /// archives, cap at the rank count read from the anchor file.
+    fn normalized_threads(&self, path: &Path) -> Result<usize, ServeError> {
+        if Format::from_path(path) == Format::Archive {
+            let cursor = ArchiveCursor::open(path).map_err(trace_error)?;
+            Ok(resolve_threads(self.threads, cursor.num_processes()))
+        } else {
+            Ok(resolve_threads(self.threads, 1))
+        }
+    }
+
+    fn compute_entry(&self, params: &AnalyzeParams) -> Result<Arc<CachedResult>, ServeError> {
+        let mut config = params.config.clone();
+        config.threads = self.normalized_threads(&params.path)?;
+        let mut result = analyze_path_observed(&params.path, &config, params.mode, &self.telemetry)
+            .map_err(path_error)?;
+        for _ in 0..params.refine_steps {
+            result = result
+                .refine(&params.path, &config, params.mode)
+                .map_err(path_error)?
+                .ok_or_else(|| ServeError::new(422, "no finer segmentation function available"))?;
+        }
+        CachedResult::render(&result)
+            .map(Arc::new)
+            .map_err(|m| ServeError::new(500, m))
+    }
+
+    /// Cache → singleflight → pipeline. Returns the entry and whether
+    /// this request actually ran an analysis (for logging/tests).
+    fn entry_for(&self, params: &AnalyzeParams) -> Result<Arc<CachedResult>, ServeError> {
+        let digest = self.digests.digest_of(&params.path)?;
+        let key = cache_key(digest, &params.config, params.mode, params.refine_steps);
+        if let Some(hit) = self.cache.get(key) {
+            return Ok(hit);
+        }
+        let (result, _leader) = self.flights.run(key, || {
+            // Double-check under the flight: a concurrent leader may have
+            // filled the cache between our miss and claiming the flight.
+            if let Some(hit) = self.cache.get_memory(key) {
+                return Ok(hit);
+            }
+            let entry = self.compute_entry(params)?;
+            self.cache.put(key, entry.clone());
+            Ok(entry)
+        });
+        result
+    }
+
+    fn respond(&self, req: &Request) -> Result<String, ServeError> {
+        if req.method != "GET" {
+            return Err(ServeError::new(
+                405,
+                format!("method {} not allowed; the API is GET-only", req.method),
+            ));
+        }
+        match req.path.as_str() {
+            "/health" => {
+                let mut body = serde_json::to_string_pretty(&serde_json::json!({ "status": "ok" }))
+                    .unwrap_or_default();
+                body.push('\n');
+                Ok(body)
+            }
+            "/stats" => {
+                let stats = self
+                    .telemetry
+                    .snapshot()
+                    .ok_or_else(|| ServeError::new(500, "telemetry disabled"))?;
+                let mut body = serde_json::to_string_pretty(&serde_json::to_value(&stats))
+                    .map_err(|e| ServeError::new(500, format!("serialisation failed: {e}")))?;
+                body.push('\n');
+                Ok(body)
+            }
+            "/analyze" | "/refine" => {
+                let params = params_of(req, req.path == "/refine")?;
+                let entry = self.entry_for(&params)?;
+                match &params.metric {
+                    None => Ok(entry.body.clone()),
+                    Some(name) => entry
+                        .metrics
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, body)| body.clone())
+                        .ok_or_else(|| {
+                            let available: Vec<&str> =
+                                entry.metrics.iter().map(|(n, _)| n.as_str()).collect();
+                            ServeError::new(
+                                404,
+                                if available.is_empty() {
+                                    format!(
+                                        "unknown metric {name:?}: trace has no counter channels"
+                                    )
+                                } else {
+                                    format!(
+                                        "unknown metric {name:?}: available metrics are {}",
+                                        available.join(", ")
+                                    )
+                                },
+                            )
+                        }),
+                }
+            }
+            other => Err(ServeError::new(404, format!("no such endpoint: {other}"))),
+        }
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let outcome = match read_request(&stream) {
+            Ok(req) => self.respond(&req),
+            Err(e) => Err(ServeError::new(400, format!("malformed request: {e}"))),
+        };
+        let _ = match outcome {
+            Ok(body) => write_response(&stream, 200, &body),
+            Err(e) => write_response(&stream, e.status, &e.body()),
+        };
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A bound (but not yet serving) analysis daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    workers: usize,
+}
+
+/// Handle to a running [`Server`]: its address, a shutdown switch, and
+/// the thread joins.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7787`; port `0` picks an ephemeral
+    /// port, readable via [`Server::local_addr`]).
+    pub fn bind(addr: &str, options: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                telemetry: Telemetry::enabled(),
+                cache: ResultCache::new(options.cache_entries, options.cache_dir),
+                flights: Singleflight::new(),
+                digests: DigestMemo::default(),
+                threads: options.threads,
+                stop: AtomicBool::new(false),
+            }),
+            workers: options.workers.max(1),
+        })
+    }
+
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the accept loop and worker pool in background threads.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..self.workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let state = self.state.clone();
+                std::thread::spawn(move || loop {
+                    let next = rx.lock().unwrap().recv();
+                    match next {
+                        Ok(stream) => {
+                            if state.stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            state.handle_connection(stream);
+                        }
+                        Err(_) => break, // acceptor gone
+                    }
+                })
+            })
+            .collect();
+
+        let state = self.state.clone();
+        let listener = self.listener;
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if state.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Dropping `tx` here lets every idle worker's recv() fail and
+            // the pool drain.
+        });
+
+        Ok(ServerHandle {
+            addr,
+            state: self.state,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// Serves forever on the calling thread (the CLI entry point).
+    pub fn run(self) -> std::io::Result<()> {
+        let handle = self.spawn()?;
+        handle.join();
+        Ok(())
+    }
+}
+
+impl ServerHandle {
+    /// The address the daemon is serving on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the worker pool, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Blocks until the daemon exits (it normally never does; use
+    /// [`ServerHandle::shutdown`] from another thread to stop it).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Request coalescing: N concurrent requests for the same uncached key
+//! trigger exactly one computation.
+//!
+//! The first caller to claim a key becomes the *leader* and runs the
+//! computation; every concurrent caller for the same key parks on a
+//! condvar and receives a clone of the leader's result. The flight is
+//! removed once the leader finishes, so a later request for the same
+//! key (e.g. after a cache eviction) starts a fresh flight.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct FlightState<T> {
+    leader_claimed: bool,
+    result: Option<T>,
+}
+
+struct Flight<T> {
+    state: Mutex<FlightState<T>>,
+    done: Condvar,
+}
+
+/// Coalesces concurrent computations per 128-bit key.
+pub struct Singleflight<T: Clone> {
+    flights: Mutex<HashMap<u128, Arc<Flight<T>>>>,
+}
+
+impl<T: Clone> Default for Singleflight<T> {
+    fn default() -> Singleflight<T> {
+        Singleflight::new()
+    }
+}
+
+impl<T: Clone> Singleflight<T> {
+    /// An empty singleflight group.
+    pub fn new() -> Singleflight<T> {
+        Singleflight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Runs `compute` for `key`, coalescing with any in-flight call for
+    /// the same key. Returns the result and whether *this* caller was
+    /// the leader that actually computed it.
+    pub fn run(&self, key: u128, compute: impl FnOnce() -> T) -> (T, bool) {
+        let flight = {
+            let mut flights = self.flights.lock().unwrap();
+            flights
+                .entry(key)
+                .or_insert_with(|| {
+                    Arc::new(Flight {
+                        state: Mutex::new(FlightState {
+                            leader_claimed: false,
+                            result: None,
+                        }),
+                        done: Condvar::new(),
+                    })
+                })
+                .clone()
+        };
+
+        let is_leader = {
+            let mut state = flight.state.lock().unwrap();
+            if state.leader_claimed {
+                false
+            } else {
+                state.leader_claimed = true;
+                true
+            }
+        };
+
+        if is_leader {
+            let result = compute();
+            {
+                let mut state = flight.state.lock().unwrap();
+                state.result = Some(result.clone());
+            }
+            // Retire the flight before waking followers: a brand-new
+            // request arriving now must start a fresh computation rather
+            // than observe a stale one.
+            self.flights.lock().unwrap().remove(&key);
+            flight.done.notify_all();
+            (result, true)
+        } else {
+            let mut state = flight.state.lock().unwrap();
+            while state.result.is_none() {
+                state = flight.done.wait(state).unwrap();
+            }
+            (state.result.clone().expect("checked above"), false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_calls_each_compute() {
+        let group = Singleflight::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (v, leader) = group.run(1, || calls.fetch_add(1, Ordering::SeqCst));
+            assert!(leader, "no concurrency → every caller leads");
+            let _ = v;
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_computation() {
+        let group = Arc::new(Singleflight::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let group = group.clone();
+                let calls = calls.clone();
+                let gate = gate.clone();
+                std::thread::spawn(move || {
+                    group.run(42, move || {
+                        // Hold the flight open until the main thread has
+                        // seen every worker start, so all 16 coalesce.
+                        let (lock, cv) = &*gate;
+                        let mut open = lock.lock().unwrap();
+                        while !*open {
+                            open = cv.wait(open).unwrap();
+                        }
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        7u32
+                    })
+                })
+            })
+            .collect();
+
+        // Give every thread a chance to join the flight, then open the gate.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+
+        let mut leaders = 0;
+        for h in handles {
+            let (v, leader) = h.join().unwrap();
+            assert_eq!(v, 7);
+            leaders += leader as usize;
+        }
+        assert_eq!(leaders, 1, "exactly one leader");
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one computation");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let group = Singleflight::new();
+        let (_, l1) = group.run(1, || "a");
+        let (_, l2) = group.run(2, || "b");
+        assert!(l1 && l2);
+    }
+}

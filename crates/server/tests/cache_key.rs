@@ -1,0 +1,132 @@
+//! Property tests of the content-addressed cache key: requests that
+//! must share a key do, and every result-affecting input — any single
+//! config field, the recovery mode, the refinement depth, or any single
+//! byte of the trace file — moves to a different key. The thread count
+//! is the one deliberate exception: the pipeline is bit-identical at
+//! every parallelism, so parallelism must *not* fragment the cache.
+
+use perfvar_analysis::{AnalysisConfig, RecoveryMode};
+use perfvar_server::cache_key;
+use perfvar_trace::format::digest::digest_path;
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = AnalysisConfig> {
+    (
+        (2u64..6, 0u8..3), // multiplier; segment_function None/"inner"/"leaf"
+        (1.5f64..5.0, 0.01f64..0.5),
+        (0u8..2, 0usize..32), // analyze_counters; threads
+    )
+        .prop_map(|((mult, func), (z, excess), (counters, threads))| {
+            let mut config = AnalysisConfig {
+                segment_function: match func {
+                    0 => None,
+                    1 => Some("inner".to_string()),
+                    _ => Some("leaf".to_string()),
+                },
+                ..AnalysisConfig::default()
+            };
+            config.dominant_multiplier = mult;
+            config.imbalance.z_threshold = z;
+            config.imbalance.min_relative_excess = excess;
+            config.analyze_counters = counters == 1;
+            config.threads = threads;
+            config
+        })
+}
+
+fn mode_of(bit: u8) -> RecoveryMode {
+    if bit == 0 {
+        RecoveryMode::Strict
+    } else {
+        RecoveryMode::Partial
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same digest + same result-affecting inputs → same key, no matter
+    /// how the configs differ in thread count.
+    #[test]
+    fn equal_inputs_share_a_key_and_threads_never_matter(
+        config in config_strategy(),
+        digest in 0u64..u64::MAX,
+        mode_bit in 0u8..2,
+        steps in 0usize..4,
+        other_threads in 0usize..64,
+    ) {
+        let digest = digest as u128;
+        let mode = mode_of(mode_bit);
+        let key = cache_key(digest, &config, mode, steps);
+        prop_assert_eq!(key, cache_key(digest, &config, mode, steps));
+        let rethreaded = AnalysisConfig { threads: other_threads, ..config.clone() };
+        prop_assert_eq!(key, cache_key(digest, &rethreaded, mode, steps));
+    }
+
+    /// Every single-field change — config knobs, recovery mode,
+    /// refinement depth, trace digest — lands on a different key.
+    #[test]
+    fn each_result_affecting_input_changes_the_key(
+        config in config_strategy(),
+        digest in 0u64..u64::MAX,
+        mode_bit in 0u8..2,
+        steps in 0usize..4,
+    ) {
+        let digest = digest as u128;
+        let mode = mode_of(mode_bit);
+        let base = cache_key(digest, &config, mode, steps);
+
+        let mut c = config.clone();
+        c.dominant_multiplier += 1;
+        prop_assert_ne!(base, cache_key(digest, &c, mode, steps));
+
+        let mut c = config.clone();
+        c.segment_function = match &config.segment_function {
+            None => Some("other".to_string()),
+            Some(_) => None,
+        };
+        prop_assert_ne!(base, cache_key(digest, &c, mode, steps));
+
+        let mut c = config.clone();
+        c.imbalance.z_threshold += 0.25;
+        prop_assert_ne!(base, cache_key(digest, &c, mode, steps));
+
+        let mut c = config.clone();
+        c.imbalance.min_relative_excess += 0.125;
+        prop_assert_ne!(base, cache_key(digest, &c, mode, steps));
+
+        let mut c = config.clone();
+        c.analyze_counters = !config.analyze_counters;
+        prop_assert_ne!(base, cache_key(digest, &c, mode, steps));
+
+        let other_mode = mode_of(1 - mode_bit);
+        prop_assert_ne!(base, cache_key(digest, &config, other_mode, steps));
+
+        prop_assert_ne!(base, cache_key(digest, &config, mode, steps + 1));
+
+        prop_assert_ne!(base, cache_key(digest ^ 1, &config, mode, steps));
+    }
+
+    /// Flipping any single byte of the trace file changes its digest —
+    /// and therefore, by the property above, its cache key.
+    #[test]
+    fn any_byte_flip_changes_the_digest(
+        content in proptest::collection::vec(0u8..=255, 1..512),
+        flip_at in 0usize..512,
+        flip_with in 1u8..=255,
+    ) {
+        let dir = std::env::temp_dir().join("perfvar-server-keyprops");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("flip-{:x}.pvt", std::process::id()));
+        std::fs::write(&path, &content).unwrap();
+        let before = digest_path(&path).unwrap();
+        prop_assert_eq!(before, digest_path(&path).unwrap());
+
+        let mut flipped = content.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= flip_with;
+        std::fs::write(&path, &flipped).unwrap();
+        let after = digest_path(&path).unwrap();
+        prop_assert_ne!(before, after);
+    }
+}

@@ -1,0 +1,335 @@
+//! End-to-end tests of the analysis daemon: in-process [`Server`]
+//! instances exercised over real TCP sockets with the crate's own
+//! minimal client.
+//!
+//! The telemetry counters exposed at `/stats` double as the test
+//! oracle for the cache and singleflight guarantees: `events_replayed`
+//! only moves when the pipeline actually runs, so "exactly one
+//! analysis" and "warm hits never touch the trace" are assertions on
+//! those totals, not on timing.
+
+use perfvar_analysis::PipelineStats;
+use perfvar_server::http::percent_encode;
+use perfvar_server::{client, ServeOptions, Server};
+use perfvar_trace::format::{archive, write_trace_file};
+use perfvar_trace::{Clock, FunctionRole, MetricMode, Timestamp, Trace, TraceBuilder};
+use std::path::{Path, PathBuf};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("perfvar-server-e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Multi-rank trace with nested compute, synchronization, and two
+/// hardware-counter channels — enough structure for segmentation,
+/// refinement, and metric correlation all to engage.
+fn fixture_trace(ranks: u64) -> Trace {
+    let mut b = TraceBuilder::new(Clock::microseconds()).with_name("served");
+    let iter_f = b.define_function("iteration", FunctionRole::Compute);
+    let inner_f = b.define_function("inner", FunctionRole::Compute);
+    let mpi_f = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+    let cyc = b.define_metric("CYC", MetricMode::Accumulating, "cycles");
+    let exc = b.define_metric("EXC", MetricMode::Delta, "#");
+    for pi in 0..ranks {
+        let p = b.define_process(format!("rank {pi}"));
+        let w = b.process_mut(p);
+        let mut t = 0u64;
+        let mut total = 0u64;
+        for k in 0..8u64 {
+            let load = 100 + (pi * 17 + k * 11) % 50;
+            w.enter(Timestamp(t), iter_f).unwrap();
+            w.metric(Timestamp(t), cyc, total).unwrap();
+            w.enter(Timestamp(t + 4), inner_f).unwrap();
+            w.metric(Timestamp(t + 8), exc, k + 1).unwrap();
+            w.leave(Timestamp(t + load / 2), inner_f).unwrap();
+            t += load;
+            total += load * 3;
+            w.enter(Timestamp(t), mpi_f).unwrap();
+            w.leave(Timestamp(t + 15), mpi_f).unwrap();
+            t += 15;
+            w.metric(Timestamp(t), cyc, total).unwrap();
+            w.leave(Timestamp(t), iter_f).unwrap();
+        }
+    }
+    b.finish().unwrap()
+}
+
+fn write_fixture(dir: &Path, ranks: u64) -> PathBuf {
+    let path = dir.join("t.pvta");
+    write_trace_file(&fixture_trace(ranks), &path).unwrap();
+    path
+}
+
+fn spawn(options: ServeOptions) -> (perfvar_server::ServerHandle, String) {
+    let server = Server::bind("127.0.0.1:0", options).unwrap();
+    let handle = server.spawn().unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn analyze_target(path: &Path) -> String {
+    format!("/analyze?path={}", percent_encode(path.to_str().unwrap()))
+}
+
+fn stats_of(addr: &str) -> PipelineStats {
+    let resp = client::get(addr, "/stats").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    serde_json::from_str(&resp.body).unwrap()
+}
+
+#[test]
+fn sixteen_concurrent_cold_requests_run_exactly_one_analysis() {
+    let dir = tmp("stress");
+    let trace = write_fixture(&dir, 6);
+    let (handle, addr) = spawn(ServeOptions::default());
+    let target = analyze_target(&trace);
+
+    let handles: Vec<_> = (0..16)
+        .map(|_| {
+            let addr = addr.clone();
+            let target = target.clone();
+            std::thread::spawn(move || client::get(&addr, &target).unwrap())
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for resp in &responses {
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(resp.body, responses[0].body, "all clients share one result");
+    }
+
+    // Reference: one request on a fresh daemon replays this many events.
+    let (ref_handle, ref_addr) = spawn(ServeOptions::default());
+    let resp = client::get(&ref_addr, &target).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let one = stats_of(&ref_addr).totals.events_replayed;
+    assert!(one > 0, "pipeline records replayed events");
+    ref_handle.shutdown();
+
+    let stressed = stats_of(&addr).totals.events_replayed;
+    assert_eq!(
+        stressed, one,
+        "16 concurrent cold requests must coalesce into exactly one analysis"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn warm_hits_do_not_rerun_the_pipeline_or_reread_the_trace() {
+    let dir = tmp("warm");
+    let trace = write_fixture(&dir, 4);
+    let (handle, addr) = spawn(ServeOptions::default());
+    let target = analyze_target(&trace);
+
+    let cold = client::get(&addr, &target).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    let after_cold = stats_of(&addr).totals;
+    assert!(after_cold.events_replayed > 0);
+    assert!(after_cold.bytes_decoded > 0);
+
+    for _ in 0..5 {
+        let warm = client::get(&addr, &target).unwrap();
+        assert_eq!(warm.status, 200);
+        assert_eq!(warm.body, cold.body, "warm hit is byte-identical");
+    }
+    let after_warm = stats_of(&addr).totals;
+    assert_eq!(
+        (after_warm.events_replayed, after_warm.bytes_decoded),
+        (after_cold.events_replayed, after_cold.bytes_decoded),
+        "warm hits must not replay events or decode trace bytes"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn modifying_the_archive_invalidates_the_cached_result() {
+    let dir = tmp("invalidate");
+    let trace = write_fixture(&dir, 3);
+    let (handle, addr) = spawn(ServeOptions::default());
+    let target = analyze_target(&trace);
+
+    let before = client::get(&addr, &target).unwrap();
+    assert_eq!(before.status, 200, "{}", before.body);
+    let cold_events = stats_of(&addr).totals.events_replayed;
+
+    // Rewrite the archive with different content (more ranks).
+    write_trace_file(&fixture_trace(5), &trace).unwrap();
+    let after = client::get(&addr, &target).unwrap();
+    assert_eq!(after.status, 200, "{}", after.body);
+    assert_ne!(after.body, before.body, "new content, new result");
+    assert!(
+        stats_of(&addr).totals.events_replayed > cold_events,
+        "changed bytes must miss the cache and re-analyze"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn disk_spill_serves_a_fresh_daemon_without_reanalyzing() {
+    let dir = tmp("spill");
+    let trace = write_fixture(&dir, 4);
+    let cache_dir = dir.join("cache");
+    let options = || ServeOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeOptions::default()
+    };
+
+    let (first, addr) = spawn(options());
+    let target = analyze_target(&trace);
+    let cold = client::get(&addr, &target).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    first.shutdown();
+
+    // A brand-new daemon over the same spill directory answers from disk:
+    // zero events replayed.
+    let (second, addr2) = spawn(options());
+    let warm = client::get(&addr2, &target).unwrap();
+    assert_eq!(warm.status, 200, "{}", warm.body);
+    assert_eq!(warm.body, cold.body, "spilled result is byte-identical");
+    assert_eq!(
+        stats_of(&addr2).totals.events_replayed,
+        0,
+        "disk hit must not run the pipeline"
+    );
+    second.shutdown();
+}
+
+#[test]
+fn refine_and_config_parameters_shape_the_result() {
+    let dir = tmp("refine");
+    let trace = write_fixture(&dir, 4);
+    let (handle, addr) = spawn(ServeOptions::default());
+    let enc = percent_encode(trace.to_str().unwrap());
+
+    let segmented_on = |body: &str| -> u64 {
+        let doc: serde_json::Value = serde_json::from_str(body).unwrap();
+        let serde_json::Value::Object(fields) = doc else {
+            panic!("analysis body is not an object")
+        };
+        let function = fields
+            .iter()
+            .find(|(k, _)| k == "function")
+            .map(|(_, v)| v.clone())
+            .expect("analysis has a function field");
+        match function {
+            serde_json::Value::Number(n) => n.as_u64().unwrap(),
+            other => panic!("unexpected function field {other:?}"),
+        }
+    };
+
+    let base = client::get(&addr, &format!("/analyze?path={enc}")).unwrap();
+    assert_eq!(base.status, 200, "{}", base.body);
+    assert!(
+        base.body.contains("\"trace_name\": \"served\""),
+        "{}",
+        base.body
+    );
+
+    // Forcing the segmentation function and refining one step both move
+    // the segmentation off the dominant function.
+    let forced = client::get(&addr, &format!("/analyze?path={enc}&function=inner")).unwrap();
+    assert_eq!(forced.status, 200, "{}", forced.body);
+    assert_ne!(forced.body, base.body);
+    assert_ne!(segmented_on(&forced.body), segmented_on(&base.body));
+    let refined = client::get(&addr, &format!("/refine?path={enc}&steps=1")).unwrap();
+    assert_eq!(refined.status, 200, "{}", refined.body);
+    assert_ne!(segmented_on(&refined.body), segmented_on(&base.body));
+
+    // Refining past the leaf is a client error, not a crash.
+    let too_deep = client::get(&addr, &format!("/refine?path={enc}&steps=9")).unwrap();
+    assert_eq!(too_deep.status, 422, "{}", too_deep.body);
+    assert!(too_deep.body.contains("no finer segmentation function"));
+
+    // Metric channels are served individually...
+    let metric = client::get(&addr, &format!("/analyze?path={enc}&metric=CYC")).unwrap();
+    assert_eq!(metric.status, 200, "{}", metric.body);
+    assert!(metric.body.contains("correlation"), "{}", metric.body);
+    // ...and an unknown name 404s, listing what exists.
+    let missing = client::get(&addr, &format!("/analyze?path={enc}&metric=FLOPS")).unwrap();
+    assert_eq!(missing.status, 404, "{}", missing.body);
+    assert!(missing.body.contains("CYC") && missing.body.contains("EXC"));
+    handle.shutdown();
+}
+
+#[test]
+fn error_paths_are_typed_json_and_the_daemon_survives_them() {
+    let dir = tmp("errors");
+    let trace = write_fixture(&dir, 4);
+    let (handle, addr) = spawn(ServeOptions::default());
+
+    // Missing required parameter → 400.
+    let resp = client::get(&addr, "/analyze").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("\"error\""));
+    assert!(resp.body.contains("path"));
+
+    // Nonexistent trace → 404.
+    let resp = client::get(&addr, "/analyze?path=%2Fno%2Fsuch%2Ftrace.pvta").unwrap();
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    assert!(resp.body.contains("\"error\""));
+
+    // Bad numeric parameter → 400.
+    let enc = percent_encode(trace.to_str().unwrap());
+    let resp = client::get(&addr, &format!("/analyze?path={enc}&multiplier=lots")).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    // Unknown endpoint → 404; non-GET → 405.
+    let resp = client::get(&addr, "/delete-everything").unwrap();
+    assert_eq!(resp.status, 404, "{}", resp.body);
+
+    // Truncated stream file → typed 422 naming the corrupt rank/offset.
+    let stream1 = trace.join(archive::stream_file(1));
+    let bytes = std::fs::read(&stream1).unwrap();
+    std::fs::write(&stream1, &bytes[..bytes.len() - 9]).unwrap();
+    let resp = client::get(&addr, &format!("/analyze?path={enc}")).unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(resp.body.contains("corrupt at byte"), "{}", resp.body);
+
+    // …but partial recovery over the same damaged archive still works.
+    let resp = client::get(&addr, &format!("/analyze?path={enc}&partial")).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // The daemon survives all of the above.
+    let health = client::get(&addr, "/health").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("ok"));
+    handle.shutdown();
+}
+
+#[test]
+fn non_get_methods_are_rejected() {
+    let (handle, addr) = spawn(ServeOptions::default());
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    write!(stream, "POST /analyze HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    assert!(raw.contains("GET-only"));
+
+    // Non-HTTP garbage gets a 400, not a hang or a crash.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    write!(stream, "definitely not http\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+    handle.shutdown();
+}
+
+#[test]
+fn stats_reports_the_pipeline_shape() {
+    let dir = tmp("stats");
+    let trace = write_fixture(&dir, 5);
+    let (handle, addr) = spawn(ServeOptions::default());
+    let resp = client::get(&addr, &analyze_target(&trace)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let stats = stats_of(&addr);
+    assert_eq!(stats.ranks, 5);
+    assert!(stats.totals.events_replayed > 0);
+    assert!(stats.totals.segments_emitted > 0);
+    assert!(!stats.stages.is_empty());
+    handle.shutdown();
+}

@@ -1,0 +1,251 @@
+//! Content digests of trace files: the identity half of a
+//! content-addressed result cache.
+//!
+//! [`digest_path`] folds every byte of a trace input into one 128-bit
+//! FNV-1a value. A single-file trace (`.pvt`, `.pvtx`) hashes as its raw
+//! bytes; a PVTA archive directory hashes its anchor plus every stream
+//! file in rank order, each length-prefixed so file boundaries cannot
+//! alias (`"ab" + "c"` ≠ `"a" + "bc"`). Two inputs with the same digest
+//! therefore carry the same event content, and flipping any single byte
+//! of any constituent file changes the digest: each FNV-1a step
+//! `s → (s ⊕ b) × prime` is a bijection on `u128` (the prime is odd, so
+//! multiplication by it is invertible mod 2^128), hence a different byte
+//! at any position yields a different final state.
+//!
+//! The digest deliberately hashes the *encoded* bytes, not the decoded
+//! events: it must be cheap enough to run per cache lookup, and the
+//! encoding of a stream is canonical for its content anyway.
+//!
+//! [`constituent_files`] lists the files a digest covers, so callers can
+//! build cheap freshness checks (size + mtime) without re-hashing.
+
+use super::archive::{stream_file, ANCHOR_FILE};
+use super::cursor::ArchiveCursor;
+use super::Format;
+use crate::error::{TraceError, TraceResult};
+use std::fs::File;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// Incremental 128-bit FNV-1a hasher.
+///
+/// Used for trace content digests and, by downstream crates, to fold
+/// further cache-key material (configuration strings, mode flags) into
+/// one key. Not cryptographic: collisions are *possible* by
+/// construction, just vanishingly unlikely for the cache sizes involved,
+/// and nothing security-relevant hangs off it.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+/// FNV-1a 128-bit offset basis.
+const OFFSET_BASIS: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime (odd, so `× PRIME` is a bijection mod 2^128).
+const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Fnv128 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv128 {
+        Fnv128 {
+            state: OFFSET_BASIS,
+        }
+    }
+
+    /// Folds `bytes` into the state, one byte at a time.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ b as u128).wrapping_mul(PRIME);
+        }
+    }
+
+    /// Folds a length prefix (for framing variable-length runs of bytes).
+    pub fn write_len(&mut self, len: u64) {
+        self.write(&len.to_le_bytes());
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Fnv128 {
+        Fnv128::new()
+    }
+}
+
+/// Streams one file into the hasher, length-prefixed.
+fn hash_file(hasher: &mut Fnv128, path: &Path) -> TraceResult<()> {
+    let len = std::fs::metadata(path)
+        .map_err(|e| annotate(path, e))?
+        .len();
+    hasher.write_len(len);
+    let mut file = File::open(path).map_err(|e| annotate(path, e))?;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        hasher.write(&buf[..n]);
+    }
+    Ok(())
+}
+
+fn annotate(path: &Path, e: std::io::Error) -> TraceError {
+    TraceError::Io(std::io::Error::new(
+        e.kind(),
+        format!("{}: {e}", path.display()),
+    ))
+}
+
+/// The files whose bytes [`digest_path`] covers, in hash order: the
+/// anchor plus every stream file for a `.pvta` archive directory, the
+/// file itself otherwise.
+pub fn constituent_files(path: impl AsRef<Path>) -> TraceResult<Vec<PathBuf>> {
+    let path = path.as_ref();
+    if Format::from_path(path) != Format::Archive {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    let cursor = ArchiveCursor::open(path)?;
+    let mut files = Vec::with_capacity(cursor.num_processes() + 1);
+    files.push(path.join(ANCHOR_FILE));
+    for i in 0..cursor.num_processes() {
+        files.push(path.join(stream_file(i)));
+    }
+    Ok(files)
+}
+
+/// Digests the content of a trace input.
+///
+/// Archives hash anchor + streams in rank order (the anchor declares the
+/// rank count, so the file set is well-defined); single files hash their
+/// raw bytes. Every constituent is length-prefixed. Fails with the
+/// annotated I/O error if any covered file is missing or unreadable —
+/// note that a *truncated* stream still digests fine (the bytes exist);
+/// corruption surfaces later, when the stream is decoded.
+pub fn digest_path(path: impl AsRef<Path>) -> TraceResult<u128> {
+    let mut hasher = Fnv128::new();
+    for file in constituent_files(path)? {
+        hash_file(&mut hasher, &file)?;
+    }
+    Ok(hasher.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::write_trace_file;
+    use crate::registry::FunctionRole;
+    use crate::time::{Clock, Timestamp};
+    use crate::trace::{Trace, TraceBuilder};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("perfvar-digest-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample(ranks: usize) -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds()).with_name("digest sample");
+        let f = b.define_function("work", FunctionRole::Compute);
+        for pi in 0..ranks {
+            let p = b.define_process(format!("rank {pi}"));
+            let w = b.process_mut(p);
+            for k in 0..5u64 {
+                w.enter(Timestamp(k * 10), f).unwrap();
+                w.leave(Timestamp(k * 10 + 3 + pi as u64), f).unwrap();
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn equal_content_equal_digest() {
+        let t = sample(3);
+        let a = tmp("eq-a.pvta");
+        let b = tmp("eq-b.pvta");
+        write_trace_file(&t, &a).unwrap();
+        write_trace_file(&t, &b).unwrap();
+        assert_eq!(digest_path(&a).unwrap(), digest_path(&b).unwrap());
+        // Stable across repeated hashing of the same files.
+        assert_eq!(digest_path(&a).unwrap(), digest_path(&a).unwrap());
+    }
+
+    #[test]
+    fn single_byte_flip_changes_digest() {
+        let t = sample(3);
+        let dir = tmp("flip.pvta");
+        write_trace_file(&t, &dir).unwrap();
+        let before = digest_path(&dir).unwrap();
+        let stream = dir.join(stream_file(1));
+        let mut bytes = std::fs::read(&stream).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&stream, &bytes).unwrap();
+        assert_ne!(digest_path(&dir).unwrap(), before);
+    }
+
+    #[test]
+    fn pvt_file_digest_tracks_content() {
+        let path = tmp("single.pvt");
+        write_trace_file(&sample(2), &path).unwrap();
+        let before = digest_path(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_ne!(digest_path(&path).unwrap(), before);
+    }
+
+    #[test]
+    fn truncation_changes_digest() {
+        let t = sample(2);
+        let dir = tmp("trunc.pvta");
+        write_trace_file(&t, &dir).unwrap();
+        let before = digest_path(&dir).unwrap();
+        let stream = dir.join(stream_file(0));
+        let bytes = std::fs::read(&stream).unwrap();
+        std::fs::write(&stream, &bytes[..bytes.len() - 1]).unwrap();
+        assert_ne!(digest_path(&dir).unwrap(), before);
+    }
+
+    #[test]
+    fn constituent_files_cover_the_archive() {
+        let t = sample(3);
+        let dir = tmp("files.pvta");
+        write_trace_file(&t, &dir).unwrap();
+        let files = constituent_files(&dir).unwrap();
+        assert_eq!(files.len(), 4);
+        assert!(files[0].ends_with(ANCHOR_FILE));
+        assert!(files[3].ends_with(stream_file(2)));
+        let single = tmp("files.pvt");
+        write_trace_file(&t, &single).unwrap();
+        assert_eq!(constituent_files(&single).unwrap(), vec![single]);
+    }
+
+    #[test]
+    fn missing_input_is_an_annotated_io_error() {
+        let err = digest_path("/definitely/missing.pvt").unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)), "{err}");
+        assert!(err.to_string().contains("missing.pvt"), "{err}");
+    }
+
+    #[test]
+    fn length_prefix_prevents_boundary_aliasing() {
+        // Same concatenated bytes, different file boundaries → the
+        // length prefixes keep the digests apart.
+        let mut a = Fnv128::new();
+        a.write_len(2);
+        a.write(b"ab");
+        a.write_len(1);
+        a.write(b"c");
+        let mut b = Fnv128::new();
+        b.write_len(1);
+        b.write(b"a");
+        b.write_len(2);
+        b.write(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

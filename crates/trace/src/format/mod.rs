@@ -12,12 +12,16 @@
 //!   ([`cursor::StreamCursor`], [`cursor::ArchiveCursor`]) that decode
 //!   PVT/PVTA streams record by record *without* materialising a
 //!   [`Trace`], for out-of-core analysis of files larger than memory.
+//! * [`digest`] — 128-bit content digests over trace files
+//!   ([`digest::digest_path`]), the identity half of content-addressed
+//!   result caching.
 //!
 //! [`write_trace_file`] / [`read_trace_file`] dispatch on the file
 //! extension. Both readers validate the decoded trace before returning it.
 
 pub mod archive;
 pub mod cursor;
+pub mod digest;
 pub mod pvt;
 pub mod text;
 pub mod varint;
