@@ -13,31 +13,49 @@
 //!
 //! `O(read buffer + stack depth + segments + functions + metrics)`
 //!
-//! — independent of trace length.
+//! — independent of trace length. Stream files are memory-mapped where
+//! the platform allows it ([`AnalysisConfig::mmap`]), so "read buffer"
+//! is usually the page cache itself; the buffered fallback window is
+//! [`AnalysisConfig::read_buffer_bytes`].
 //!
-//! ## Data flow
+//! ## Single-pass data flow (speculative fusion)
+//!
+//! The segmentation function is only known *after* profiling, which
+//! historically forced two full passes over every byte. The driver now
+//! **predicts** it first — from the explicit
+//! [`AnalysisConfig::segment_function`] override when present, else from
+//! a cheap profile of a bounded prefix of rank 0 — and runs ONE combined
+//! pass per rank that feeds a `ProfileSink` and a `FusedSink` for
+//! the predicted function simultaneously:
 //!
 //! ```text
-//! archive dir ──► ArchiveCursor ──► stream(p)   (one per rank, parallel)
-//!                                      │ EventRecord
-//!                                      ▼
-//!                                 ReplayMachine ──► ProfileSink   (pass 1)
-//!                                      │                │ rows
-//!                                      │                ▼
-//!                                      │        ProfileTable::from_rows
-//!                                      │                │ dominant function
-//!                                      ▼                ▼
-//!                                 ReplayMachine ──► FusedSink     (pass 2)
-//!                                                       │ segments + rows
-//!                                                       ▼
-//!                                                  merge_fused ──► assemble
+//! archive dir ──► ArchiveCursor ──► rank-0 prefix ──► predicted F
+//!                                      │
+//!                                      ▼ stream(p)  (work-stolen ranks)
+//!                                 ReplayMachine ──► ProfileSink ┐ one
+//!                                                ──► FusedSink(F)┘ pass
+//!                                                       │
+//!                       ProfileTable ◄── rows ──────────┤ segments+rows
+//!                            │                          │
+//!                   DominantRanking ──► true F' ══╦═════╧══ F' == F ?
+//!                                                 ║yes: done (1 pass)
+//!                                                 ╚═no: fused-only
+//!                                                    re-pass with F'
 //! ```
 //!
-//! Two passes are inherent: the dominant function that segments the run
-//! is only known after the profile pass. Archives fan the ranks out over
-//! [`par_map_ranks`] workers in both passes; single-file PVT traces are
-//! decoded sequentially (the streams are concatenated in one file) but
-//! still in `O(1)` memory per pass.
+//! The prediction is *verified*, never trusted: the true dominant
+//! ranking is computed from the complete profiles, and only when it
+//! confirms the guess are the speculative fused partials used. The
+//! `FusedSink` output depends on nothing but the function it was given
+//! and the event stream, so a confirmed speculation is bit-identical to
+//! the two-pass result by construction; a misprediction (rare — SPMD
+//! ranks profile alike, and an explicit override can never mispredict)
+//! costs one fused-only re-pass, i.e. exactly the old behaviour.
+//! [`OutOfCoreAnalysis::passes`] reports which case occurred.
+//!
+//! Archives fan the ranks out over work-stealing [`par_map_ranks`]
+//! workers; single-file PVT traces are decoded sequentially (the streams
+//! are concatenated in one file) but still in `O(1)` memory per pass.
 //!
 //! ## Damaged inputs
 //!
@@ -58,17 +76,17 @@ use crate::parallel::par_map_ranks;
 use crate::profile::{ProfileRow, ProfileSink, ProfileTable};
 use crate::report::{assemble, segmentation_function, Analysis, AnalysisConfig, AnalysisError};
 use crate::segment::Segment;
-use crate::stream::ReplayMachine;
+use crate::stream::{ClosedFrame, ReplayMachine, ReplayVisitor};
 use crate::telemetry::{Stage, Telemetry};
-use perfvar_trace::format::cursor::ArchiveCursor;
+use perfvar_trace::format::cursor::{ArchiveCursor, CursorOptions};
+use perfvar_trace::format::mmap::FileReader;
 use perfvar_trace::format::pvt::PvtStreamReader;
 use perfvar_trace::format::{read_trace_file, Format};
 use perfvar_trace::{
-    EventRecord, MetricMode, ProcessId, Registry, Timestamp, TraceError, TraceMeta,
+    EventRecord, FunctionId, MetricId, MetricMode, ProcessId, Registry, Timestamp, TraceError,
+    TraceMeta,
 };
 use std::fmt;
-use std::fs::File;
-use std::io::BufReader;
 use std::path::Path;
 
 /// What to do when a per-process stream cannot be decoded.
@@ -149,6 +167,10 @@ pub struct OutOfCoreAnalysis {
     pub meta: TraceMeta,
     /// Ranks that could not be analysed (empty in strict mode).
     pub failures: Vec<StreamFailure>,
+    /// Full passes the driver made over the event data: `1` when the
+    /// speculative single pass was confirmed (the common case), `2` when
+    /// a misprediction forced a fused-only re-pass.
+    pub passes: u32,
 }
 
 impl OutOfCoreAnalysis {
@@ -165,7 +187,8 @@ impl OutOfCoreAnalysis {
     /// Re-runs the out-of-core pipeline with the next-finer segmentation
     /// function (§VII-B refinement, mirroring
     /// [`Analysis::refine`]). Returns `Ok(None)` when no finer candidate
-    /// exists.
+    /// exists. Refinement passes the target function explicitly, so the
+    /// re-analysis is always an exact single pass.
     pub fn refine(
         &self,
         path: impl AsRef<Path>,
@@ -275,28 +298,194 @@ pub fn analyze_path_observed(
                 meta: TraceMeta::of(&trace),
                 analysis,
                 failures: Vec::new(),
+                passes: 1,
             })
         }
     }
 }
 
-/// Per-rank result of the profile pass: the profile rows plus the
-/// rank's contribution to the trace metadata.
-struct RankProfile {
-    rows: Vec<ProfileRow>,
-    num_events: u64,
-    first: Option<Timestamp>,
-    last: Option<Timestamp>,
+/// Events of the rank-0 prefix that seed the dominant-function
+/// prediction. Enough iterations of any real SPMD trace to expose the
+/// dominant function; bounded so prediction cost is `O(1)` regardless of
+/// trace size (a single-rank trace is *not* read twice).
+const PREDICT_PREFIX_EVENTS: u64 = 65_536;
+
+/// Sentinel "function" used when no prediction is available: it matches
+/// no event (ids are registry indices, far below `u32::MAX`), so the
+/// combined pass degenerates to a pure profile pass and verification
+/// always schedules the fused re-pass.
+const NO_PREDICTION: FunctionId = FunctionId(u32::MAX);
+
+/// Records decoded per [`StreamCursor::next_chunk`] call in the archive
+/// passes. Large enough to amortise the per-chunk `fill_buf`/`consume`
+/// round-trip and keep the decode loop in pure index arithmetic, small
+/// enough (~tens of KiB) to stay irrelevant next to the read buffer in
+/// the worker memory model.
+const DECODE_CHUNK_EVENTS: usize = 1024;
+
+/// The [`CursorOptions`] equivalent of a config's I/O knobs.
+fn cursor_options(config: &AnalysisConfig) -> CursorOptions {
+    CursorOptions {
+        mmap: config.mmap,
+        read_buffer_bytes: config.read_buffer_bytes,
+    }
 }
 
-impl RankProfile {
-    fn empty(num_functions: usize) -> RankProfile {
-        RankProfile {
-            rows: vec![ProfileRow::default(); num_functions],
-            num_events: 0,
-            first: None,
-            last: None,
+/// Opens a single trace file per the config's I/O knobs (mmap with
+/// buffered fallback), annotating open errors with the path.
+fn open_file_reader(path: &Path, config: &AnalysisConfig) -> Result<FileReader, TraceError> {
+    FileReader::open(path, config.mmap, config.read_buffer_bytes).map_err(|e| {
+        TraceError::Io(std::io::Error::new(
+            e.kind(),
+            format!("{}: {e}", path.display()),
+        ))
+    })
+}
+
+/// Resolves the speculation target: the explicit override when present
+/// (which can never mispredict — verification compares against the same
+/// lookup), else a prefix-profile prediction, else the sentinel.
+fn speculation_target(
+    registry: &Registry,
+    config: &AnalysisConfig,
+    predict: impl FnOnce() -> Option<FunctionId>,
+) -> Result<FunctionId, AnalysisError> {
+    match &config.segment_function {
+        Some(name) => registry
+            .function_by_name(name)
+            .ok_or_else(|| AnalysisError::UnknownFunction(name.clone())),
+        None => Ok(predict().unwrap_or(NO_PREDICTION)),
+    }
+}
+
+/// Ranks a prefix profile as if it were a single-process trace and
+/// returns its dominant function — the speculation seed.
+fn predict_from_rows(
+    num_functions: usize,
+    rows: Vec<ProfileRow>,
+    config: &AnalysisConfig,
+) -> Option<FunctionId> {
+    let profiles = ProfileTable::from_rows(num_functions, [rows]);
+    DominantRanking::with_multiplier_for(1, &profiles, config.dominant_multiplier).dominant()
+}
+
+/// Profiles a bounded prefix of archive rank 0. Decode errors are
+/// swallowed — the main pass rediscovers them with proper reporting —
+/// and prediction simply uses whatever the prefix showed.
+fn predict_archive_function(
+    cursor: &ArchiveCursor,
+    config: &AnalysisConfig,
+    telemetry: &Telemetry,
+) -> Option<FunctionId> {
+    let registry = cursor.registry();
+    let nf = registry.num_functions();
+    if cursor.num_processes() == 0 || nf == 0 {
+        return None;
+    }
+    let mut stream = cursor.stream(ProcessId::from_index(0)).ok()?;
+    let mut machine = ReplayMachine::new(registry);
+    let mut sink = ProfileSink::new(nf);
+    let mut seen = 0u64;
+    while seen < PREDICT_PREFIX_EVENTS {
+        match stream.next_record() {
+            Ok(Some(record)) => {
+                machine.step(&record, &mut sink);
+                seen += 1;
+            }
+            Ok(None) | Err(_) => break,
         }
+    }
+    let mut w = telemetry.worker(Stage::Profile);
+    w.events(machine.events_stepped());
+    w.bytes(stream.byte_offset());
+    drop(w);
+    predict_from_rows(nf, sink.rows, config)
+}
+
+/// Profiles a bounded prefix of the first process in a single-file PVT
+/// trace (the file is a concatenation of rank streams, so the prefix is
+/// exactly the head of the first non-empty rank).
+fn predict_pvt_function(
+    path: &Path,
+    registry: &Registry,
+    config: &AnalysisConfig,
+    telemetry: &Telemetry,
+) -> Option<FunctionId> {
+    let nf = registry.num_functions();
+    if registry.num_processes() == 0 || nf == 0 {
+        return None;
+    }
+    let reader = open_file_reader(path, config).ok()?;
+    let mut reader = PvtStreamReader::new(reader).ok()?;
+    let mut machine = ReplayMachine::new(registry);
+    let mut sink = ProfileSink::new(nf);
+    let mut seen = 0u64;
+    let mut first: Option<ProcessId> = None;
+    while seen < PREDICT_PREFIX_EVENTS {
+        match reader.next() {
+            Some(Ok((pid, record))) => {
+                match first {
+                    None => first = Some(pid),
+                    Some(p) if p != pid => break,
+                    _ => {}
+                }
+                machine.step(&record, &mut sink);
+                seen += 1;
+            }
+            _ => break,
+        }
+    }
+    let mut w = telemetry.worker(Stage::Profile);
+    w.events(machine.events_stepped());
+    w.bytes(reader.byte_offset());
+    drop(w);
+    predict_from_rows(nf, sink.rows, config)
+}
+
+/// The combined visitor of the speculative pass: one stack-machine sweep
+/// feeds the profile rows *and* the fused segmentation for the predicted
+/// function. Each half sees exactly the callback sequence it would see
+/// alone, so confirmed speculation is bit-identical to two passes.
+struct CombinedSink<'a> {
+    profile: ProfileSink,
+    fused: FusedSink<'a>,
+}
+
+impl<'a> CombinedSink<'a> {
+    fn new(
+        pid: ProcessId,
+        num_functions: usize,
+        function: FunctionId,
+        modes: &'a [MetricMode],
+    ) -> CombinedSink<'a> {
+        CombinedSink {
+            profile: ProfileSink::new(num_functions),
+            fused: FusedSink::new(pid, function, modes),
+        }
+    }
+}
+
+impl ReplayVisitor for CombinedSink<'_> {
+    fn on_enter(&mut self, function: FunctionId, depth: u32, time: Timestamp) {
+        self.fused.on_enter(function, depth, time);
+    }
+
+    fn on_frame(&mut self, frame: &ClosedFrame) {
+        self.profile.on_frame(frame);
+        self.fused.on_frame(frame);
+    }
+
+    fn on_metric(&mut self, metric: MetricId, time: Timestamp, value: u64) {
+        self.fused.on_metric(metric, time, value);
+    }
+
+    fn on_tick(&mut self, time: Timestamp) {
+        self.fused.on_tick(time);
+    }
+
+    fn on_finish(&mut self) {
+        self.profile.on_finish();
+        self.fused.on_finish();
     }
 }
 
@@ -351,25 +540,45 @@ impl Extent {
     }
 }
 
-/// Archive driver: both passes fan the ranks out over worker threads,
-/// each worker streaming its rank's file through a cursor.
+/// Per-rank result of the combined speculative pass.
+struct RankCombined {
+    rows: Vec<ProfileRow>,
+    fused: FusedPartial,
+    num_events: u64,
+    first: Option<Timestamp>,
+    last: Option<Timestamp>,
+}
+
+/// Archive driver: the combined pass fans the ranks out over
+/// work-stealing worker threads, each streaming its rank's file through
+/// a (usually memory-mapped) cursor exactly once.
 fn analyze_archive(
     dir: &Path,
     config: &AnalysisConfig,
     mode: RecoveryMode,
     telemetry: &Telemetry,
 ) -> Result<OutOfCoreAnalysis, PathAnalysisError> {
-    let cursor = ArchiveCursor::open(dir)?;
+    let cursor = ArchiveCursor::open_with(dir, cursor_options(config))?;
+    telemetry.set_read_buffer(config.read_buffer_bytes as u64);
     let registry = cursor.registry();
     let np = cursor.num_processes();
     let nf = registry.num_functions();
+    let modes = metric_modes(registry, config.analyze_counters);
 
-    // Pass 1: profile every rank (+ extent for the metadata).
-    telemetry.begin_ranks(Stage::Profile, np);
-    let pass1: Vec<Result<RankProfile, TraceError>> = {
+    let guess = {
         let _span = telemetry.span(Stage::Profile);
+        speculation_target(registry, config, || {
+            predict_archive_function(&cursor, config, telemetry)
+        })?
+    };
+
+    // The combined pass: profile rows + speculative fused partials, one
+    // read per rank.
+    telemetry.begin_ranks(Stage::Fuse, np);
+    let combined: Vec<Result<RankCombined, TraceError>> = {
+        let _span = telemetry.span(Stage::Fuse);
         par_map_ranks(np, config.threads, |pid| {
-            profile_rank(&cursor, pid, nf, telemetry)
+            combined_rank(&cursor, pid, nf, guess, &modes, telemetry)
         })
     };
 
@@ -377,11 +586,13 @@ fn analyze_archive(
     let mut failures = Vec::new();
     let mut extent = Extent::default();
     let mut partial_rows = Vec::with_capacity(np);
-    for (i, result) in pass1.into_iter().enumerate() {
+    let mut fused_partials: Vec<FusedPartial> = Vec::with_capacity(np);
+    for (i, result) in combined.into_iter().enumerate() {
         match result {
             Ok(rank) => {
                 extent.absorb(rank.num_events, rank.first, rank.last);
                 partial_rows.push(rank.rows);
+                fused_partials.push(rank.fused);
             }
             Err(error) => {
                 if mode == RecoveryMode::Strict {
@@ -393,7 +604,8 @@ fn analyze_archive(
                     process: ProcessId::from_index(i),
                     error,
                 });
-                partial_rows.push(RankProfile::empty(nf).rows);
+                partial_rows.push(vec![ProfileRow::default(); nf]);
+                fused_partials.push(empty_fused(modes.len()));
             }
         }
     }
@@ -403,43 +615,45 @@ fn analyze_archive(
     let dominant = ranking.selection();
     let function = segmentation_function(registry, &dominant, config)?;
 
-    // Pass 2: fused segmentation + counters, skipping ranks that already
-    // failed the profile pass.
-    let modes = metric_modes(registry, config.analyze_counters);
-    let failed_ref = &failed;
-    telemetry.begin_ranks(Stage::Fuse, np);
-    let pass2: Vec<Result<FusedPartial, TraceError>> = {
-        let _span = telemetry.span(Stage::Fuse);
-        par_map_ranks(np, config.threads, |pid| {
-            if failed_ref[pid.index()] {
-                return Ok(empty_fused(modes.len()));
-            }
-            fuse_rank(&cursor, pid, function, &modes, telemetry)
-        })
-    };
-
-    let mut partials = Vec::with_capacity(np);
-    for (i, result) in pass2.into_iter().enumerate() {
-        match result {
-            Ok(partial) => partials.push(partial),
-            Err(error) => {
-                if mode == RecoveryMode::Strict {
-                    return Err(error.into());
+    // Verify the speculation. On a mispredict, re-run the fused pass
+    // with the true function (skipping ranks that already failed).
+    let mut passes = 1;
+    if function != guess {
+        passes = 2;
+        let failed_ref = &failed;
+        telemetry.begin_ranks(Stage::Fuse, np);
+        let repass: Vec<Result<FusedPartial, TraceError>> = {
+            let _span = telemetry.span(Stage::Fuse);
+            par_map_ranks(np, config.threads, |pid| {
+                if failed_ref[pid.index()] {
+                    return Ok(empty_fused(modes.len()));
                 }
-                // The file changed between the passes; degrade the rank.
-                telemetry.count_recovery(1);
-                failures.push(StreamFailure {
-                    process: ProcessId::from_index(i),
-                    error,
-                });
-                partials.push(empty_fused(modes.len()));
+                fuse_rank(&cursor, pid, function, &modes, telemetry)
+            })
+        };
+        fused_partials.clear();
+        for (i, result) in repass.into_iter().enumerate() {
+            match result {
+                Ok(partial) => fused_partials.push(partial),
+                Err(error) => {
+                    if mode == RecoveryMode::Strict {
+                        return Err(error.into());
+                    }
+                    // The file changed between the passes; degrade the rank.
+                    telemetry.count_recovery(1);
+                    failures.push(StreamFailure {
+                        process: ProcessId::from_index(i),
+                        error,
+                    });
+                    fused_partials.push(empty_fused(modes.len()));
+                }
             }
         }
     }
     failures.sort_by_key(|f| f.process.index());
 
     let _span = telemetry.span(Stage::Assemble);
-    let fused = merge_fused(registry, function, &modes, partials);
+    let fused = merge_fused(registry, function, &modes, fused_partials);
     let meta = extent.meta(cursor.name().to_string(), cursor.clock(), registry.clone());
     let analysis = assemble(
         meta.name.clone(),
@@ -454,33 +668,45 @@ fn analyze_archive(
         analysis,
         meta,
         failures,
+        passes,
     })
 }
 
-/// Streams one archive rank through the profile sink.
-fn profile_rank(
+/// Streams one archive rank through the combined sink: its profile rows,
+/// speculative fused partial, and extent contribution in one read.
+fn combined_rank(
     cursor: &ArchiveCursor,
     pid: ProcessId,
     num_functions: usize,
+    function: FunctionId,
+    modes: &[MetricMode],
     telemetry: &Telemetry,
-) -> Result<RankProfile, TraceError> {
+) -> Result<RankCombined, TraceError> {
     let mut stream = cursor.stream(pid)?;
     let mut machine = ReplayMachine::new(cursor.registry());
-    let mut sink = ProfileSink::new(num_functions);
+    let mut sink = CombinedSink::new(pid, num_functions, function, modes);
     let mut extent = Extent::default();
-    while let Some(record) = stream.next_record()? {
-        extent.record(record.time);
-        machine.step(&record, &mut sink);
+    let mut chunk = Vec::with_capacity(DECODE_CHUNK_EVENTS);
+    while stream.next_chunk(&mut chunk, DECODE_CHUNK_EVENTS)? > 0 {
+        for record in &chunk {
+            extent.record(record.time);
+            machine.step(record, &mut sink);
+        }
     }
     machine.finish(&mut sink);
-    let mut w = telemetry.worker(Stage::Profile);
+    let mut w = telemetry.worker(Stage::Fuse);
     w.events(machine.events_stepped());
     w.bytes(stream.byte_offset());
     w.stack_depth(machine.max_depth());
+    w.live_segments(sink.fused.peak_open());
+    w.sos_clamped(sink.fused.sos_underflows());
+    let fused = sink.fused.into_parts();
+    w.segments(fused.0.len() as u64);
     drop(w);
     telemetry.rank_done();
-    Ok(RankProfile {
-        rows: sink.rows,
+    Ok(RankCombined {
+        rows: sink.profile.rows,
+        fused,
         num_events: extent.num_events,
         first: extent.first,
         last: extent.last,
@@ -491,7 +717,8 @@ fn profile_rank(
 /// metric channel.
 type FusedPartial = (Vec<Segment>, Vec<Vec<u64>>);
 
-/// Streams one archive rank through the fused sink.
+/// Streams one archive rank through the fused sink (the misprediction
+/// re-pass).
 fn fuse_rank(
     cursor: &ArchiveCursor,
     pid: ProcessId,
@@ -502,8 +729,11 @@ fn fuse_rank(
     let mut stream = cursor.stream(pid)?;
     let mut machine = ReplayMachine::new(cursor.registry());
     let mut sink = FusedSink::new(pid, function, modes);
-    while let Some(record) = stream.next_record()? {
-        machine.step(&record, &mut sink);
+    let mut chunk = Vec::with_capacity(DECODE_CHUNK_EVENTS);
+    while stream.next_chunk(&mut chunk, DECODE_CHUNK_EVENTS)? > 0 {
+        for record in &chunk {
+            machine.step(record, &mut sink);
+        }
     }
     machine.finish(&mut sink);
     let mut w = telemetry.worker(Stage::Fuse);
@@ -517,15 +747,6 @@ fn fuse_rank(
     drop(w);
     telemetry.rank_done();
     Ok(parts)
-}
-
-fn open_annotated(path: &Path) -> Result<File, TraceError> {
-    File::open(path).map_err(|e| {
-        TraceError::Io(std::io::Error::new(
-            e.kind(),
-            format!("{}: {e}", path.display()),
-        ))
-    })
 }
 
 /// The outcome of one sequential pass over a PVT file: per-rank results
@@ -546,11 +767,12 @@ fn pvt_pass<S, T>(
     path: &Path,
     registry: &Registry,
     num_processes: usize,
+    config: &AnalysisConfig,
     mut make_sink: impl FnMut(ProcessId) -> S,
     mut feed: impl FnMut(&mut S, &EventRecord, &mut ReplayMachine),
     mut close: impl FnMut(S, &mut ReplayMachine) -> T,
 ) -> Result<SequentialPass<T>, TraceError> {
-    let mut reader = PvtStreamReader::new(BufReader::new(open_annotated(path)?))?;
+    let mut reader = PvtStreamReader::new(open_file_reader(path, config)?)?;
     let mut machine = ReplayMachine::new(registry);
     let mut per_rank: Vec<T> = Vec::with_capacity(num_processes);
     let mut current: Option<(ProcessId, S)> = None;
@@ -608,32 +830,43 @@ fn pvt_pass<S, T>(
     })
 }
 
-/// Single-file PVT driver: two sequential passes, `O(1)` memory each.
+/// Single-file PVT driver: one sequential combined pass (plus the rare
+/// fused-only re-pass on a misprediction), `O(1)` memory each.
 fn analyze_pvt(
     path: &Path,
     config: &AnalysisConfig,
     mode: RecoveryMode,
     telemetry: &Telemetry,
 ) -> Result<OutOfCoreAnalysis, PathAnalysisError> {
+    telemetry.set_read_buffer(config.read_buffer_bytes as u64);
     // Header only: name, clock, registry (the streams start after).
-    let header = PvtStreamReader::new(BufReader::new(open_annotated(path)?))?;
+    let header = PvtStreamReader::new(open_file_reader(path, config)?)?;
     let name = header.name().to_string();
     let clock = header.clock();
     let registry = header.registry().clone();
     drop(header);
     let np = registry.num_processes();
     let nf = registry.num_functions();
+    let modes = metric_modes(&registry, config.analyze_counters);
 
-    // Pass 1: profile + extent.
-    telemetry.begin_ranks(Stage::Profile, np);
+    let guess = {
+        let _span = telemetry.span(Stage::Profile);
+        speculation_target(&registry, config, || {
+            predict_pvt_function(path, &registry, config, telemetry)
+        })?
+    };
+
+    // The combined pass: profile + extent + speculative fused partials.
+    telemetry.begin_ranks(Stage::Fuse, np);
     let mut extent = Extent::default();
     let pass1 = {
-        let _span = telemetry.span(Stage::Profile);
+        let _span = telemetry.span(Stage::Fuse);
         pvt_pass(
             path,
             &registry,
             np,
-            |_| ProfileSink::new(nf),
+            config,
+            |pid| CombinedSink::new(pid, nf, guess, &modes),
             |sink, record, machine| {
                 extent.record(record.time);
                 machine.step(record, sink);
@@ -641,25 +874,30 @@ fn analyze_pvt(
             |mut sink, machine| {
                 machine.finish(&mut sink);
                 telemetry.rank_done();
-                sink.rows
+                let mut w = telemetry.worker(Stage::Fuse);
+                w.live_segments(sink.fused.peak_open());
+                w.sos_clamped(sink.fused.sos_underflows());
+                let fused = sink.fused.into_parts();
+                w.segments(fused.0.len() as u64);
+                (sink.profile.rows, fused)
             },
         )?
     };
     {
-        let mut w = telemetry.worker(Stage::Profile);
+        let mut w = telemetry.worker(Stage::Fuse);
         w.events(pass1.events);
         w.bytes(pass1.bytes);
         w.stack_depth(pass1.max_depth);
     }
     let mut failures = Vec::new();
     let mut first_failed = np;
-    let mut partial_rows = pass1.per_rank;
+    let mut per_rank = pass1.per_rank;
     if let Some((failing, error)) = pass1.error {
         if mode == RecoveryMode::Strict {
             return Err(error.into());
         }
-        first_failed = partial_rows.len().min(failing.index());
-        partial_rows.truncate(first_failed);
+        first_failed = per_rank.len().min(failing.index());
+        per_rank.truncate(first_failed);
         telemetry.count_recovery((np - first_failed) as u64);
         failures.push(StreamFailure {
             process: failing,
@@ -675,59 +913,70 @@ fn analyze_pvt(
                     )),
                 });
             }
-            partial_rows.push(vec![ProfileRow::default(); nf]);
+            per_rank.push((vec![ProfileRow::default(); nf], empty_fused(modes.len())));
         }
         failures.sort_by_key(|f| f.process.index());
     }
 
+    let mut partial_rows = Vec::with_capacity(np);
+    let mut fused_partials = Vec::with_capacity(np);
+    for (rows, fused) in per_rank {
+        partial_rows.push(rows);
+        fused_partials.push(fused);
+    }
     let profiles = ProfileTable::from_rows(nf, partial_rows);
     let ranking = DominantRanking::with_multiplier_for(np, &profiles, config.dominant_multiplier);
     let dominant = ranking.selection();
     let function = segmentation_function(&registry, &dominant, config)?;
 
-    // Pass 2: fused segmentation + counters. In partial mode the pass
-    // stops where pass 1 did; unreachable ranks contribute empties.
-    let modes = metric_modes(&registry, config.analyze_counters);
-    telemetry.begin_ranks(Stage::Fuse, np);
-    let pass2 = {
-        let _span = telemetry.span(Stage::Fuse);
-        pvt_pass(
-            path,
-            &registry,
-            np,
-            |pid| FusedSink::new(pid, function, &modes),
-            |sink, record, machine| machine.step(record, sink),
-            |mut sink, machine| {
-                machine.finish(&mut sink);
-                telemetry.rank_done();
-                let mut w = telemetry.worker(Stage::Fuse);
-                w.live_segments(sink.peak_open());
-                w.sos_clamped(sink.sos_underflows());
-                let parts = sink.into_parts();
-                w.segments(parts.0.len() as u64);
-                parts
-            },
-        )?
-    };
-    {
-        let mut w = telemetry.worker(Stage::Fuse);
-        w.events(pass2.events);
-        w.bytes(pass2.bytes);
-        w.stack_depth(pass2.max_depth);
-    }
-    let mut partials = pass2.per_rank;
-    if let Some((_, error)) = pass2.error {
-        if mode == RecoveryMode::Strict {
-            return Err(error.into());
+    // Verify the speculation; re-pass fused-only on a mispredict. In
+    // partial mode the re-pass stops where the combined pass did;
+    // unreachable ranks contribute empties.
+    let mut passes = 1;
+    if function != guess {
+        passes = 2;
+        telemetry.begin_ranks(Stage::Fuse, np);
+        let pass2 = {
+            let _span = telemetry.span(Stage::Fuse);
+            pvt_pass(
+                path,
+                &registry,
+                np,
+                config,
+                |pid| FusedSink::new(pid, function, &modes),
+                |sink, record, machine| machine.step(record, sink),
+                |mut sink, machine| {
+                    machine.finish(&mut sink);
+                    telemetry.rank_done();
+                    let mut w = telemetry.worker(Stage::Fuse);
+                    w.live_segments(sink.peak_open());
+                    w.sos_clamped(sink.sos_underflows());
+                    let parts = sink.into_parts();
+                    w.segments(parts.0.len() as u64);
+                    parts
+                },
+            )?
+        };
+        {
+            let mut w = telemetry.worker(Stage::Fuse);
+            w.events(pass2.events);
+            w.bytes(pass2.bytes);
+            w.stack_depth(pass2.max_depth);
         }
-    }
-    partials.truncate(first_failed.min(partials.len()));
-    while partials.len() < np {
-        partials.push(empty_fused(modes.len()));
+        fused_partials = pass2.per_rank;
+        if let Some((_, error)) = pass2.error {
+            if mode == RecoveryMode::Strict {
+                return Err(error.into());
+            }
+        }
+        fused_partials.truncate(first_failed.min(fused_partials.len()));
+        while fused_partials.len() < np {
+            fused_partials.push(empty_fused(modes.len()));
+        }
     }
 
     let _span = telemetry.span(Stage::Assemble);
-    let fused = merge_fused(&registry, function, &modes, partials);
+    let fused = merge_fused(&registry, function, &modes, fused_partials);
     let meta = extent.meta(name, clock, registry);
     let analysis = assemble(
         meta.name.clone(),
@@ -742,6 +991,7 @@ fn analyze_pvt(
         analysis,
         meta,
         failures,
+        passes,
     })
 }
 
@@ -791,6 +1041,34 @@ mod tests {
         b.finish().unwrap()
     }
 
+    /// A trace built to *defeat* the rank-0 prefix prediction: rank 0 is
+    /// dominated by `alpha` while every other rank spends its time in
+    /// `beta`, which therefore wins the global ranking.
+    fn adversarial_trace() -> Trace {
+        let mut b = TraceBuilder::new(Clock::microseconds()).with_name("adv");
+        let alpha = b.define_function("alpha", FunctionRole::Compute);
+        let beta = b.define_function("beta", FunctionRole::Compute);
+        for pi in 0..4u64 {
+            let p = b.define_process(format!("rank {pi}"));
+            let w = b.process_mut(p);
+            let mut t = 0u64;
+            let (hot, cold, hot_len) = if pi == 0 {
+                (alpha, beta, 50)
+            } else {
+                (beta, alpha, 300)
+            };
+            for _ in 0..8u64 {
+                w.enter(Timestamp(t), hot).unwrap();
+                t += hot_len;
+                w.leave(Timestamp(t), hot).unwrap();
+                w.enter(Timestamp(t), cold).unwrap();
+                t += 2;
+                w.leave(Timestamp(t), cold).unwrap();
+            }
+        }
+        b.finish().unwrap()
+    }
+
     #[test]
     fn archive_path_equals_in_memory() {
         let trace = rich_trace(5);
@@ -808,6 +1086,80 @@ mod tests {
             assert_eq!(ooc.meta, TraceMeta::of(&trace));
             assert!(!ooc.is_partial());
         }
+    }
+
+    #[test]
+    fn spmd_archive_takes_a_single_pass() {
+        // Ranks profile alike, so the rank-0 prefix prediction must be
+        // confirmed and the fused partials reused — one data pass.
+        let trace = rich_trace(5);
+        let dir = tmp("onepass.pvta");
+        write_trace_file(&trace, &dir).unwrap();
+        let ooc =
+            analyze_path_with(&dir, &AnalysisConfig::default(), RecoveryMode::Strict).unwrap();
+        assert_eq!(ooc.passes, 1);
+    }
+
+    #[test]
+    fn spmd_pvt_takes_a_single_pass() {
+        let trace = rich_trace(4);
+        let path = tmp("onepass.pvt");
+        write_trace_file(&trace, &path).unwrap();
+        let ooc =
+            analyze_path_with(&path, &AnalysisConfig::default(), RecoveryMode::Strict).unwrap();
+        assert_eq!(ooc.passes, 1);
+    }
+
+    #[test]
+    fn explicit_override_never_repasses() {
+        let trace = rich_trace(3);
+        let dir = tmp("override.pvta");
+        write_trace_file(&trace, &dir).unwrap();
+        let config = AnalysisConfig {
+            segment_function: Some("inner".into()),
+            ..AnalysisConfig::default()
+        };
+        let ooc = analyze_path_with(&dir, &config, RecoveryMode::Strict).unwrap();
+        assert_eq!(ooc.passes, 1);
+        assert_eq!(ooc.analysis, analyze(&trace, &config).unwrap());
+    }
+
+    #[test]
+    fn misprediction_falls_back_and_stays_exact() {
+        let trace = adversarial_trace();
+        let config = AnalysisConfig::default();
+        let reference = analyze(&trace, &config).unwrap();
+        // The global dominant is beta even though rank 0 suggests alpha.
+        assert_eq!(
+            trace.registry().function_name(reference.function),
+            "beta",
+            "fixture must actually mispredict"
+        );
+        for name in ["adv.pvta", "adv.pvt"] {
+            let path = tmp(name);
+            write_trace_file(&trace, &path).unwrap();
+            let ooc = analyze_path_with(&path, &config, RecoveryMode::Strict).unwrap();
+            assert_eq!(ooc.passes, 2, "{name}: misprediction must re-pass");
+            assert_eq!(ooc.analysis, reference, "{name}");
+        }
+    }
+
+    #[test]
+    fn buffered_path_equals_mmap_path() {
+        let trace = rich_trace(4);
+        let dir = tmp("bufeq.pvta");
+        write_trace_file(&trace, &dir).unwrap();
+        let mapped = analyze_path(&dir, &AnalysisConfig::default()).unwrap();
+        let buffered = analyze_path(
+            &dir,
+            &AnalysisConfig {
+                mmap: false,
+                read_buffer_bytes: 64,
+                ..AnalysisConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(mapped, buffered);
     }
 
     #[test]
@@ -935,6 +1287,7 @@ mod tests {
             .refine(&dir, &config, RecoveryMode::Strict)
             .unwrap()
             .expect("a finer candidate exists");
+        assert_eq!(refined.passes, 1, "refinement is an explicit single pass");
         // Matches the in-memory refinement exactly.
         let reference = analyze(&trace, &config).unwrap();
         let refined_ref = reference.refine(&trace, &config).unwrap();

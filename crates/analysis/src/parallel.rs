@@ -7,12 +7,19 @@
 //! the processes out over `std::thread::scope` workers; results land in
 //! process order. [`replay_all_parallel`] is the replay instantiation.
 //!
+//! Ranks are *work-stolen*, not pre-chunked: workers pull the next rank
+//! index from a shared atomic counter, so one slow rank (imbalance is
+//! the very phenomenon the paper studies, and its traces inherit it)
+//! delays only the worker decoding it instead of serialising that
+//! worker's whole pre-assigned chunk behind it.
+//!
 //! The sequential [`replay_all`](crate::invocation::replay_all) remains
 //! the reference implementation; an equivalence property test lives in
 //! this module.
 
 use crate::invocation::{replay_process, ProcessInvocations};
 use perfvar_trace::{ProcessId, Trace};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolves a configured thread count: `0` means "use the hardware",
 /// and there is never a point in more workers than processes.
@@ -35,6 +42,14 @@ pub fn resolve_threads(num_threads: usize, num_processes: usize) -> usize {
 /// a [`Trace`]. `num_threads == 0` selects the available hardware
 /// parallelism; runs inline (no threads spawned) for a single rank or
 /// one thread.
+///
+/// Scheduling is work-stealing over a shared atomic index: each worker
+/// claims the next unclaimed rank with a `fetch_add` and collects its
+/// `(rank, result)` pairs locally; the pairs are scattered into rank
+/// order after the join. Rank order of the *results* is therefore
+/// guaranteed while the *execution* order adapts to imbalance — a rank
+/// that decodes 10× slower than the rest costs one worker, not a
+/// pre-assigned chunk of ranks queued behind it.
 pub fn par_map_ranks<T, F>(num_ranks: usize, num_threads: usize, work: F) -> Vec<T>
 where
     T: Send,
@@ -47,20 +62,37 @@ where
         return (0..p).map(|i| work(ProcessId::from_index(i))).collect();
     }
 
-    let mut results: Vec<Option<T>> = (0..p).map(|_| None).collect();
-    // Distribute contiguous chunks of ranks to workers.
-    let chunk = p.div_ceil(threads);
+    let next = AtomicUsize::new(0);
     let work = &work;
-    std::thread::scope(|scope| {
-        for (worker, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-            let start = worker * chunk;
-            scope.spawn(move || {
-                for (offset, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(work(ProcessId::from_index(start + offset)));
-                }
-            });
-        }
+    let next = &next;
+    let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= p {
+                            break;
+                        }
+                        local.push((i, work(ProcessId::from_index(i))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank worker panicked"))
+            .collect()
     });
+
+    let mut results: Vec<Option<T>> = (0..p).map(|_| None).collect();
+    for local in collected.drain(..) {
+        for (i, value) in local {
+            results[i] = Some(value);
+        }
+    }
     results
         .into_iter()
         .map(|r| r.expect("every rank visited"))
@@ -153,5 +185,37 @@ mod tests {
         let trace = many_process_trace(9);
         let ids = par_map_processes(&trace, 4, |pid| pid.index());
         assert_eq!(ids, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_stealing_claims_each_rank_exactly_once() {
+        // Under contention (more threads than ranks, threads than cores)
+        // every rank must be claimed exactly once and land in order.
+        let counts: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+        let counts_ref = &counts;
+        let ids = par_map_ranks(23, 16, |pid| {
+            counts_ref[pid.index()].fetch_add(1, Ordering::SeqCst);
+            pid.index() * 3
+        });
+        assert_eq!(ids, (0..23).map(|i| i * 3).collect::<Vec<_>>());
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn one_slow_rank_does_not_starve_the_rest() {
+        // With pre-chunked assignment a slow first rank would serialise
+        // its whole chunk behind it; with stealing, the other workers
+        // must finish all remaining ranks while it runs. Probe that by
+        // checking the slow rank is not a prerequisite for completion
+        // order correctness (the result vector is still rank-ordered).
+        let out = par_map_ranks(8, 4, |pid| {
+            if pid.index() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            pid.index()
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
     }
 }

@@ -42,6 +42,15 @@ pub struct AnalysisConfig {
     pub threads: usize,
     /// Attribute and correlate every metric channel in the trace.
     pub analyze_counters: bool,
+    /// Read-buffer size in bytes for buffered out-of-core reads
+    /// (ignored where a stream file is memory-mapped). Like `threads`,
+    /// a pure performance knob: it never changes the result.
+    #[serde(default = "AnalysisConfig::default_read_buffer_bytes")]
+    pub read_buffer_bytes: usize,
+    /// Memory-map archive stream files where the platform allows it
+    /// (the default); `false` forces buffered reads everywhere.
+    #[serde(default = "AnalysisConfig::default_mmap")]
+    pub mmap: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -52,19 +61,33 @@ impl Default for AnalysisConfig {
             imbalance: ImbalanceConfig::default(),
             threads: 0,
             analyze_counters: true,
+            read_buffer_bytes: AnalysisConfig::default_read_buffer_bytes(),
+            mmap: true,
         }
     }
 }
 
 impl AnalysisConfig {
+    fn default_read_buffer_bytes() -> usize {
+        perfvar_trace::format::cursor::CursorOptions::DEFAULT_READ_BUFFER
+    }
+
+    fn default_mmap() -> bool {
+        true
+    }
+
     /// Canonical string of every field that affects the *result* of the
     /// pipeline — the configuration half of a content-addressed result
     /// cache key.
     ///
-    /// [`threads`](AnalysisConfig::threads) is deliberately excluded:
+    /// [`threads`](AnalysisConfig::threads) is deliberately excluded —
+    /// as are the pure I/O knobs
+    /// [`read_buffer_bytes`](AnalysisConfig::read_buffer_bytes) and
+    /// [`mmap`](AnalysisConfig::mmap):
     /// the pipeline is property-tested to produce bit-identical results
-    /// at every thread count, so two runs differing only in parallelism
-    /// must share a cache entry. Everything else participates, including
+    /// at every thread count and on every read path, so two runs
+    /// differing only in parallelism or I/O strategy must share a cache
+    /// entry. Everything else participates, including
     /// the float thresholds (encoded via [`f64::to_bits`] so the key
     /// never depends on decimal formatting). Two configs with equal keys
     /// produce equal [`Analysis`] values on equal input; any change to a

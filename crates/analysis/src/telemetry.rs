@@ -105,6 +105,12 @@ pub struct Peaks {
     pub max_live_segments: u64,
     /// Worker buffers merged over the run (one per rank per pass).
     pub worker_buffers: u64,
+    /// Effective read-buffer size of the out-of-core buffered path, in
+    /// bytes (`0` until an out-of-core pass records it). Memory-mapped
+    /// streams bypass the buffer; the gauge still reports what the
+    /// buffered fallback would use.
+    #[serde(default)]
+    pub read_buffer_bytes: u64,
 }
 
 /// Wall time and throughput of one pipeline stage.
@@ -214,6 +220,13 @@ impl PipelineStats {
             "  peaks: stack depth {}, live segments {}, worker buffers {}",
             self.peaks.max_stack_depth, self.peaks.max_live_segments, self.peaks.worker_buffers,
         );
+        if self.peaks.read_buffer_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  read buffer: {} bytes (buffered out-of-core path)",
+                self.peaks.read_buffer_bytes
+            );
+        }
         if self.totals.sos_clamped > 0 {
             let _ = writeln!(
                 out,
@@ -374,6 +387,15 @@ impl Telemetry {
     pub fn count_recovery(&self, n: u64) {
         if let Some(inner) = &self.inner {
             inner.agg.lock().unwrap().totals.recovery_events += n;
+        }
+    }
+
+    /// Records the effective buffered read-buffer size of an out-of-core
+    /// pass (see [`Peaks::read_buffer_bytes`]).
+    pub fn set_read_buffer(&self, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            let mut agg = inner.agg.lock().unwrap();
+            agg.peaks.read_buffer_bytes = agg.peaks.read_buffer_bytes.max(bytes);
         }
     }
 

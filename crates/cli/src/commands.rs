@@ -25,7 +25,7 @@ USAGE:
   perfvar analyze  <trace> [--function NAME] [--refine N] [--multiplier K]
                    [--threads N] [--reference] [--auto-refine] [--calltree]
                    [--waitstates] [--phases] [--json] [--in-memory] [--partial]
-                   [--stats] [--stats-json]
+                   [--read-buffer BYTES] [--no-mmap] [--stats] [--stats-json]
   perfvar render   <trace> --chart timeline|sos|comm|comm-bytes|counter:<METRIC>
                    [--out x.svg] [--ansi]
   perfvar report   <trace> --out-dir DIR
@@ -42,6 +42,9 @@ Workloads: cosmo-specs, cosmo-specs-fd4, wrf (the paper's case studies),
 Archives (.pvta) are analyzed out-of-core by default: rank streams are
 decoded straight from disk without materialising the trace. --in-memory
 opts out; --partial recovers the intact ranks of a damaged archive.
+Stream files are memory-mapped where possible; --no-mmap forces buffered
+reads and --read-buffer BYTES sizes the buffered read window (a pure
+performance knob — results are bit-identical either way).
 
 --stats prints a per-stage pipeline timing table (wall time, events/s,
 bytes/s, peak state) to stderr; --stats-json emits the same data as JSON
@@ -130,6 +133,15 @@ fn config_of(args: &ParsedArgs) -> Result<AnalysisConfig, String> {
         .parse_or("multiplier", config.dominant_multiplier)
         .map_err(|e| e.to_string())?;
     config.threads = args.parse_or("threads", 0).map_err(|e| e.to_string())?;
+    config.read_buffer_bytes = args
+        .parse_or("read-buffer", config.read_buffer_bytes)
+        .map_err(|e| e.to_string())?;
+    if config.read_buffer_bytes == 0 {
+        return Err("--read-buffer must be at least 1 byte".to_string());
+    }
+    if args.has("no-mmap") {
+        config.mmap = false;
+    }
     Ok(config)
 }
 
@@ -337,7 +349,7 @@ fn analyze_out_of_core(path: &str, args: &ParsedArgs) -> Result<(), String> {
 /// `perfvar analyze <trace>`
 pub fn analyze(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["function", "refine", "multiplier", "threads"],
+        valued: &["function", "refine", "multiplier", "threads", "read-buffer"],
         flags: &[
             "json",
             "auto-refine",
@@ -347,6 +359,7 @@ pub fn analyze(argv: Vec<String>) -> Result<(), String> {
             "reference",
             "in-memory",
             "partial",
+            "no-mmap",
             "stats",
             "stats-json",
         ],
@@ -466,9 +479,10 @@ pub fn render(argv: Vec<String>) -> Result<(), String> {
             "refine",
             "multiplier",
             "threads",
+            "read-buffer",
             "width",
         ],
-        flags: &["ansi", "in-memory"],
+        flags: &["ansi", "in-memory", "no-mmap"],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
     let path = args.positional(0).ok_or("missing trace path")?;
@@ -553,8 +567,15 @@ pub fn render(argv: Vec<String>) -> Result<(), String> {
 /// `perfvar report <trace> --out-dir DIR` — text report plus every chart.
 pub fn report(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["out-dir", "function", "refine", "multiplier", "threads"],
-        flags: &["in-memory"],
+        valued: &[
+            "out-dir",
+            "function",
+            "refine",
+            "multiplier",
+            "threads",
+            "read-buffer",
+        ],
+        flags: &["in-memory", "no-mmap"],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
     let path = args.positional(0).ok_or("missing trace path")?;
@@ -997,6 +1018,34 @@ mod tests {
         analyze(argv(&[a, "--stats"])).unwrap();
         analyze(argv(&[a, "--stats-json"])).unwrap();
         analyze(argv(&[a, "--stats-json", "--json"])).unwrap();
+    }
+
+    #[test]
+    fn analyze_io_knob_flags() {
+        let dir = tmp_dir("io-knobs");
+        let trace_path = dir.join("t.pvt");
+        let ts = trace_path.to_str().unwrap();
+        generate(argv(&[
+            "outlier",
+            "--out",
+            ts,
+            "--ranks",
+            "4",
+            "--iterations",
+            "5",
+        ]))
+        .unwrap();
+        let arch = dir.join("t.pvta");
+        convert(argv(&[ts, arch.to_str().unwrap()])).unwrap();
+        let a = arch.to_str().unwrap();
+        // Pure performance knobs: every combination must analyze fine.
+        analyze(argv(&[a, "--read-buffer", "4096"])).unwrap();
+        analyze(argv(&[a, "--no-mmap"])).unwrap();
+        analyze(argv(&[a, "--no-mmap", "--read-buffer", "512"])).unwrap();
+        let err = analyze(argv(&[a, "--read-buffer", "0"])).unwrap_err();
+        assert!(err.contains("read-buffer"));
+        let err = analyze(argv(&[a, "--read-buffer", "many"])).unwrap_err();
+        assert!(err.contains("invalid"));
     }
 
     #[test]

@@ -52,4 +52,17 @@ pub mod __private {
             None => Err(Error::custom(format!("missing field `{name}`"))),
         }
     }
+
+    /// Like [`field`] but a `#[serde(default)]` field: absence (or an
+    /// explicit `null`) falls back to `default()` instead of erroring.
+    pub fn field_or<T: Deserialize>(
+        v: &Value,
+        name: &str,
+        default: impl FnOnce() -> T,
+    ) -> Result<T, Error> {
+        match v.get(name) {
+            Some(Value::Null) | None => Ok(default()),
+            Some(f) => T::from_value(f),
+        }
+    }
 }

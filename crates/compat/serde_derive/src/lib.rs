@@ -5,8 +5,11 @@
 //! those conversions for the shapes the perfvar workspace actually uses:
 //! structs with named fields, tuple structs, unit structs, and enums with
 //! unit / tuple / struct variants (externally tagged, like real serde).
-//! The only container/field attributes honoured are `#[serde(transparent)]`
-//! and `#[serde(skip)]` — the only ones the workspace uses.
+//! The only container/field attributes honoured are `#[serde(transparent)]`,
+//! `#[serde(skip)]`, and `#[serde(default)]` / `#[serde(default = "path")]`
+//! — the only ones the workspace uses. A defaulted field tolerates being
+//! absent from the input object (older on-disk JSON stays readable after
+//! a struct gains a field).
 //!
 //! The implementation deliberately avoids `syn`/`quote` (unavailable in
 //! offline builds): it walks the raw `TokenStream` by hand and emits the
@@ -18,6 +21,9 @@ use std::fmt::Write as _;
 struct Field {
     name: String,
     skip: bool,
+    /// `Some(None)` for `#[serde(default)]`, `Some(Some(path))` for
+    /// `#[serde(default = "path")]`, `None` when the field is required.
+    default: Option<Option<String>>,
 }
 
 enum VariantKind {
@@ -82,6 +88,35 @@ fn serde_attr_words(bracket: &Group) -> Vec<String> {
             .collect(),
         _ => Vec::new(),
     }
+}
+
+/// Extracts a `default` word from a `#[serde(...)]` group: `Some(None)`
+/// for the bare word, `Some(Some(path))` for `default = "path"`.
+fn serde_attr_default(bracket: &Group) -> Option<Option<String>> {
+    let mut toks = bracket.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner: Vec<TokenTree> = match toks.next() {
+        Some(TokenTree::Group(inner)) => inner.stream().into_iter().collect(),
+        _ => return None,
+    };
+    let mut i = 0;
+    while i < inner.len() {
+        if matches!(&inner[i], TokenTree::Ident(id) if id.to_string() == "default") {
+            if matches!(inner.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                    let text = lit.to_string();
+                    let path = text.trim_matches('"').to_string();
+                    return Some(Some(path));
+                }
+            }
+            return Some(None);
+        }
+        i += 1;
+    }
+    None
 }
 
 fn parse_input(input: TokenStream) -> Input {
@@ -152,10 +187,14 @@ fn parse_named_fields(g: &Group) -> Vec<Field> {
     let mut i = 0;
     while i < tokens.len() {
         let mut skip = false;
+        let mut default = None;
         while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             if let Some(TokenTree::Group(ag)) = tokens.get(i + 1) {
                 if serde_attr_words(ag).iter().any(|w| w == "skip") {
                     skip = true;
+                }
+                if let Some(d) = serde_attr_default(ag) {
+                    default = Some(d);
                 }
             }
             i += 2;
@@ -195,7 +234,11 @@ fn parse_named_fields(g: &Group) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     fields
 }
@@ -387,6 +430,24 @@ fn gen_serialize(ast: &Input) -> String {
     out
 }
 
+/// The `name: value,` initialiser for one named field of a deserialize
+/// impl, reading from the object expression `src`.
+fn deser_field_expr(f: &Field, src: &str) -> String {
+    let fname = &f.name;
+    if f.skip {
+        return format!("{fname}: Default::default(), ");
+    }
+    match &f.default {
+        None => format!("{fname}: serde::__private::field({src}, \"{fname}\")?, "),
+        Some(None) => {
+            format!("{fname}: serde::__private::field_or({src}, \"{fname}\", Default::default)?, ")
+        }
+        Some(Some(path)) => {
+            format!("{fname}: serde::__private::field_or({src}, \"{fname}\", {path})?, ")
+        }
+    }
+}
+
 fn gen_deserialize(ast: &Input) -> String {
     let name = &ast.name;
     let mut out = format!(
@@ -436,13 +497,7 @@ fn gen_deserialize(ast: &Input) -> String {
             Body::Struct(fields) => {
                 out.push_str("Ok(Self { ");
                 for f in fields {
-                    let fname = &f.name;
-                    if f.skip {
-                        let _ = write!(out, "{fname}: Default::default(), ");
-                    } else {
-                        let _ =
-                            write!(out, "{fname}: serde::__private::field(__v, \"{fname}\")?, ");
-                    }
+                    out.push_str(&deser_field_expr(f, "__v"));
                 }
                 out.push_str("})");
             }
@@ -497,16 +552,7 @@ fn gen_deserialize(ast: &Input) -> String {
                         VariantKind::Struct(fields) => {
                             let _ = write!(out, "\"{vname}\" => Ok({name}::{vname} {{ ");
                             for f in fields {
-                                let fname = &f.name;
-                                if f.skip {
-                                    let _ = write!(out, "{fname}: Default::default(), ");
-                                } else {
-                                    let _ = write!(
-                                        out,
-                                        "{fname}: serde::__private::field(__val, \
-                                         \"{fname}\")?, "
-                                    );
-                                }
+                                out.push_str(&deser_field_expr(f, "__val"));
                             }
                             out.push_str("}), ");
                         }

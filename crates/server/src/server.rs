@@ -98,6 +98,14 @@ type FileSig = (PathBuf, u64, Option<SystemTime>);
 /// file's size or mtime changes. This is what keeps warm requests off
 /// the disk: re-hashing the archive on every hit would read the whole
 /// trace back in.
+///
+/// A size+mtime signature has a blind spot: on filesystems with
+/// whole-second mtime granularity, a file rewritten in place with
+/// equal length *within the same second* keeps its signature while its
+/// bytes change. [`DigestMemo::signature_is_stable`] detects exactly
+/// those entries (coarse mtime still inside the granularity window) and
+/// refuses to trust the memo for them — the digest is re-hashed from
+/// the bytes until the mtime is old enough to be tamper-evident.
 #[derive(Default)]
 struct DigestMemo {
     known: Mutex<HashMap<PathBuf, (Vec<FileSig>, u128)>>,
@@ -115,11 +123,36 @@ impl DigestMemo {
             .collect()
     }
 
+    /// Whether a matching signature proves the bytes are unchanged. A
+    /// whole-second mtime (granularity ≥ 1 s — or a one-in-10⁹
+    /// coincidence, where caution merely costs a re-hash) less than two
+    /// seconds old could have been written *after* a same-second
+    /// same-length rewrite; an absent mtime proves nothing at all.
+    fn signature_is_stable(sig: &[FileSig]) -> bool {
+        let now = SystemTime::now();
+        sig.iter().all(|(_, _, mtime)| match mtime {
+            None => false,
+            Some(m) => {
+                let coarse = m
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.subsec_nanos() == 0)
+                    .unwrap_or(true);
+                !coarse
+                    || now
+                        .duration_since(*m)
+                        .map(|age| age.as_secs() >= 2)
+                        .unwrap_or(false)
+            }
+        })
+    }
+
     fn digest_of(&self, path: &Path) -> Result<u128, ServeError> {
         let sig = DigestMemo::signature(path)?;
-        if let Some((known_sig, digest)) = self.known.lock().unwrap().get(path) {
-            if *known_sig == sig {
-                return Ok(*digest);
+        if DigestMemo::signature_is_stable(&sig) {
+            if let Some((known_sig, digest)) = self.known.lock().unwrap().get(path) {
+                if *known_sig == sig {
+                    return Ok(*digest);
+                }
             }
         }
         let digest = digest_path(path).map_err(trace_error)?;

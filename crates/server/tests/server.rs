@@ -166,6 +166,54 @@ fn modifying_the_archive_invalidates_the_cached_result() {
     handle.shutdown();
 }
 
+/// Pins every constituent file of the archive to `second`, emulating a
+/// filesystem with whole-second mtime granularity.
+fn pin_whole_second_mtimes(archive_dir: &Path, second: std::time::SystemTime) {
+    for entry in std::fs::read_dir(archive_dir).unwrap() {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(entry.unwrap().path())
+            .unwrap();
+        file.set_modified(second).unwrap();
+    }
+}
+
+#[test]
+fn same_second_equal_length_rewrite_is_never_served_stale() {
+    use std::time::{Duration, SystemTime, UNIX_EPOCH};
+    let dir = tmp("same-second");
+    let trace = write_fixture(&dir, 3);
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .as_secs();
+    let second = UNIX_EPOCH + Duration::from_secs(secs);
+    pin_whole_second_mtimes(&trace, second);
+
+    let (handle, addr) = spawn(ServeOptions::default());
+    let target = analyze_target(&trace);
+    let before = client::get(&addr, &target).unwrap();
+    assert_eq!(before.status, 200, "{}", before.body);
+
+    // Rewrite one stream in place: same length, different bytes, same
+    // whole-second mtime — invisible to a pure size+mtime signature.
+    let stream = trace.join(archive::stream_file(1));
+    let mut bytes = std::fs::read(&stream).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x55;
+    std::fs::write(&stream, &bytes).unwrap();
+    pin_whole_second_mtimes(&trace, second);
+
+    // The changed bytes must be detected (fresh digest → new analysis
+    // or a decode error) — never the memoised result of the old bytes.
+    let after = client::get(&addr, &target).unwrap();
+    assert!(
+        after.status != 200 || after.body != before.body,
+        "in-place rewrite within mtime granularity was served stale"
+    );
+    handle.shutdown();
+}
+
 #[test]
 fn disk_spill_serves_a_fresh_daemon_without_reanalyzing() {
     let dir = tmp("spill");

@@ -29,15 +29,41 @@
 //! recovered.
 
 use super::archive::{read_anchor, stream_file, STREAM_MAGIC};
+use super::mmap::FileReader;
 use super::varint::{decode_u64_slice, read_u64};
 use crate::error::{TraceError, TraceResult};
 use crate::event::{Event, EventRecord};
 use crate::ids::{FunctionId, MetricId, ProcessId};
 use crate::registry::Registry;
 use crate::time::{Clock, Timestamp};
-use std::fs::File;
-use std::io::{BufRead, BufReader, Read};
+use std::io::{BufRead, Read};
 use std::path::{Path, PathBuf};
+
+/// How an [`ArchiveCursor`] reads stream files: mapped or buffered, and
+/// with what buffer when buffered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CursorOptions {
+    /// Memory-map stream files where possible (the default). The
+    /// buffered fallback still applies when mapping fails.
+    pub mmap: bool,
+    /// Read-buffer size in bytes for the buffered path (ignored when a
+    /// file is mapped). Clamped to a small floor.
+    pub read_buffer_bytes: usize,
+}
+
+impl CursorOptions {
+    /// Default buffered read-buffer size (256 KiB).
+    pub const DEFAULT_READ_BUFFER: usize = 256 * 1024;
+}
+
+impl Default for CursorOptions {
+    fn default() -> CursorOptions {
+        CursorOptions {
+            mmap: true,
+            read_buffer_bytes: CursorOptions::DEFAULT_READ_BUFFER,
+        }
+    }
+}
 
 /// The table sizes of a [`Registry`] — everything incremental validation
 /// needs to check references, small enough to copy into every worker.
@@ -389,6 +415,70 @@ impl<R: BufRead> StreamCursor<R> {
         self.remaining -= 1;
         Ok(Some(EventRecord::new(Timestamp(time), event)))
     }
+
+    /// Decodes up to `max` records into `out` (cleared first), returning
+    /// how many were produced; `Ok(0)` means clean end of stream.
+    ///
+    /// Semantically identical to calling [`Self::next_record`] `max`
+    /// times, but whole records within the buffered slice are decoded
+    /// with one `fill_buf`/`consume` pair per refill instead of one per
+    /// record — with a mapped file the slice is the entire remaining
+    /// stream, so the hot loop is pure index arithmetic. Any anomaly
+    /// (malformed field, validation failure, buffer boundary, end of
+    /// stream) leaves the reader positioned at the offending record and
+    /// falls back to `next_record`, which reproduces the exact error,
+    /// offset and end-of-stream certification of the one-at-a-time path.
+    /// On `Err`, `out` holds the records decoded before the failure.
+    pub fn next_chunk(&mut self, out: &mut Vec<EventRecord>, max: usize) -> TraceResult<usize> {
+        out.clear();
+        while out.len() < max && self.remaining > 0 && !self.done && !self.poisoned {
+            let mut pos = 0usize;
+            let mut clean = true;
+            match self.reader.fill_buf() {
+                // The tail path re-encounters and reports the error.
+                Err(_) => break,
+                Ok(buf) => {
+                    if buf.len() < MAX_EVENT_BYTES {
+                        break;
+                    }
+                    while out.len() < max
+                        && self.remaining > 0
+                        && buf.len() - pos >= MAX_EVENT_BYTES
+                    {
+                        let Some((used, time, event)) =
+                            decode_event_slice(&buf[pos..], self.prev_time)
+                        else {
+                            clean = false;
+                            break;
+                        };
+                        if check_event(self.shape, self.process, time, &event, &mut self.stack)
+                            .is_err()
+                        {
+                            // `check_event` mutates nothing on failure;
+                            // the record stays unconsumed for the tail.
+                            clean = false;
+                            break;
+                        }
+                        self.prev_time = time;
+                        self.remaining -= 1;
+                        out.push(EventRecord::new(Timestamp(time), event));
+                        pos += used;
+                    }
+                }
+            }
+            self.reader.consume(pos);
+            if !clean {
+                break;
+            }
+        }
+        while out.len() < max {
+            match self.next_record()? {
+                Some(record) => out.push(record),
+                None => break,
+            }
+        }
+        Ok(out.len())
+    }
 }
 
 impl<R: BufRead> Iterator for StreamCursor<R> {
@@ -433,12 +523,21 @@ pub struct ArchiveCursor {
     name: String,
     clock: Clock,
     registry: Registry,
+    options: CursorOptions,
 }
 
 impl ArchiveCursor {
     /// Opens an archive directory: reads and validates the anchor file
-    /// only. No stream file is touched yet.
+    /// only. No stream file is touched yet. Streams are memory-mapped
+    /// where possible; use [`open_with`](ArchiveCursor::open_with) to
+    /// control that.
     pub fn open(dir: impl AsRef<Path>) -> TraceResult<ArchiveCursor> {
+        ArchiveCursor::open_with(dir, CursorOptions::default())
+    }
+
+    /// Like [`open`](ArchiveCursor::open) with explicit
+    /// [`CursorOptions`] (mmap on/off, buffered read-buffer size).
+    pub fn open_with(dir: impl AsRef<Path>, options: CursorOptions) -> TraceResult<ArchiveCursor> {
         let dir = dir.as_ref();
         let (name, clock, registry) = read_anchor(dir)?;
         Ok(ArchiveCursor {
@@ -446,7 +545,13 @@ impl ArchiveCursor {
             name,
             clock,
             registry,
+            options,
         })
+    }
+
+    /// The read options streams are opened with.
+    pub fn options(&self) -> CursorOptions {
+        self.options
     }
 
     /// The trace name from the anchor.
@@ -469,20 +574,20 @@ impl ArchiveCursor {
         self.registry.num_processes()
     }
 
-    /// Opens the event cursor of one process's stream file.
-    pub fn stream(&self, process: ProcessId) -> TraceResult<StreamCursor<BufReader<File>>> {
+    /// Opens the event cursor of one process's stream file: mapped when
+    /// the options (and the platform) allow it, buffered otherwise.
+    /// Either way the cursor consumes the identical byte stream, so
+    /// error offsets do not depend on the read path.
+    pub fn stream(&self, process: ProcessId) -> TraceResult<StreamCursor<FileReader>> {
         let path = self.dir.join(stream_file(process.index()));
-        let file = File::open(&path).map_err(|e| {
-            TraceError::Io(std::io::Error::new(
-                e.kind(),
-                format!("{}: {e}", path.display()),
-            ))
-        })?;
-        StreamCursor::open_stream(
-            BufReader::new(file),
-            process,
-            RegistryShape::of(&self.registry),
-        )
+        let reader = FileReader::open(&path, self.options.mmap, self.options.read_buffer_bytes)
+            .map_err(|e| {
+                TraceError::Io(std::io::Error::new(
+                    e.kind(),
+                    format!("{}: {e}", path.display()),
+                ))
+            })?;
+        StreamCursor::open_stream(reader, process, RegistryShape::of(&self.registry))
     }
 }
 
@@ -663,6 +768,150 @@ mod tests {
         let archive = ArchiveCursor::open(&dir).unwrap();
         let err = archive.stream(ProcessId(1)).unwrap_err();
         assert!(err.to_string().contains("stream-1.pvts"), "{err}");
+    }
+
+    #[test]
+    fn mapped_and_buffered_streams_agree() {
+        let t = sample(2);
+        let dir = tmp("mmapeq.pvta");
+        write_archive(&t, &dir).unwrap();
+        let mapped = ArchiveCursor::open_with(
+            &dir,
+            CursorOptions {
+                mmap: true,
+                ..CursorOptions::default()
+            },
+        )
+        .unwrap();
+        // A 64-byte buffer forces plenty of refills on the buffered path.
+        let buffered = ArchiveCursor::open_with(
+            &dir,
+            CursorOptions {
+                mmap: false,
+                read_buffer_bytes: 64,
+            },
+        )
+        .unwrap();
+        for pid in t.registry().process_ids() {
+            let a: Vec<_> = mapped
+                .stream(pid)
+                .unwrap()
+                .collect::<Result<_, _>>()
+                .unwrap();
+            let b: Vec<_> = buffered
+                .stream(pid)
+                .unwrap()
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(a, b, "{pid}");
+        }
+    }
+
+    #[test]
+    fn mapped_and_buffered_error_offsets_agree() {
+        let t = sample(1);
+        let dir = tmp("mmaperr.pvta");
+        write_archive(&t, &dir).unwrap();
+        let path = dir.join(stream_file(0));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let mut offsets = Vec::new();
+        for mmap in [true, false] {
+            let archive = ArchiveCursor::open_with(
+                &dir,
+                CursorOptions {
+                    mmap,
+                    read_buffer_bytes: 64,
+                },
+            )
+            .unwrap();
+            let err = archive
+                .stream(ProcessId(0))
+                .unwrap()
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap_err();
+            match err {
+                TraceError::CorruptStream { offset, .. } => offsets.push(offset),
+                other => panic!("mmap={mmap}: expected CorruptStream, got {other}"),
+            }
+        }
+        assert_eq!(
+            offsets[0], offsets[1],
+            "offsets must not depend on the read path"
+        );
+    }
+
+    #[test]
+    fn next_chunk_matches_next_record() {
+        let t = sample(2);
+        let dir = tmp("chunkeq.pvta");
+        write_archive(&t, &dir).unwrap();
+        let archive = ArchiveCursor::open(&dir).unwrap();
+        for pid in t.registry().process_ids() {
+            let singles: Vec<_> = archive
+                .stream(pid)
+                .unwrap()
+                .collect::<Result<_, _>>()
+                .unwrap();
+            // Chunk sizes below, at, and above the stream length.
+            for max in [1, 7, singles.len(), singles.len() + 9] {
+                let mut cursor = archive.stream(pid).unwrap();
+                let mut chunked = Vec::new();
+                let mut chunk = Vec::new();
+                while cursor.next_chunk(&mut chunk, max).unwrap() > 0 {
+                    chunked.extend(chunk.iter().copied());
+                }
+                assert_eq!(chunked, singles, "{pid} max={max}");
+                assert!(cursor.next_record().unwrap().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn next_chunk_reports_the_same_error_as_next_record() {
+        let t = sample(1);
+        let dir = tmp("chunkerr.pvta");
+        write_archive(&t, &dir).unwrap();
+        let path = dir.join(stream_file(0));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let archive = ArchiveCursor::open(&dir).unwrap();
+
+        let mut singles = Vec::new();
+        let mut cursor = archive.stream(ProcessId(0)).unwrap();
+        let single_err = loop {
+            match cursor.next_record() {
+                Ok(Some(r)) => singles.push(r),
+                Ok(None) => panic!("truncated stream decoded clean"),
+                Err(e) => break e,
+            }
+        };
+
+        let mut chunked = Vec::new();
+        let mut cursor = archive.stream(ProcessId(0)).unwrap();
+        let mut chunk = Vec::new();
+        let chunk_err = loop {
+            match cursor.next_chunk(&mut chunk, 8) {
+                Ok(0) => panic!("truncated stream decoded clean"),
+                Ok(_) => chunked.extend(chunk.iter().copied()),
+                Err(e) => {
+                    // On error the chunk holds the records decoded
+                    // before the offending one.
+                    chunked.extend(chunk.iter().copied());
+                    break e;
+                }
+            }
+        };
+
+        assert_eq!(chunked, singles, "events before the error must agree");
+        assert_eq!(chunk_err.to_string(), single_err.to_string());
+        match (chunk_err, single_err) {
+            (
+                TraceError::CorruptStream { offset: a, .. },
+                TraceError::CorruptStream { offset: b, .. },
+            ) => assert_eq!(a, b, "error offsets must not depend on chunking"),
+            other => panic!("expected CorruptStream pair, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Memory-mapped read access to trace files.
+//!
+//! The out-of-core cursors used to copy every byte through an 8 KiB
+//! `BufReader` window, which kept the whole-record slice fast path of
+//! [`decode_event`](super::cursor) from seeing more than one buffer's
+//! worth of data at a time. Mapping the file instead presents it as one
+//! contiguous `&[u8]`, so record decoding (and the SWAR varint path
+//! under it) runs straight against the page cache with no copies and no
+//! buffer-boundary fallbacks except at the true end of file.
+//!
+//! This is the crate's only `unsafe` boundary. It is deliberately tiny:
+//! two `extern "C"` declarations (`mmap`/`munmap`, which `std` already
+//! links via libc on every Unix), a read-only `MAP_PRIVATE` mapping, and
+//! a `Drop` that unmaps. Platforms without `mmap` — plus files small
+//! enough that one buffered read slurps them whole (see
+//! [`FileReader::open`]) and callers that want strict streaming — use the buffered
+//! [`FileReader::Buffered`] fallback, which behaves identically (the
+//! two variants are property-tested for bit-identical analysis results
+//! and error offsets in `tests/properties.rs`).
+//!
+//! Concurrent-modification caveat (shared with every mmap consumer): if
+//! another process truncates a mapped file, reads of the vanished pages
+//! fault. Trace archives are write-once in this workspace; callers that
+//! cannot assume that should disable mapping.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read};
+use std::path::Path;
+
+/// A read-only memory mapping of an entire file.
+///
+/// Dereferences to the file's bytes via [`as_slice`](Mmap::as_slice).
+/// The mapping is private (copy-on-write semantics are irrelevant for a
+/// `PROT_READ` map) and released on drop.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only for its whole lifetime; the pointer
+// is owned by this struct and the pages are shared freely across
+// threads, exactly like a `Box<[u8]>`.
+#[allow(unsafe_code)]
+unsafe impl Send for Mmap {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// Maps `len` bytes of `file` read-only. `len` must be non-zero and
+    /// no larger than the file (enforced by the caller, which stats the
+    /// file first).
+    pub(super) fn map(file: &File, len: usize) -> io::Result<*const u8> {
+        // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of a file we
+        // hold open; the kernel validates fd and length. The returned
+        // pages stay valid until `unmap`, which only `Drop` calls.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::other(
+                "mmap failed (falling back to buffered reads)",
+            ));
+        }
+        Ok(ptr as *const u8)
+    }
+
+    pub(super) fn unmap(ptr: *const u8, len: usize) {
+        // SAFETY: `ptr`/`len` came from a successful `map` and are
+        // unmapped exactly once.
+        unsafe {
+            munmap(ptr as *mut c_void, len);
+        }
+    }
+}
+
+impl Mmap {
+    /// Maps the whole of `file` read-only. Zero-length files yield an
+    /// empty mapping without touching `mmap` (which rejects length 0).
+    ///
+    /// Errors (non-regular file, exhausted address space, platform
+    /// without `mmap`) are reported so callers can fall back to
+    /// buffered reads.
+    #[cfg(unix)]
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::other("file exceeds address space"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        Ok(Mmap {
+            ptr: sys::map(file, len)?,
+            len,
+        })
+    }
+
+    /// Memory mapping is not available on this platform; callers fall
+    /// back to buffered reads.
+    #[cfg(not(unix))]
+    pub fn map(_file: &File) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mmap not supported on this platform",
+        ))
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` points at `len` mapped read-only bytes that
+        // live until `Drop`; the slice borrow cannot outlive `self`.
+        #[allow(unsafe_code)]
+        unsafe {
+            std::slice::from_raw_parts(self.ptr, self.len)
+        }
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len > 0 {
+            sys::unmap(self.ptr, self.len);
+        }
+    }
+}
+
+/// [`BufRead`] over a memory mapping: the whole file is one buffer, so
+/// every record decode takes the contiguous-slice fast path.
+#[derive(Debug)]
+pub struct MmapReader {
+    map: Mmap,
+    pos: usize,
+}
+
+impl MmapReader {
+    /// Wraps a mapping, positioned at the start.
+    pub fn new(map: Mmap) -> MmapReader {
+        MmapReader { map, pos: 0 }
+    }
+
+    fn rest(&self) -> &[u8] {
+        &self.map.as_slice()[self.pos..]
+    }
+}
+
+impl Read for MmapReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let rest = self.rest();
+        let n = rest.len().min(buf.len());
+        buf[..n].copy_from_slice(&rest[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl BufRead for MmapReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        Ok(&self.map.as_slice()[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.map.len());
+    }
+}
+
+/// A trace-file reader that is memory-mapped when the platform and file
+/// allow it and buffered otherwise. Both variants implement [`BufRead`]
+/// and consume the same byte stream, so downstream offset accounting
+/// (and therefore `CorruptStream` error offsets) is identical.
+#[derive(Debug)]
+pub enum FileReader {
+    /// Decoding straight from the page cache.
+    Mapped(MmapReader),
+    /// Classic buffered reads (fallback, or explicitly requested).
+    Buffered(BufReader<File>),
+}
+
+impl FileReader {
+    /// Opens `path` for reading. With `prefer_mmap`, regular files
+    /// *larger than the buffer window* are memory-mapped; smaller files,
+    /// mapping failures and non-regular files (e.g. FIFOs) fall back to
+    /// a buffered reader with a `buffer_bytes`-sized window.
+    ///
+    /// The size threshold is a measured trade: a mapping pays a fixed
+    /// per-file cost (`mmap`/`munmap` syscalls plus a soft fault per
+    /// touched page) that dwarfs the copy it saves on a file the first
+    /// `read` would slurp whole — and per-rank stream files of
+    /// many-rank archives are exactly that small. Only when the file
+    /// exceeds the buffer window does zero-copy decoding win.
+    pub fn open(path: &Path, prefer_mmap: bool, buffer_bytes: usize) -> io::Result<FileReader> {
+        let file = File::open(path)?;
+        let window = buffer_bytes.max(64);
+        let len = file
+            .metadata()
+            .ok()
+            .filter(|m| m.is_file())
+            .map(|m| m.len());
+        if prefer_mmap && len.is_some_and(|len| len > window as u64) {
+            if let Ok(map) = Mmap::map(&file) {
+                return Ok(FileReader::Mapped(MmapReader::new(map)));
+            }
+        }
+        // Never allocate more window than there is file.
+        let window = match len {
+            Some(len) => window.min(usize::try_from(len.max(64)).unwrap_or(window)),
+            None => window,
+        };
+        Ok(FileReader::Buffered(BufReader::with_capacity(window, file)))
+    }
+
+    /// Whether this reader decodes from a memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, FileReader::Mapped(_))
+    }
+}
+
+impl Read for FileReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            FileReader::Mapped(r) => r.read(buf),
+            FileReader::Buffered(r) => r.read(buf),
+        }
+    }
+}
+
+impl BufRead for FileReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        match self {
+            FileReader::Mapped(r) => r.fill_buf(),
+            FileReader::Buffered(r) => r.fill_buf(),
+        }
+    }
+
+    fn consume(&mut self, amt: usize) {
+        match self {
+            FileReader::Mapped(r) => r.consume(amt),
+            FileReader::Buffered(r) => r.consume(amt),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("perfvar-mmap-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn mapping_sees_the_whole_file() {
+        let path = tmp("whole.bin");
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.as_slice(), &payload[..]);
+        assert_eq!(map.len(), payload.len());
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.as_slice(), b"");
+    }
+
+    #[test]
+    fn mapped_reader_matches_buffered_reader() {
+        let path = tmp("match.bin");
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i * 37 % 256) as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+
+        let mut mapped = FileReader::open(&path, true, 1024).unwrap();
+        let mut buffered = FileReader::open(&path, false, 64).unwrap();
+        assert!(mapped.is_mapped());
+        assert!(!buffered.is_mapped());
+
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        mapped.read_to_end(&mut a).unwrap();
+        buffered.read_to_end(&mut b).unwrap();
+        assert_eq!(a, payload);
+        assert_eq!(b, payload);
+    }
+
+    #[test]
+    fn small_files_prefer_the_buffered_reader() {
+        let path = tmp("small.bin");
+        std::fs::write(&path, vec![1u8; 4096]).unwrap();
+        // At or below the buffer window one read slurps the file, so
+        // mapping would only add syscall + fault overhead.
+        assert!(!FileReader::open(&path, true, 8192).unwrap().is_mapped());
+        assert!(!FileReader::open(&path, true, 4096).unwrap().is_mapped());
+        // Beyond the window the zero-copy mapping takes over.
+        assert!(FileReader::open(&path, true, 4095).unwrap().is_mapped());
+    }
+
+    #[test]
+    fn mapped_fill_buf_is_the_remaining_file() {
+        let path = tmp("fill.bin");
+        std::fs::write(&path, b"abcdefgh").unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        let mut r = FileReader::Mapped(MmapReader::new(map));
+        assert_eq!(r.fill_buf().unwrap(), b"abcdefgh");
+        r.consume(3);
+        assert_eq!(r.fill_buf().unwrap(), b"defgh");
+        r.consume(100); // over-consume clamps at EOF
+        assert_eq!(r.fill_buf().unwrap(), b"");
+    }
+
+    #[test]
+    fn mappings_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+    }
+
+    #[test]
+    fn drop_unmaps_without_poisoning_other_maps() {
+        let path = tmp("drop.bin");
+        std::fs::write(&path, vec![7u8; 1 << 16]).unwrap();
+        let f = File::open(&path).unwrap();
+        let a = Mmap::map(&f).unwrap();
+        let b = Mmap::map(&f).unwrap();
+        drop(a);
+        assert!(b.as_slice().iter().all(|&x| x == 7));
+    }
+}

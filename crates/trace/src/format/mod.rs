@@ -12,6 +12,9 @@
 //!   ([`cursor::StreamCursor`], [`cursor::ArchiveCursor`]) that decode
 //!   PVT/PVTA streams record by record *without* materialising a
 //!   [`Trace`], for out-of-core analysis of files larger than memory.
+//! * [`mmap`] — memory-mapped file readers ([`mmap::FileReader`]): the
+//!   zero-copy fast path under the cursors, with a buffered fallback
+//!   for platforms and inputs that cannot map.
 //! * [`digest`] — 128-bit content digests over trace files
 //!   ([`digest::digest_path`]), the identity half of content-addressed
 //!   result caching.
@@ -22,6 +25,7 @@
 pub mod archive;
 pub mod cursor;
 pub mod digest;
+pub mod mmap;
 pub mod pvt;
 pub mod text;
 pub mod varint;

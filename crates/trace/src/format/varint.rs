@@ -40,8 +40,49 @@ pub fn read_u64<R: BufRead>(r: &mut R) -> TraceResult<u64> {
 /// the varint or the encoding overflows u64 — callers fall back to
 /// [`read_u64`]'s bytewise path, which reproduces the exact error without
 /// having consumed anything.
+///
+/// When at least 8 bytes are available the varint is decoded with SWAR:
+/// one 8-byte little-endian load, a branchless continuation-bit scan
+/// (`trailing_zeros` of the inverted top bits gives the length), then a
+/// three-step pairwise fold that packs the 7-bit groups of all lanes at
+/// once. Varints of up to 8 bytes (56 value bits) — every id, tag, delta
+/// and all but pathological metric values — never touch the scalar loop;
+/// longer encodings and slice tails fall back to it.
 #[inline]
 pub(crate) fn decode_u64_slice(buf: &[u8]) -> Option<(u64, usize)> {
+    if buf.len() >= 8 {
+        let word = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes checked"));
+        let stops = !word & 0x8080_8080_8080_8080;
+        if stops != 0 {
+            let len = (stops.trailing_zeros() / 8 + 1) as usize;
+            let masked = if len == 8 {
+                word
+            } else {
+                word & ((1u64 << (len * 8)) - 1)
+            };
+            return Some((fold_leb128_groups(masked & 0x7f7f_7f7f_7f7f_7f7f), len));
+        }
+        // All 8 loaded bytes carry continuation bits: a 9- or 10-byte
+        // varint (or garbage); the scalar loop sorts it out.
+    }
+    decode_u64_slice_scalar(buf)
+}
+
+/// Packs the eight 7-bit LEB128 groups of a continuation-stripped
+/// little-endian word into one value: `Σ byte[i] << 7·i`. Three pairwise
+/// steps (7→14→28→56-bit lanes), no data-dependent branches.
+#[inline]
+fn fold_leb128_groups(x: u64) -> u64 {
+    let x = ((x & 0x7f00_7f00_7f00_7f00) >> 1) | (x & 0x007f_007f_007f_007f);
+    let x = ((x & 0x3fff_0000_3fff_0000) >> 2) | (x & 0x0000_3fff_0000_3fff);
+    ((x & 0x0fff_ffff_0000_0000) >> 4) | (x & 0x0000_0000_0fff_ffff)
+}
+
+/// Scalar decoder: slice tails shorter than 8 bytes and encodings longer
+/// than 8 bytes. Semantically identical to the SWAR path where both
+/// apply (property `swar_equals_scalar_on_every_prefix` below).
+#[inline]
+fn decode_u64_slice_scalar(buf: &[u8]) -> Option<(u64, usize)> {
     let mut value: u64 = 0;
     let mut shift = 0u32;
     for (i, &b) in buf.iter().take(10).enumerate() {
@@ -206,6 +247,78 @@ mod tests {
         let bytes = vec![0xffu8; 11];
         let err = read_u64(&mut Cursor::new(bytes)).unwrap_err();
         assert!(matches!(err, TraceError::Corrupt(_)));
+    }
+
+    #[test]
+    fn swar_equals_scalar_on_every_prefix() {
+        // The SWAR fast path and the scalar loop must agree on every
+        // (value, truncation) pair: same value, same length, and the
+        // same None on truncated input.
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            (1 << 21) - 1,
+            1 << 21,
+            (1 << 28) - 1,
+            1 << 28,
+            (1 << 35) - 1,
+            1 << 35,
+            (1 << 42) - 1,
+            1 << 42,
+            (1 << 49) - 1,
+            1 << 49,
+            (1 << 56) - 1,
+            1 << 56,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &values {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).unwrap();
+            // Padding after the varint must not affect the decode.
+            buf.extend_from_slice(&[0xff; 12]);
+            for cut in 0..buf.len() {
+                let slice = &buf[..cut];
+                assert_eq!(
+                    decode_u64_slice(slice),
+                    decode_u64_slice_scalar(slice),
+                    "value {v}, cut {cut}"
+                );
+            }
+            let encoded_len = buf.len() - 12;
+            assert_eq!(decode_u64_slice(&buf), Some((v, encoded_len)), "value {v}");
+        }
+    }
+
+    #[test]
+    fn swar_handles_dense_random_bytes() {
+        // Pseudo-random byte soup: both decoders must agree at every
+        // offset (they may legitimately decode garbage values — only
+        // equivalence matters here).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let bytes: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        for start in 0..bytes.len() {
+            let slice = &bytes[start..];
+            assert_eq!(
+                decode_u64_slice(slice),
+                decode_u64_slice_scalar(slice),
+                "offset {start}"
+            );
+        }
     }
 
     #[test]

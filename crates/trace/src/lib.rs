@@ -63,7 +63,9 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the memory-mapped reader
+// (`format::mmap`) carries the crate's single, scoped `allow`.
+#![deny(unsafe_code)]
 
 pub mod error;
 pub mod event;

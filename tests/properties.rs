@@ -383,6 +383,75 @@ proptest! {
             ),
         }
     }
+
+    // ── mmap path ≡ buffered path ≡ in-memory, success and failure ──
+
+    #[test]
+    fn read_paths_are_bit_identical_and_fail_identically(
+        trace in trace_strategy(),
+        threads in 0usize..5,
+        read_buffer in 1usize..384,
+        cut in 0usize..48,
+    ) {
+        use perfvar::analysis::{analyze_path_with, RecoveryMode};
+        use perfvar::trace::format::{archive, write_trace_file};
+        let dir = std::env::temp_dir()
+            .join("perfvar-prop-readpaths")
+            .join(format!("t{}.pvta", std::process::id()));
+        write_trace_file(&trace, &dir).unwrap();
+        // `cut > 0` truncates the last stream file by that many bytes —
+        // the decoders must then fail with the *same* typed error (same
+        // rank, same byte offset) regardless of how the bytes were read.
+        let mut truncated = false;
+        if cut > 0 && trace.num_processes() > 0 {
+            let stream = dir.join(archive::stream_file(trace.num_processes() - 1));
+            let bytes = std::fs::read(&stream).unwrap();
+            if bytes.len() > cut + 8 {
+                std::fs::write(&stream, &bytes[..bytes.len() - cut]).unwrap();
+                truncated = true;
+            }
+        }
+        // A 1-byte buffer request keeps the mmap size threshold (files no
+        // larger than the buffer window stay buffered) from hiding the
+        // mapped path on these small generated archives.
+        let mapped_cfg = AnalysisConfig {
+            threads,
+            read_buffer_bytes: 1,
+            ..AnalysisConfig::default()
+        };
+        let buffered_cfg = AnalysisConfig {
+            threads,
+            mmap: false,
+            read_buffer_bytes: read_buffer,
+            ..AnalysisConfig::default()
+        };
+        let mapped = analyze_path_with(&dir, &mapped_cfg, RecoveryMode::Strict);
+        let buffered = analyze_path_with(&dir, &buffered_cfg, RecoveryMode::Strict);
+        match (mapped, buffered) {
+            (Ok(m), Ok(b)) => {
+                prop_assert_eq!(&m.analysis, &b.analysis);
+                prop_assert_eq!(&m.meta, &b.meta);
+                prop_assert_eq!(m.passes, b.passes);
+                if !truncated {
+                    // The intact archive must also match the in-memory
+                    // pipeline bit for bit (per-mode counter batches,
+                    // every thread count, both I/O strategies).
+                    let mem = analyze(&trace, &mapped_cfg);
+                    prop_assert!(mem.is_ok());
+                    prop_assert_eq!(&m.analysis, &mem.unwrap());
+                }
+            }
+            // Typed errors — CorruptStream rank and byte offset included
+            // — must not depend on the read path.
+            (Err(m), Err(b)) => prop_assert_eq!(m.to_string(), b.to_string()),
+            (m, b) => prop_assert!(
+                false,
+                "read paths disagree: mmap {:?} vs buffered {:?}",
+                m.map(|_| ()),
+                b.map(|_| ())
+            ),
+        }
+    }
 }
 
 proptest! {
