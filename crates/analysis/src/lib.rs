@@ -55,6 +55,7 @@ pub mod invocation;
 pub mod messages;
 pub mod outofcore;
 pub mod parallel;
+pub mod part;
 pub mod phases;
 pub mod profile;
 pub mod report;
@@ -80,6 +81,10 @@ pub mod prelude {
         analyze_path, analyze_path_observed, analyze_path_with, OutOfCoreAnalysis,
         PathAnalysisError, RecoveryMode, StreamFailure,
     };
+    pub use crate::part::{
+        analyze_path_sharded, analyze_path_sharded_observed, archive_part, archive_part_observed,
+        AnalysisPart, PartOutcome,
+    };
     pub use crate::phases::{Phase, PhaseConfig, PhaseDetection};
     pub use crate::profile::FunctionProfile;
     pub use crate::report::{
@@ -103,6 +108,10 @@ pub use invocation::{Invocation, ProcessInvocations};
 pub use outofcore::{
     analyze_path, analyze_path_observed, analyze_path_with, OutOfCoreAnalysis, PathAnalysisError,
     RecoveryMode, StreamFailure,
+};
+pub use part::{
+    analyze_path_sharded, analyze_path_sharded_observed, archive_part, archive_part_observed,
+    AnalysisPart, PartOutcome,
 };
 pub use profile::FunctionProfile;
 pub use report::{

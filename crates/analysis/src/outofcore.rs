@@ -71,10 +71,11 @@
 //! independently.
 
 use crate::dominant::DominantRanking;
-use crate::fused::{merge_fused, metric_modes, FusedSink};
+use crate::fused::{metric_modes, FusedSink};
 use crate::parallel::par_map_ranks;
+use crate::part::{AnalysisPart, PartOutcome};
 use crate::profile::{ProfileRow, ProfileSink, ProfileTable};
-use crate::report::{assemble, segmentation_function, Analysis, AnalysisConfig, AnalysisError};
+use crate::report::{Analysis, AnalysisConfig, AnalysisError};
 use crate::segment::Segment;
 use crate::stream::{ClosedFrame, ReplayMachine, ReplayVisitor};
 use crate::telemetry::{Stage, Telemetry};
@@ -324,7 +325,7 @@ const NO_PREDICTION: FunctionId = FunctionId(u32::MAX);
 const DECODE_CHUNK_EVENTS: usize = 1024;
 
 /// The [`CursorOptions`] equivalent of a config's I/O knobs.
-fn cursor_options(config: &AnalysisConfig) -> CursorOptions {
+pub(crate) fn cursor_options(config: &AnalysisConfig) -> CursorOptions {
     CursorOptions {
         mmap: config.mmap,
         read_buffer_bytes: config.read_buffer_bytes,
@@ -345,7 +346,7 @@ fn open_file_reader(path: &Path, config: &AnalysisConfig) -> Result<FileReader, 
 /// Resolves the speculation target: the explicit override when present
 /// (which can never mispredict — verification compares against the same
 /// lookup), else a prefix-profile prediction, else the sentinel.
-fn speculation_target(
+pub(crate) fn speculation_target(
     registry: &Registry,
     config: &AnalysisConfig,
     predict: impl FnOnce() -> Option<FunctionId>,
@@ -372,7 +373,7 @@ fn predict_from_rows(
 /// Profiles a bounded prefix of archive rank 0. Decode errors are
 /// swallowed — the main pass rediscovers them with proper reporting —
 /// and prediction simply uses whatever the prefix showed.
-fn predict_archive_function(
+pub(crate) fn predict_archive_function(
     cursor: &ArchiveCursor,
     config: &AnalysisConfig,
     telemetry: &Telemetry,
@@ -491,20 +492,20 @@ impl ReplayVisitor for CombinedSink<'_> {
 
 /// An empty fused partial — what a failed rank contributes (identical to
 /// an empty stream).
-fn empty_fused(num_metrics: usize) -> (Vec<Segment>, Vec<Vec<u64>>) {
+pub(crate) fn empty_fused(num_metrics: usize) -> (Vec<Segment>, Vec<Vec<u64>>) {
     (Vec::new(), vec![Vec::new(); num_metrics])
 }
 
 /// Accumulates trace extent while streaming.
 #[derive(Default)]
-struct Extent {
-    num_events: u64,
-    first: Option<Timestamp>,
-    last: Option<Timestamp>,
+pub(crate) struct Extent {
+    pub(crate) num_events: u64,
+    pub(crate) first: Option<Timestamp>,
+    pub(crate) last: Option<Timestamp>,
 }
 
 impl Extent {
-    fn record(&mut self, time: Timestamp) {
+    pub(crate) fn record(&mut self, time: Timestamp) {
         self.num_events += 1;
         if self.first.is_none_or(|f| time < f) {
             self.first = Some(time);
@@ -514,7 +515,12 @@ impl Extent {
         }
     }
 
-    fn absorb(&mut self, num_events: u64, first: Option<Timestamp>, last: Option<Timestamp>) {
+    pub(crate) fn absorb(
+        &mut self,
+        num_events: u64,
+        first: Option<Timestamp>,
+        last: Option<Timestamp>,
+    ) {
         self.num_events += num_events;
         if let Some(f) = first {
             if self.first.is_none_or(|cur| f < cur) {
@@ -528,7 +534,12 @@ impl Extent {
         }
     }
 
-    fn meta(self, name: String, clock: perfvar_trace::Clock, registry: Registry) -> TraceMeta {
+    pub(crate) fn meta(
+        self,
+        name: String,
+        clock: perfvar_trace::Clock,
+        registry: Registry,
+    ) -> TraceMeta {
         TraceMeta {
             name,
             clock,
@@ -540,13 +551,18 @@ impl Extent {
     }
 }
 
-/// Per-rank result of the combined speculative pass.
-struct RankCombined {
-    rows: Vec<ProfileRow>,
-    fused: FusedPartial,
-    num_events: u64,
-    first: Option<Timestamp>,
-    last: Option<Timestamp>,
+/// Per-rank result of the combined speculative pass: everything one rank
+/// contributes to an [`AnalysisPart`](crate::part::AnalysisPart).
+pub(crate) struct RankCombined {
+    pub(crate) rows: Vec<ProfileRow>,
+    pub(crate) fused: FusedPartial,
+    pub(crate) num_events: u64,
+    pub(crate) first: Option<Timestamp>,
+    pub(crate) last: Option<Timestamp>,
+    /// Bytes decoded for this rank (`0` when only a whole-pass figure
+    /// exists, as in the sequential PVT driver).
+    pub(crate) bytes: u64,
+    pub(crate) sos_clamped: u64,
 }
 
 /// Archive driver: the combined pass fans the ranks out over
@@ -582,99 +598,76 @@ fn analyze_archive(
         })
     };
 
-    let mut failed = vec![false; np];
-    let mut failures = Vec::new();
-    let mut extent = Extent::default();
-    let mut partial_rows = Vec::with_capacity(np);
-    let mut fused_partials: Vec<FusedPartial> = Vec::with_capacity(np);
+    let mut part = AnalysisPart::for_shape(nf, modes.len(), guess);
     for (i, result) in combined.into_iter().enumerate() {
         match result {
-            Ok(rank) => {
-                extent.absorb(rank.num_events, rank.first, rank.last);
-                partial_rows.push(rank.rows);
-                fused_partials.push(rank.fused);
-            }
+            Ok(rank) => part.add_rank(i, rank),
             Err(error) => {
                 if mode == RecoveryMode::Strict {
                     return Err(error.into());
                 }
-                failed[i] = true;
                 telemetry.count_recovery(1);
-                failures.push(StreamFailure {
-                    process: ProcessId::from_index(i),
-                    error,
-                });
-                partial_rows.push(vec![ProfileRow::default(); nf]);
-                fused_partials.push(empty_fused(modes.len()));
+                part.add_failed_rank(i, error);
             }
         }
     }
 
-    let profiles = ProfileTable::from_rows(nf, partial_rows);
-    let ranking = DominantRanking::with_multiplier_for(np, &profiles, config.dominant_multiplier);
-    let dominant = ranking.selection();
-    let function = segmentation_function(registry, &dominant, config)?;
-
-    // Verify the speculation. On a mispredict, re-run the fused pass
-    // with the true function (skipping ranks that already failed).
+    // Finalizing verifies the speculation. On a mispredict, re-run the
+    // fused pass with the true function (skipping ranks that already
+    // failed), retarget the part, and finalize again — the second
+    // attempt cannot mispredict.
     let mut passes = 1;
-    if function != guess {
-        passes = 2;
-        let failed_ref = &failed;
-        telemetry.begin_ranks(Stage::Fuse, np);
-        let repass: Vec<Result<FusedPartial, TraceError>> = {
-            let _span = telemetry.span(Stage::Fuse);
-            par_map_ranks(np, config.threads, |pid| {
-                if failed_ref[pid.index()] {
-                    return Ok(empty_fused(modes.len()));
-                }
-                fuse_rank(&cursor, pid, function, &modes, telemetry)
-            })
-        };
-        fused_partials.clear();
-        for (i, result) in repass.into_iter().enumerate() {
-            match result {
-                Ok(partial) => fused_partials.push(partial),
-                Err(error) => {
-                    if mode == RecoveryMode::Strict {
-                        return Err(error.into());
+    let outcome = {
+        let _span = telemetry.span(Stage::Assemble);
+        part.finalize(cursor.name(), cursor.clock(), registry, config)?
+    };
+    let mut ooc = match outcome {
+        PartOutcome::Done(done) => *done,
+        PartOutcome::Mispredicted {
+            expected: function,
+            part: mut retry,
+        } => {
+            passes = 2;
+            telemetry.begin_ranks(Stage::Fuse, np);
+            let repass: Vec<Result<FusedPartial, TraceError>> = {
+                let _span = telemetry.span(Stage::Fuse);
+                par_map_ranks(np, config.threads, |pid| {
+                    if retry.rank_failed(pid.index()) {
+                        return Ok(empty_fused(modes.len()));
                     }
-                    // The file changed between the passes; degrade the rank.
-                    telemetry.count_recovery(1);
-                    failures.push(StreamFailure {
-                        process: ProcessId::from_index(i),
-                        error,
-                    });
-                    fused_partials.push(empty_fused(modes.len()));
+                    fuse_rank(&cursor, pid, function, &modes, telemetry)
+                })
+            };
+            for (i, result) in repass.into_iter().enumerate() {
+                match result {
+                    Ok(partial) => retry.set_fused(i, partial),
+                    Err(error) => {
+                        if mode == RecoveryMode::Strict {
+                            return Err(error.into());
+                        }
+                        // The file changed between the passes; degrade the rank.
+                        telemetry.count_recovery(1);
+                        retry.fail_rank_fused_only(i, error, modes.len());
+                    }
+                }
+            }
+            retry.retarget(function);
+            let _span = telemetry.span(Stage::Assemble);
+            match retry.finalize(cursor.name(), cursor.clock(), registry, config)? {
+                PartOutcome::Done(done) => *done,
+                PartOutcome::Mispredicted { .. } => {
+                    unreachable!("a retargeted part cannot mispredict")
                 }
             }
         }
-    }
-    failures.sort_by_key(|f| f.process.index());
-
-    let _span = telemetry.span(Stage::Assemble);
-    let fused = merge_fused(registry, function, &modes, fused_partials);
-    let meta = extent.meta(cursor.name().to_string(), cursor.clock(), registry.clone());
-    let analysis = assemble(
-        meta.name.clone(),
-        config,
-        dominant,
-        function,
-        profiles,
-        fused.segmentation,
-        fused.counters,
-    );
-    Ok(OutOfCoreAnalysis {
-        analysis,
-        meta,
-        failures,
-        passes,
-    })
+    };
+    ooc.passes = passes;
+    Ok(ooc)
 }
 
 /// Streams one archive rank through the combined sink: its profile rows,
 /// speculative fused partial, and extent contribution in one read.
-fn combined_rank(
+pub(crate) fn combined_rank(
     cursor: &ArchiveCursor,
     pid: ProcessId,
     num_functions: usize,
@@ -694,12 +687,14 @@ fn combined_rank(
         }
     }
     machine.finish(&mut sink);
+    let bytes = stream.byte_offset();
+    let sos_clamped = sink.fused.sos_underflows();
     let mut w = telemetry.worker(Stage::Fuse);
     w.events(machine.events_stepped());
-    w.bytes(stream.byte_offset());
+    w.bytes(bytes);
     w.stack_depth(machine.max_depth());
     w.live_segments(sink.fused.peak_open());
-    w.sos_clamped(sink.fused.sos_underflows());
+    w.sos_clamped(sos_clamped);
     let fused = sink.fused.into_parts();
     w.segments(fused.0.len() as u64);
     drop(w);
@@ -710,12 +705,14 @@ fn combined_rank(
         num_events: extent.num_events,
         first: extent.first,
         last: extent.last,
+        bytes,
+        sos_clamped,
     })
 }
 
 /// One rank's fused-pass partial: its segments plus one counter row per
 /// metric channel.
-type FusedPartial = (Vec<Segment>, Vec<Vec<u64>>);
+pub(crate) type FusedPartial = (Vec<Segment>, Vec<Vec<u64>>);
 
 /// Streams one archive rank through the fused sink (the misprediction
 /// re-pass).
@@ -858,7 +855,6 @@ fn analyze_pvt(
 
     // The combined pass: profile + extent + speculative fused partials.
     telemetry.begin_ranks(Stage::Fuse, np);
-    let mut extent = Extent::default();
     let pass1 = {
         let _span = telemetry.span(Stage::Fuse);
         pvt_pass(
@@ -866,20 +862,29 @@ fn analyze_pvt(
             &registry,
             np,
             config,
-            |pid| CombinedSink::new(pid, nf, guess, &modes),
-            |sink, record, machine| {
-                extent.record(record.time);
-                machine.step(record, sink);
+            |pid| (CombinedSink::new(pid, nf, guess, &modes), Extent::default()),
+            |pair, record, machine| {
+                pair.1.record(record.time);
+                machine.step(record, &mut pair.0);
             },
-            |mut sink, machine| {
+            |(mut sink, extent), machine| {
                 machine.finish(&mut sink);
                 telemetry.rank_done();
                 let mut w = telemetry.worker(Stage::Fuse);
                 w.live_segments(sink.fused.peak_open());
-                w.sos_clamped(sink.fused.sos_underflows());
+                let sos_clamped = sink.fused.sos_underflows();
+                w.sos_clamped(sos_clamped);
                 let fused = sink.fused.into_parts();
                 w.segments(fused.0.len() as u64);
-                (sink.profile.rows, fused)
+                RankCombined {
+                    rows: sink.profile.rows,
+                    fused,
+                    num_events: extent.num_events,
+                    first: extent.first,
+                    last: extent.last,
+                    bytes: 0, // only a whole-pass figure exists, added below
+                    sos_clamped,
+                }
             },
         )?
     };
@@ -889,9 +894,10 @@ fn analyze_pvt(
         w.bytes(pass1.bytes);
         w.stack_depth(pass1.max_depth);
     }
-    let mut failures = Vec::new();
     let mut first_failed = np;
     let mut per_rank = pass1.per_rank;
+    let mut part = AnalysisPart::for_shape(nf, modes.len(), guess);
+    part.count_bytes(pass1.bytes);
     if let Some((failing, error)) = pass1.error {
         if mode == RecoveryMode::Strict {
             return Err(error.into());
@@ -899,100 +905,92 @@ fn analyze_pvt(
         first_failed = per_rank.len().min(failing.index());
         per_rank.truncate(first_failed);
         telemetry.count_recovery((np - first_failed) as u64);
-        failures.push(StreamFailure {
-            process: failing,
-            error,
-        });
+        let mut original = Some(error);
         for i in first_failed..np {
             let pid = ProcessId::from_index(i);
-            if pid != failing {
-                failures.push(StreamFailure {
-                    process: pid,
-                    error: TraceError::Corrupt(format!(
-                        "stream of {pid} is unreachable behind the corrupt stream of {failing}"
-                    )),
-                });
-            }
-            per_rank.push((vec![ProfileRow::default(); nf], empty_fused(modes.len())));
+            let error = if pid == failing {
+                original.take().expect("the failing rank appears once")
+            } else {
+                TraceError::Corrupt(format!(
+                    "stream of {pid} is unreachable behind the corrupt stream of {failing}"
+                ))
+            };
+            part.add_failed_rank(i, error);
         }
-        failures.sort_by_key(|f| f.process.index());
+    }
+    for (i, rank) in per_rank.into_iter().enumerate() {
+        part.add_rank(i, rank);
     }
 
-    let mut partial_rows = Vec::with_capacity(np);
-    let mut fused_partials = Vec::with_capacity(np);
-    for (rows, fused) in per_rank {
-        partial_rows.push(rows);
-        fused_partials.push(fused);
-    }
-    let profiles = ProfileTable::from_rows(nf, partial_rows);
-    let ranking = DominantRanking::with_multiplier_for(np, &profiles, config.dominant_multiplier);
-    let dominant = ranking.selection();
-    let function = segmentation_function(&registry, &dominant, config)?;
-
-    // Verify the speculation; re-pass fused-only on a mispredict. In
-    // partial mode the re-pass stops where the combined pass did;
-    // unreachable ranks contribute empties.
+    // Finalizing verifies the speculation; re-pass fused-only on a
+    // mispredict. In partial mode the re-pass stops where the combined
+    // pass did; unreachable ranks contribute empties.
     let mut passes = 1;
-    if function != guess {
-        passes = 2;
-        telemetry.begin_ranks(Stage::Fuse, np);
-        let pass2 = {
-            let _span = telemetry.span(Stage::Fuse);
-            pvt_pass(
-                path,
-                &registry,
-                np,
-                config,
-                |pid| FusedSink::new(pid, function, &modes),
-                |sink, record, machine| machine.step(record, sink),
-                |mut sink, machine| {
-                    machine.finish(&mut sink);
-                    telemetry.rank_done();
-                    let mut w = telemetry.worker(Stage::Fuse);
-                    w.live_segments(sink.peak_open());
-                    w.sos_clamped(sink.sos_underflows());
-                    let parts = sink.into_parts();
-                    w.segments(parts.0.len() as u64);
-                    parts
-                },
-            )?
-        };
-        {
-            let mut w = telemetry.worker(Stage::Fuse);
-            w.events(pass2.events);
-            w.bytes(pass2.bytes);
-            w.stack_depth(pass2.max_depth);
-        }
-        fused_partials = pass2.per_rank;
-        if let Some((_, error)) = pass2.error {
-            if mode == RecoveryMode::Strict {
-                return Err(error.into());
+    let outcome = {
+        let _span = telemetry.span(Stage::Assemble);
+        part.finalize(&name, clock, &registry, config)?
+    };
+    let mut ooc = match outcome {
+        PartOutcome::Done(done) => *done,
+        PartOutcome::Mispredicted {
+            expected: function,
+            part: mut retry,
+        } => {
+            passes = 2;
+            telemetry.begin_ranks(Stage::Fuse, np);
+            let pass2 = {
+                let _span = telemetry.span(Stage::Fuse);
+                pvt_pass(
+                    path,
+                    &registry,
+                    np,
+                    config,
+                    |pid| FusedSink::new(pid, function, &modes),
+                    |sink, record, machine| machine.step(record, sink),
+                    |mut sink, machine| {
+                        machine.finish(&mut sink);
+                        telemetry.rank_done();
+                        let mut w = telemetry.worker(Stage::Fuse);
+                        w.live_segments(sink.peak_open());
+                        w.sos_clamped(sink.sos_underflows());
+                        let parts = sink.into_parts();
+                        w.segments(parts.0.len() as u64);
+                        parts
+                    },
+                )?
+            };
+            {
+                let mut w = telemetry.worker(Stage::Fuse);
+                w.events(pass2.events);
+                w.bytes(pass2.bytes);
+                w.stack_depth(pass2.max_depth);
+            }
+            retry.count_bytes(pass2.bytes);
+            if let Some((_, error)) = pass2.error {
+                if mode == RecoveryMode::Strict {
+                    return Err(error.into());
+                }
+            }
+            let mut fused_partials = pass2.per_rank;
+            fused_partials.truncate(first_failed.min(fused_partials.len()));
+            while fused_partials.len() < np {
+                fused_partials.push(empty_fused(modes.len()));
+            }
+            for (i, fused) in fused_partials.into_iter().enumerate() {
+                retry.set_fused(i, fused);
+            }
+            retry.retarget(function);
+            let _span = telemetry.span(Stage::Assemble);
+            match retry.finalize(&name, clock, &registry, config)? {
+                PartOutcome::Done(done) => *done,
+                PartOutcome::Mispredicted { .. } => {
+                    unreachable!("a retargeted part cannot mispredict")
+                }
             }
         }
-        fused_partials.truncate(first_failed.min(fused_partials.len()));
-        while fused_partials.len() < np {
-            fused_partials.push(empty_fused(modes.len()));
-        }
-    }
-
-    let _span = telemetry.span(Stage::Assemble);
-    let fused = merge_fused(&registry, function, &modes, fused_partials);
-    let meta = extent.meta(name, clock, registry);
-    let analysis = assemble(
-        meta.name.clone(),
-        config,
-        dominant,
-        function,
-        profiles,
-        fused.segmentation,
-        fused.counters,
-    );
-    Ok(OutOfCoreAnalysis {
-        analysis,
-        meta,
-        failures,
-        passes,
-    })
+    };
+    ooc.passes = passes;
+    Ok(ooc)
 }
 
 #[cfg(test)]

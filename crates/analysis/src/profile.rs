@@ -35,7 +35,7 @@ pub struct FunctionProfile {
 
 /// Per-process partial aggregates, one row per function. Produced by
 /// [`ProfileSink`], merged by [`ProfileTable::from_rows`].
-#[derive(Clone, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct ProfileRow {
     pub(crate) count: u64,
     pub(crate) inclusive: u64,

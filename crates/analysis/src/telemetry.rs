@@ -87,7 +87,13 @@ pub struct Counters {
 }
 
 impl Counters {
-    fn merge(&mut self, other: &Counters) {
+    /// Adds `other`'s totals into `self`. Counter totals form a
+    /// commutative monoid under this sum (identity:
+    /// [`Counters::default`]), which is what lets per-shard pipeline
+    /// counters — e.g. those carried by
+    /// [`AnalysisPart`](crate::part::AnalysisPart) — be combined in any
+    /// order at a coordinator.
+    pub fn merge(&mut self, other: &Counters) {
         self.events_replayed += other.events_replayed;
         self.bytes_decoded += other.bytes_decoded;
         self.segments_emitted += other.segments_emitted;

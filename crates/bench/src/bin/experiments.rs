@@ -77,8 +77,10 @@ fn main() {
     scaling_sweep(&mut report);
     let mut bench = pipeline_benchmark(&mut report, &out_dir);
     let serve = serve_benchmark(&mut report, &out_dir);
+    let serve_load = serve_load_benchmark(&mut report, &out_dir);
     if let serde_json::Value::Object(fields) = &mut bench {
         fields.push(("serve".to_string(), serve));
+        fields.push(("serve_load".to_string(), serve_load));
     }
     let bench_path = out_dir.join("BENCH_pipeline.json");
     std::fs::write(&bench_path, serde_json::to_string_pretty(&bench).unwrap()).unwrap();
@@ -975,6 +977,81 @@ fn serve_benchmark(report: &mut Report, out_dir: &Path) -> serde_json::Value {
         "warm_rounds": warm_rounds,
         "warm_speedup": speedup,
         "events_replayed": stats.totals.events_replayed,
+    })
+}
+
+/// Drives a sharded daemon with the `loadgen` engine — a closed-loop
+/// mixed cold/warm request stream — and gates the p99 latency under
+/// concurrency. The SERVE-LOAD row in BENCH_pipeline.json.
+fn serve_load_benchmark(report: &mut Report, out_dir: &Path) -> serde_json::Value {
+    use perfvar_bench::load;
+    use perfvar_server::http::percent_encode;
+    use perfvar_server::{client, ServeOptions, Server};
+
+    // Smaller than the cache fixture: every cold request in the mix runs
+    // the full pipeline, and there are ~10 of them per run.
+    let trace = perfvar_bench::counter_stencil_trace(16, 200);
+    let archive = out_dir.join("serve-load-fixture.pvta");
+    perfvar_trace::format::write_trace_file(&trace, &archive).unwrap();
+
+    let options = ServeOptions {
+        shards: 2,
+        ..ServeOptions::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", options)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr().to_string();
+    let encoded = percent_encode(archive.to_str().unwrap());
+
+    // Prime the warm entry so "warm" is warm from the first sample.
+    let prime = client::get(&addr, &format!("/analyze?path={encoded}")).unwrap();
+    assert_eq!(prime.status, 200, "{}", prime.body);
+
+    let requests = 120usize;
+    let concurrency = 16usize;
+    let cold_frac = 0.1;
+    // cold_window 120 needs ≥ 123 iterations; the fixture has 200.
+    let targets = load::mixed_targets(&encoded, requests, cold_frac, 120, 7);
+    let cold = targets.iter().filter(|t| t.contains("multiplier")).count();
+    let summary = load::closed_loop(&addr, &targets, concurrency);
+    handle.shutdown();
+
+    let p50 = summary.quantile(0.50);
+    let p99 = summary.quantile(0.99);
+    let p99_limit = if bench_relaxed() { 60.0 } else { 2.0 };
+    report.check(
+        "SERVE-LOAD p99 latency under concurrency",
+        &format!(
+            "{requests} closed-loop requests ({cold} cold / {} warm) from \
+             {concurrency} workers against a 2-shard daemon all succeed \
+             with p99 < {p99_limit:.0} s (p50/p99 recorded in \
+             BENCH_pipeline.json)",
+            requests - cold,
+        ),
+        format!(
+            "p50 {:.1} ms, p99 {:.1} ms, {:.0} req/s, {} errors over {:.2} s",
+            p50 * 1e3,
+            p99 * 1e3,
+            summary.throughput(),
+            summary.errors,
+            summary.wall_s,
+        ),
+        summary.errors == 0 && p99 < p99_limit,
+    );
+
+    serde_json::json!({
+        "requests": requests,
+        "cold": cold,
+        "concurrency": concurrency,
+        "shards": 2,
+        "errors": summary.errors,
+        "wall_s": summary.wall_s,
+        "throughput_rps": summary.throughput(),
+        "mean_s": summary.mean(),
+        "p50_s": p50,
+        "p99_s": p99,
     })
 }
 

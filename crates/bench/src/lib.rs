@@ -86,6 +86,162 @@ pub fn analyzed(trace: &Trace) -> Analysis {
     analyze(trace, &AnalysisConfig::default()).expect("analysis succeeds")
 }
 
+/// Load generation against a running `perfvar serve` daemon: the engine
+/// behind the `loadgen` binary and the SERVE-LOAD experiment row.
+pub mod load {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    /// The outcome of one load run: per-request latencies (sorted
+    /// ascending), the error count, and the wall time of the whole run.
+    #[derive(Clone, Debug)]
+    pub struct LoadSummary {
+        /// Sorted per-request latencies in seconds (successes only).
+        pub latencies_s: Vec<f64>,
+        /// Requests that failed at the transport layer or returned a
+        /// non-200 status.
+        pub errors: usize,
+        /// Wall time of the whole run in seconds.
+        pub wall_s: f64,
+    }
+
+    impl LoadSummary {
+        /// The `q`-quantile latency (`q` in `[0, 1]`; nearest-rank on the
+        /// sorted latencies). `0.0` when no request succeeded.
+        pub fn quantile(&self, q: f64) -> f64 {
+            if self.latencies_s.is_empty() {
+                return 0.0;
+            }
+            let rank = (q * (self.latencies_s.len() - 1) as f64).round() as usize;
+            self.latencies_s[rank.min(self.latencies_s.len() - 1)]
+        }
+
+        /// Mean latency over successful requests.
+        pub fn mean(&self) -> f64 {
+            if self.latencies_s.is_empty() {
+                return 0.0;
+            }
+            self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64
+        }
+
+        /// Completed requests (successes) per second of wall time.
+        pub fn throughput(&self) -> f64 {
+            if self.wall_s <= 0.0 {
+                return 0.0;
+            }
+            self.latencies_s.len() as f64 / self.wall_s
+        }
+    }
+
+    fn measure(addr: &str, target: &str) -> Result<f64, ()> {
+        let start = Instant::now();
+        match perfvar_server::client::get(addr, target) {
+            Ok(resp) if resp.status == 200 => Ok(start.elapsed().as_secs_f64()),
+            _ => Err(()),
+        }
+    }
+
+    fn summarize(results: Vec<Result<f64, ()>>, wall_s: f64) -> LoadSummary {
+        let errors = results.iter().filter(|r| r.is_err()).count();
+        let mut latencies_s: Vec<f64> = results.into_iter().flatten().collect();
+        latencies_s.sort_by(|a, b| a.total_cmp(b));
+        LoadSummary {
+            latencies_s,
+            errors,
+            wall_s,
+        }
+    }
+
+    /// Closed-loop load: `concurrency` workers issue the targets as fast
+    /// as responses come back — each worker has exactly one request in
+    /// flight, so the offered load adapts to the daemon's speed.
+    pub fn closed_loop(addr: &str, targets: &[String], concurrency: usize) -> LoadSummary {
+        let next = AtomicUsize::new(0);
+        let results = Mutex::new(Vec::with_capacity(targets.len()));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..concurrency.max(1) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(target) = targets.get(idx) else {
+                        break;
+                    };
+                    let outcome = measure(addr, target);
+                    results.lock().unwrap().push(outcome);
+                });
+            }
+        });
+        summarize(results.into_inner().unwrap(), start.elapsed().as_secs_f64())
+    }
+
+    /// Open-loop load: targets are dispatched on a fixed `rate` (requests
+    /// per second) schedule regardless of completions — the offered load
+    /// does not let a slow daemon push back, so queueing delay shows up
+    /// in the latencies instead of the throughput.
+    pub fn open_loop(addr: &str, targets: &[String], rate: f64) -> LoadSummary {
+        let interval = Duration::from_secs_f64(1.0 / rate.max(0.001));
+        let start = Instant::now();
+        let results = Mutex::new(Vec::with_capacity(targets.len()));
+        std::thread::scope(|scope| {
+            for (idx, target) in targets.iter().enumerate() {
+                let due = start + interval * idx as u32;
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                let results = &results;
+                scope.spawn(move || {
+                    let outcome = measure(addr, target);
+                    results.lock().unwrap().push(outcome);
+                });
+            }
+        });
+        summarize(results.into_inner().unwrap(), start.elapsed().as_secs_f64())
+    }
+
+    /// The request mix for a run: `count` targets of which roughly
+    /// `cold_frac` are cache-busting "cold" analyses, the rest warm cache
+    /// hits on the plain target.
+    ///
+    /// Cold requests vary the `multiplier` parameter (the
+    /// dominant-function invocation threshold, which the daemon folds
+    /// into its content-addressed cache key) over `3 + ((run_seed + i) %
+    /// cold_window)`, forcing a cache miss and a full pipeline run for
+    /// each distinct value. Two constraints follow:
+    ///
+    /// * the trace must iterate at least `3 + cold_window` times, or the
+    ///   larger thresholds leave no dominant function and the request
+    ///   fails with 422;
+    /// * against a long-lived daemon, keep `cold_window` above the
+    ///   daemon's `--cache-entries` (default 64) or repeated runs find
+    ///   the "cold" keys already cached.
+    pub fn mixed_targets(
+        encoded_path: &str,
+        count: usize,
+        cold_frac: f64,
+        cold_window: u64,
+        run_seed: u64,
+    ) -> Vec<String> {
+        let cold_every = if cold_frac <= 0.0 {
+            usize::MAX
+        } else {
+            ((1.0 / cold_frac.min(1.0)).round() as usize).max(1)
+        };
+        (0..count)
+            .map(|i| {
+                if i % cold_every == 0 && cold_every != usize::MAX {
+                    // Skips the default threshold of 2 so every cold key
+                    // differs from the warm one.
+                    let multiplier = 3 + (run_seed + i as u64) % cold_window.max(1);
+                    format!("/analyze?path={encoded_path}&multiplier={multiplier}")
+                } else {
+                    format!("/analyze?path={encoded_path}")
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,7 +34,7 @@ USAGE:
   perfvar slice    <in> <out> (--from-tick T --to-tick T | --segment N [--function NAME])
   perfvar convert  <in.pvt|in.pvtx> <out.pvt|out.pvtx>
   perfvar serve    [--addr HOST:PORT] [--workers N] [--threads N]
-                   [--cache-entries N] [--cache-dir DIR]
+                   [--shards N] [--cache-entries N] [--cache-dir DIR]
 
 Workloads: cosmo-specs, cosmo-specs-fd4, wrf (the paper's case studies),
            balanced, random, gradual, outlier (synthetic).
@@ -54,7 +54,9 @@ Out-of-core runs on a terminal show a live N/M-ranks progress line.
 serve starts an analysis daemon answering GET /analyze?path=…,
 GET /refine?path=…&steps=N, and GET /stats with the --json output
 shapes; results are cached content-addressed (archive digest + config)
-so repeated and concurrent requests analyze each trace exactly once.";
+so repeated and concurrent requests analyze each trace exactly once.
+--shards N analyses each archive with N in-process shard workers whose
+partial results are merged — bit-identical to --shards 1, same cache.";
 
 fn load_trace(path: &str) -> Result<Trace, String> {
     read_trace_file(path).map_err(|e| format!("cannot read trace {path}: {e}"))
@@ -894,14 +896,21 @@ pub fn convert(argv: Vec<String>) -> Result<(), String> {
 }
 
 /// `perfvar serve [--addr HOST:PORT] [--workers N] [--threads N]
-/// [--cache-entries N] [--cache-dir DIR]`
+/// [--shards N] [--cache-entries N] [--cache-dir DIR]`
 ///
 /// Runs the analysis daemon until killed. The listening address is
 /// printed (and flushed) before serving starts so scripts can scrape
 /// the resolved port when binding `:0`.
 pub fn serve(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["addr", "workers", "threads", "cache-entries", "cache-dir"],
+        valued: &[
+            "addr",
+            "workers",
+            "threads",
+            "shards",
+            "cache-entries",
+            "cache-dir",
+        ],
         flags: &[],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
@@ -917,6 +926,9 @@ pub fn serve(argv: Vec<String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     options.threads = args
         .parse_or("threads", options.threads)
+        .map_err(|e| e.to_string())?;
+    options.shards = args
+        .parse_or("shards", options.shards)
         .map_err(|e| e.to_string())?;
     options.cache_entries = args
         .parse_or("cache-entries", options.cache_entries)

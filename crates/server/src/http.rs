@@ -1,18 +1,24 @@
-//! Minimal HTTP/1.1 subset over [`std::net::TcpStream`] — just enough
-//! for the analysis daemon: GET requests with query strings in, JSON
-//! bodies out, one request per connection (`Connection: close`).
+//! Minimal HTTP/1.1 subset for the analysis daemon: GET requests with
+//! query strings in, JSON bodies out, one request per connection
+//! (`Connection: close`).
 //!
-//! Deliberately not a general HTTP implementation: no keep-alive, no
-//! chunked transfer, no request bodies. Request lines and header blocks
-//! are size-capped so a misbehaving client cannot grow server memory.
+//! Parsing is buffer-based, not stream-based: the readiness loop in
+//! [`server`](crate::server) accumulates a connection's head bytes
+//! without blocking and calls [`parse_request`] once [`head_complete`]
+//! says the blank line (or EOF) has arrived. Deliberately not a general
+//! HTTP implementation: no keep-alive, no chunked transfer, no request
+//! bodies. Request lines and heads are size-capped ([`MAX_HEAD_BYTES`])
+//! so a misbehaving client cannot grow server memory.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::Write;
 use std::net::TcpStream;
 
 /// Longest accepted request line (method + target + version).
 const MAX_REQUEST_LINE: usize = 16 * 1024;
-/// Most headers read (and discarded) per request.
-const MAX_HEADERS: usize = 100;
+/// Largest accepted request head (request line + header block). The
+/// readiness loop buffers at most this much per connection before
+/// answering 400, so slow or malicious clients cannot grow memory.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
 
 /// One parsed request: the method, the decoded path, and the decoded
 /// query parameters in order of appearance.
@@ -102,19 +108,33 @@ fn bad(message: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
 }
 
-/// Reads and parses one request from the connection, draining (and
-/// ignoring) the header block. Errors on anything that is not a
-/// well-formed HTTP/1.x request line.
-pub fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader
-        .by_ref()
-        .take(MAX_REQUEST_LINE as u64)
-        .read_line(&mut line)?;
-    if line.len() >= MAX_REQUEST_LINE {
+/// Whether `buf` holds a complete request head: either the blank-line
+/// terminator has arrived, or the peer closed the stream (`eof`) and
+/// whatever arrived is all there will ever be.
+pub fn head_complete(buf: &[u8], eof: bool) -> bool {
+    eof || buf.windows(4).any(|w| w == b"\r\n\r\n")
+}
+
+/// Parses one request from a buffered head (everything up to and
+/// including the blank line; trailing bytes are ignored). The header
+/// block's content is irrelevant to the GET-only JSON API and is
+/// discarded. Errors on anything that is not a well-formed HTTP/1.x
+/// request line.
+///
+/// This is the readiness loop's half of request handling: the reactor
+/// accumulates bytes until [`head_complete`], then hands the buffer to
+/// a worker which parses it here — no thread ever blocks on a socket
+/// read.
+pub fn parse_request(head: &[u8]) -> std::io::Result<Request> {
+    let line_end = head
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .or_else(|| head.iter().position(|&b| b == b'\n'))
+        .unwrap_or(head.len());
+    if line_end >= MAX_REQUEST_LINE {
         return Err(bad("request line too long"));
     }
+    let line = String::from_utf8_lossy(&head[..line_end]);
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or_else(|| bad("empty request line"))?;
     let target = parts
@@ -125,18 +145,6 @@ pub fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
         .ok_or_else(|| bad("request line has no version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(bad(format!("unsupported protocol {version:?}")));
-    }
-    // Drain headers until the blank line; their content is irrelevant to
-    // the GET-only JSON API.
-    for _ in 0..MAX_HEADERS {
-        let mut header = String::new();
-        let n = reader
-            .by_ref()
-            .take(MAX_REQUEST_LINE as u64)
-            .read_line(&mut header)?;
-        if n == 0 || header == "\r\n" || header == "\n" {
-            break;
-        }
     }
 
     let (raw_path, raw_query) = match target.split_once('?') {
@@ -201,6 +209,29 @@ mod tests {
         // Invalid escapes pass through.
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn parses_a_request_head() {
+        let head = b"GET /analyze?path=%2Ftmp%2Ft.pvta&partial HTTP/1.1\r\nHost: x\r\n\r\n";
+        assert!(head_complete(head, false));
+        assert!(!head_complete(b"GET / HTTP/1.1\r\nHost", false));
+        assert!(head_complete(b"GET / HTTP/1.1\r\n", true));
+        let req = parse_request(head).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/analyze");
+        assert_eq!(req.param("path"), Some("/tmp/t.pvta"));
+        assert!(req.has_param("partial"));
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert!(parse_request(b"").is_err());
+        assert!(parse_request(b"GET\r\n\r\n").is_err());
+        assert!(parse_request(b"GET /x\r\n\r\n").is_err());
+        assert!(parse_request(b"GET /x SPDY/3\r\n\r\n").is_err());
+        // A bare-LF request line parses too (lenient, like the reads).
+        assert!(parse_request(b"GET /x HTTP/1.0\n\n").is_ok());
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //!   key because the pipeline is bit-identical at every parallelism.
 //! * [`singleflight`] — N concurrent requests for the same uncached
 //!   trace trigger exactly one analysis; the rest wait and share it.
-//! * [`server`] — the accept loop, worker pool, routing, and the
+//! * [`server`] — the nonblocking readiness loop (one reactor thread
+//!   owns every idle connection), the worker pool, routing, optional
+//!   rank sharding per analysis ([`ServeOptions::shards`]), and the
 //!   shared [`Telemetry`](perfvar_analysis::Telemetry) recorder behind
 //!   `GET /stats`.
+//! * [`poll`] — the std-only `poll(2)` shim the reactor waits on; the
+//!   crate's only unsafe code, scoped to one FFI call.
 //! * [`client`] — a matching minimal blocking client for tests,
 //!   benchmarks, and smoke checks.
 //!
@@ -29,11 +33,14 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the poll(2) FFI shim in [`poll`] carries the one
+// scoped `#[allow(unsafe_code)]` in the crate.
+#![deny(unsafe_code)]
 
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod poll;
 pub mod server;
 pub mod singleflight;
 

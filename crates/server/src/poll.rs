@@ -1,0 +1,123 @@
+//! A minimal readiness shim over `poll(2)` for the daemon's
+//! nonblocking accept loop.
+//!
+//! `std` has no readiness API, and the workspace is dependency-free by
+//! policy, so the one symbol the reactor needs is declared directly
+//! against the platform C library. This is the only unsafe code in the
+//! crate (the crate is `#![deny(unsafe_code)]`; the FFI below carries a
+//! scoped allow), and it is wrapped in the safe [`wait_readable`]:
+//! hand it borrowed sockets, get back one readiness flag per socket.
+//!
+//! On non-Unix targets there is no `poll(2)`; [`wait_readable`] then
+//! degrades to a fixed 5 ms sleep that reports every descriptor ready,
+//! which turns the reactor into a coarse polling loop — correct (all
+//! reads are nonblocking and tolerate spurious readiness) but not
+//! scalable. The 10k-idle-connection property is claimed on Unix only.
+
+use std::time::Duration;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    struct PollFd {
+        fd: RawFd,
+        events: i16,
+        revents: i16,
+    }
+
+    /// "Data may be read without blocking" — the only event the reactor
+    /// subscribes to. Error/hangup conditions (`POLLERR`, `POLLHUP`,
+    /// `POLLNVAL`) are delivered in `revents` regardless of `events`,
+    /// and are reported as readiness here so the caller's next read
+    /// observes the EOF or error and retires the connection.
+    const POLLIN: i16 = 0x001;
+
+    #[allow(unsafe_code)]
+    mod ffi {
+        extern "C" {
+            pub fn poll(fds: *mut super::PollFd, nfds: std::os::raw::c_ulong, timeout: i32) -> i32;
+        }
+    }
+
+    pub fn wait_readable(fds: &[RawFd], timeout: Duration) -> std::io::Result<Vec<bool>> {
+        let mut pollfds: Vec<PollFd> = fds
+            .iter()
+            .map(|&fd| PollFd {
+                fd,
+                events: POLLIN,
+                revents: 0,
+            })
+            .collect();
+        let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        // SAFETY: `pollfds` is a live, exclusively borrowed buffer of
+        // exactly `nfds` `struct pollfd` entries for the duration of the
+        // call, and `poll` writes only within it.
+        #[allow(unsafe_code)]
+        let rc = unsafe {
+            ffi::poll(
+                pollfds.as_mut_ptr(),
+                pollfds.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let err = std::io::Error::last_os_error();
+            // A signal during the wait is not an error; report "nothing
+            // ready" and let the caller's loop come back around.
+            if err.kind() == std::io::ErrorKind::Interrupted {
+                return Ok(vec![false; fds.len()]);
+            }
+            return Err(err);
+        }
+        Ok(pollfds.iter().map(|p| p.revents != 0).collect())
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use std::time::Duration;
+
+    pub fn wait_readable(fds: &[i32], timeout: Duration) -> std::io::Result<Vec<bool>> {
+        std::thread::sleep(timeout.min(Duration::from_millis(5)));
+        Ok(vec![true; fds.len()])
+    }
+}
+
+/// The raw descriptor type [`wait_readable`] polls. `RawFd` on Unix; a
+/// placeholder on other targets (where the fallback ignores the values).
+#[cfg(unix)]
+pub type Fd = std::os::unix::io::RawFd;
+/// The raw descriptor type [`wait_readable`] polls.
+#[cfg(not(unix))]
+pub type Fd = i32;
+
+/// The raw descriptor of a socket, for [`wait_readable`]. On non-Unix
+/// targets the value is a placeholder (the fallback ignores it).
+#[cfg(unix)]
+pub fn fd_of<T: std::os::unix::io::AsRawFd>(socket: &T) -> Fd {
+    socket.as_raw_fd()
+}
+/// The raw descriptor of a socket, for [`wait_readable`].
+#[cfg(not(unix))]
+pub fn fd_of<T>(_socket: &T) -> Fd {
+    0
+}
+
+/// Blocks until at least one of `fds` is readable (or has hung up or
+/// errored — any condition a read would observe), or `timeout` elapses.
+/// Returns one flag per descriptor, in order; all `false` on timeout.
+///
+/// Spurious wakes are allowed: a `true` flag means "a read is worth
+/// attempting", not "a read will succeed" — callers must keep their
+/// sockets nonblocking and treat `WouldBlock` as a no-op.
+pub fn wait_readable(fds: &[Fd], timeout: Duration) -> std::io::Result<Vec<bool>> {
+    if fds.is_empty() {
+        std::thread::sleep(timeout);
+        return Ok(Vec::new());
+    }
+    sys::wait_readable(fds, timeout)
+}

@@ -1,6 +1,23 @@
-//! The analysis daemon: a thread-pooled TCP accept loop routing GET
-//! requests through the content-addressed cache and singleflight group
-//! into the out-of-core analysis pipeline.
+//! The analysis daemon: a nonblocking readiness loop feeding a worker
+//! pool that routes GET requests through the content-addressed cache
+//! and singleflight group into the (optionally sharded) out-of-core
+//! analysis pipeline.
+//!
+//! # Architecture
+//!
+//! A single **reactor** thread owns every socket that is not mid-
+//! analysis: it polls the listener plus all connections still reading
+//! their request head ([`poll::wait_readable`]), accepts without
+//! blocking, and accumulates head bytes per connection. Ten thousand
+//! idle connections therefore cost one thread and one buffer each —
+//! not ten thousand blocked threads. Once a head is complete the
+//! connection is switched back to blocking mode and handed to the
+//! worker pool, which parses, computes (cache → singleflight →
+//! pipeline), and responds. With [`ServeOptions::shards`] > 1 the
+//! pipeline itself fans each archive's ranks out over in-process shard
+//! workers whose [`AnalysisPart`](perfvar_analysis::AnalysisPart)s are
+//! merged by the coordinator — bit-identical to the single-process
+//! result, cached under the same content digest.
 //!
 //! # Endpoints
 //!
@@ -24,20 +41,29 @@
 //! 405 for non-GET methods, 500 for internal failures.
 
 use crate::cache::{cache_key, CachedResult, ResultCache};
-use crate::http::{read_request, write_response, Request};
+use crate::http::{head_complete, parse_request, write_response, Request, MAX_HEAD_BYTES};
+use crate::poll;
 use crate::singleflight::Singleflight;
 use perfvar_analysis::parallel::resolve_threads;
-use perfvar_analysis::{analyze_path_observed, AnalysisConfig, RecoveryMode, Telemetry};
+use perfvar_analysis::{analyze_path_sharded_observed, AnalysisConfig, RecoveryMode, Telemetry};
 use perfvar_trace::format::cursor::ArchiveCursor;
 use perfvar_trace::format::digest::{constituent_files, digest_path};
 use perfvar_trace::format::Format;
 use std::collections::HashMap;
+use std::io::Read;
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
+
+/// How long a connection may take to deliver its complete request head
+/// before the reactor retires it with a 400.
+const HEAD_TIMEOUT: Duration = Duration::from_secs(10);
+/// The reactor's poll granularity: the longest the loop waits before
+/// re-checking the stop flag and head deadlines.
+const POLL_TICK: Duration = Duration::from_millis(100);
 
 /// Tuning knobs of a [`Server`].
 #[derive(Clone, Debug)]
@@ -52,6 +78,15 @@ pub struct ServeOptions {
     pub cache_entries: usize,
     /// Directory for the on-disk JSON spill; `None` disables spilling.
     pub cache_dir: Option<PathBuf>,
+    /// In-process shard workers per analysis: an archive's ranks are
+    /// split into this many contiguous shards, each analysed into an
+    /// [`AnalysisPart`](perfvar_analysis::AnalysisPart) on its own
+    /// thread and merged by the coordinator — bit-identical to the
+    /// single-process pipeline (and cached identically, since the shard
+    /// count does not enter the cache key). `1` (the default) and
+    /// non-archive inputs use the plain out-of-core driver. Each shard
+    /// additionally parallelises over [`ServeOptions::threads`].
+    pub shards: usize,
 }
 
 impl Default for ServeOptions {
@@ -61,6 +96,7 @@ impl Default for ServeOptions {
             threads: 0,
             cache_entries: 64,
             cache_dir: None,
+            shards: 1,
         }
     }
 }
@@ -93,6 +129,10 @@ impl ServeError {
 
 /// One file's freshness signature: length and modification time.
 type FileSig = (PathBuf, u64, Option<SystemTime>);
+
+/// A connection the reactor has read a complete request head from,
+/// ready for a worker to parse and answer.
+type ReadyConn = (TcpStream, Vec<u8>);
 
 /// Memoises archive digests by path, invalidated when any constituent
 /// file's size or mtime changes. This is what keeps warm requests off
@@ -200,6 +240,7 @@ struct ServerState {
     flights: Singleflight<Result<Arc<CachedResult>, ServeError>>,
     digests: DigestMemo,
     threads: usize,
+    shards: usize,
     stop: AtomicBool,
 }
 
@@ -267,8 +308,18 @@ impl ServerState {
     fn compute_entry(&self, params: &AnalyzeParams) -> Result<Arc<CachedResult>, ServeError> {
         let mut config = params.config.clone();
         config.threads = self.normalized_threads(&params.path)?;
-        let mut result = analyze_path_observed(&params.path, &config, params.mode, &self.telemetry)
-            .map_err(path_error)?;
+        // Shard-count 1 (and any non-archive input) falls through to the
+        // plain out-of-core driver inside `analyze_path_sharded_observed`;
+        // either way the result bytes — and thus the cache entry — are
+        // identical, so `shards` stays out of the cache key.
+        let mut result = analyze_path_sharded_observed(
+            &params.path,
+            &config,
+            params.mode,
+            self.shards,
+            &self.telemetry,
+        )
+        .map_err(path_error)?;
         for _ in 0..params.refine_steps {
             result = result
                 .refine(&params.path, &config, params.mode)
@@ -358,9 +409,11 @@ impl ServerState {
         }
     }
 
-    fn handle_connection(&self, stream: TcpStream) {
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        let outcome = match read_request(&stream) {
+    /// Worker half of request handling: the reactor already buffered the
+    /// complete head; parse it, compute, respond, close.
+    fn handle_connection(&self, stream: TcpStream, head: Vec<u8>) {
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let outcome = match parse_request(&head) {
             Ok(req) => self.respond(&req),
             Err(e) => Err(ServeError::new(400, format!("malformed request: {e}"))),
         };
@@ -369,6 +422,130 @@ impl ServerState {
             Err(e) => write_response(&stream, e.status, &e.body()),
         };
         let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A connection the reactor is still reading the request head from.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    deadline: Instant,
+}
+
+/// What the reactor decided about one connection this tick.
+enum Drive {
+    /// Head incomplete, deadline not reached — keep polling.
+    Pending,
+    /// Head complete (terminator seen, or EOF with data): hand the
+    /// buffered head to a worker.
+    Dispatch,
+    /// Answer this error inline and close (oversized head, timeout).
+    Reject(ServeError),
+    /// Peer vanished without sending anything useful — just close.
+    Gone,
+}
+
+/// Drains whatever is currently readable into the connection's head
+/// buffer (never blocking) and classifies the connection's state.
+fn drive_conn(conn: &mut Conn, readable: bool, now: Instant) -> Drive {
+    if readable {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    // EOF: whatever arrived is the whole head.
+                    return if conn.buf.is_empty() {
+                        Drive::Gone
+                    } else {
+                        Drive::Dispatch
+                    };
+                }
+                Ok(n) => {
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    if conn.buf.len() > MAX_HEAD_BYTES {
+                        return Drive::Reject(ServeError::new(400, "request head too large"));
+                    }
+                    if head_complete(&conn.buf, false) {
+                        return Drive::Dispatch;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Drive::Gone,
+            }
+        }
+    }
+    if now >= conn.deadline {
+        return Drive::Reject(ServeError::new(400, "timed out reading the request head"));
+    }
+    Drive::Pending
+}
+
+/// The reactor: one thread polling the listener plus every head-reading
+/// connection. Exits when the stop flag is raised (checked at least
+/// every [`POLL_TICK`]); dropping its `tx` then drains the worker pool.
+fn reactor(listener: TcpListener, state: Arc<ServerState>, tx: Sender<ReadyConn>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut fds: Vec<poll::Fd> = Vec::new();
+    while !state.stop.load(Ordering::SeqCst) {
+        fds.clear();
+        fds.push(poll::fd_of(&listener));
+        fds.extend(conns.iter().map(|c| poll::fd_of(&c.stream)));
+        let ready = match poll::wait_readable(&fds, POLL_TICK) {
+            Ok(ready) => ready,
+            Err(_) => continue,
+        };
+
+        // Drive existing connections first — `ready[1..]` is aligned
+        // with `conns` before any accept mutates the list.
+        let now = Instant::now();
+        let mut keep = Vec::with_capacity(conns.len());
+        for (idx, mut conn) in conns.drain(..).enumerate() {
+            let readable = ready.get(idx + 1).copied().unwrap_or(false);
+            match drive_conn(&mut conn, readable, now) {
+                Drive::Pending => keep.push(conn),
+                Drive::Dispatch => {
+                    // Workers use plain blocking writes; undo the
+                    // reactor's nonblocking mode before handing over.
+                    let _ = conn.stream.set_nonblocking(false);
+                    if tx.send((conn.stream, conn.buf)).is_err() {
+                        return;
+                    }
+                }
+                Drive::Reject(e) => {
+                    let _ = conn.stream.set_nonblocking(false);
+                    let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let _ = write_response(&conn.stream, e.status, &e.body());
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                }
+                Drive::Gone => {
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+        conns = keep;
+
+        if ready.first().copied().unwrap_or(false) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        conns.push(Conn {
+                            stream,
+                            buf: Vec::new(),
+                            deadline: Instant::now() + HEAD_TIMEOUT,
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
     }
 }
 
@@ -401,6 +578,7 @@ impl Server {
                 flights: Singleflight::new(),
                 digests: DigestMemo::default(),
                 threads: options.threads,
+                shards: options.shards.max(1),
                 stop: AtomicBool::new(false),
             }),
             workers: options.workers.max(1),
@@ -412,10 +590,10 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Starts the accept loop and worker pool in background threads.
+    /// Starts the reactor and worker pool in background threads.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
+        let (tx, rx): (Sender<ReadyConn>, Receiver<ReadyConn>) = std::sync::mpsc::channel();
         let rx = Arc::new(Mutex::new(rx));
 
         let workers = (0..self.workers)
@@ -425,13 +603,13 @@ impl Server {
                 std::thread::spawn(move || loop {
                     let next = rx.lock().unwrap().recv();
                     match next {
-                        Ok(stream) => {
+                        Ok((stream, head)) => {
                             if state.stop.load(Ordering::SeqCst) {
                                 break;
                             }
-                            state.handle_connection(stream);
+                            state.handle_connection(stream, head);
                         }
-                        Err(_) => break, // acceptor gone
+                        Err(_) => break, // reactor gone
                     }
                 })
             })
@@ -439,23 +617,9 @@ impl Server {
 
         let state = self.state.clone();
         let listener = self.listener;
-        let acceptor = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if state.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(stream) => {
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                    Err(_) => continue,
-                }
-            }
-            // Dropping `tx` here lets every idle worker's recv() fail and
-            // the pool drain.
-        });
+        // Dropping `tx` when the reactor exits lets every idle worker's
+        // recv() fail and the pool drain.
+        let acceptor = std::thread::spawn(move || reactor(listener, state, tx));
 
         Ok(ServerHandle {
             addr,
@@ -482,7 +646,8 @@ impl ServerHandle {
     /// Stops accepting, drains the worker pool, and joins all threads.
     pub fn shutdown(mut self) {
         self.state.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept() with one throwaway connection.
+        // One throwaway connection makes the listener readable so the
+        // reactor's poll returns now instead of after a full tick.
         let _ = TcpStream::connect(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();

@@ -113,8 +113,8 @@ impl Mmap {
     #[cfg(unix)]
     pub fn map(file: &File) -> io::Result<Mmap> {
         let len = file.metadata()?.len();
-        let len = usize::try_from(len)
-            .map_err(|_| io::Error::other("file exceeds address space"))?;
+        let len =
+            usize::try_from(len).map_err(|_| io::Error::other("file exceeds address space"))?;
         if len == 0 {
             return Ok(Mmap {
                 ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),

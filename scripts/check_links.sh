@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Fails if any intra-repo markdown link in the top-level docs points at a
+# file that does not exist. External (http/https/mailto) links and pure
+# same-file anchors are skipped; a link's path is resolved relative to
+# the file containing it, and any #fragment is ignored.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+docs=(README.md DESIGN.md OPERATIONS.md EXPERIMENTS.md)
+broken=0
+
+for doc in "${docs[@]}"; do
+  if [ ! -f "$doc" ]; then
+    echo "MISSING DOC: $doc" >&2
+    broken=1
+    continue
+  fi
+  dir=$(dirname "$doc")
+  # Inline links: [text](target). Reference definitions ([id]: target)
+  # don't occur in these docs; images share the inline syntax.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK in $doc: ($target)" >&2
+      broken=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$broken" -ne 0 ]; then
+  echo "link check failed" >&2
+  exit 1
+fi
+echo "link check: all intra-repo links in ${docs[*]} resolve"

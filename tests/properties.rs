@@ -624,3 +624,165 @@ proptest! {
         prop_assert_eq!(hot.ordinal, w.outlier_iteration);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // ── AnalysisPart algebra: any partition, any merge order ──
+
+    #[test]
+    fn analysis_parts_any_partition_any_order_equal_analyze_path(
+        trace in trace_strategy(),
+        seed in 0u64..u64::MAX,
+        segment_override in 0u8..8,
+    ) {
+        use perfvar::analysis::part::{archive_part, AnalysisPart, PartOutcome};
+        use perfvar::analysis::{analyze_path_with, RecoveryMode};
+        use perfvar::trace::format::cursor::ArchiveCursor;
+        use perfvar::trace::format::write_trace_file;
+
+        // Same configuration split as the out-of-core test: half the
+        // cases pin the segmentation function (an override can never
+        // mispredict), the rest exercise speculation — including the
+        // mispredict → retarget coordinator protocol below. The trace
+        // strategy defines one metric channel of every mode, so counter
+        // merging is covered across all batch semantics.
+        let segment_function = (segment_override < 4)
+            .then(|| format!("f{}", segment_override % 6));
+        let cfg = AnalysisConfig {
+            threads: 1,
+            segment_function,
+            ..AnalysisConfig::default()
+        };
+        let dir = std::env::temp_dir()
+            .join("perfvar-prop-parts")
+            .join(format!("t{}.pvta", std::process::id()));
+        write_trace_file(&trace, &dir).unwrap();
+        let reference = analyze_path_with(&dir, &cfg, RecoveryMode::Strict);
+
+        // Seed-derived partition of the ranks into arbitrary — not
+        // necessarily contiguous — groups, merged in a seed-derived
+        // order. Empty groups are legal and act as merge identities.
+        let np = trace.num_processes();
+        let num_groups = 1 + (seed as usize) % np;
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); num_groups];
+        for rank in 0..np {
+            groups[(seed >> (rank % 32)) as usize % num_groups].push(rank);
+        }
+        let mut order: Vec<usize> = (0..num_groups).collect();
+        let mut s = seed;
+        for i in (1..num_groups).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+
+        let shard = |config: &AnalysisConfig, ranks: &[usize]| {
+            archive_part(&dir, config, RecoveryMode::Strict, ranks.iter().copied())
+        };
+        let mut parts = Vec::with_capacity(num_groups);
+        for group in &groups {
+            match shard(&cfg, group) {
+                Ok(part) => parts.push(Some(part)),
+                Err(e) => {
+                    // Shard workers can only fail where the fused driver
+                    // would too (I/O, decode); the routes must agree.
+                    let r = reference.expect_err("shard failed but analyze_path succeeded");
+                    prop_assert_eq!(e.to_string(), r.to_string());
+                    return Ok(());
+                }
+            }
+        }
+
+        // Telemetry counters are a commutative monoid: the merged total
+        // must equal the single whole-range part's, whatever the split.
+        let whole = shard(&cfg, &(0..np).collect::<Vec<_>>()).unwrap();
+        let mut merged = AnalysisPart::empty();
+        for &g in &order {
+            merged = merged.merge(parts[g].take().unwrap());
+        }
+        prop_assert_eq!(merged.num_ranks(), np);
+        prop_assert_eq!(merged.counters(), whole.counters());
+
+        let cursor = ArchiveCursor::open(&dir).unwrap();
+        let outcome = merged.finalize(cursor.name(), cursor.clock(), cursor.registry(), &cfg);
+        match (outcome, reference) {
+            (Ok(PartOutcome::Done(sharded)), Ok(reference)) => {
+                prop_assert_eq!(&sharded.analysis, &reference.analysis);
+                prop_assert_eq!(&sharded.meta, &reference.meta);
+            }
+            (Ok(PartOutcome::Mispredicted { expected, .. }), Ok(reference)) => {
+                // The guess is deterministic, so the fused driver must
+                // have mispredicted (and re-passed) too. Re-dispatch the
+                // shards with the true function pinned, exactly like the
+                // `analyze_path_sharded` coordinator.
+                prop_assert_eq!(reference.passes, 2);
+                let pinned = AnalysisConfig {
+                    segment_function: Some(
+                        cursor.registry().function_name(expected).to_string(),
+                    ),
+                    ..cfg.clone()
+                };
+                let mut merged = AnalysisPart::empty();
+                for group in &groups {
+                    merged = merged.merge(shard(&pinned, group).unwrap());
+                }
+                let outcome = merged
+                    .finalize(cursor.name(), cursor.clock(), cursor.registry(), &pinned)
+                    .unwrap();
+                let PartOutcome::Done(sharded) = outcome else {
+                    return Err("a pinned override cannot mispredict".to_string());
+                };
+                prop_assert_eq!(&sharded.analysis, &reference.analysis);
+                prop_assert_eq!(&sharded.meta, &reference.meta);
+            }
+            (Err(e), Err(r)) => prop_assert_eq!(e.to_string(), r.to_string()),
+            (o, r) => prop_assert!(
+                false,
+                "parts route and analyze_path disagree: {:?} vs {:?}",
+                o.map(|_| ()),
+                r.map(|_| ())
+            ),
+        }
+    }
+
+    // ── sharded coordinator ≡ single-process driver ──
+
+    #[test]
+    fn sharded_driver_equals_single_process(
+        trace in trace_strategy(),
+        shards in 1usize..5,
+        segment_override in 0u8..8,
+    ) {
+        use perfvar::analysis::part::analyze_path_sharded;
+        use perfvar::analysis::{analyze_path_with, RecoveryMode};
+        use perfvar::trace::format::write_trace_file;
+        let segment_function = (segment_override < 4)
+            .then(|| format!("f{}", segment_override % 6));
+        let cfg = AnalysisConfig {
+            threads: 1,
+            segment_function,
+            ..AnalysisConfig::default()
+        };
+        let dir = std::env::temp_dir()
+            .join("perfvar-prop-sharded")
+            .join(format!("t{}.pvta", std::process::id()));
+        write_trace_file(&trace, &dir).unwrap();
+        let single = analyze_path_with(&dir, &cfg, RecoveryMode::Strict);
+        let sharded = analyze_path_sharded(&dir, &cfg, RecoveryMode::Strict, shards);
+        match (single, sharded) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.analysis, &b.analysis);
+                prop_assert_eq!(&a.meta, &b.meta);
+                prop_assert_eq!(a.passes, b.passes);
+                prop_assert!(!b.is_partial());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(
+                false,
+                "sharded and single-process disagree: {:?} vs {:?}",
+                a.map(|_| ()),
+                b.map(|_| ())
+            ),
+        }
+    }
+}
