@@ -69,7 +69,10 @@ pub mod waitstates;
 pub mod prelude {
     pub use crate::callpath::{CallPathId, CallTree};
     pub use crate::clustering::{Cluster, ClusterConfig, ProcessClustering};
-    pub use crate::compare::{RunComparison, RunSummary};
+    pub use crate::compare::{
+        bisect_first_regression, BisectOutcome, FunctionDelta, RunComparison, RunSummary, Verdict,
+        VerdictClass, DEFAULT_NOISE_THRESHOLD,
+    };
     pub use crate::counters::{correlate_with_sos, CounterMatrix};
     pub use crate::dominant::{DominantRanking, DominantSelection};
     pub use crate::findings::{auto_refine, findings, findings_meta, Finding, FindingKind};
@@ -99,7 +102,10 @@ pub mod prelude {
 
 pub use callpath::CallTree;
 pub use clustering::ProcessClustering;
-pub use compare::RunComparison;
+pub use compare::{
+    bisect_first_regression, BisectOutcome, FunctionDelta, RunComparison, Verdict, VerdictClass,
+    DEFAULT_NOISE_THRESHOLD,
+};
 pub use counters::CounterMatrix;
 pub use dominant::{DominantRanking, DominantSelection};
 pub use fused::{fuse_segments, FusedSegments};

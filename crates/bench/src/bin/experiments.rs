@@ -78,9 +78,11 @@ fn main() {
     let mut bench = pipeline_benchmark(&mut report, &out_dir);
     let serve = serve_benchmark(&mut report, &out_dir);
     let serve_load = serve_load_benchmark(&mut report, &out_dir);
+    let regression = regression_benchmark(&mut report, &out_dir);
     if let serde_json::Value::Object(fields) = &mut bench {
         fields.push(("serve".to_string(), serve));
         fields.push(("serve_load".to_string(), serve_load));
+        fields.push(("regression".to_string(), regression));
     }
     let bench_path = out_dir.join("BENCH_pipeline.json");
     std::fs::write(&bench_path, serde_json::to_string_pretty(&bench).unwrap()).unwrap();
@@ -1052,6 +1054,88 @@ fn serve_load_benchmark(report: &mut Report, out_dir: &Path) -> serde_json::Valu
         "mean_s": summary.mean(),
         "p50_s": p50,
         "p99_s": p99,
+    })
+}
+
+/// Regression hunting end-to-end: bisect a seeded 8-run archive sequence
+/// with a work step planted at run 5 and require the comparison verdict
+/// to (a) find exactly run 5, (b) do it in at most 1 + ⌈log₂ 7⌉ = 4
+/// base-vs-candidate comparisons, and (c) agree across 5 repeated
+/// invocations with fresh analyses — the determinism claim behind
+/// `perfvar bisect --reps`. The REGRESSION row in BENCH_pipeline.json.
+fn regression_benchmark(report: &mut Report, out_dir: &Path) -> serde_json::Value {
+    use perfvar_analysis::{bisect_first_regression, RunComparison, DEFAULT_NOISE_THRESHOLD};
+
+    let seq_dir = out_dir.join("regression-seq");
+    std::fs::create_dir_all(&seq_dir).unwrap();
+    let step_at = 5usize;
+    let runs = perfvar_bench::regression_sequence(&seq_dir, 8, step_at);
+
+    let analysis_of = |path: &Path| {
+        let result = perfvar_analysis::outofcore::analyze_path_with(
+            path,
+            &AnalysisConfig::default(),
+            perfvar_analysis::outofcore::RecoveryMode::Strict,
+        )
+        .unwrap();
+        let names: Vec<String> = result
+            .meta
+            .registry
+            .functions()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        (result.analysis, names)
+    };
+
+    let reps = 5usize;
+    let mut outcomes = Vec::new();
+    let mut relative_change = 0.0;
+    for _ in 0..reps {
+        let base = analysis_of(&runs[0]);
+        let outcome = bisect_first_regression(runs.len(), |i| {
+            let cand = analysis_of(&runs[i]);
+            let comparison = RunComparison::compare_analyses(&base.0, &base.1, &cand.0, &cand.1);
+            let verdict = comparison.verdict(DEFAULT_NOISE_THRESHOLD);
+            if i == runs.len() - 1 {
+                relative_change = verdict.relative_change;
+            }
+            Ok::<bool, std::convert::Infallible>(
+                verdict.class == perfvar_analysis::VerdictClass::Regression,
+            )
+        })
+        .unwrap();
+        outcomes.push(outcome);
+    }
+
+    let first = &outcomes[0];
+    let unanimous = outcomes.iter().all(|o| o.first_bad == first.first_bad);
+    let max_comparisons = outcomes.iter().map(|o| o.comparisons).max().unwrap();
+    let found = first.first_bad == Some(step_at);
+    report.check(
+        "REGRESSION bisect on a seeded run sequence",
+        &format!(
+            "the first regressing run of 8 (work step planted at run {step_at}) is found \
+             in ≤4 comparisons; the verdict is identical over {reps} repeated walks"
+        ),
+        format!(
+            "first_bad {:?} (expected Some({step_at})), ≤{max_comparisons} comparisons/walk, \
+             {reps}/{reps} walks agree; step size {:+.0}% robust makespan",
+            first.first_bad,
+            relative_change * 100.0
+        ),
+        found && unanimous && max_comparisons <= 4,
+    );
+
+    serde_json::json!({
+        "runs": runs.len(),
+        "step_at": step_at,
+        "first_bad": first.first_bad,
+        "comparisons": first.comparisons,
+        "reps": reps,
+        "unanimous": unanimous,
+        "relative_change": relative_change,
+        "threshold": DEFAULT_NOISE_THRESHOLD,
     })
 }
 

@@ -86,6 +86,32 @@ pub fn analyzed(trace: &Trace) -> Analysis {
     analyze(trace, &AnalysisConfig::default()).expect("analysis succeeds")
 }
 
+/// Writes an ordered sequence of `runs` balanced-stencil archives into
+/// `dir` (`run0.pvta` … `run{n-1}.pvta`) with a planted regression: from
+/// run `step_at` onward the per-iteration work steps from 10k to 16k
+/// ticks (a +60% makespan shift). Seeds differ per run, so the stencil
+/// jitter makes every run distinct — run-to-run noise a comparison must
+/// see through, well inside the ±5% default threshold. The fixture
+/// behind `perfvar bisect` end-to-end checks and the REGRESSION
+/// experiment row.
+pub fn regression_sequence(
+    dir: &std::path::Path,
+    runs: usize,
+    step_at: usize,
+) -> Vec<std::path::PathBuf> {
+    (0..runs)
+        .map(|r| {
+            let mut w = BalancedStencil::new(8, 12);
+            w.seed = 100 + r as u64;
+            w.work = if r < step_at { 10_000 } else { 16_000 };
+            let trace = simulate(&w.spec()).expect("stencil simulates");
+            let path = dir.join(format!("run{r}.pvta"));
+            perfvar_trace::format::write_trace_file(&trace, &path).expect("archive fixture writes");
+            path
+        })
+        .collect()
+}
+
 /// Load generation against a running `perfvar serve` daemon: the engine
 /// behind the `loadgen` binary and the SERVE-LOAD experiment row.
 pub mod load {
@@ -107,14 +133,21 @@ pub mod load {
     }
 
     impl LoadSummary {
-        /// The `q`-quantile latency (`q` in `[0, 1]`; nearest-rank on the
-        /// sorted latencies). `0.0` when no request succeeded.
+        /// The `q`-quantile latency (`q` in `[0, 1]`; true nearest-rank
+        /// `⌈q·n⌉ − 1` on the sorted latencies, so `quantile(1.0)` is the
+        /// maximum and `quantile(0.5)` over two samples is the first, not
+        /// an average of indices). `0.0` when no request succeeded.
         pub fn quantile(&self, q: f64) -> f64 {
-            if self.latencies_s.is_empty() {
+            let n = self.latencies_s.len();
+            if n == 0 {
                 return 0.0;
             }
-            let rank = (q * (self.latencies_s.len() - 1) as f64).round() as usize;
-            self.latencies_s[rank.min(self.latencies_s.len() - 1)]
+            let rank = if q <= 0.0 {
+                0
+            } else {
+                (q * n as f64).ceil() as usize - 1
+            };
+            self.latencies_s[rank.min(n - 1)]
         }
 
         /// Mean latency over successful requests.
@@ -245,6 +278,63 @@ pub mod load {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn summary_of(latencies_s: Vec<f64>) -> load::LoadSummary {
+        load::LoadSummary {
+            latencies_s,
+            errors: 0,
+            wall_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        // n = 1: every quantile is the single sample.
+        let one = summary_of(vec![7.0]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 7.0);
+        }
+        // n = 2: ⌈q·n⌉−1 picks the first sample up to the median and the
+        // second strictly above it — the old midpoint rounding returned
+        // the *second* sample for q = 0.5.
+        let two = summary_of(vec![1.0, 9.0]);
+        assert_eq!(two.quantile(0.0), 1.0);
+        assert_eq!(two.quantile(0.5), 1.0);
+        assert_eq!(two.quantile(0.51), 9.0);
+        assert_eq!(two.quantile(1.0), 9.0);
+        // n = 10: p90 must be the 9th order statistic, not the 10th.
+        let ten = summary_of((1..=10).map(f64::from).collect());
+        assert_eq!(ten.quantile(0.9), 9.0);
+        assert_eq!(ten.quantile(0.99), 10.0);
+        assert_eq!(ten.quantile(1.0), 10.0);
+        // Empty and out-of-range stay safe.
+        assert_eq!(summary_of(vec![]).quantile(0.5), 0.0);
+        assert_eq!(ten.quantile(2.0), 10.0);
+        assert_eq!(ten.quantile(-0.5), 1.0);
+    }
+
+    #[test]
+    fn regression_sequence_plants_a_step() {
+        let dir = std::env::temp_dir().join("perfvar-bench-regression-seq");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let runs = regression_sequence(&dir, 4, 2);
+        assert_eq!(runs.len(), 4);
+        let spans: Vec<u64> = runs
+            .iter()
+            .map(|p| {
+                perfvar_trace::format::read_trace_file(p)
+                    .expect("fixture reads back")
+                    .span()
+                    .0
+            })
+            .collect();
+        // Pre-step runs differ only by jitter; the step is a >40% jump.
+        let pre = spans[0] as f64;
+        assert!((spans[1] as f64 - pre).abs() / pre < 0.05, "{spans:?}");
+        assert!(spans[2] as f64 > pre * 1.4, "{spans:?}");
+        assert!(spans[3] as f64 > pre * 1.4, "{spans:?}");
+    }
 
     #[test]
     fn fixtures_build() {

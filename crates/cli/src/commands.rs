@@ -20,7 +20,8 @@ pub const USAGE: &str = "\
 perfvar — detection and visualization of performance variations
 
 USAGE:
-  perfvar generate <workload> --out <trace.pvt> [--ranks N] [--iterations N] [--seed S]
+  perfvar generate <workload> --out <trace.pvt> [--ranks N] [--iterations N]
+                   [--seed S] [--work W]
   perfvar info     <trace>
   perfvar analyze  <trace> [--function NAME] [--refine N] [--multiplier K]
                    [--threads N] [--reference] [--auto-refine] [--calltree]
@@ -29,12 +30,14 @@ USAGE:
   perfvar render   <trace> --chart timeline|sos|comm|comm-bytes|counter:<METRIC>
                    [--out x.svg] [--ansi]
   perfvar report   <trace> --out-dir DIR
-  perfvar compare  <before> <after> [--function NAME] [--json]
+  perfvar compare  <before> <after> [--function NAME] [--threshold T] [--json]
+  perfvar bisect   <known-good> <run1> … <runN> [--threshold T] [--reps N] [--json]
   perfvar cluster  <trace> [--clusters K] [--threshold T] [--json]
   perfvar slice    <in> <out> (--from-tick T --to-tick T | --segment N [--function NAME])
   perfvar convert  <in.pvt|in.pvtx> <out.pvt|out.pvtx>
   perfvar serve    [--addr HOST:PORT] [--workers N] [--threads N]
                    [--shards N] [--cache-entries N] [--cache-dir DIR]
+                   [--store-dir DIR]
 
 Workloads: cosmo-specs, cosmo-specs-fd4, wrf (the paper's case studies),
            balanced, random, gradual, outlier (synthetic).
@@ -56,7 +59,19 @@ GET /refine?path=…&steps=N, and GET /stats with the --json output
 shapes; results are cached content-addressed (archive digest + config)
 so repeated and concurrent requests analyze each trace exactly once.
 --shards N analyses each archive with N in-process shard workers whose
-partial results are merged — bit-identical to --shards 1, same cache.";
+partial results are merged — bit-identical to --shards 1, same cache.
+The daemon also keeps a labelled run store (GET /runs/register?path=…
+&label=…, GET /runs) persisted under --store-dir (default: --cache-dir)
+and serves GET /compare?base=R&cand=R where R is a label, digest, or
+path — warm comparisons reuse cached analyses and decode zero bytes.
+
+compare prints per-rank and per-function deltas plus a noise-aware
+verdict: the candidate is a regression/improvement only when its robust
+makespan moved by more than --threshold (default 0.05 = ±5%) relative
+to the baseline; smaller changes classify as noise. bisect binary-
+searches an ordered run sequence (run 0 = known good) for the first
+regressing run in O(log n) comparisons; --reps N repeats the walk and
+errors unless every repetition agrees.";
 
 fn load_trace(path: &str) -> Result<Trace, String> {
     read_trace_file(path).map_err(|e| format!("cannot read trace {path}: {e}"))
@@ -65,7 +80,7 @@ fn load_trace(path: &str) -> Result<Trace, String> {
 /// `perfvar generate <workload> --out <file>`
 pub fn generate(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["out", "ranks", "iterations", "seed", "outlier-rank"],
+        valued: &["out", "ranks", "iterations", "seed", "outlier-rank", "work"],
         flags: &[],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
@@ -738,33 +753,193 @@ pub fn report(argv: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `perfvar compare <before> <after>` — SOS-based run comparison.
+/// Analyses one run for comparison purposes, returning the analysis
+/// plus the function-name table (index = function id) the per-function
+/// deltas are matched on. Archives stream out-of-core like `analyze`;
+/// `--in-memory` opts out.
+fn comparable_analysis(path: &str, args: &ParsedArgs) -> Result<(Analysis, Vec<String>), String> {
+    if wants_out_of_core(path, args) {
+        let result = analysis_of_path(path, args)?;
+        let names = result
+            .meta
+            .registry
+            .functions()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        Ok((result.analysis, names))
+    } else {
+        let trace = load_trace(path)?;
+        let names = trace
+            .registry()
+            .functions()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        Ok((analysis_of(&trace, args)?, names))
+    }
+}
+
+fn threshold_of(args: &ParsedArgs) -> Result<f64, String> {
+    let threshold: f64 = args
+        .parse_or("threshold", perfvar_analysis::DEFAULT_NOISE_THRESHOLD)
+        .map_err(|e| e.to_string())?;
+    if !threshold.is_finite() || threshold < 0.0 {
+        return Err("--threshold must be a non-negative number".to_string());
+    }
+    Ok(threshold)
+}
+
+/// `perfvar compare <before> <after>` — run comparison: per-rank and
+/// per-function deltas plus the noise-aware verdict.
 pub fn compare(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["function", "multiplier", "threads"],
-        flags: &["json"],
+        valued: &["function", "multiplier", "threads", "threshold"],
+        flags: &["json", "in-memory", "partial"],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
     let before_path = args.positional(0).ok_or("missing baseline trace path")?;
     let after_path = args.positional(1).ok_or("missing candidate trace path")?;
-    let before_trace = load_trace(before_path)?;
-    let after_trace = load_trace(after_path)?;
-    let before = analysis_of(&before_trace, &args)?;
-    let after = analysis_of(&after_trace, &args)?;
-    let comparison = perfvar_analysis::RunComparison::compare(&before.sos, &after.sos);
+    let threshold = threshold_of(&args)?;
+    let (before, before_names) = comparable_analysis(before_path, &args)?;
+    let (after, after_names) = comparable_analysis(after_path, &args)?;
+    let comparison = perfvar_analysis::RunComparison::compare_analyses(
+        &before,
+        &before_names,
+        &after,
+        &after_names,
+    );
+    let verdict = comparison.verdict(threshold);
     if args.has("json") {
+        let doc = serde_json::json!({
+            "comparison": serde_json::to_value(&comparison),
+            "verdict": serde_json::to_value(&verdict),
+        });
         println!(
             "{}",
-            serde_json::to_string_pretty(&comparison)
-                .map_err(|e| format!("serialisation failed: {e}"))?
+            serde_json::to_string_pretty(&doc).map_err(|e| format!("serialisation failed: {e}"))?
         );
     } else {
         print!("{}", comparison.render_text());
+        println!("verdict: {verdict}");
         if comparison.imbalance_change() < -0.05 {
             println!("→ the candidate run is better balanced");
         } else if comparison.imbalance_change() > 0.05 {
             println!("→ the candidate run is WORSE balanced");
         }
+    }
+    Ok(())
+}
+
+/// `perfvar bisect <run0> <run1> … <runN>` — finds the first regressing
+/// run in an ordered sequence (run 0 = known-good baseline) in O(log n)
+/// base-vs-candidate comparisons. `--reps N` repeats the whole walk N
+/// times with fresh analyses and errors unless every repetition agrees
+/// — analysis is deterministic, so a disagreement means the archives
+/// changed mid-walk.
+pub fn bisect(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["function", "multiplier", "threads", "threshold", "reps"],
+        flags: &["json", "in-memory", "partial"],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let runs = args.positionals();
+    if runs.len() < 2 {
+        return Err("bisect needs at least two runs: <known-good> <candidates…>".to_string());
+    }
+    let threshold = threshold_of(&args)?;
+    let reps: usize = args.parse_or("reps", 1).map_err(|e| e.to_string())?;
+    if reps == 0 {
+        return Err("--reps must be at least 1".to_string());
+    }
+
+    let mut agreed: Option<perfvar_analysis::BisectOutcome> = None;
+    for rep in 0..reps {
+        // Each run is analysed at most once per repetition, lazily: a
+        // walk over n runs costs O(log n) analyses, not n.
+        let mut memo: Vec<Option<(Analysis, Vec<String>)>> =
+            (0..runs.len()).map(|_| None).collect();
+        let analysis_of_run = |memo: &mut Vec<Option<(Analysis, Vec<String>)>>,
+                               i: usize|
+         -> Result<(Analysis, Vec<String>), String> {
+            if memo[i].is_none() {
+                memo[i] = Some(comparable_analysis(&runs[i], &args)?);
+            }
+            Ok(memo[i].clone().expect("just filled"))
+        };
+        let base = analysis_of_run(&mut memo, 0)?;
+        let outcome = perfvar_analysis::bisect_first_regression(runs.len(), |i| {
+            let cand = analysis_of_run(&mut memo, i)?;
+            let comparison = perfvar_analysis::RunComparison::compare_analyses(
+                &base.0, &base.1, &cand.0, &cand.1,
+            );
+            let verdict = comparison.verdict(threshold);
+            if !args.has("json") {
+                eprintln!(
+                    "  probe {} ({}): {verdict}",
+                    i,
+                    Path::new(&runs[i])
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| runs[i].to_string())
+                );
+            }
+            Ok::<bool, String>(verdict.class == perfvar_analysis::VerdictClass::Regression)
+        })?;
+        match &agreed {
+            None => agreed = Some(outcome),
+            Some(previous) if previous.first_bad == outcome.first_bad => {}
+            Some(previous) => {
+                return Err(format!(
+                    "unstable verdict: repetition {} found {:?}, earlier repetitions found {:?} \
+                     — did the archives change mid-walk?",
+                    rep + 1,
+                    outcome.first_bad,
+                    previous.first_bad
+                ));
+            }
+        }
+    }
+    let outcome = agreed.expect("reps >= 1");
+
+    if args.has("json") {
+        let doc = serde_json::json!({
+            "runs": runs.len(),
+            "first_bad": match outcome.first_bad {
+                Some(i) => serde_json::to_value(&i),
+                None => serde_json::Value::Null,
+            },
+            "first_bad_path": match outcome.first_bad {
+                Some(i) => serde_json::Value::String(runs[i].to_string()),
+                None => serde_json::Value::Null,
+            },
+            "comparisons": outcome.comparisons,
+            "reps": reps,
+            "threshold": threshold,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).map_err(|e| format!("serialisation failed: {e}"))?
+        );
+        return Ok(());
+    }
+    match outcome.first_bad {
+        Some(i) => println!(
+            "first regression at run {i} of {}: {} ({} comparisons{})",
+            runs.len(),
+            runs[i],
+            outcome.comparisons,
+            if reps > 1 {
+                format!(", unanimous over {reps} repetitions")
+            } else {
+                String::new()
+            }
+        ),
+        None => println!(
+            "no regression: the last run is within ±{:.0}% of the baseline ({} comparison)",
+            threshold * 100.0,
+            outcome.comparisons
+        ),
     }
     Ok(())
 }
@@ -910,6 +1085,7 @@ pub fn serve(argv: Vec<String>) -> Result<(), String> {
             "shards",
             "cache-entries",
             "cache-dir",
+            "store-dir",
         ],
         flags: &[],
     };
@@ -934,6 +1110,7 @@ pub fn serve(argv: Vec<String>) -> Result<(), String> {
         .parse_or("cache-entries", options.cache_entries)
         .map_err(|e| e.to_string())?;
     options.cache_dir = args.value("cache-dir").map(std::path::PathBuf::from);
+    options.store_dir = args.value("store-dir").map(std::path::PathBuf::from);
 
     let server = perfvar_server::Server::bind(&addr, options)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -1355,6 +1532,61 @@ mod tests {
         compare(argv(&[a.to_str().unwrap(), b.to_str().unwrap(), "--json"])).unwrap();
         let err = compare(argv(&[a.to_str().unwrap()])).unwrap_err();
         assert!(err.contains("candidate"));
+        let err = compare(argv(&[
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--threshold",
+            "-1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("threshold"));
+    }
+
+    /// Writes `runs` balanced traces whose per-iteration work steps from
+    /// 10k to 16k ticks at `step_at` — a +60% makespan shift the ±5%
+    /// default threshold must flag. Seeds differ per run so jitter makes
+    /// every run distinct.
+    fn step_sequence(dir: &Path, runs: usize, step_at: usize) -> Vec<String> {
+        (0..runs)
+            .map(|r| {
+                let path = dir.join(format!("run{r}.pvt"));
+                generate(argv(&[
+                    "balanced",
+                    "--out",
+                    path.to_str().unwrap(),
+                    "--ranks",
+                    "4",
+                    "--iterations",
+                    "6",
+                    "--seed",
+                    &(100 + r).to_string(),
+                    "--work",
+                    if r < step_at { "10000" } else { "16000" },
+                ]))
+                .unwrap();
+                path.to_str().unwrap().to_string()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bisect_finds_planted_regression() {
+        let dir = tmp_dir("bisect");
+        let runs = step_sequence(&dir, 8, 5);
+        let mut args: Vec<&str> = runs.iter().map(String::as_str).collect();
+        bisect(argv(&args)).unwrap();
+        args.push("--json");
+        args.push("--reps");
+        args.push("3");
+        bisect(argv(&args)).unwrap();
+        // A clean sequence reports no regression.
+        let clean: Vec<&str> = runs[..5].iter().map(String::as_str).collect();
+        bisect(argv(&clean)).unwrap();
+        // Error paths: too few runs, bad knobs.
+        let err = bisect(argv(&[runs[0].as_str()])).unwrap_err();
+        assert!(err.contains("at least two"));
+        let err = bisect(argv(&[runs[0].as_str(), runs[1].as_str(), "--reps", "0"])).unwrap_err();
+        assert!(err.contains("reps"));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! perfvar analyze  <trace> [--function NAME] [--refine N] [--json] [--multiplier K]
 //! perfvar render   <trace> --chart timeline|sos|counter:NAME [--out x.svg] [--ansi]
 //! perfvar report   <trace> --out-dir DIR
-//! perfvar compare  <before> <after> [--json]
+//! perfvar compare  <before> <after> [--threshold T] [--json]
+//! perfvar bisect   <known-good> <run1> … <runN> [--threshold T] [--reps N] [--json]
 //! perfvar cluster  <trace> [--clusters K] [--json]
 //! perfvar convert  <in> <out>
 //! perfvar serve    [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-dir DIR]
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
         "render" => commands::render(rest),
         "report" => commands::report(rest),
         "compare" => commands::compare(rest),
+        "bisect" => commands::bisect(rest),
         "cluster" => commands::cluster(rest),
         "slice" => commands::slice(rest),
         "convert" => commands::convert(rest),

@@ -22,11 +22,14 @@ pub const WORKLOAD_NAMES: &[&str] = &[
 
 /// Builds the [`AppSpec`] of the named workload, honouring the generic
 /// overrides `--ranks`, `--iterations`, `--seed` and the workload-specific
-/// `--outlier-rank`.
+/// `--outlier-rank` and `--work` (balanced/outlier per-iteration compute
+/// ticks — the knob regression-sequence fixtures step to plant a
+/// makespan shift at a known run).
 pub fn build_spec(name: &str, args: &ParsedArgs) -> Result<AppSpec, ArgError> {
     let ranks: Option<usize> = args.parse_value("ranks")?;
     let iterations: Option<usize> = args.parse_value("iterations")?;
     let seed: Option<u64> = args.parse_value("seed")?;
+    let work: Option<u64> = args.parse_value("work")?;
     let spec = match name {
         "cosmo-specs" => {
             let mut w = CosmoSpecs::paper();
@@ -79,6 +82,9 @@ pub fn build_spec(name: &str, args: &ParsedArgs) -> Result<AppSpec, ArgError> {
             if let Some(s) = seed {
                 w.seed = s;
             }
+            if let Some(t) = work {
+                w.work = t;
+            }
             w.spec()
         }
         "random" => {
@@ -95,6 +101,9 @@ pub fn build_spec(name: &str, args: &ParsedArgs) -> Result<AppSpec, ArgError> {
             let mut w = SingleOutlier::new(r, iterations.unwrap_or(50), outlier_rank);
             if let Some(s) = seed {
                 w.seed = s;
+            }
+            if let Some(t) = work {
+                w.work = t;
             }
             w.spec()
         }
@@ -120,7 +129,7 @@ mod tests {
     use crate::args::ArgSpec;
 
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["ranks", "iterations", "seed", "outlier-rank"],
+        valued: &["ranks", "iterations", "seed", "outlier-rank", "work"],
         flags: &[],
     };
 

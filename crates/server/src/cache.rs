@@ -49,6 +49,12 @@ pub struct CachedResult {
     /// One `(metric name, rendered CounterAnalysis JSON)` pair per
     /// metric channel of the trace, for `…&metric=NAME` requests.
     pub metrics: Vec<(String, String)>,
+    /// Function names of the analysed trace, indexed by function id —
+    /// `/compare` uses them to report named per-function deltas without
+    /// re-reading the archive. Defaults to empty for spills written by
+    /// older daemons (deltas then fall back to `fn#<id>` names).
+    #[serde(default)]
+    pub functions: Vec<String>,
 }
 
 impl CachedResult {
@@ -69,7 +75,18 @@ impl CachedResult {
             rendered.push('\n');
             metrics.push((name, rendered));
         }
-        Ok(CachedResult { body, metrics })
+        let functions = result
+            .meta
+            .registry
+            .functions()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        Ok(CachedResult {
+            body,
+            metrics,
+            functions,
+        })
     }
 }
 
@@ -175,6 +192,7 @@ mod tests {
         Arc::new(CachedResult {
             body: format!("{{\"tag\": \"{tag}\"}}\n"),
             metrics: vec![("CYC".to_string(), format!("{{\"m\": \"{tag}\"}}\n"))],
+            functions: vec!["main".to_string()],
         })
     }
 

@@ -48,15 +48,29 @@ impl Request {
     }
 }
 
-/// Decodes `%XX` escapes and `+`-for-space in a URL component. Invalid
-/// escapes pass through verbatim (lenient, like most servers).
+/// Decodes `%XX` escapes in a URL component. Invalid escapes pass
+/// through verbatim (lenient, like most servers). `+` is a literal
+/// plus: per RFC 3986 it is a valid path character, and `+`-for-space
+/// is a form-encoding convention that only applies to query pairs —
+/// see [`form_decode`]. Decoding `+` here would make an archive named
+/// `run+1.pvta` unservable.
 pub fn percent_decode(s: &str) -> String {
+    decode_component(s, false)
+}
+
+/// Decodes a form-style (`application/x-www-form-urlencoded`) query
+/// component: like [`percent_decode`] plus `+`-for-space.
+pub fn form_decode(s: &str) -> String {
+    decode_component(s, true)
+}
+
+fn decode_component(s: &str, plus_is_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'+' => {
+            b'+' if plus_is_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -156,8 +170,8 @@ pub fn parse_request(head: &[u8]) -> std::io::Result<Request> {
             q.split('&')
                 .filter(|pair| !pair.is_empty())
                 .map(|pair| match pair.split_once('=') {
-                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
-                    None => (percent_decode(pair), String::new()),
+                    Some((k, v)) => (form_decode(k), form_decode(v)),
+                    None => (form_decode(pair), String::new()),
                 })
                 .collect()
         })
@@ -204,11 +218,33 @@ mod tests {
     fn percent_round_trip() {
         for s in ["/tmp/trace dir/t.pvta", "a+b&c=d", "naïve", "plain"] {
             assert_eq!(percent_decode(&percent_encode(s)), s, "{s}");
+            assert_eq!(form_decode(&percent_encode(s)), s, "{s}");
         }
-        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        // `+` is literal in plain components (RFC 3986), a space only in
+        // form-style ones.
+        assert_eq!(percent_decode("a%20b+c"), "a b+c");
+        assert_eq!(form_decode("a%20b+c"), "a b c");
         // Invalid escapes pass through.
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn plus_survives_in_paths_and_encoded_params() {
+        // Regression: the request path must keep `+` literal — an
+        // archive named `run+1.pvta` used to become "run 1.pvta".
+        let req = parse_request(b"GET /runs/run+1.pvta HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/runs/run+1.pvta");
+        // A properly encoded path-valued query param round-trips too.
+        let target = format!(
+            "GET /analyze?path={} HTTP/1.1\r\n\r\n",
+            percent_encode("/tmp/run+1.pvta")
+        );
+        let req = parse_request(target.as_bytes()).unwrap();
+        assert_eq!(req.param("path"), Some("/tmp/run+1.pvta"));
+        // Form-style spaces in query pairs still decode.
+        let req = parse_request(b"GET /analyze?label=big+run HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.param("label"), Some("big run"));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   key because the pipeline is bit-identical at every parallelism.
 //! * [`singleflight`] — N concurrent requests for the same uncached
 //!   trace trigger exactly one analysis; the rest wait and share it.
+//! * [`store`] — the persistent run store behind `GET /runs`,
+//!   `/runs/register` and the label/digest references `GET /compare`
+//!   resolves; one JSON file alongside the disk cache.
 //! * [`server`] — the nonblocking readiness loop (one reactor thread
 //!   owns every idle connection), the worker pool, routing, optional
 //!   rank sharding per analysis ([`ServeOptions::shards`]), and the
@@ -43,8 +46,10 @@ pub mod http;
 pub mod poll;
 pub mod server;
 pub mod singleflight;
+pub mod store;
 
 pub use cache::{cache_key, CachedResult, ResultCache};
 pub use client::{get, HttpResponse};
 pub use server::{ServeError, ServeOptions, Server, ServerHandle};
 pub use singleflight::Singleflight;
+pub use store::{RunRecord, RunStore};

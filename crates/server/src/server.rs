@@ -31,6 +31,16 @@
 //! * `GET /refine?path=P&steps=N` — the analysis after `N` refinement
 //!   steps into the dominant function's callees (`steps` defaults
 //!   to 1), mirroring `perfvar refine`.
+//! * `GET /runs/register?path=P&label=L` — registers the archive at `P`
+//!   in the persistent [run store](crate::store) under its content
+//!   digest (computing it if needed), optionally labelled `L`.
+//! * `GET /runs` — every registered run: digest, label, path.
+//! * `GET /compare?base=R&cand=R` — the differential service: compares
+//!   two runs (each reference `R` resolving as store label → store
+//!   digest → filesystem path) and returns per-rank and per-function
+//!   deltas plus a noise-aware verdict (`threshold=T` overrides the
+//!   ±5 % default). Both analyses go through the content-addressed
+//!   cache, so comparing cached runs performs zero new analyses.
 //! * `GET /stats` — cumulative pipeline telemetry across all analyses
 //!   this daemon has run, in the `perfvar stats --json` shape.
 //! * `GET /health` — liveness probe, `{"status": "ok"}`.
@@ -44,8 +54,12 @@ use crate::cache::{cache_key, CachedResult, ResultCache};
 use crate::http::{head_complete, parse_request, write_response, Request, MAX_HEAD_BYTES};
 use crate::poll;
 use crate::singleflight::Singleflight;
+use crate::store::{digest_hex, looks_like_digest, RunRecord, RunStore};
 use perfvar_analysis::parallel::resolve_threads;
-use perfvar_analysis::{analyze_path_sharded_observed, AnalysisConfig, RecoveryMode, Telemetry};
+use perfvar_analysis::{
+    analyze_path_sharded_observed, Analysis, AnalysisConfig, RecoveryMode, RunComparison,
+    Telemetry, DEFAULT_NOISE_THRESHOLD,
+};
 use perfvar_trace::format::cursor::ArchiveCursor;
 use perfvar_trace::format::digest::{constituent_files, digest_path};
 use perfvar_trace::format::Format;
@@ -87,6 +101,11 @@ pub struct ServeOptions {
     /// non-archive inputs use the plain out-of-core driver. Each shard
     /// additionally parallelises over [`ServeOptions::threads`].
     pub shards: usize,
+    /// Directory for the persistent run store (`runs.json`). `None`
+    /// falls back to [`ServeOptions::cache_dir`], so a daemon with a
+    /// disk cache keeps its registrations alongside it; without either,
+    /// registrations last for the daemon's lifetime only.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -97,6 +116,7 @@ impl Default for ServeOptions {
             cache_entries: 64,
             cache_dir: None,
             shards: 1,
+            store_dir: None,
         }
     }
 }
@@ -239,6 +259,7 @@ struct ServerState {
     cache: ResultCache,
     flights: Singleflight<Result<Arc<CachedResult>, ServeError>>,
     digests: DigestMemo,
+    store: RunStore,
     threads: usize,
     shards: usize,
     stop: AtomicBool,
@@ -253,13 +274,9 @@ struct AnalyzeParams {
     metric: Option<String>,
 }
 
-fn params_of(req: &Request, refine: bool) -> Result<AnalyzeParams, ServeError> {
-    let path = req
-        .param("path")
-        .ok_or_else(|| ServeError::new(400, "missing required parameter: path"))?;
-    if path.is_empty() {
-        return Err(ServeError::new(400, "missing required parameter: path"));
-    }
+/// Parses the analysis knobs shared by `/analyze`, `/refine` and both
+/// sides of `/compare`: `function`, `multiplier`, `partial`.
+fn config_of(req: &Request) -> Result<(AnalysisConfig, RecoveryMode), ServeError> {
     let mut config = AnalysisConfig {
         segment_function: req.param("function").map(str::to_string),
         ..AnalysisConfig::default()
@@ -274,6 +291,17 @@ fn params_of(req: &Request, refine: bool) -> Result<AnalyzeParams, ServeError> {
     } else {
         RecoveryMode::Strict
     };
+    Ok((config, mode))
+}
+
+fn params_of(req: &Request, refine: bool) -> Result<AnalyzeParams, ServeError> {
+    let path = req
+        .param("path")
+        .ok_or_else(|| ServeError::new(400, "missing required parameter: path"))?;
+    if path.is_empty() {
+        return Err(ServeError::new(400, "missing required parameter: path"));
+    }
+    let (config, mode) = config_of(req)?;
     let refine_steps = if refine {
         match req.param("steps") {
             Some(raw) => raw
@@ -293,7 +321,144 @@ fn params_of(req: &Request, refine: bool) -> Result<AnalyzeParams, ServeError> {
     })
 }
 
+/// One side of a `/compare`, resolved to an archive on disk.
+struct ResolvedRun {
+    /// The reference as the client sent it.
+    reference: String,
+    /// The archive path to analyse.
+    path: PathBuf,
+    /// The store record the reference resolved through, if any.
+    record: Option<RunRecord>,
+}
+
 impl ServerState {
+    /// Resolves a `/compare` run reference: store label → store digest →
+    /// filesystem path. A reference *shaped* like a digest that the
+    /// store does not know is a 404 (a mistyped digest must not be
+    /// misread as a relative path).
+    fn resolve_run(&self, reference: &str) -> Result<ResolvedRun, ServeError> {
+        if let Some(record) = self.store.find(reference) {
+            return Ok(ResolvedRun {
+                reference: reference.to_string(),
+                path: PathBuf::from(record.path.clone()),
+                record: Some(record),
+            });
+        }
+        if looks_like_digest(reference) {
+            return Err(ServeError::new(
+                404,
+                format!("digest {reference} is not in the run store"),
+            ));
+        }
+        Ok(ResolvedRun {
+            reference: reference.to_string(),
+            path: PathBuf::from(reference),
+            record: None,
+        })
+    }
+
+    /// The `/compare` handler: resolve both references, fetch both
+    /// analyses through the cache (zero new analyses when warm), and
+    /// render deltas plus the noise-aware verdict. The body contains no
+    /// timestamps or other run-varying state, so repeated comparisons
+    /// of the same runs are byte-identical.
+    fn compare(&self, req: &Request) -> Result<String, ServeError> {
+        let base_ref = req
+            .param("base")
+            .ok_or_else(|| ServeError::new(400, "missing required parameter: base"))?;
+        let cand_ref = req
+            .param("cand")
+            .ok_or_else(|| ServeError::new(400, "missing required parameter: cand"))?;
+        if base_ref.is_empty() || cand_ref.is_empty() {
+            return Err(ServeError::new(400, "empty run reference"));
+        }
+        let threshold = match req.param("threshold") {
+            Some(raw) => raw
+                .parse::<f64>()
+                .ok()
+                .filter(|t| t.is_finite() && *t >= 0.0)
+                .ok_or_else(|| {
+                    ServeError::new(
+                        400,
+                        format!("invalid threshold {raw:?}: expected a non-negative number"),
+                    )
+                })?,
+            None => DEFAULT_NOISE_THRESHOLD,
+        };
+        let (config, mode) = config_of(req)?;
+        let base = self.resolve_run(base_ref)?;
+        let cand = self.resolve_run(cand_ref)?;
+        let side =
+            |run: &ResolvedRun| -> Result<(Arc<CachedResult>, Analysis, String), ServeError> {
+                let digest = self.digests.digest_of(&run.path)?;
+                let entry = self.entry_for(&AnalyzeParams {
+                    path: run.path.clone(),
+                    config: config.clone(),
+                    mode,
+                    refine_steps: 0,
+                    metric: None,
+                })?;
+                let analysis: Analysis = serde_json::from_str(&entry.body).map_err(|e| {
+                    ServeError::new(500, format!("cached analysis failed to parse: {e}"))
+                })?;
+                Ok((entry, analysis, digest_hex(digest)))
+            };
+        let (base_entry, base_analysis, base_digest) = side(&base)?;
+        let (cand_entry, cand_analysis, cand_digest) = side(&cand)?;
+        let comparison = RunComparison::compare_analyses(
+            &base_analysis,
+            &base_entry.functions,
+            &cand_analysis,
+            &cand_entry.functions,
+        );
+        let verdict = comparison.verdict(threshold);
+        let run_doc = |run: &ResolvedRun, digest: &str| {
+            serde_json::json!({
+                "reference": run.reference.clone(),
+                "digest": digest,
+                "label": run.record.as_ref().map(|r| r.label.clone()).unwrap_or_default(),
+                "path": run.path.display().to_string(),
+            })
+        };
+        let doc = serde_json::json!({
+            "base": run_doc(&base, &base_digest),
+            "cand": run_doc(&cand, &cand_digest),
+            "comparison": serde_json::to_value(&comparison),
+            "verdict": serde_json::to_value(&verdict),
+        });
+        let mut body = serde_json::to_string_pretty(&doc)
+            .map_err(|e| ServeError::new(500, format!("serialisation failed: {e}")))?;
+        body.push('\n');
+        Ok(body)
+    }
+
+    /// The `/runs/register` handler: digest the archive and record it.
+    fn register_run(&self, req: &Request) -> Result<String, ServeError> {
+        let path = req
+            .param("path")
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| ServeError::new(400, "missing required parameter: path"))?;
+        let path = PathBuf::from(path);
+        let digest = self.digests.digest_of(&path)?;
+        let record = self
+            .store
+            .register(digest, req.param("label"), &path)
+            .map_err(|m| ServeError::new(500, format!("run store write failed: {m}")))?;
+        let mut body = serde_json::to_string_pretty(&serde_json::to_value(&record))
+            .map_err(|e| ServeError::new(500, format!("serialisation failed: {e}")))?;
+        body.push('\n');
+        Ok(body)
+    }
+
+    /// The `/runs` handler: every registration, in order.
+    fn list_runs(&self) -> Result<String, ServeError> {
+        let doc = serde_json::json!({ "runs": serde_json::to_value(&self.store.list()) });
+        let mut body = serde_json::to_string_pretty(&doc)
+            .map_err(|e| ServeError::new(500, format!("serialisation failed: {e}")))?;
+        body.push('\n');
+        Ok(body)
+    }
+
     /// Normalises the thread count exactly like the CLI does: for
     /// archives, cap at the rank count read from the anchor file.
     fn normalized_threads(&self, path: &Path) -> Result<usize, ServeError> {
@@ -376,6 +541,9 @@ impl ServerState {
                 body.push('\n');
                 Ok(body)
             }
+            "/compare" => self.compare(req),
+            "/runs" => self.list_runs(),
+            "/runs/register" => self.register_run(req),
             "/analyze" | "/refine" => {
                 let params = params_of(req, req.path == "/refine")?;
                 let entry = self.entry_for(&params)?;
@@ -570,6 +738,10 @@ impl Server {
     /// port, readable via [`Server::local_addr`]).
     pub fn bind(addr: &str, options: ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let store_dir = options
+            .store_dir
+            .clone()
+            .or_else(|| options.cache_dir.clone());
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
@@ -577,6 +749,7 @@ impl Server {
                 cache: ResultCache::new(options.cache_entries, options.cache_dir),
                 flights: Singleflight::new(),
                 digests: DigestMemo::default(),
+                store: RunStore::open(store_dir.as_deref()),
                 threads: options.threads,
                 shards: options.shards.max(1),
                 stop: AtomicBool::new(false),

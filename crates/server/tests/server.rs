@@ -458,6 +458,249 @@ fn oversized_request_heads_are_rejected_not_buffered() {
     handle.shutdown();
 }
 
+/// Like [`fixture_trace`] but with every compute load scaled — a
+/// persistent slowdown a noise-aware verdict must flag.
+fn write_scaled_fixture(dir: &Path, name: &str, ranks: u64, scale: u64) -> PathBuf {
+    let mut b = TraceBuilder::new(Clock::microseconds()).with_name("served");
+    let iter_f = b.define_function("iteration", FunctionRole::Compute);
+    let inner_f = b.define_function("inner", FunctionRole::Compute);
+    let mpi_f = b.define_function("MPI_Barrier", FunctionRole::MpiCollective);
+    for pi in 0..ranks {
+        let p = b.define_process(format!("rank {pi}"));
+        let w = b.process_mut(p);
+        let mut t = 0u64;
+        for k in 0..8u64 {
+            let load = (100 + (pi * 17 + k * 11) % 50) * scale;
+            w.enter(Timestamp(t), iter_f).unwrap();
+            w.enter(Timestamp(t + 4), inner_f).unwrap();
+            w.leave(Timestamp(t + load / 2), inner_f).unwrap();
+            t += load;
+            w.enter(Timestamp(t), mpi_f).unwrap();
+            w.leave(Timestamp(t + 15), mpi_f).unwrap();
+            t += 15;
+            w.leave(Timestamp(t), iter_f).unwrap();
+        }
+    }
+    let path = dir.join(name);
+    write_trace_file(&b.finish().unwrap(), &path).unwrap();
+    path
+}
+
+#[test]
+fn compare_registered_runs_with_verdict_and_zero_new_analyses() {
+    let dir = tmp("compare");
+    let base = write_scaled_fixture(&dir, "base.pvta", 4, 1);
+    let cand = write_scaled_fixture(&dir, "cand.pvta", 4, 2);
+    let (handle, addr) = spawn(ServeOptions {
+        store_dir: Some(dir.join("store")),
+        ..ServeOptions::default()
+    });
+
+    // Register both runs under labels.
+    for (path, label) in [(&base, "good"), (&cand, "slow")] {
+        let target = format!(
+            "/runs/register?path={}&label={label}",
+            percent_encode(path.to_str().unwrap())
+        );
+        let resp = client::get(&addr, &target).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"digest\""), "{}", resp.body);
+        assert!(resp.body.contains(label), "{}", resp.body);
+    }
+    let runs = client::get(&addr, "/runs").unwrap();
+    assert_eq!(runs.status, 200, "{}", runs.body);
+    assert!(runs.body.contains("good") && runs.body.contains("slow"));
+
+    // Cold comparison: analyses run once, verdict flags the 2× slowdown.
+    let cold = client::get(&addr, "/compare?base=good&cand=slow").unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert!(cold.body.contains("\"verdict\""), "{}", cold.body);
+    assert!(cold.body.contains("Regression"), "{}", cold.body);
+    assert!(cold.body.contains("\"functions\""), "{}", cold.body);
+    assert!(cold.body.contains("iteration"), "{}", cold.body);
+    let after_cold = stats_of(&addr).totals;
+    assert!(after_cold.events_replayed > 0);
+
+    // Warm comparisons: byte-stable body, zero new analyses.
+    for _ in 0..3 {
+        let warm = client::get(&addr, "/compare?base=good&cand=slow").unwrap();
+        assert_eq!(warm.status, 200);
+        assert_eq!(warm.body, cold.body, "compare body must be byte-stable");
+    }
+    let after_warm = stats_of(&addr).totals;
+    assert_eq!(
+        (after_warm.events_replayed, after_warm.bytes_decoded),
+        (after_cold.events_replayed, after_cold.bytes_decoded),
+        "warm /compare must perform zero new analyses"
+    );
+
+    // The reverse direction is an improvement; digest references and
+    // raw paths resolve too.
+    let reverse = client::get(&addr, "/compare?base=slow&cand=good").unwrap();
+    assert!(reverse.body.contains("Improvement"), "{}", reverse.body);
+    let digest_of = |body: &str, label: &str| -> String {
+        let doc: serde_json::Value = serde_json::from_str(body).unwrap();
+        let serde_json::Value::Object(fields) = doc else {
+            panic!("not an object")
+        };
+        let serde_json::Value::Array(runs) = fields
+            .iter()
+            .find(|(k, _)| k == "runs")
+            .map(|(_, v)| v.clone())
+            .unwrap()
+        else {
+            panic!("runs is not an array")
+        };
+        runs.iter()
+            .find_map(|r| {
+                let serde_json::Value::Object(f) = r else {
+                    return None;
+                };
+                let matches = f
+                    .iter()
+                    .any(|(k, v)| k == "label" && *v == serde_json::Value::String(label.into()));
+                if !matches {
+                    return None;
+                }
+                f.iter().find(|(k, _)| k == "digest").map(|(_, v)| match v {
+                    serde_json::Value::String(s) => s.clone(),
+                    _ => panic!("digest is not a string"),
+                })
+            })
+            .expect("label registered")
+    };
+    let base_digest = digest_of(&runs.body, "good");
+    let by_digest = client::get(
+        &addr,
+        &format!(
+            "/compare?base={base_digest}&cand={}",
+            percent_encode(cand.to_str().unwrap())
+        ),
+    )
+    .unwrap();
+    assert_eq!(by_digest.status, 200, "{}", by_digest.body);
+    assert!(by_digest.body.contains("Regression"), "{}", by_digest.body);
+
+    // A tighter threshold is accepted; self-comparison is noise.
+    let same = client::get(&addr, "/compare?base=good&cand=good&threshold=0.01").unwrap();
+    assert_eq!(same.status, 200, "{}", same.body);
+    assert!(same.body.contains("Noise"), "{}", same.body);
+    handle.shutdown();
+}
+
+#[test]
+fn compare_error_paths_are_typed_json() {
+    let dir = tmp("compare-errors");
+    let good = write_scaled_fixture(&dir, "good.pvta", 4, 1);
+    let bad = write_scaled_fixture(&dir, "bad.pvta", 4, 1);
+    let (handle, addr) = spawn(ServeOptions::default());
+    let enc_good = percent_encode(good.to_str().unwrap());
+
+    // Missing parameters → 400 naming the missing one.
+    let resp = client::get(&addr, "/compare").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("\"error\"") && resp.body.contains("base"));
+    let resp = client::get(&addr, &format!("/compare?base={enc_good}")).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("cand"), "{}", resp.body);
+
+    // A digest-shaped reference the store does not know → 404, never
+    // misread as a relative path.
+    let resp = client::get(
+        &addr,
+        &format!("/compare?base={enc_good}&cand=00112233445566778899aabbccddeeff"),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    assert!(resp.body.contains("not in the run store"), "{}", resp.body);
+
+    // Invalid threshold → 400.
+    let resp = client::get(
+        &addr,
+        &format!("/compare?base={enc_good}&cand={enc_good}&threshold=very"),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("threshold"), "{}", resp.body);
+
+    // Corrupt candidate archive → typed 422 naming rank and offset.
+    let stream1 = bad.join(archive::stream_file(1));
+    let bytes = std::fs::read(&stream1).unwrap();
+    std::fs::write(&stream1, &bytes[..bytes.len() - 9]).unwrap();
+    let resp = client::get(
+        &addr,
+        &format!(
+            "/compare?base={enc_good}&cand={}",
+            percent_encode(bad.to_str().unwrap())
+        ),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(resp.body.contains("corrupt at byte"), "{}", resp.body);
+    assert!(resp.body.contains("P1"), "names the rank: {}", resp.body);
+
+    // The daemon survives all of the above.
+    let health = client::get(&addr, "/health").unwrap();
+    assert_eq!(health.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn run_store_survives_daemon_restarts() {
+    let dir = tmp("store-restart");
+    let trace = write_scaled_fixture(&dir, "t.pvta", 3, 1);
+    let options = || ServeOptions {
+        cache_dir: Some(dir.join("cache")), // store defaults to alongside
+        ..ServeOptions::default()
+    };
+
+    let (first, addr) = spawn(options());
+    let resp = client::get(
+        &addr,
+        &format!(
+            "/runs/register?path={}&label=keeper",
+            percent_encode(trace.to_str().unwrap())
+        ),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    // Analyze once so the result lands in the disk spill.
+    let cold = client::get(&addr, &analyze_target(&trace)).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    first.shutdown();
+
+    // A fresh daemon over the same directories still resolves the label,
+    // and the comparison is answered from the disk spill: zero analyses.
+    let (second, addr2) = spawn(options());
+    let runs = client::get(&addr2, "/runs").unwrap();
+    assert!(runs.body.contains("keeper"), "{}", runs.body);
+    let warm = client::get(&addr2, &analyze_target(&trace)).unwrap();
+    assert_eq!(warm.status, 200, "{}", warm.body);
+    let cmp = client::get(&addr2, "/compare?base=keeper&cand=keeper").unwrap();
+    assert_eq!(cmp.status, 200, "{}", cmp.body);
+    assert!(cmp.body.contains("Noise"), "{}", cmp.body);
+    assert_eq!(
+        stats_of(&addr2).totals.events_replayed,
+        0,
+        "registered run must be served from the spill"
+    );
+    second.shutdown();
+}
+
+#[test]
+fn archives_with_literal_plus_in_the_path_are_servable() {
+    // Regression: `+` used to be decoded as a space in the `path` query
+    // parameter and the request path, making `run+1.pvta` unservable.
+    let dir = tmp("plus path");
+    let trace = write_scaled_fixture(&dir, "run+1.pvta", 3, 1);
+    assert!(trace.to_str().unwrap().contains('+'));
+    let (handle, addr) = spawn(ServeOptions::default());
+    let resp = client::get(&addr, &analyze_target(&trace)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"trace_name\""));
+    handle.shutdown();
+}
+
 #[test]
 fn stats_reports_the_pipeline_shape() {
     let dir = tmp("stats");
