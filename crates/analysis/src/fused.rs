@@ -40,13 +40,17 @@ pub struct FusedSegments {
 }
 
 /// Per-process sink folding segments and counter rows in one pass.
-/// Shared by [`fuse_segments`] and the out-of-core path
-/// ([`crate::outofcore`]), which drives it from a disk cursor.
-pub(crate) struct FusedSink<'a> {
+/// Shared by [`fuse_segments`], the out-of-core path
+/// ([`crate::outofcore`]), which drives it from a disk cursor, and the
+/// live path ([`crate::live`]), which drives it from a growing archive
+/// across many polls. The sink owns all of its state (`Clone` lets the
+/// live analysis snapshot it mid-run without disturbing the pass).
+#[derive(Clone)]
+pub(crate) struct FusedSink {
     process: ProcessId,
     function: FunctionId,
     /// Metric modes by metric index; empty disables counter tracking.
-    modes: &'a [MetricMode],
+    modes: Vec<MetricMode>,
     /// Completed and in-flight segments, in enter order.
     segments: Vec<Segment>,
     /// Counter rows, `[metric][segment]`, filled as segments close.
@@ -77,13 +81,19 @@ pub(crate) struct FusedSink<'a> {
     sos_underflows: u64,
 }
 
-impl<'a> FusedSink<'a> {
+impl FusedSink {
     pub(crate) fn new(
         process: ProcessId,
         function: FunctionId,
-        modes: &'a [MetricMode],
-    ) -> FusedSink<'a> {
+        modes: Vec<MetricMode>,
+    ) -> FusedSink {
         let nm = modes.len();
+        let acc_metrics = modes
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| matches!(m, MetricMode::Accumulating))
+            .map(|(i, _)| i)
+            .collect();
         FusedSink {
             process,
             function,
@@ -94,12 +104,7 @@ impl<'a> FusedSink<'a> {
             last_value: vec![0; nm],
             tick_sum: vec![0; nm],
             tick_touched: Vec::new(),
-            acc_metrics: modes
-                .iter()
-                .enumerate()
-                .filter(|(_, m)| matches!(m, MetricMode::Accumulating))
-                .map(|(i, _)| i)
-                .collect(),
+            acc_metrics,
             open: Vec::new(),
             entered: Vec::new(),
             closed: Vec::new(),
@@ -122,6 +127,20 @@ impl<'a> FusedSink<'a> {
     /// Closed segments whose sync time exceeded their inclusive time.
     pub(crate) fn sos_underflows(&self) -> u64 {
         self.sos_underflows
+    }
+
+    /// All segments emitted so far, in enter order (a suffix may still
+    /// be in flight — see [`first_open`](FusedSink::first_open)).
+    pub(crate) fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Index of the earliest-entered segment that is still open, if any.
+    /// The `open` stack holds indices in increasing enter order, so
+    /// every segment before this index is closed for good — the prefix
+    /// property live snapshots rely on.
+    pub(crate) fn first_open(&self) -> Option<usize> {
+        self.open.first().copied()
     }
 }
 
@@ -172,7 +191,7 @@ pub(crate) fn merge_fused(
     }
 }
 
-impl ReplayVisitor for FusedSink<'_> {
+impl ReplayVisitor for FusedSink {
     fn on_enter(&mut self, function: FunctionId, _depth: u32, time: Timestamp) {
         if function != self.function {
             return;
@@ -296,7 +315,7 @@ pub fn fuse_segments_observed(
     let registry = trace.registry();
     let modes = metric_modes(registry, with_counters);
     let partials = par_map_processes(trace, num_threads, |pid| {
-        let mut sink = FusedSink::new(pid, function, &modes);
+        let mut sink = FusedSink::new(pid, function, modes.clone());
         let stats = replay_visit(trace, pid, &mut sink);
         let mut w = telemetry.worker(Stage::Fuse);
         w.events(stats.events);
@@ -325,7 +344,7 @@ mod tests {
     #[test]
     fn sos_underflow_is_counted_and_clamped() {
         let f = FunctionId(0);
-        let mut sink = FusedSink::new(ProcessId(0), f, &[]);
+        let mut sink = FusedSink::new(ProcessId(0), f, Vec::new());
         sink.on_enter(f, 0, Timestamp(10));
         sink.on_frame(&ClosedFrame {
             function: f,
@@ -346,7 +365,7 @@ mod tests {
     #[test]
     fn sos_underflow_counter_stays_zero_on_sane_frames() {
         let f = FunctionId(0);
-        let mut sink = FusedSink::new(ProcessId(0), f, &[]);
+        let mut sink = FusedSink::new(ProcessId(0), f, Vec::new());
         sink.on_enter(f, 0, Timestamp(0));
         sink.on_frame(&ClosedFrame {
             function: f,

@@ -52,7 +52,9 @@ pub mod findings;
 pub mod fused;
 pub mod imbalance;
 pub mod invocation;
+pub mod live;
 pub mod messages;
+pub mod options;
 pub mod outofcore;
 pub mod parallel;
 pub mod part;
@@ -79,7 +81,9 @@ pub mod prelude {
     pub use crate::fused::{fuse_segments, FusedSegments};
     pub use crate::imbalance::{ImbalanceAnalysis, Outlier, WasteAnalysis};
     pub use crate::invocation::{Invocation, ProcessInvocations};
+    pub use crate::live::{FunctionTotal, LiveAnalysis, LiveDelta, LiveSnapshot, RankSnapshot};
     pub use crate::messages::{CommMatrix, MatchedMessage, MessageAnalysis};
+    pub use crate::options::{AnalysisOptions, OptionsError};
     pub use crate::outofcore::{
         analyze_path, analyze_path_observed, analyze_path_with, OutOfCoreAnalysis,
         PathAnalysisError, RecoveryMode, StreamFailure,
@@ -111,6 +115,8 @@ pub use dominant::{DominantRanking, DominantSelection};
 pub use fused::{fuse_segments, FusedSegments};
 pub use imbalance::ImbalanceAnalysis;
 pub use invocation::{Invocation, ProcessInvocations};
+pub use live::{LiveAnalysis, LiveDelta, LiveSnapshot};
+pub use options::{AnalysisOptions, OptionsError};
 pub use outofcore::{
     analyze_path, analyze_path_observed, analyze_path_with, OutOfCoreAnalysis, PathAnalysisError,
     RecoveryMode, StreamFailure,

@@ -1,0 +1,407 @@
+//! One codec for the analysis knobs every surface exposes.
+//!
+//! The CLI (`--function/--multiplier/--threads/--read-buffer/--no-mmap/
+//! --partial`), the daemon's query parameters
+//! (`?function=&multiplier=&threads=&read-buffer=&no-mmap&partial`) and
+//! the HTTP client all describe the same six knobs of an
+//! [`AnalysisConfig`] + [`RecoveryMode`] pair. Historically each surface
+//! parsed and printed them independently, and the dialects drifted (the
+//! daemon accepted `multiplier` but not `threads`; the client had to
+//! know which spelling each end understood). [`AnalysisOptions`] is the
+//! single source of truth: one struct, one set of keys, one validator,
+//! with [`to_query`](AnalysisOptions::to_query) /
+//! [`from_query`](AnalysisOptions::from_query) for the wire and
+//! [`to_flags`](AnalysisOptions::to_flags) /
+//! [`absorb`](AnalysisOptions::absorb) for argv. A property test proves
+//! both codecs round-trip for arbitrary option values, so the dialects
+//! cannot drift again.
+//!
+//! Keys the codec does *not* own (`path`, `steps`, …) pass through
+//! untouched: [`from_query`](AnalysisOptions::from_query) ignores them
+//! and [`absorb`](AnalysisOptions::absorb) returns `Ok(false)`, so
+//! callers layer their surface-specific parameters on top.
+
+use crate::outofcore::RecoveryMode;
+use crate::report::AnalysisConfig;
+use std::fmt;
+
+/// The analysis knobs shared by the CLI, the daemon and the client:
+/// the segmentation override, the dominant-rule multiplier, the two
+/// I/O performance knobs, and the damaged-archive recovery switch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Segment by this function instead of the predicted dominant one
+    /// (`--function NAME` / `function=NAME`).
+    pub function: Option<String>,
+    /// Invocation-count multiplier of the dominant-function rule
+    /// (`--multiplier K` / `multiplier=K`; the paper's §IV uses 2).
+    pub multiplier: u64,
+    /// Worker threads (`--threads N` / `threads=N`; 0 = available
+    /// parallelism).
+    pub threads: usize,
+    /// Buffered read-window bytes (`--read-buffer BYTES` /
+    /// `read-buffer=BYTES`; must be ≥ 1).
+    pub read_buffer: usize,
+    /// Memory-map stream files where possible (`--no-mmap` / `no-mmap`
+    /// turns this off).
+    pub mmap: bool,
+    /// Recover intact ranks of a damaged archive instead of failing
+    /// (`--partial` / `partial`).
+    pub partial: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> AnalysisOptions {
+        let config = AnalysisConfig::default();
+        AnalysisOptions {
+            function: None,
+            multiplier: config.dominant_multiplier,
+            threads: config.threads,
+            read_buffer: config.read_buffer_bytes,
+            mmap: config.mmap,
+            partial: false,
+        }
+    }
+}
+
+/// A knob the codec rejected: carries the key, the offending value and
+/// why — every surface renders it its own way (CLI usage error, daemon
+/// `bad-request` envelope).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptionsError {
+    /// The canonical key (`"multiplier"`, `"threads"`, …).
+    pub key: &'static str,
+    /// The rejected raw value (empty for a missing one).
+    pub value: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} {:?}: {}", self.key, self.value, self.reason)
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
+fn invalid(key: &'static str, value: &str, reason: impl Into<String>) -> OptionsError {
+    OptionsError {
+        key,
+        value: value.to_string(),
+        reason: reason.into(),
+    }
+}
+
+impl AnalysisOptions {
+    /// The keys the codec owns, in canonical (encode) order. Valued
+    /// keys first, then the boolean flags.
+    pub const KEYS: &'static [&'static str] = &[
+        "function",
+        "multiplier",
+        "threads",
+        "read-buffer",
+        "no-mmap",
+        "partial",
+    ];
+
+    /// The options a config + recovery mode pair describes.
+    pub fn from_config(config: &AnalysisConfig, mode: RecoveryMode) -> AnalysisOptions {
+        AnalysisOptions {
+            function: config.segment_function.clone(),
+            multiplier: config.dominant_multiplier,
+            threads: config.threads,
+            read_buffer: config.read_buffer_bytes,
+            mmap: config.mmap,
+            partial: mode == RecoveryMode::Partial,
+        }
+    }
+
+    /// Writes the knobs into `config` (the non-knob fields are left
+    /// alone).
+    pub fn apply(&self, config: &mut AnalysisConfig) {
+        config.segment_function = self.function.clone();
+        config.dominant_multiplier = self.multiplier;
+        config.threads = self.threads;
+        config.read_buffer_bytes = self.read_buffer;
+        config.mmap = self.mmap;
+    }
+
+    /// The config these options describe, from defaults.
+    pub fn config(&self) -> AnalysisConfig {
+        let mut config = AnalysisConfig::default();
+        self.apply(&mut config);
+        config
+    }
+
+    /// The recovery mode these options select.
+    pub fn recovery_mode(&self) -> RecoveryMode {
+        if self.partial {
+            RecoveryMode::Partial
+        } else {
+            RecoveryMode::Strict
+        }
+    }
+
+    /// Absorbs one `key`/`value` pair. Returns `Ok(false)` when the key
+    /// is not one of [`KEYS`](AnalysisOptions::KEYS) (the caller's
+    /// problem), `Err` when it is but the value does not validate.
+    /// Boolean flags (`no-mmap`, `partial`) accept a missing value.
+    pub fn absorb(&mut self, key: &str, value: Option<&str>) -> Result<bool, OptionsError> {
+        match key {
+            "function" => {
+                let v = value.ok_or_else(|| invalid("function", "", "missing function name"))?;
+                if v.is_empty() {
+                    return Err(invalid("function", v, "missing function name"));
+                }
+                self.function = Some(v.to_string());
+            }
+            "multiplier" => {
+                let v = value.ok_or_else(|| invalid("multiplier", "", "missing value"))?;
+                self.multiplier = v
+                    .parse::<u64>()
+                    .map_err(|e| invalid("multiplier", v, e.to_string()))?;
+            }
+            "threads" => {
+                let v = value.ok_or_else(|| invalid("threads", "", "missing value"))?;
+                self.threads = v
+                    .parse::<usize>()
+                    .map_err(|e| invalid("threads", v, e.to_string()))?;
+            }
+            "read-buffer" => {
+                let v = value.ok_or_else(|| invalid("read-buffer", "", "missing value"))?;
+                let bytes = v
+                    .parse::<usize>()
+                    .map_err(|e| invalid("read-buffer", v, e.to_string()))?;
+                if bytes == 0 {
+                    return Err(invalid("read-buffer", v, "must be at least 1 byte"));
+                }
+                self.read_buffer = bytes;
+            }
+            "no-mmap" => self.mmap = false,
+            "partial" => self.partial = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Encodes the non-default knobs as URL query parameters, in
+    /// [`KEYS`](AnalysisOptions::KEYS) order (the function name is
+    /// percent-encoded). The empty string means "all defaults".
+    pub fn to_query(&self) -> String {
+        let defaults = AnalysisOptions::default();
+        let mut parts = Vec::new();
+        if let Some(function) = &self.function {
+            parts.push(format!("function={}", percent_encode(function)));
+        }
+        if self.multiplier != defaults.multiplier {
+            parts.push(format!("multiplier={}", self.multiplier));
+        }
+        if self.threads != defaults.threads {
+            parts.push(format!("threads={}", self.threads));
+        }
+        if self.read_buffer != defaults.read_buffer {
+            parts.push(format!("read-buffer={}", self.read_buffer));
+        }
+        if !self.mmap {
+            parts.push("no-mmap".to_string());
+        }
+        if self.partial {
+            parts.push("partial".to_string());
+        }
+        parts.join("&")
+    }
+
+    /// Decodes the owned keys out of a raw URL query string, ignoring
+    /// everything else (`path=…`, `steps=…`, …). Both keys and values
+    /// are percent-decoded before validation; `+` stays literal, like
+    /// the rest of this codebase's query handling.
+    pub fn from_query(query: &str) -> Result<AnalysisOptions, OptionsError> {
+        let mut options = AnalysisOptions::default();
+        for pair in query.split('&') {
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = match pair.split_once('=') {
+                Some((k, v)) => (percent_decode(k), Some(percent_decode(v))),
+                None => (percent_decode(pair), None),
+            };
+            options.absorb(&key, value.as_deref())?;
+        }
+        Ok(options)
+    }
+
+    /// Encodes the non-default knobs as CLI flags, in
+    /// [`KEYS`](AnalysisOptions::KEYS) order: `["--function", NAME,
+    /// "--threads", N, …, "--no-mmap", "--partial"]`.
+    pub fn to_flags(&self) -> Vec<String> {
+        let defaults = AnalysisOptions::default();
+        let mut flags = Vec::new();
+        if let Some(function) = &self.function {
+            flags.push("--function".to_string());
+            flags.push(function.clone());
+        }
+        if self.multiplier != defaults.multiplier {
+            flags.push("--multiplier".to_string());
+            flags.push(self.multiplier.to_string());
+        }
+        if self.threads != defaults.threads {
+            flags.push("--threads".to_string());
+            flags.push(self.threads.to_string());
+        }
+        if self.read_buffer != defaults.read_buffer {
+            flags.push("--read-buffer".to_string());
+            flags.push(self.read_buffer.to_string());
+        }
+        if !self.mmap {
+            flags.push("--no-mmap".to_string());
+        }
+        if self.partial {
+            flags.push("--partial".to_string());
+        }
+        flags
+    }
+}
+
+/// Percent-encodes everything outside the RFC 3986 unreserved set.
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes `%XX` escapes; `+` stays literal, malformed escapes pass
+/// through verbatim.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if let (Some(h), Some(l)) = (
+                bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+            ) {
+                out.push((h * 16 + l) as u8);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn defaults_encode_to_nothing() {
+        let o = AnalysisOptions::default();
+        assert_eq!(o.to_query(), "");
+        assert!(o.to_flags().is_empty());
+        assert_eq!(AnalysisOptions::from_query("").unwrap(), o);
+    }
+
+    #[test]
+    fn unknown_query_keys_pass_through() {
+        let o =
+            AnalysisOptions::from_query("path=%2Ftmp%2Fa.pvta&threads=4&steps=2&partial").unwrap();
+        assert_eq!(o.threads, 4);
+        assert!(o.partial);
+        assert_eq!(o.function, None);
+    }
+
+    #[test]
+    fn bad_values_name_the_key() {
+        let err = AnalysisOptions::from_query("multiplier=abc").unwrap_err();
+        assert_eq!(err.key, "multiplier");
+        let err = AnalysisOptions::from_query("read-buffer=0").unwrap_err();
+        assert_eq!(err.key, "read-buffer");
+        assert!(err.to_string().contains("at least 1 byte"), "{err}");
+        let err = AnalysisOptions::from_query("function=").unwrap_err();
+        assert_eq!(err.key, "function");
+    }
+
+    #[test]
+    fn config_round_trip() {
+        let o = AnalysisOptions {
+            function: Some("MPI_Allreduce".into()),
+            threads: 7,
+            mmap: false,
+            partial: true,
+            ..AnalysisOptions::default()
+        };
+        let config = o.config();
+        assert_eq!(config.segment_function.as_deref(), Some("MPI_Allreduce"));
+        assert_eq!(config.threads, 7);
+        assert!(!config.mmap);
+        assert_eq!(o.recovery_mode(), RecoveryMode::Partial);
+        assert_eq!(
+            AnalysisOptions::from_config(&config, RecoveryMode::Partial),
+            o
+        );
+    }
+
+    /// Parses flags the way a CLI argv scanner would: `--key value`
+    /// for valued keys, bare `--key` for boolean flags.
+    fn parse_flags(flags: &[String]) -> AnalysisOptions {
+        let mut o = AnalysisOptions::default();
+        let mut i = 0;
+        while i < flags.len() {
+            let key = flags[i].trim_start_matches("--");
+            let valued = !matches!(key, "no-mmap" | "partial");
+            let value = if valued {
+                i += 1;
+                Some(flags[i].as_str())
+            } else {
+                None
+            };
+            assert!(o.absorb(key, value).unwrap(), "unowned flag {key}");
+            i += 1;
+        }
+        o
+    }
+
+    fn arb_options() -> impl Strategy<Value = AnalysisOptions> {
+        (
+            (0u8..2, "\\PC{1,24}"),
+            (0u64..100, 0usize..64, 1usize..(64 << 20)),
+            0u8..4,
+        )
+            .prop_map(
+                |((has_function, name), (multiplier, threads, read_buffer), bits)| {
+                    AnalysisOptions {
+                        function: (has_function == 1).then_some(name),
+                        multiplier,
+                        threads,
+                        read_buffer,
+                        mmap: bits & 1 == 0,
+                        partial: bits & 2 != 0,
+                    }
+                },
+            )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The drift-proofing invariant: both codecs round-trip any
+        /// option set, so every surface speaks the same dialect.
+        #[test]
+        fn query_and_flag_codecs_round_trip(o in arb_options()) {
+            prop_assert_eq!(&AnalysisOptions::from_query(&o.to_query()).unwrap(), &o);
+            prop_assert_eq!(&parse_flags(&o.to_flags()), &o);
+        }
+    }
+}

@@ -309,7 +309,7 @@ pub fn analyze_path_observed(
 /// prediction. Enough iterations of any real SPMD trace to expose the
 /// dominant function; bounded so prediction cost is `O(1)` regardless of
 /// trace size (a single-rank trace is *not* read twice).
-const PREDICT_PREFIX_EVENTS: u64 = 65_536;
+pub(crate) const PREDICT_PREFIX_EVENTS: u64 = 65_536;
 
 /// Sentinel "function" used when no prediction is available: it matches
 /// no event (ids are registry indices, far below `u32::MAX`), so the
@@ -361,7 +361,7 @@ pub(crate) fn speculation_target(
 
 /// Ranks a prefix profile as if it were a single-process trace and
 /// returns its dominant function — the speculation seed.
-fn predict_from_rows(
+pub(crate) fn predict_from_rows(
     num_functions: usize,
     rows: Vec<ProfileRow>,
     config: &AnalysisConfig,
@@ -447,26 +447,26 @@ fn predict_pvt_function(
 /// feeds the profile rows *and* the fused segmentation for the predicted
 /// function. Each half sees exactly the callback sequence it would see
 /// alone, so confirmed speculation is bit-identical to two passes.
-struct CombinedSink<'a> {
-    profile: ProfileSink,
-    fused: FusedSink<'a>,
+pub(crate) struct CombinedSink {
+    pub(crate) profile: ProfileSink,
+    pub(crate) fused: FusedSink,
 }
 
-impl<'a> CombinedSink<'a> {
-    fn new(
+impl CombinedSink {
+    pub(crate) fn new(
         pid: ProcessId,
         num_functions: usize,
         function: FunctionId,
-        modes: &'a [MetricMode],
-    ) -> CombinedSink<'a> {
+        modes: &[MetricMode],
+    ) -> CombinedSink {
         CombinedSink {
             profile: ProfileSink::new(num_functions),
-            fused: FusedSink::new(pid, function, modes),
+            fused: FusedSink::new(pid, function, modes.to_vec()),
         }
     }
 }
 
-impl ReplayVisitor for CombinedSink<'_> {
+impl ReplayVisitor for CombinedSink {
     fn on_enter(&mut self, function: FunctionId, depth: u32, time: Timestamp) {
         self.fused.on_enter(function, depth, time);
     }
@@ -716,7 +716,7 @@ pub(crate) type FusedPartial = (Vec<Segment>, Vec<Vec<u64>>);
 
 /// Streams one archive rank through the fused sink (the misprediction
 /// re-pass).
-fn fuse_rank(
+pub(crate) fn fuse_rank(
     cursor: &ArchiveCursor,
     pid: ProcessId,
     function: perfvar_trace::FunctionId,
@@ -725,7 +725,7 @@ fn fuse_rank(
 ) -> Result<FusedPartial, TraceError> {
     let mut stream = cursor.stream(pid)?;
     let mut machine = ReplayMachine::new(cursor.registry());
-    let mut sink = FusedSink::new(pid, function, modes);
+    let mut sink = FusedSink::new(pid, function, modes.to_vec());
     let mut chunk = Vec::with_capacity(DECODE_CHUNK_EVENTS);
     while stream.next_chunk(&mut chunk, DECODE_CHUNK_EVENTS)? > 0 {
         for record in &chunk {
@@ -945,7 +945,7 @@ fn analyze_pvt(
                     &registry,
                     np,
                     config,
-                    |pid| FusedSink::new(pid, function, &modes),
+                    |pid| FusedSink::new(pid, function, modes.clone()),
                     |sink, record, machine| machine.step(record, sink),
                     |mut sink, machine| {
                         machine.finish(&mut sink);

@@ -79,10 +79,12 @@ fn main() {
     let serve = serve_benchmark(&mut report, &out_dir);
     let serve_load = serve_load_benchmark(&mut report, &out_dir);
     let regression = regression_benchmark(&mut report, &out_dir);
+    let live = live_benchmark(&mut report, &out_dir);
     if let serde_json::Value::Object(fields) = &mut bench {
         fields.push(("serve".to_string(), serve));
         fields.push(("serve_load".to_string(), serve_load));
         fields.push(("regression".to_string(), regression));
+        fields.push(("live".to_string(), live));
     }
     let bench_path = out_dir.join("BENCH_pipeline.json");
     std::fs::write(&bench_path, serde_json::to_string_pretty(&bench).unwrap()).unwrap();
@@ -1136,6 +1138,115 @@ fn regression_benchmark(report: &mut Report, out_dir: &Path) -> serde_json::Valu
         "unanimous": unanimous,
         "relative_change": relative_change,
         "threshold": DEFAULT_NOISE_THRESHOLD,
+    })
+}
+
+/// Live incremental analysis cost: grow a 16-rank counter stencil as a
+/// live archive over many flush rounds, folding each appended slice
+/// with [`LiveAnalysis::poll`](perfvar_analysis::live::LiveAnalysis),
+/// and gate that (a) the finalized live result is identical to the
+/// one-shot batch analysis of the sealed archive, and (b) the *total*
+/// incremental folding cost stays within a small factor of a single
+/// one-shot analysis — re-analysing from scratch after every flush,
+/// which is what a dashboard had to do before the live path existed,
+/// costs `rounds ×` that. The LIVE row in BENCH_pipeline.json.
+fn live_benchmark(report: &mut Report, out_dir: &Path) -> serde_json::Value {
+    use perfvar_analysis::live::LiveAnalysis;
+    use perfvar_trace::format::live::LiveArchiveWriter;
+    use std::time::Instant;
+
+    let trace = perfvar_bench::counter_stencil_trace(16, 200);
+    let archive = out_dir.join("live-fixture.pvta");
+    let _ = std::fs::remove_dir_all(&archive);
+    let mut w =
+        LiveArchiveWriter::create(&archive, "live-bench", trace.clock(), trace.registry()).unwrap();
+    let mut live = LiveAnalysis::open(&archive, AnalysisConfig::default()).unwrap();
+
+    let streams = trace.streams();
+    let rounds = 16usize;
+    let chunk = streams
+        .iter()
+        .map(|s| s.records().len())
+        .max()
+        .unwrap_or(0)
+        .div_ceil(rounds)
+        .max(1);
+    let mut offsets = vec![0usize; streams.len()];
+    let mut poll_total_s = 0.0f64;
+    let mut max_poll_s = 0.0f64;
+    let mut polls = 0usize;
+    loop {
+        let mut wrote = false;
+        for (i, stream) in streams.iter().enumerate() {
+            let records = stream.records();
+            let end = (offsets[i] + chunk).min(records.len());
+            for r in &records[offsets[i]..end] {
+                w.append(stream.process, r).unwrap();
+            }
+            wrote |= end > offsets[i];
+            offsets[i] = end;
+        }
+        if !wrote {
+            break;
+        }
+        w.flush().unwrap();
+        let t = Instant::now();
+        live.poll();
+        let dt = t.elapsed().as_secs_f64();
+        poll_total_s += dt;
+        max_poll_s = max_poll_s.max(dt);
+        polls += 1;
+    }
+    w.finish().unwrap();
+    loop {
+        let t = Instant::now();
+        let delta = live.poll();
+        poll_total_s += t.elapsed().as_secs_f64();
+        if delta.finished {
+            break;
+        }
+    }
+    let folded = live.finalize().unwrap();
+
+    let t = Instant::now();
+    let one_shot = perfvar_analysis::outofcore::analyze_path_with(
+        &archive,
+        &AnalysisConfig::default(),
+        perfvar_analysis::outofcore::RecoveryMode::Strict,
+    )
+    .unwrap();
+    let one_shot_s = t.elapsed().as_secs_f64();
+
+    let identical =
+        serde_json::to_value(&folded.analysis) == serde_json::to_value(&one_shot.analysis);
+    let naive_s = one_shot_s * polls as f64;
+    let limit = if bench_relaxed() { 20.0 } else { 4.0 };
+    report.check(
+        "LIVE incremental re-analysis cost",
+        &format!(
+            "folding a run incrementally over {rounds} flushes costs ≤{limit:.0}× one \
+             one-shot analysis (re-analysing from scratch per flush costs {rounds}×) \
+             and finalizes bit-identically to the batch result"
+        ),
+        format!(
+            "{polls} polls {:.1} ms total (max {:.1} ms) vs one-shot {:.1} ms \
+             (naive per-flush re-analysis ≈ {:.1} ms); identical: {identical}",
+            poll_total_s * 1e3,
+            max_poll_s * 1e3,
+            one_shot_s * 1e3,
+            naive_s * 1e3,
+        ),
+        identical && poll_total_s <= limit * one_shot_s,
+    );
+
+    serde_json::json!({
+        "ranks": 16,
+        "rounds": polls,
+        "poll_total_s": poll_total_s,
+        "max_poll_s": max_poll_s,
+        "one_shot_s": one_shot_s,
+        "naive_reanalysis_s": naive_s,
+        "identical": identical,
     })
 }
 

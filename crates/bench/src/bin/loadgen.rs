@@ -14,6 +14,10 @@
 //! * `--mode open`: requests are dispatched at `--rate` per second
 //!   regardless of completions — queueing delay under overload shows up
 //!   in the tail latencies instead of silently throttling the run.
+//!   Catch-up is capped: ticks the dispatcher cannot send within a few
+//!   intervals of schedule are shed rather than bursted back-to-back,
+//!   and the shed count is reported as `dropped` in the summary — a
+//!   non-zero `dropped` means the requested rate was not deliverable.
 //! * `--cold-frac F`: fraction of requests that bust the daemon's
 //!   content-addressed cache (each cold request varies the `multiplier`
 //!   threshold, which is part of the cache key, so it runs the full
@@ -133,6 +137,7 @@ fn main() {
         "concurrency": args.concurrency,
         "rate": if args.open { Some(args.rate) } else { None },
         "errors": summary.errors,
+        "dropped": summary.dropped,
         "wall_s": summary.wall_s,
         "throughput_rps": summary.throughput(),
         "mean_s": summary.mean(),

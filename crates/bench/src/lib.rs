@@ -128,6 +128,13 @@ pub mod load {
         /// Requests that failed at the transport layer or returned a
         /// non-200 status.
         pub errors: usize,
+        /// Open-loop ticks shed because the dispatcher had fallen too
+        /// far behind schedule to send them on time (always `0` in
+        /// closed-loop mode). A non-zero count means the requested
+        /// `rate` exceeded what this machine can offer — the run's
+        /// *delivered* rate is `latencies_s.len() + errors` over
+        /// `wall_s`, not the requested one.
+        pub dropped: usize,
         /// Wall time of the whole run in seconds.
         pub wall_s: f64,
     }
@@ -182,6 +189,7 @@ pub mod load {
         LoadSummary {
             latencies_s,
             errors,
+            dropped: 0,
             wall_s,
         }
     }
@@ -212,15 +220,33 @@ pub mod load {
     /// per second) schedule regardless of completions — the offered load
     /// does not let a slow daemon push back, so queueing delay shows up
     /// in the latencies instead of the throughput.
+    ///
+    /// Catch-up is capped: a tick the dispatcher could not send within
+    /// a few intervals of its scheduled time is *dropped* (counted in
+    /// [`LoadSummary::dropped`]) rather than bursted out back-to-back.
+    /// An uncapped dispatcher that falls behind — an absurd `rate`, a
+    /// scheduler stall — would fire every overdue tick at once, which
+    /// both melts the measurement (those requests queue behind each
+    /// other at the sender, inflating latency) and stops being open-loop
+    /// at all.
     pub fn open_loop(addr: &str, targets: &[String], rate: f64) -> LoadSummary {
         let interval = Duration::from_secs_f64(1.0 / rate.max(0.001));
+        // How far behind schedule a tick may fire before it is shed.
+        // A small burst absorbs scheduler jitter; beyond it the
+        // requested rate is simply not deliverable.
+        let max_lag = (interval * 4).max(Duration::from_millis(2));
         let start = Instant::now();
         let results = Mutex::new(Vec::with_capacity(targets.len()));
+        let mut dropped = 0usize;
         std::thread::scope(|scope| {
             for (idx, target) in targets.iter().enumerate() {
                 let due = start + interval * idx as u32;
-                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                let now = Instant::now();
+                if let Some(wait) = due.checked_duration_since(now) {
                     std::thread::sleep(wait);
+                } else if now.duration_since(due) > max_lag {
+                    dropped += 1;
+                    continue;
                 }
                 let results = &results;
                 scope.spawn(move || {
@@ -229,7 +255,9 @@ pub mod load {
                 });
             }
         });
-        summarize(results.into_inner().unwrap(), start.elapsed().as_secs_f64())
+        let mut summary = summarize(results.into_inner().unwrap(), start.elapsed().as_secs_f64());
+        summary.dropped = dropped;
+        summary
     }
 
     /// The request mix for a run: `count` targets of which roughly
@@ -283,6 +311,7 @@ mod tests {
         load::LoadSummary {
             latencies_s,
             errors: 0,
+            dropped: 0,
             wall_s: 1.0,
         }
     }
@@ -311,6 +340,29 @@ mod tests {
         assert_eq!(summary_of(vec![]).quantile(0.5), 0.0);
         assert_eq!(ten.quantile(2.0), 10.0);
         assert_eq!(ten.quantile(-0.5), 1.0);
+    }
+
+    #[test]
+    fn open_loop_at_an_absurd_rate_sheds_ticks_instead_of_bursting() {
+        // Port 1 refuses connections instantly — this exercises the
+        // dispatcher's pacing, not a daemon. At 10⁹ rps the schedule is
+        // undeliverable from the first few microseconds on: an uncapped
+        // dispatcher would burst all ticks back-to-back, the capped one
+        // must shed the overdue ones and say so.
+        let targets: Vec<String> = (0..5_000).map(|_| "/health".to_string()).collect();
+        let summary = load::open_loop("127.0.0.1:1", &targets, 1e9);
+        assert!(summary.dropped > 0, "absurd rate must shed overdue ticks");
+        // Every tick is accounted for: sent (success or error) or shed.
+        assert_eq!(
+            summary.latencies_s.len() + summary.errors + summary.dropped,
+            targets.len()
+        );
+
+        // A deliverable schedule sheds nothing.
+        let targets: Vec<String> = (0..20).map(|_| "/health".to_string()).collect();
+        let summary = load::open_loop("127.0.0.1:1", &targets, 200.0);
+        assert_eq!(summary.dropped, 0, "a deliverable rate must not shed");
+        assert_eq!(summary.latencies_s.len() + summary.errors, targets.len());
     }
 
     #[test]

@@ -2,15 +2,18 @@
 
 use crate::args::{ArgSpec, ParsedArgs};
 use crate::workload_args::{generate_trace, WORKLOAD_NAMES};
+use perfvar_analysis::live::LiveAnalysis;
 use perfvar_analysis::{
     analyze_observed, analyze_path_observed, analyze_reference, Analysis, AnalysisConfig,
-    OutOfCoreAnalysis, RecoveryMode, Telemetry,
+    AnalysisOptions, OutOfCoreAnalysis, Telemetry,
 };
 use perfvar_trace::format::cursor::ArchiveCursor;
+use perfvar_trace::format::live::LiveArchiveWriter;
 use perfvar_trace::format::{read_trace_file, write_trace_file, Format};
 use perfvar_trace::stats::{event_counts, role_time_profile};
 use perfvar_trace::Trace;
 use perfvar_viz::chart::{counter_heatmap, function_timeline, sos_heatmap, TimelineOptions};
+use perfvar_viz::live::{render_live, LiveViewOptions};
 use perfvar_viz::{render_ansi, render_svg, AnsiOptions, SvgOptions};
 use std::io::IsTerminal;
 use std::path::Path;
@@ -22,7 +25,11 @@ perfvar — detection and visualization of performance variations
 USAGE:
   perfvar generate <workload> --out <trace.pvt> [--ranks N] [--iterations N]
                    [--seed S] [--work W]
+                   [--live [--flush-every N] [--delay-ms MS]]
   perfvar info     <trace>
+  perfvar watch    <archive.pvta> [--interval MS] [--width N] [--top N]
+                   [--function NAME] [--multiplier K] [--threads N]
+                   [--read-buffer BYTES] [--no-mmap] [--no-color]
   perfvar analyze  <trace> [--function NAME] [--refine N] [--multiplier K]
                    [--threads N] [--reference] [--auto-refine] [--calltree]
                    [--waitstates] [--phases] [--json] [--in-memory] [--partial]
@@ -41,6 +48,16 @@ USAGE:
 
 Workloads: cosmo-specs, cosmo-specs-fd4, wrf (the paper's case studies),
            balanced, random, gradual, outlier (synthetic).
+
+generate --live writes the archive as a *growing* live run — appending
+and flushing --flush-every records per rank per round, sleeping
+--delay-ms between rounds — then seals it with the end-of-run marker.
+watch follows such a run: it re-analyzes only the newly appended bytes
+each --interval (default 500 ms) and repaints a per-rank stats table
+with an SOS heatmap strip of the most recent segments, exiting once the
+writer seals the run. On stream corruption the affected rank freezes at
+its last good state (reported with rank and byte offset) while the
+remaining ranks keep streaming.
 
 Archives (.pvta) are analyzed out-of-core by default: rank streams are
 decoded straight from disk without materialising the trace. --in-memory
@@ -80,8 +97,17 @@ fn load_trace(path: &str) -> Result<Trace, String> {
 /// `perfvar generate <workload> --out <file>`
 pub fn generate(argv: Vec<String>) -> Result<(), String> {
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["out", "ranks", "iterations", "seed", "outlier-rank", "work"],
-        flags: &[],
+        valued: &[
+            "out",
+            "ranks",
+            "iterations",
+            "seed",
+            "outlier-rank",
+            "work",
+            "flush-every",
+            "delay-ms",
+        ],
+        flags: &["live"],
     };
     let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
     let workload = args.positional(0).ok_or_else(|| {
@@ -92,6 +118,9 @@ pub fn generate(argv: Vec<String>) -> Result<(), String> {
     })?;
     let out = args.value("out").ok_or("missing --out <file>")?;
     let trace = generate_trace(workload, &args)?;
+    if args.has("live") {
+        return generate_live(&trace, out, &args);
+    }
     write_trace_file(&trace, out).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "wrote {out}: {} processes, {} events, span {}",
@@ -100,6 +129,121 @@ pub fn generate(argv: Vec<String>) -> Result<(), String> {
         trace.clock().format_duration(trace.span())
     );
     Ok(())
+}
+
+/// `perfvar generate … --live`: writes the trace as a *growing* live
+/// archive — append, flush, (optionally) sleep, repeat — then seals it
+/// with the end-of-run marker. A `perfvar watch` or a daemon
+/// `/v1/analyze/stream` pointed at the directory observes the run
+/// growing exactly as a real instrumented application would produce it.
+fn generate_live(trace: &Trace, out: &str, args: &ParsedArgs) -> Result<(), String> {
+    if Format::from_path(Path::new(out)) != Format::Archive {
+        return Err("--live requires a .pvta output (live archives are directories)".to_string());
+    }
+    let flush_every: usize = args
+        .parse_or("flush-every", 1024)
+        .map_err(|e| e.to_string())?;
+    if flush_every == 0 {
+        return Err("--flush-every must be at least 1 record".to_string());
+    }
+    let delay_ms: u64 = args.parse_or("delay-ms", 0).map_err(|e| e.to_string())?;
+    let mut w = LiveArchiveWriter::create(out, &trace.name, trace.clock(), trace.registry())
+        .map_err(|e| format!("cannot create live archive {out}: {e}"))?;
+    let streams = trace.streams();
+    let mut offsets = vec![0usize; streams.len()];
+    let mut flushes = 0u64;
+    loop {
+        let mut wrote = false;
+        for (i, stream) in streams.iter().enumerate() {
+            let records = stream.records();
+            let end = (offsets[i] + flush_every).min(records.len());
+            for r in &records[offsets[i]..end] {
+                w.append(stream.process, r)
+                    .map_err(|e| format!("cannot append to {out}: {e}"))?;
+            }
+            wrote |= end > offsets[i];
+            offsets[i] = end;
+        }
+        if !wrote {
+            break;
+        }
+        w.flush().map_err(|e| format!("cannot flush {out}: {e}"))?;
+        flushes += 1;
+        if delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        }
+    }
+    w.finish().map_err(|e| format!("cannot seal {out}: {e}"))?;
+    println!(
+        "wrote live {out}: {} processes, {} events in {flushes} flush(es), sealed",
+        trace.num_processes(),
+        trace.num_events(),
+    );
+    Ok(())
+}
+
+/// `perfvar watch <archive.pvta>`: follows a growing live archive,
+/// repainting a per-rank stats table and SOS heatmap strip every
+/// `--interval` milliseconds, and exits when the writer seals the run
+/// (or on Ctrl-C). Stream corruption is reported with its rank and byte
+/// offset while the remaining ranks keep streaming; the last good view
+/// stays on screen.
+pub fn watch(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &[
+            "interval",
+            "width",
+            "top",
+            "function",
+            "multiplier",
+            "threads",
+            "read-buffer",
+        ],
+        flags: &["no-mmap", "no-color"],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let path = args.positional(0).ok_or("missing live archive path")?;
+    if Format::from_path(Path::new(path)) != Format::Archive {
+        return Err("watch follows .pvta live archive directories".to_string());
+    }
+    let interval: u64 = args.parse_or("interval", 500).map_err(|e| e.to_string())?;
+    let options = options_of(&args)?;
+    let mut live = LiveAnalysis::open(path, options.config())
+        .map_err(|e| format!("cannot open live archive {path}: {e}"))?;
+    let interactive = std::io::stdout().is_terminal();
+    let view = LiveViewOptions {
+        width: args.parse_or("width", 60).map_err(|e| e.to_string())?,
+        color: interactive && !args.has("no-color"),
+        functions: args.parse_or("top", 5).map_err(|e| e.to_string())?,
+        ..LiveViewOptions::default()
+    };
+    let mut last_error: Option<String> = None;
+    loop {
+        let delta = live.poll();
+        if let Some(error) = &delta.error {
+            let message = error.to_string();
+            if last_error.as_deref() != Some(&message) {
+                eprintln!("watch: {message}");
+                last_error = Some(message);
+            }
+        }
+        if interactive {
+            // Repaint in place: clear screen, home, frame.
+            print!("\x1b[2J\x1b[H{}", render_live(&live, &view));
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        if delta.finished {
+            if !interactive {
+                print!("{}", render_live(&live, &view));
+            }
+            return match last_error {
+                None => Ok(()),
+                Some(message) => Err(format!("run sealed with stream errors: {message}")),
+            };
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval.max(1)));
+    }
 }
 
 /// `perfvar info <trace>`
@@ -141,25 +285,26 @@ pub fn info(argv: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Decodes the shared analysis knobs
+/// (`--function/--multiplier/--threads/--read-buffer/--no-mmap/--partial`)
+/// through the one codec the daemon's query parameters use too
+/// ([`perfvar_analysis::options`]), so the CLI and HTTP dialects cannot
+/// drift.
+fn options_of(args: &ParsedArgs) -> Result<AnalysisOptions, String> {
+    let mut options = AnalysisOptions::default();
+    for &key in AnalysisOptions::KEYS {
+        match args.value(key) {
+            Some(v) => options.absorb(key, Some(v)),
+            None if args.has(key) => options.absorb(key, None),
+            None => continue,
+        }
+        .map_err(|e| format!("--{e}"))?;
+    }
+    Ok(options)
+}
+
 fn config_of(args: &ParsedArgs) -> Result<AnalysisConfig, String> {
-    let mut config = AnalysisConfig {
-        segment_function: args.value("function").map(str::to_string),
-        ..AnalysisConfig::default()
-    };
-    config.dominant_multiplier = args
-        .parse_or("multiplier", config.dominant_multiplier)
-        .map_err(|e| e.to_string())?;
-    config.threads = args.parse_or("threads", 0).map_err(|e| e.to_string())?;
-    config.read_buffer_bytes = args
-        .parse_or("read-buffer", config.read_buffer_bytes)
-        .map_err(|e| e.to_string())?;
-    if config.read_buffer_bytes == 0 {
-        return Err("--read-buffer must be at least 1 byte".to_string());
-    }
-    if args.has("no-mmap") {
-        config.mmap = false;
-    }
-    Ok(config)
+    Ok(options_of(args)?.config())
 }
 
 /// Normalises a `--threads` request for a run over `num_processes`
@@ -263,17 +408,14 @@ fn analysis_of_path_observed(
     args: &ParsedArgs,
     telemetry: &Telemetry,
 ) -> Result<OutOfCoreAnalysis, String> {
-    let mut config = config_of(args)?;
+    let options = options_of(args)?;
+    let mut config = options.config();
     // The archive anchor declares the rank count, so --threads is
     // normalised without decoding a single event record.
     if let Ok(cursor) = ArchiveCursor::open(Path::new(path)) {
         config.threads = normalize_threads(args, cursor.num_processes())?;
     }
-    let mode = if args.has("partial") {
-        RecoveryMode::Partial
-    } else {
-        RecoveryMode::Strict
-    };
+    let mode = options.recovery_mode();
     let mut result =
         analyze_path_observed(path, &config, mode, telemetry).map_err(|e| e.to_string())?;
     let refine_steps: usize = args.parse_or("refine", 0).map_err(|e| e.to_string())?;

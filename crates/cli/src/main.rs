@@ -3,6 +3,7 @@
 //! ```text
 //! perfvar generate <workload> --out trace.pvt [--ranks N] [--iterations N] [--seed S]
 //! perfvar info     <trace>
+//! perfvar watch    <archive.pvta> [--interval MS] [--no-color]
 //! perfvar analyze  <trace> [--function NAME] [--refine N] [--json] [--multiplier K]
 //! perfvar render   <trace> --chart timeline|sos|counter:NAME [--out x.svg] [--ansi]
 //! perfvar report   <trace> --out-dir DIR
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => commands::generate(rest),
         "info" => commands::info(rest),
+        "watch" => commands::watch(rest),
         "analyze" => commands::analyze(rest),
         "render" => commands::render(rest),
         "report" => commands::report(rest),

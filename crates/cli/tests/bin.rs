@@ -173,6 +173,95 @@ fn stats_table_goes_to_stderr() {
 }
 
 #[test]
+fn generate_live_seals_a_batch_readable_archive_watch_renders_it() {
+    let dir = tmp_dir("live-watch");
+    let arch = dir.join("t.pvta");
+    let a = arch.to_str().unwrap();
+    let out = perfvar(&[
+        "generate",
+        "outlier",
+        "--out",
+        a,
+        "--ranks",
+        "4",
+        "--iterations",
+        "6",
+        "--live",
+        "--flush-every",
+        "64",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("sealed"));
+
+    // A sealed live archive is a plain archive: batch analysis works.
+    let out = perfvar(&["analyze", a, "--json"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(parsed.get("sos").is_some());
+
+    // watch on a non-terminal prints exactly the final frame and exits 0.
+    let out = perfvar(&["watch", a, "--interval", "10"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let frame = String::from_utf8_lossy(&out.stdout);
+    assert!(frame.contains("[sealed]"), "{frame}");
+    assert!(frame.contains("hottest functions"), "{frame}");
+    assert!(
+        !frame.contains("\x1b[2J"),
+        "repaint escapes leaked: {frame}"
+    );
+}
+
+#[test]
+fn watch_reports_truncated_stream_and_keeps_last_good_view() {
+    let dir = tmp_dir("live-watch-torn");
+    let arch = dir.join("t.pvta");
+    let a = arch.to_str().unwrap();
+    let out = perfvar(&[
+        "generate",
+        "outlier",
+        "--out",
+        a,
+        "--ranks",
+        "3",
+        "--iterations",
+        "6",
+        "--live",
+    ]);
+    assert!(out.status.success());
+    // Tear the tail off rank 1's stream: the declared record count now
+    // exceeds the bytes present, a torn final record.
+    let stream = arch.join("stream-1.pvts");
+    let len = std::fs::metadata(&stream).unwrap().len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&stream)
+        .unwrap();
+    f.set_len(len - 2).unwrap();
+
+    let out = perfvar(&["watch", a, "--interval", "10"]);
+    assert!(!out.status.success(), "torn stream must fail the watch");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("corrupt at byte"), "{err}");
+    assert!(err.contains("stream of P1"), "{err}");
+    // The other ranks' last good state still renders on stdout.
+    let frame = String::from_utf8_lossy(&out.stdout);
+    assert!(frame.contains("frozen at last good state"), "{frame}");
+    assert!(frame.contains("[sealed]"), "{frame}");
+}
+
+#[test]
 fn threads_zero_and_oversubscription_are_normalized() {
     let (pvt, arch) = trace_and_archive("threads-normalize");
     // --threads 0 resolves to the hardware parallelism with a message.

@@ -6,9 +6,12 @@
 //! [`server`](crate::server) accumulates a connection's head bytes
 //! without blocking and calls [`parse_request`] once [`head_complete`]
 //! says the blank line (or EOF) has arrived. Deliberately not a general
-//! HTTP implementation: no keep-alive, no chunked transfer, no request
-//! bodies. Request lines and heads are size-capped ([`MAX_HEAD_BYTES`])
-//! so a misbehaving client cannot grow server memory.
+//! HTTP implementation: no keep-alive, no request bodies; the only
+//! streaming shape is the *response*-side chunked `text/event-stream`
+//! used by `/v1/analyze/stream` ([`write_sse_head`] /
+//! [`write_sse_event`] / [`finish_chunked`]). Request lines and heads
+//! are size-capped ([`MAX_HEAD_BYTES`]) so a misbehaving client cannot
+//! grow server memory.
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -20,9 +23,9 @@ const MAX_REQUEST_LINE: usize = 16 * 1024;
 /// answering 400, so slow or malicious clients cannot grow memory.
 pub const MAX_HEAD_BYTES: usize = 64 * 1024;
 
-/// One parsed request: the method, the decoded path, and the decoded
-/// query parameters in order of appearance.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// One parsed request: the method, the decoded path, the decoded
+/// query parameters in order of appearance, and the header block.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Request {
     /// The HTTP method verbatim (`GET`, `POST`, …).
     pub method: String,
@@ -31,6 +34,10 @@ pub struct Request {
     /// Percent-decoded `key=value` query parameters; a bare `key` (no
     /// `=`) decodes to an empty value, so it doubles as a flag.
     pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs in order of appearance, names
+    /// lowercased. Most of the GET-only JSON API ignores them; the SSE
+    /// endpoint reads `last-event-id` for resume.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Request {
@@ -45,6 +52,15 @@ impl Request {
     /// Whether query parameter `name` appears at all (flag style).
     pub fn has_param(&self, name: &str) -> bool {
         self.query.iter().any(|(k, _)| k == name)
+    }
+
+    /// The first value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -130,10 +146,10 @@ pub fn head_complete(buf: &[u8], eof: bool) -> bool {
 }
 
 /// Parses one request from a buffered head (everything up to and
-/// including the blank line; trailing bytes are ignored). The header
-/// block's content is irrelevant to the GET-only JSON API and is
-/// discarded. Errors on anything that is not a well-formed HTTP/1.x
-/// request line.
+/// including the blank line; trailing bytes are ignored). Header lines
+/// are retained with lowercased names ([`Request::header`]); malformed
+/// header lines are skipped, not fatal. Errors on anything that is not
+/// a well-formed HTTP/1.x request line.
 ///
 /// This is the readiness loop's half of request handling: the reactor
 /// accumulates bytes until [`head_complete`], then hands the buffer to
@@ -176,10 +192,20 @@ pub fn parse_request(head: &[u8]) -> std::io::Result<Request> {
                 .collect()
         })
         .unwrap_or_default();
+    let headers = String::from_utf8_lossy(head)
+        .lines()
+        .skip(1) // the request line
+        .take_while(|line| !line.trim().is_empty())
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
     Ok(Request {
         method: method.to_string(),
         path: percent_decode(raw_path),
         query,
+        headers,
     })
 }
 
@@ -199,14 +225,75 @@ pub fn reason_phrase(status: u16) -> &'static str {
 /// Writes one complete JSON response and flushes it. The connection is
 /// closed by the caller afterwards (`Connection: close` is advertised).
 pub fn write_response(stream: &TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_response_with(stream, status, body, &[])
+}
+
+/// [`write_response`] plus extra response headers (e.g. the
+/// `Deprecation`/`Link` pair on legacy route shims).
+pub fn write_response_with(
+    stream: &TcpStream,
+    status: u16,
+    body: &str,
+    extra: &[(&str, String)],
+) -> std::io::Result<()> {
     let mut stream = stream;
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason_phrase(status),
         body.len(),
     )?;
+    for (name, value) in extra {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Starts a chunked `text/event-stream` response: status line and
+/// headers only. Each subsequent [`write_sse_event`] is one HTTP chunk;
+/// [`finish_chunked`] sends the terminating zero-length chunk.
+pub fn write_sse_head(stream: &TcpStream) -> std::io::Result<()> {
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Writes one SSE event as one HTTP chunk and flushes it, so watchers
+/// see every event as soon as it is produced. `data` must be a single
+/// line (the daemon sends compact JSON); `id` becomes the event id a
+/// client echoes back in `Last-Event-ID` to resume.
+pub fn write_sse_event(
+    stream: &TcpStream,
+    id: Option<&str>,
+    event: &str,
+    data: &str,
+) -> std::io::Result<()> {
+    let mut frame = String::new();
+    if let Some(id) = id {
+        frame.push_str(&format!("id: {id}\n"));
+    }
+    frame.push_str(&format!("event: {event}\ndata: {data}\n\n"));
+    write_chunk(stream, frame.as_bytes())
+}
+
+/// Writes one HTTP chunk (`{len:x}\r\n…\r\n`) and flushes.
+pub fn write_chunk(stream: &TcpStream, data: &[u8]) -> std::io::Result<()> {
+    let mut stream = stream;
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response (zero-length chunk) and flushes.
+pub fn finish_chunked(stream: &TcpStream) -> std::io::Result<()> {
+    let mut stream = stream;
+    stream.write_all(b"0\r\n\r\n")?;
     stream.flush()
 }
 
@@ -258,6 +345,19 @@ mod tests {
         assert_eq!(req.path, "/analyze");
         assert_eq!(req.param("path"), Some("/tmp/t.pvta"));
         assert!(req.has_param("partial"));
+        assert_eq!(req.header("Host"), Some("x"));
+    }
+
+    #[test]
+    fn headers_are_retained_case_insensitively_up_to_the_blank_line() {
+        let head =
+            b"GET /v1/analyze/stream?path=x HTTP/1.1\r\nHost: a\r\nLast-Event-ID: 00ff\r\n\r\nGET /smuggled";
+        let req = parse_request(head).unwrap();
+        assert_eq!(req.header("last-event-id"), Some("00ff"));
+        assert_eq!(req.header("LAST-EVENT-ID"), Some("00ff"));
+        assert_eq!(req.header("x-missing"), None);
+        // Bytes after the blank line never become headers.
+        assert!(req.headers.iter().all(|(k, _)| !k.contains("smuggled")));
     }
 
     #[test]
@@ -279,6 +379,7 @@ mod tests {
                 ("path".into(), "/tmp/t.pvta".into()),
                 ("partial".into(), String::new()),
             ],
+            ..Request::default()
         };
         assert_eq!(req.param("path"), Some("/tmp/t.pvta"));
         assert!(req.has_param("partial"));

@@ -1,9 +1,12 @@
 //! # perfvar-server — the analysis daemon
 //!
 //! Serves perfvar analyses as JSON over a minimal std-only HTTP/1.1
-//! layer ([`http`]): `GET /analyze?path=…` returns the same bytes as
-//! `perfvar analyze --json`, computed once and then answered from a
-//! content-addressed cache.
+//! layer ([`http`]): `GET /v1/analyze?path=…` returns the analysis
+//! of `perfvar analyze --json` in the `{"ok",…}` envelope, computed
+//! once and then answered from a content-addressed cache; `GET
+//! /v1/analyze/stream` follows a *growing* archive with server-sent
+//! events. The pre-`/v1` routes remain as byte-compatible deprecation
+//! shims.
 //!
 //! The interesting parts:
 //!
@@ -49,7 +52,9 @@ pub mod singleflight;
 pub mod store;
 
 pub use cache::{cache_key, CachedResult, ResultCache};
-pub use client::{get, HttpResponse};
-pub use server::{ServeError, ServeOptions, Server, ServerHandle};
+pub use client::{
+    get, get_with_headers, parse_envelope, sse_events, Envelope, HttpResponse, SseEvent,
+};
+pub use server::{ErrorDetail, ServeError, ServeOptions, Server, ServerHandle};
 pub use singleflight::Singleflight;
 pub use store::{RunRecord, RunStore};

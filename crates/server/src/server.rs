@@ -21,44 +21,74 @@
 //!
 //! # Endpoints
 //!
-//! * `GET /analyze?path=P` — full [`Analysis`](perfvar_analysis::Analysis) JSON for the trace at
-//!   `P`, byte-identical to `perfvar analyze P --json`. Optional
-//!   parameters: `function=NAME` (force the segmentation function),
-//!   `multiplier=K` (dominant-function invocation threshold), `partial`
-//!   (recover readable ranks of a damaged archive), `metric=NAME`
-//!   (serve one hardware-counter correlation instead of the full
-//!   report).
-//! * `GET /refine?path=P&steps=N` — the analysis after `N` refinement
-//!   steps into the dominant function's callees (`steps` defaults
-//!   to 1), mirroring `perfvar refine`.
-//! * `GET /runs/register?path=P&label=L` — registers the archive at `P`
-//!   in the persistent [run store](crate::store) under its content
-//!   digest (computing it if needed), optionally labelled `L`.
-//! * `GET /runs` — every registered run: digest, label, path.
-//! * `GET /compare?base=R&cand=R` — the differential service: compares
-//!   two runs (each reference `R` resolving as store label → store
-//!   digest → filesystem path) and returns per-rank and per-function
-//!   deltas plus a noise-aware verdict (`threshold=T` overrides the
-//!   ±5 % default). Both analyses go through the content-addressed
-//!   cache, so comparing cached runs performs zero new analyses.
-//! * `GET /stats` — cumulative pipeline telemetry across all analyses
-//!   this daemon has run, in the `perfvar stats --json` shape.
-//! * `GET /health` — liveness probe, `{"status": "ok"}`.
+//! The API lives under `/v1`. Every `/v1` response is an **envelope**:
+//! `{"ok":true,"data":…}` on success, `{"ok":false,"error":{"kind":…,
+//! "message":…,"detail":…}}` on failure, where `kind` is a stable typed
+//! slug (`bad-request`, `not-found`, `method-not-allowed`,
+//! `corrupt-stream`, `corrupt-trace`, `unprocessable`, `internal`) and
+//! `detail` carries structured context when the error has any (rank +
+//! byte offset for `corrupt-stream`).
 //!
-//! Errors come back as `{"error": "…"}` with a 4xx/5xx status: 404 for
-//! missing files/routes/metrics, 400 for malformed parameters, 422 for
-//! corrupt traces (the typed `CorruptStream` diagnosis in the message),
-//! 405 for non-GET methods, 500 for internal failures.
+//! * `GET /v1/analyze?path=P` — full [`Analysis`](perfvar_analysis::Analysis) JSON for the trace at
+//!   `P` (as `data`), matching `perfvar analyze P --json`. Optional
+//!   parameters: `function=NAME` (force the segmentation function),
+//!   `multiplier=K` (dominant-function invocation threshold),
+//!   `threads=N` (per-request parallelism override — never part of the
+//!   cache key; the pipeline is bit-identical at every parallelism),
+//!   `read-buffer=BYTES`, `no-mmap`, `partial` (recover readable ranks
+//!   of a damaged archive), `metric=NAME` (serve one hardware-counter
+//!   correlation instead of the full report). The knobs go through the
+//!   same [`AnalysisOptions`] codec the CLI flags use.
+//! * `GET /v1/refine?path=P&steps=N` — the analysis after `N`
+//!   refinement steps into the dominant function's callees (`steps`
+//!   defaults to 1), mirroring `perfvar refine`.
+//! * `GET /v1/analyze/stream?path=P&interval=MS` — **server-sent
+//!   events** over a live (growing) archive: a chunked
+//!   `text/event-stream` of `delta` events (one per poll that moved,
+//!   id = the prefix digest of everything folded so far), at most one
+//!   typed `error` event (corrupt stream: the damaged rank freezes,
+//!   the rest keep streaming), and a final `result` event carrying the
+//!   full analysis once the run seals cleanly. A client reconnecting
+//!   with `Last-Event-ID: <id>` has deltas suppressed until that
+//!   prefix digest reappears.
+//! * `GET /v1/runs/register?path=P&label=L` — registers the archive at
+//!   `P` in the persistent [run store](crate::store) under its content
+//!   digest (computing it if needed), optionally labelled `L`.
+//! * `GET /v1/runs` — every registered run: digest, label, path.
+//! * `GET /v1/compare?base=R&cand=R` — the differential service:
+//!   compares two runs (each reference `R` resolving as store label →
+//!   store digest → filesystem path) and returns per-rank and
+//!   per-function deltas plus a noise-aware verdict (`threshold=T`
+//!   overrides the ±5 % default). Both analyses go through the
+//!   content-addressed cache, so comparing cached runs performs zero
+//!   new analyses.
+//! * `GET /v1/stats` — cumulative pipeline telemetry across all
+//!   analyses this daemon has run, in the `perfvar stats --json` shape.
+//! * `GET /v1/health` — liveness probe, `data = {"status": "ok"}`.
+//!
+//! The pre-`/v1` unversioned routes (`/analyze`, `/refine`, `/compare`,
+//! `/runs`, `/runs/register`, `/stats`, `/health`) remain as
+//! **deprecation shims**: byte-identical bodies to pre-`/v1` daemons —
+//! bare JSON on success, `{"error": "…"}` on failure — plus a
+//! `Deprecation: true` header and a `Link: </v1/...>;
+//! rel="successor-version"` pointer. Statuses are shared by both
+//! surfaces: 404 for missing files/routes/metrics, 400 for malformed
+//! parameters, 422 for corrupt traces, 405 for non-GET methods, 500
+//! for internal failures.
 
 use crate::cache::{cache_key, CachedResult, ResultCache};
-use crate::http::{head_complete, parse_request, write_response, Request, MAX_HEAD_BYTES};
+use crate::http::{
+    finish_chunked, head_complete, parse_request, write_response, write_response_with,
+    write_sse_event, write_sse_head, Request, MAX_HEAD_BYTES,
+};
 use crate::poll;
 use crate::singleflight::Singleflight;
 use crate::store::{digest_hex, looks_like_digest, RunRecord, RunStore};
+use perfvar_analysis::live::LiveAnalysis;
 use perfvar_analysis::parallel::resolve_threads;
 use perfvar_analysis::{
-    analyze_path_sharded_observed, Analysis, AnalysisConfig, RecoveryMode, RunComparison,
-    Telemetry, DEFAULT_NOISE_THRESHOLD,
+    analyze_path_sharded_observed, Analysis, AnalysisConfig, AnalysisOptions, RecoveryMode,
+    RunComparison, Telemetry, DEFAULT_NOISE_THRESHOLD,
 };
 use perfvar_trace::format::cursor::ArchiveCursor;
 use perfvar_trace::format::digest::{constituent_files, digest_path};
@@ -121,29 +151,115 @@ impl Default for ServeOptions {
     }
 }
 
-/// A serve-layer error: the HTTP status plus the JSON `error` message.
+/// Structured context attached to a typed error — for `corrupt-stream`,
+/// the rank and byte offset of the damage, machine-readable so a live
+/// dashboard does not have to parse it back out of the message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ErrorDetail {
+    /// The damaged rank's index.
+    pub rank: usize,
+    /// Byte offset of the first undecodable record in its stream file.
+    pub offset: u64,
+}
+
+/// A serve-layer error: HTTP status, a typed `kind` slug, the
+/// human-readable message, and optional structured detail.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServeError {
     /// The HTTP status code (4xx/5xx).
     pub status: u16,
-    /// Human-readable diagnosis, sent as `{"error": message}`.
+    /// The typed error kind: `bad-request`, `not-found`,
+    /// `method-not-allowed`, `corrupt-stream`, `corrupt-trace`,
+    /// `unprocessable`, or `internal`.
+    pub kind: &'static str,
+    /// Human-readable diagnosis.
     pub message: String,
+    /// Structured context, when the error has any (rank + offset for
+    /// `corrupt-stream`).
+    pub detail: Option<ErrorDetail>,
 }
 
 impl ServeError {
-    fn new(status: u16, message: impl Into<String>) -> ServeError {
+    fn new(status: u16, kind: &'static str, message: impl Into<String>) -> ServeError {
         ServeError {
             status,
+            kind,
             message: message.into(),
+            detail: None,
         }
     }
 
-    /// The JSON response body for this error.
+    fn with_detail(mut self, detail: ErrorDetail) -> ServeError {
+        self.detail = Some(detail);
+        self
+    }
+
+    /// The error's JSON value in the `/v1` envelope's `error` shape:
+    /// `{"kind":…,"message":…,"detail":…}`.
+    pub fn error_value(&self) -> serde_json::Value {
+        let detail = match &self.detail {
+            Some(d) => serde_json::json!({ "rank": d.rank, "offset": d.offset }),
+            None => serde_json::Value::Null,
+        };
+        serde_json::json!({
+            "kind": self.kind,
+            "message": self.message.clone(),
+            "detail": detail,
+        })
+    }
+
+    /// The legacy (unversioned-route) JSON body, `{"error": message}` —
+    /// byte-compatible with pre-`/v1` daemons.
     pub fn body(&self) -> String {
         let doc = serde_json::json!({ "error": self.message.clone() });
         let mut body = serde_json::to_string_pretty(&doc).unwrap_or_default();
         body.push('\n');
         body
+    }
+
+    /// The `/v1` envelope body:
+    /// `{"ok":false,"error":{"kind","message","detail"}}`.
+    pub fn envelope_body(&self) -> String {
+        let doc = serde_json::json!({ "ok": false, "error": self.error_value() });
+        let mut body = serde_json::to_string_pretty(&doc).unwrap_or_default();
+        body.push('\n');
+        body
+    }
+}
+
+/// Wraps a successful raw route body into the `/v1` envelope:
+/// `{"ok":true,"data":…}`.
+fn envelope_ok(raw: &str) -> Result<String, ServeError> {
+    let doc: serde_json::Value = serde_json::from_str(raw).map_err(|e| {
+        ServeError::new(500, "internal", format!("response failed to re-parse: {e}"))
+    })?;
+    let wrapped = serde_json::json!({ "ok": true, "data": doc });
+    let mut body = serde_json::to_string_pretty(&wrapped)
+        .map_err(|e| ServeError::new(500, "internal", format!("serialisation failed: {e}")))?;
+    body.push('\n');
+    Ok(body)
+}
+
+/// The unversioned routes kept as byte-compatible deprecation shims.
+const LEGACY_ROUTES: &[&str] = &[
+    "/analyze",
+    "/refine",
+    "/compare",
+    "/runs",
+    "/runs/register",
+    "/stats",
+    "/health",
+];
+
+/// The `Deprecation` + successor-`Link` headers a legacy shim carries.
+fn deprecation_headers(path: &str) -> Vec<(&'static str, String)> {
+    if LEGACY_ROUTES.contains(&path) {
+        vec![
+            ("Deprecation", "true".to_string()),
+            ("Link", format!("</v1{path}>; rel=\"successor-version\"")),
+        ]
+    } else {
+        Vec::new()
     }
 }
 
@@ -225,32 +341,38 @@ impl DigestMemo {
 }
 
 fn io_error(path: &Path, e: &std::io::Error) -> ServeError {
-    let status = match e.kind() {
-        std::io::ErrorKind::NotFound => 404,
-        _ => 500,
+    let (status, kind) = match e.kind() {
+        std::io::ErrorKind::NotFound => (404, "not-found"),
+        _ => (500, "internal"),
     };
-    ServeError::new(status, format!("{}: {e}", path.display()))
+    ServeError::new(status, kind, format!("{}: {e}", path.display()))
 }
 
 fn trace_error(e: perfvar_trace::TraceError) -> ServeError {
     match e {
         perfvar_trace::TraceError::Io(ref io) if io.kind() == std::io::ErrorKind::NotFound => {
-            ServeError::new(404, e.to_string())
+            ServeError::new(404, "not-found", e.to_string())
         }
-        perfvar_trace::TraceError::Io(_) => ServeError::new(500, e.to_string()),
-        other => ServeError::new(422, other.to_string()),
+        perfvar_trace::TraceError::Io(_) => ServeError::new(500, "internal", e.to_string()),
+        perfvar_trace::TraceError::CorruptStream {
+            process, offset, ..
+        } => ServeError::new(422, "corrupt-stream", e.to_string()).with_detail(ErrorDetail {
+            rank: process.index(),
+            offset,
+        }),
+        other => ServeError::new(422, "corrupt-trace", other.to_string()),
     }
 }
 
 fn path_error(e: perfvar_analysis::PathAnalysisError) -> ServeError {
-    let message = e.to_string();
     // I/O-level misses (the archive or a stream file vanished) are 404;
     // everything else — corrupt streams, empty traces, analysis
     // failures — is a content problem on an existing input: 422.
-    if message.contains("No such file") || message.contains("not found") {
-        ServeError::new(404, message)
-    } else {
-        ServeError::new(422, message)
+    match e {
+        perfvar_analysis::PathAnalysisError::Trace(e) => trace_error(e),
+        perfvar_analysis::PathAnalysisError::Analysis(e) => {
+            ServeError::new(422, "unprocessable", e.to_string())
+        }
     }
 }
 
@@ -272,41 +394,51 @@ struct AnalyzeParams {
     mode: RecoveryMode,
     refine_steps: usize,
     metric: Option<String>,
+    /// `threads=N` from the query, when present — overrides the
+    /// daemon-wide default (never part of the cache key; the pipeline
+    /// is bit-identical at every parallelism).
+    threads: Option<usize>,
 }
 
-/// Parses the analysis knobs shared by `/analyze`, `/refine` and both
-/// sides of `/compare`: `function`, `multiplier`, `partial`.
-fn config_of(req: &Request) -> Result<(AnalysisConfig, RecoveryMode), ServeError> {
-    let mut config = AnalysisConfig {
-        segment_function: req.param("function").map(str::to_string),
-        ..AnalysisConfig::default()
-    };
-    if let Some(raw) = req.param("multiplier") {
-        config.dominant_multiplier = raw
-            .parse()
-            .map_err(|e| ServeError::new(400, format!("invalid multiplier {raw:?}: {e}")))?;
+/// Decodes the shared analysis knobs out of the query through the one
+/// [`AnalysisOptions`] codec the CLI uses — `function`, `multiplier`,
+/// `threads`, `read-buffer`, `no-mmap`, `partial` — so the daemon and
+/// the CLI cannot drift apart again. Unowned keys (`path`, `steps`,
+/// `metric`, …) pass through untouched.
+fn options_of(req: &Request) -> Result<AnalysisOptions, ServeError> {
+    let mut options = AnalysisOptions::default();
+    for (key, value) in &req.query {
+        let value = (!value.is_empty()).then_some(value.as_str());
+        options
+            .absorb(key, value)
+            .map_err(|e| ServeError::new(400, "bad-request", e.to_string()))?;
     }
-    let mode = if req.has_param("partial") {
-        RecoveryMode::Partial
-    } else {
-        RecoveryMode::Strict
-    };
-    Ok((config, mode))
+    Ok(options)
+}
+
+/// The config + recovery mode a request's query describes.
+fn config_of(req: &Request) -> Result<(AnalysisConfig, RecoveryMode), ServeError> {
+    let options = options_of(req)?;
+    Ok((options.config(), options.recovery_mode()))
 }
 
 fn params_of(req: &Request, refine: bool) -> Result<AnalyzeParams, ServeError> {
     let path = req
         .param("path")
-        .ok_or_else(|| ServeError::new(400, "missing required parameter: path"))?;
+        .ok_or_else(|| ServeError::new(400, "bad-request", "missing required parameter: path"))?;
     if path.is_empty() {
-        return Err(ServeError::new(400, "missing required parameter: path"));
+        return Err(ServeError::new(
+            400,
+            "bad-request",
+            "missing required parameter: path",
+        ));
     }
-    let (config, mode) = config_of(req)?;
+    let options = options_of(req)?;
     let refine_steps = if refine {
         match req.param("steps") {
-            Some(raw) => raw
-                .parse()
-                .map_err(|e| ServeError::new(400, format!("invalid steps {raw:?}: {e}")))?,
+            Some(raw) => raw.parse().map_err(|e| {
+                ServeError::new(400, "bad-request", format!("invalid steps {raw:?}: {e}"))
+            })?,
             None => 1,
         }
     } else {
@@ -314,10 +446,11 @@ fn params_of(req: &Request, refine: bool) -> Result<AnalyzeParams, ServeError> {
     };
     Ok(AnalyzeParams {
         path: PathBuf::from(path),
-        config,
-        mode,
+        config: options.config(),
+        mode: options.recovery_mode(),
         refine_steps,
         metric: req.param("metric").map(str::to_string),
+        threads: req.has_param("threads").then_some(options.threads),
     })
 }
 
@@ -347,6 +480,7 @@ impl ServerState {
         if looks_like_digest(reference) {
             return Err(ServeError::new(
                 404,
+                "not-found",
                 format!("digest {reference} is not in the run store"),
             ));
         }
@@ -363,14 +497,14 @@ impl ServerState {
     /// timestamps or other run-varying state, so repeated comparisons
     /// of the same runs are byte-identical.
     fn compare(&self, req: &Request) -> Result<String, ServeError> {
-        let base_ref = req
-            .param("base")
-            .ok_or_else(|| ServeError::new(400, "missing required parameter: base"))?;
-        let cand_ref = req
-            .param("cand")
-            .ok_or_else(|| ServeError::new(400, "missing required parameter: cand"))?;
+        let base_ref = req.param("base").ok_or_else(|| {
+            ServeError::new(400, "bad-request", "missing required parameter: base")
+        })?;
+        let cand_ref = req.param("cand").ok_or_else(|| {
+            ServeError::new(400, "bad-request", "missing required parameter: cand")
+        })?;
         if base_ref.is_empty() || cand_ref.is_empty() {
-            return Err(ServeError::new(400, "empty run reference"));
+            return Err(ServeError::new(400, "bad-request", "empty run reference"));
         }
         let threshold = match req.param("threshold") {
             Some(raw) => raw
@@ -380,6 +514,7 @@ impl ServerState {
                 .ok_or_else(|| {
                     ServeError::new(
                         400,
+                        "bad-request",
                         format!("invalid threshold {raw:?}: expected a non-negative number"),
                     )
                 })?,
@@ -397,9 +532,14 @@ impl ServerState {
                     mode,
                     refine_steps: 0,
                     metric: None,
+                    threads: None,
                 })?;
                 let analysis: Analysis = serde_json::from_str(&entry.body).map_err(|e| {
-                    ServeError::new(500, format!("cached analysis failed to parse: {e}"))
+                    ServeError::new(
+                        500,
+                        "internal",
+                        format!("cached analysis failed to parse: {e}"),
+                    )
                 })?;
                 Ok((entry, analysis, digest_hex(digest)))
             };
@@ -427,25 +567,26 @@ impl ServerState {
             "verdict": serde_json::to_value(&verdict),
         });
         let mut body = serde_json::to_string_pretty(&doc)
-            .map_err(|e| ServeError::new(500, format!("serialisation failed: {e}")))?;
+            .map_err(|e| ServeError::new(500, "internal", format!("serialisation failed: {e}")))?;
         body.push('\n');
         Ok(body)
     }
 
     /// The `/runs/register` handler: digest the archive and record it.
     fn register_run(&self, req: &Request) -> Result<String, ServeError> {
-        let path = req
-            .param("path")
-            .filter(|p| !p.is_empty())
-            .ok_or_else(|| ServeError::new(400, "missing required parameter: path"))?;
+        let path = req.param("path").filter(|p| !p.is_empty()).ok_or_else(|| {
+            ServeError::new(400, "bad-request", "missing required parameter: path")
+        })?;
         let path = PathBuf::from(path);
         let digest = self.digests.digest_of(&path)?;
         let record = self
             .store
             .register(digest, req.param("label"), &path)
-            .map_err(|m| ServeError::new(500, format!("run store write failed: {m}")))?;
+            .map_err(|m| {
+                ServeError::new(500, "internal", format!("run store write failed: {m}"))
+            })?;
         let mut body = serde_json::to_string_pretty(&serde_json::to_value(&record))
-            .map_err(|e| ServeError::new(500, format!("serialisation failed: {e}")))?;
+            .map_err(|e| ServeError::new(500, "internal", format!("serialisation failed: {e}")))?;
         body.push('\n');
         Ok(body)
     }
@@ -454,25 +595,26 @@ impl ServerState {
     fn list_runs(&self) -> Result<String, ServeError> {
         let doc = serde_json::json!({ "runs": serde_json::to_value(&self.store.list()) });
         let mut body = serde_json::to_string_pretty(&doc)
-            .map_err(|e| ServeError::new(500, format!("serialisation failed: {e}")))?;
+            .map_err(|e| ServeError::new(500, "internal", format!("serialisation failed: {e}")))?;
         body.push('\n');
         Ok(body)
     }
 
     /// Normalises the thread count exactly like the CLI does: for
     /// archives, cap at the rank count read from the anchor file.
-    fn normalized_threads(&self, path: &Path) -> Result<usize, ServeError> {
+    fn normalized_threads(&self, requested: usize, path: &Path) -> Result<usize, ServeError> {
         if Format::from_path(path) == Format::Archive {
             let cursor = ArchiveCursor::open(path).map_err(trace_error)?;
-            Ok(resolve_threads(self.threads, cursor.num_processes()))
+            Ok(resolve_threads(requested, cursor.num_processes()))
         } else {
-            Ok(resolve_threads(self.threads, 1))
+            Ok(resolve_threads(requested, 1))
         }
     }
 
     fn compute_entry(&self, params: &AnalyzeParams) -> Result<Arc<CachedResult>, ServeError> {
         let mut config = params.config.clone();
-        config.threads = self.normalized_threads(&params.path)?;
+        config.threads =
+            self.normalized_threads(params.threads.unwrap_or(self.threads), &params.path)?;
         // Shard-count 1 (and any non-archive input) falls through to the
         // plain out-of-core driver inside `analyze_path_sharded_observed`;
         // either way the result bytes — and thus the cache entry — are
@@ -489,11 +631,17 @@ impl ServerState {
             result = result
                 .refine(&params.path, &config, params.mode)
                 .map_err(path_error)?
-                .ok_or_else(|| ServeError::new(422, "no finer segmentation function available"))?;
+                .ok_or_else(|| {
+                    ServeError::new(
+                        422,
+                        "unprocessable",
+                        "no finer segmentation function available",
+                    )
+                })?;
         }
         CachedResult::render(&result)
             .map(Arc::new)
-            .map_err(|m| ServeError::new(500, m))
+            .map_err(|m| ServeError::new(500, "internal", m))
     }
 
     /// Cache → singleflight → pipeline. Returns the entry and whether
@@ -517,14 +665,20 @@ impl ServerState {
         result
     }
 
-    fn respond(&self, req: &Request) -> Result<String, ServeError> {
+    /// Routes one request to its handler and returns the *raw* route
+    /// body (the pre-`/v1` shape). Versioned requests reach this with
+    /// the `/v1` prefix already stripped; [`handle_connection`] decides
+    /// whether to wrap the result in the envelope or serve it verbatim
+    /// through a legacy shim.
+    fn respond(&self, req: &Request, path: &str) -> Result<String, ServeError> {
         if req.method != "GET" {
             return Err(ServeError::new(
                 405,
+                "method-not-allowed",
                 format!("method {} not allowed; the API is GET-only", req.method),
             ));
         }
-        match req.path.as_str() {
+        match path {
             "/health" => {
                 let mut body = serde_json::to_string_pretty(&serde_json::json!({ "status": "ok" }))
                     .unwrap_or_default();
@@ -535,9 +689,11 @@ impl ServerState {
                 let stats = self
                     .telemetry
                     .snapshot()
-                    .ok_or_else(|| ServeError::new(500, "telemetry disabled"))?;
+                    .ok_or_else(|| ServeError::new(500, "internal", "telemetry disabled"))?;
                 let mut body = serde_json::to_string_pretty(&serde_json::to_value(&stats))
-                    .map_err(|e| ServeError::new(500, format!("serialisation failed: {e}")))?;
+                    .map_err(|e| {
+                        ServeError::new(500, "internal", format!("serialisation failed: {e}"))
+                    })?;
                 body.push('\n');
                 Ok(body)
             }
@@ -545,7 +701,7 @@ impl ServerState {
             "/runs" => self.list_runs(),
             "/runs/register" => self.register_run(req),
             "/analyze" | "/refine" => {
-                let params = params_of(req, req.path == "/refine")?;
+                let params = params_of(req, path == "/refine")?;
                 let entry = self.entry_for(&params)?;
                 match &params.metric {
                     None => Ok(entry.body.clone()),
@@ -559,6 +715,7 @@ impl ServerState {
                                 entry.metrics.iter().map(|(n, _)| n.as_str()).collect();
                             ServeError::new(
                                 404,
+                                "not-found",
                                 if available.is_empty() {
                                     format!(
                                         "unknown metric {name:?}: trace has no counter channels"
@@ -573,22 +730,166 @@ impl ServerState {
                         }),
                 }
             }
-            other => Err(ServeError::new(404, format!("no such endpoint: {other}"))),
+            other => Err(ServeError::new(
+                404,
+                "not-found",
+                format!("no such endpoint: {other}"),
+            )),
         }
     }
 
     /// Worker half of request handling: the reactor already buffered the
-    /// complete head; parse it, compute, respond, close.
-    fn handle_connection(&self, stream: TcpStream, head: Vec<u8>) {
+    /// complete head; parse it, compute, respond, close. `/v1/…` paths
+    /// answer in the `{"ok",…}` envelope; the bare legacy paths answer
+    /// byte-identically to pre-`/v1` daemons plus a `Deprecation`
+    /// header. `GET /v1/analyze/stream` takes over the socket entirely
+    /// and streams SSE until the watched run seals.
+    fn handle_connection(self: &Arc<Self>, stream: TcpStream, head: Vec<u8>) {
         let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-        let outcome = match parse_request(&head) {
-            Ok(req) => self.respond(&req),
-            Err(e) => Err(ServeError::new(400, format!("malformed request: {e}"))),
+        let req = match parse_request(&head) {
+            Ok(req) => req,
+            Err(e) => {
+                let err = ServeError::new(400, "bad-request", format!("malformed request: {e}"));
+                let _ = write_response(&stream, err.status, &err.body());
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
         };
-        let _ = match outcome {
-            Ok(body) => write_response(&stream, 200, &body),
-            Err(e) => write_response(&stream, e.status, &e.body()),
+        if req.path == "/v1/analyze/stream" && req.method == "GET" {
+            self.stream_analysis(stream, &req);
+            return;
+        }
+        let (versioned, path) = match req.path.strip_prefix("/v1") {
+            Some(rest) if rest.starts_with('/') => (true, rest.to_string()),
+            _ => (false, req.path.clone()),
         };
+        let outcome = self.respond(&req, &path);
+        let _ = if versioned {
+            match outcome.and_then(|raw| envelope_ok(&raw)) {
+                Ok(body) => write_response(&stream, 200, &body),
+                Err(e) => write_response(&stream, e.status, &e.envelope_body()),
+            }
+        } else {
+            let extra = deprecation_headers(&req.path);
+            match outcome {
+                Ok(body) => write_response_with(&stream, 200, &body, &extra),
+                Err(e) => write_response_with(&stream, e.status, &e.body(), &extra),
+            }
+        };
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// The `GET /v1/analyze/stream` handler: validate the query, open a
+    /// [`LiveAnalysis`] over the (possibly still growing) archive, and
+    /// hand the socket to a dedicated streamer thread — workers go back
+    /// to the pool immediately, so slow streams never starve the JSON
+    /// API.
+    fn stream_analysis(self: &Arc<Self>, stream: TcpStream, req: &Request) {
+        let refuse = |e: ServeError| {
+            let _ = write_response(&stream, e.status, &e.envelope_body());
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        };
+        let setup = || -> Result<(LiveAnalysis, Duration), ServeError> {
+            let path = req.param("path").filter(|p| !p.is_empty()).ok_or_else(|| {
+                ServeError::new(400, "bad-request", "missing required parameter: path")
+            })?;
+            let options = options_of(req)?;
+            let interval = match req.param("interval") {
+                Some(raw) => raw.parse::<u64>().map_err(|e| {
+                    ServeError::new(400, "bad-request", format!("invalid interval {raw:?}: {e}"))
+                })?,
+                None => 200,
+            };
+            let live = LiveAnalysis::open(path, options.config()).map_err(path_error)?;
+            Ok((live, Duration::from_millis(interval.max(10))))
+        };
+        let (live, interval) = match setup() {
+            Ok(ready) => ready,
+            Err(e) => return refuse(e),
+        };
+        let resume = req.header("last-event-id").map(str::to_string);
+        let state = Arc::clone(self);
+        std::thread::spawn(move || state.stream_loop(stream, live, interval, resume));
+    }
+
+    /// The streamer thread body: emits one `delta` SSE event per poll
+    /// that moved, a single typed `error` event if a stream goes
+    /// corrupt, and a final `result` event carrying the full analysis
+    /// once the run seals cleanly. Event ids are the prefix digest of
+    /// everything folded so far, so a client reconnecting with
+    /// `Last-Event-ID` skips the deltas it has already applied.
+    fn stream_loop(
+        &self,
+        stream: TcpStream,
+        mut live: LiveAnalysis,
+        interval: Duration,
+        resume: Option<String>,
+    ) {
+        if write_sse_head(&stream).is_err() {
+            return;
+        }
+        // Until the resume id's prefix digest shows up, deltas are
+        // suppressed — the client already folded that prefix.
+        let mut suppress = resume.is_some();
+        let mut errored = false;
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut delta = live.poll();
+            let id = format!("{:032x}", delta.fingerprint);
+            if let Some(error) = delta.error.take() {
+                if !errored {
+                    errored = true;
+                    let e = trace_error(error);
+                    let data = serde_json::to_string(&e.error_value()).unwrap_or_default();
+                    if write_sse_event(&stream, Some(&id), "error", &data).is_err() {
+                        return;
+                    }
+                }
+            }
+            let moved = delta.new_events > 0 || delta.new_bytes > 0;
+            if moved && !suppress {
+                let snapshot = live.snapshot();
+                let doc = serde_json::json!({
+                    "new_events": delta.new_events,
+                    "new_bytes": delta.new_bytes,
+                    "new_segments": delta.new_segments.len(),
+                    "touched_ranks": delta.touched_ranks.clone(),
+                    "events": snapshot.events,
+                    "bytes": snapshot.bytes,
+                    "finished": delta.finished,
+                });
+                let data = serde_json::to_string(&doc).unwrap_or_default();
+                if write_sse_event(&stream, Some(&id), "delta", &data).is_err() {
+                    return;
+                }
+            }
+            if suppress && resume.as_deref() == Some(id.as_str()) {
+                suppress = false;
+            }
+            if delta.finished {
+                if !errored {
+                    match live.finalize() {
+                        Ok(result) => {
+                            let data =
+                                serde_json::to_string(&serde_json::to_value(&result.analysis))
+                                    .unwrap_or_default();
+                            let _ = write_sse_event(&stream, Some(&id), "result", &data);
+                        }
+                        Err(e) => {
+                            let err = path_error(e);
+                            let data =
+                                serde_json::to_string(&err.error_value()).unwrap_or_default();
+                            let _ = write_sse_event(&stream, Some(&id), "error", &data);
+                        }
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(interval);
+        }
+        let _ = finish_chunked(&stream);
         let _ = stream.shutdown(std::net::Shutdown::Both);
     }
 }
@@ -631,7 +932,11 @@ fn drive_conn(conn: &mut Conn, readable: bool, now: Instant) -> Drive {
                 Ok(n) => {
                     conn.buf.extend_from_slice(&chunk[..n]);
                     if conn.buf.len() > MAX_HEAD_BYTES {
-                        return Drive::Reject(ServeError::new(400, "request head too large"));
+                        return Drive::Reject(ServeError::new(
+                            400,
+                            "bad-request",
+                            "request head too large",
+                        ));
                     }
                     if head_complete(&conn.buf, false) {
                         return Drive::Dispatch;
@@ -644,7 +949,11 @@ fn drive_conn(conn: &mut Conn, readable: bool, now: Instant) -> Drive {
         }
     }
     if now >= conn.deadline {
-        return Drive::Reject(ServeError::new(400, "timed out reading the request head"));
+        return Drive::Reject(ServeError::new(
+            400,
+            "bad-request",
+            "timed out reading the request head",
+        ));
     }
     Drive::Pending
 }

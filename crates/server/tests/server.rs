@@ -716,3 +716,286 @@ fn stats_reports_the_pipeline_shape() {
     assert!(!stats.stages.is_empty());
     handle.shutdown();
 }
+
+#[test]
+fn v1_routes_answer_in_the_envelope() {
+    let dir = tmp("v1-envelope");
+    let trace = write_fixture(&dir, 4);
+    let (handle, addr) = spawn(ServeOptions::default());
+
+    let resp = client::get(&addr, "/v1/health").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let env = client::parse_envelope(&resp.body).unwrap();
+    assert!(env.ok, "{}", resp.body);
+    assert_eq!(
+        env.data.get("status").and_then(|v| v.as_str()),
+        Some("ok"),
+        "{}",
+        resp.body
+    );
+
+    let resp = client::get(&addr, &format!("/v1{}", analyze_target(&trace))).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let env = client::parse_envelope(&resp.body).unwrap();
+    assert!(env.ok);
+    assert!(env.data.get("sos").is_some(), "{}", resp.body);
+
+    // A per-request threads override is accepted and does not change
+    // the result (bit-identical at every parallelism).
+    let one = client::get(&addr, &format!("/v1{}&threads=1", analyze_target(&trace))).unwrap();
+    assert_eq!(one.status, 200, "{}", one.body);
+    assert_eq!(one.body, resp.body, "threads must not change the result");
+
+    // Typed failures: missing parameter, bad option value, missing
+    // file, unknown route.
+    let cases = [
+        ("/v1/analyze", 400, "bad-request"),
+        (
+            "/v1/analyze?path=%2Fmissing.pvta&multiplier=banana",
+            400,
+            "bad-request",
+        ),
+        (
+            "/v1/analyze?path=%2Fdefinitely%2Fmissing.pvta",
+            404,
+            "not-found",
+        ),
+        ("/v1/frobnicate", 404, "not-found"),
+    ];
+    for (target, status, kind) in cases {
+        let resp = client::get(&addr, target).unwrap();
+        assert_eq!(resp.status, status, "{target}: {}", resp.body);
+        let env = client::parse_envelope(&resp.body).unwrap();
+        assert!(!env.ok, "{target}");
+        assert_eq!(env.kind, kind, "{target}: {}", resp.body);
+        assert!(!env.message.is_empty(), "{target}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn legacy_routes_are_byte_compatible_shims() {
+    let dir = tmp("legacy-shim");
+    let trace = write_fixture(&dir, 4);
+    let (handle, addr) = spawn(ServeOptions::default());
+
+    // The legacy body is bare JSON — exactly the `/v1` envelope's
+    // `data` payload, re-rendered the same way.
+    let legacy = client::get(&addr, &analyze_target(&trace)).unwrap();
+    assert_eq!(legacy.status, 200, "{}", legacy.body);
+    assert_eq!(legacy.header("deprecation"), Some("true"));
+    assert!(
+        legacy.header("link").unwrap_or("").contains("/v1/analyze"),
+        "{:?}",
+        legacy.headers
+    );
+    let doc: serde_json::Value = serde_json::from_str(&legacy.body).unwrap();
+    assert!(doc.get("ok").is_none(), "legacy body must not be enveloped");
+    let v1 = client::get(&addr, &format!("/v1{}", analyze_target(&trace))).unwrap();
+    let env = client::parse_envelope(&v1.body).unwrap();
+    let mut data_body = serde_json::to_string_pretty(&env.data).unwrap();
+    data_body.push('\n');
+    assert_eq!(legacy.body, data_body, "shim and /v1 data must agree");
+
+    // Legacy errors keep the pre-`/v1` `{"error": …}` shape, still
+    // flagged as deprecated.
+    let err = client::get(&addr, "/analyze").unwrap();
+    assert_eq!(err.status, 400, "{}", err.body);
+    let doc: serde_json::Value = serde_json::from_str(&err.body).unwrap();
+    assert!(doc.get("error").is_some(), "{}", err.body);
+    assert!(doc.get("ok").is_none(), "{}", err.body);
+    assert_eq!(err.header("deprecation"), Some("true"));
+
+    // Unknown paths are not legacy routes: no deprecation header.
+    let nf = client::get(&addr, "/frobnicate").unwrap();
+    assert_eq!(nf.status, 404);
+    assert_eq!(nf.header("deprecation"), None, "{:?}", nf.headers);
+    handle.shutdown();
+}
+
+#[test]
+fn v1_corrupt_stream_carries_rank_and_offset_detail() {
+    let dir = tmp("v1-corrupt-detail");
+    let trace = write_fixture(&dir, 4);
+    let stream1 = trace.join(archive::stream_file(1));
+    let bytes = std::fs::read(&stream1).unwrap();
+    std::fs::write(&stream1, &bytes[..bytes.len() - 9]).unwrap();
+
+    let (handle, addr) = spawn(ServeOptions::default());
+    let resp = client::get(&addr, &format!("/v1{}", analyze_target(&trace))).unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    let doc: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+    let error = doc.get("error").expect("error object");
+    assert_eq!(
+        error.get("kind").and_then(|v| v.as_str()),
+        Some("corrupt-stream"),
+        "{}",
+        resp.body
+    );
+    let detail = error.get("detail").expect("detail object");
+    assert_eq!(
+        detail.get("rank").and_then(|v| v.as_u64()),
+        Some(1),
+        "{}",
+        resp.body
+    );
+    assert!(
+        detail.get("offset").and_then(|v| v.as_u64()).is_some(),
+        "{}",
+        resp.body
+    );
+    handle.shutdown();
+}
+
+/// Appends `trace` into a live archive at `path` in `chunk`-record
+/// slices per rank with `delay` between flushes, then seals it.
+fn grow_live_archive(trace: Trace, path: &Path, chunk: usize, delay: std::time::Duration) {
+    use perfvar_trace::format::live::LiveArchiveWriter;
+    let mut w =
+        LiveArchiveWriter::create(path, &trace.name, trace.clock(), trace.registry()).unwrap();
+    let streams = trace.streams();
+    let mut offsets = vec![0usize; streams.len()];
+    loop {
+        let mut wrote = false;
+        for (i, stream) in streams.iter().enumerate() {
+            let records = stream.records();
+            let end = (offsets[i] + chunk).min(records.len());
+            for r in &records[offsets[i]..end] {
+                w.append(stream.process, r).unwrap();
+            }
+            wrote |= end > offsets[i];
+            offsets[i] = end;
+        }
+        if !wrote {
+            break;
+        }
+        w.flush().unwrap();
+        std::thread::sleep(delay);
+    }
+    w.finish().unwrap();
+}
+
+#[test]
+fn sse_stream_follows_a_growing_run_to_the_one_shot_result() {
+    let dir = tmp("sse-growing");
+    let arch = dir.join("live.pvta");
+    let trace = fixture_trace(4);
+    let (handle, addr) = spawn(ServeOptions::default());
+
+    // Grow the run in the background while the stream follows it. The
+    // anchor must exist before the GET: write the first slice eagerly.
+    let writer = {
+        let arch = arch.clone();
+        std::thread::spawn(move || {
+            grow_live_archive(trace, &arch, 16, std::time::Duration::from_millis(20))
+        })
+    };
+    // Wait for the anchor so open() cannot race the writer thread.
+    let anchor = arch.join("anchor.pvtd");
+    while !anchor.exists() {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let target = format!(
+        "/v1/analyze/stream?path={}&interval=10",
+        percent_encode(arch.to_str().unwrap())
+    );
+    let resp = client::get(&addr, &target).unwrap();
+    writer.join().unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let events = client::sse_events(&resp.body);
+    let deltas: Vec<_> = events.iter().filter(|e| e.event == "delta").collect();
+    assert!(!deltas.is_empty(), "no delta events: {}", resp.body);
+    for delta in &deltas {
+        let doc: serde_json::Value = serde_json::from_str(&delta.data).unwrap();
+        assert!(doc.get("new_events").is_some(), "{}", delta.data);
+        assert!(delta.id.is_some(), "every delta carries a resume id");
+    }
+    let result = events.last().expect("stream has events");
+    assert_eq!(result.event, "result", "stream must end in a result");
+
+    // The folded stream result equals the one-shot analysis of the
+    // (now sealed) archive.
+    let one_shot = client::get(
+        &addr,
+        &format!(
+            "/v1/analyze?path={}",
+            percent_encode(arch.to_str().unwrap())
+        ),
+    )
+    .unwrap();
+    assert_eq!(one_shot.status, 200, "{}", one_shot.body);
+    let env = client::parse_envelope(&one_shot.body).unwrap();
+    let streamed: serde_json::Value = serde_json::from_str(&result.data).unwrap();
+    assert!(
+        streamed == env.data,
+        "streamed result must equal the one-shot analysis"
+    );
+
+    // Resuming with the last delta's id suppresses everything already
+    // folded: only the result event remains.
+    let last_id = deltas.last().unwrap().id.clone().unwrap();
+    let resumed = client::get_with_headers(&addr, &target, &[("Last-Event-ID", &last_id)]).unwrap();
+    assert_eq!(resumed.status, 200);
+    let resumed_events = client::sse_events(&resumed.body);
+    assert!(
+        resumed_events.iter().all(|e| e.event != "delta"),
+        "resume must suppress already-folded deltas: {}",
+        resumed.body
+    );
+    let resumed_result = resumed_events.iter().find(|e| e.event == "result").unwrap();
+    let resumed_doc: serde_json::Value = serde_json::from_str(&resumed_result.data).unwrap();
+    assert!(resumed_doc == env.data, "resumed result must match");
+    handle.shutdown();
+}
+
+#[test]
+fn sse_stream_reports_a_torn_append_with_typed_detail() {
+    let dir = tmp("sse-torn");
+    let arch = dir.join("live.pvta");
+    grow_live_archive(fixture_trace(3), &arch, 64, std::time::Duration::ZERO);
+    // Tear the tail off rank 1's stream: a torn final record under a
+    // sealed run.
+    let stream1 = arch.join(archive::stream_file(1));
+    let len = std::fs::metadata(&stream1).unwrap().len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&stream1)
+        .unwrap();
+    f.set_len(len - 2).unwrap();
+    drop(f);
+
+    let (handle, addr) = spawn(ServeOptions::default());
+    let resp = client::get(
+        &addr,
+        &format!(
+            "/v1/analyze/stream?path={}&interval=10",
+            percent_encode(arch.to_str().unwrap())
+        ),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let events = client::sse_events(&resp.body);
+    let error = events
+        .iter()
+        .find(|e| e.event == "error")
+        .unwrap_or_else(|| panic!("no error event: {}", resp.body));
+    let doc: serde_json::Value = serde_json::from_str(&error.data).unwrap();
+    assert_eq!(
+        doc.get("kind").and_then(|v| v.as_str()),
+        Some("corrupt-stream"),
+        "{}",
+        error.data
+    );
+    let detail = doc.get("detail").expect("detail object");
+    assert_eq!(
+        detail.get("rank").and_then(|v| v.as_u64()),
+        Some(1),
+        "{}",
+        error.data
+    );
+    assert!(detail.get("offset").and_then(|v| v.as_u64()).is_some());
+    // An errored run never produces a result event.
+    assert!(events.iter().all(|e| e.event != "result"), "{}", resp.body);
+    handle.shutdown();
+}

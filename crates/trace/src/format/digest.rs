@@ -76,6 +76,66 @@ impl Default for Fnv128 {
     }
 }
 
+/// Rolling digest over the **consumed prefix** of a growing archive —
+/// the live-analysis generalisation of [`digest_path`].
+///
+/// A whole-file digest is useless for a trace that is still being
+/// written: every append would invalidate it. `PrefixDigest` instead
+/// folds exactly the bytes a live reader has consumed so far — the
+/// anchor once, then each rank's event payload as it streams in — so
+/// two readers that consumed the same prefix of the same run agree on
+/// [`fingerprint`](PrefixDigest::fingerprint) regardless of how the
+/// appends were chunked. The daemon keys SSE resume tokens on it, and a
+/// cache can use it to recognise an already-analyzed prefix instead of
+/// re-running from byte zero.
+///
+/// The mutable parts of a live stream file (the patched record-count
+/// slot, see [`super::live`]) are deliberately *excluded*: only bytes
+/// that never change once written participate, which is what makes the
+/// digest a prefix invariant.
+#[derive(Clone, Debug)]
+pub struct PrefixDigest {
+    anchor: Fnv128,
+    streams: Vec<(u64, Fnv128)>,
+}
+
+impl PrefixDigest {
+    /// A digest for `ranks` streams whose anchor content is `anchor`.
+    pub fn new(anchor: &[u8], ranks: usize) -> PrefixDigest {
+        let mut hasher = Fnv128::new();
+        hasher.write_len(anchor.len() as u64);
+        hasher.write(anchor);
+        PrefixDigest {
+            anchor: hasher,
+            streams: vec![(0, Fnv128::new()); ranks],
+        }
+    }
+
+    /// Folds newly consumed payload bytes of `rank` into the digest.
+    pub fn extend(&mut self, rank: usize, bytes: &[u8]) {
+        let (consumed, hasher) = &mut self.streams[rank];
+        *consumed += bytes.len() as u64;
+        hasher.write(bytes);
+    }
+
+    /// Payload bytes consumed so far for `rank`.
+    pub fn consumed(&self, rank: usize) -> u64 {
+        self.streams[rank].0
+    }
+
+    /// One 128-bit value identifying (anchor, per-rank consumed
+    /// prefixes). Each stream is folded length-prefixed, so prefixes
+    /// of different per-rank lengths cannot alias.
+    pub fn fingerprint(&self) -> u128 {
+        let mut hasher = self.anchor;
+        for (consumed, stream) in &self.streams {
+            hasher.write_len(*consumed);
+            hasher.write(&stream.finish().to_le_bytes());
+        }
+        hasher.finish()
+    }
+}
+
 /// Streams one file into the hasher, length-prefixed.
 fn hash_file(hasher: &mut Fnv128, path: &Path) -> TraceResult<()> {
     let len = std::fs::metadata(path)

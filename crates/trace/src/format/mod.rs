@@ -17,7 +17,12 @@
 //!   for platforms and inputs that cannot map.
 //! * [`digest`] — 128-bit content digests over trace files
 //!   ([`digest::digest_path`]), the identity half of content-addressed
-//!   result caching.
+//!   result caching, plus the rolling [`digest::PrefixDigest`] over a
+//!   growing archive's consumed prefix.
+//! * [`live`] — live archives: [`live::LiveArchiveWriter`] appends to a
+//!   PVTA directory with in-place-patched record counts and an
+//!   end-of-run marker; [`live::ArchiveTail`] polls a growing archive
+//!   and decodes only the newly appended bytes.
 //!
 //! [`write_trace_file`] / [`read_trace_file`] dispatch on the file
 //! extension. Both readers validate the decoded trace before returning it.
@@ -25,6 +30,7 @@
 pub mod archive;
 pub mod cursor;
 pub mod digest;
+pub mod live;
 pub mod mmap;
 pub mod pvt;
 pub mod text;

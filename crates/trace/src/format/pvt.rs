@@ -75,27 +75,40 @@ pub(crate) fn write_stream_events<W: Write>(records: &[EventRecord], w: &mut W) 
     write_u64(w, records.len() as u64)?;
     let mut prev = 0u64;
     for r in records {
-        write_u64(w, r.event.tag() as u64)?;
-        write_u64(w, r.time.0 - prev)?;
+        write_event_record(r, prev, w)?;
         prev = r.time.0;
-        match r.event {
-            Event::Enter { function } | Event::Leave { function } => {
-                write_u64(w, function.0 as u64)?;
-            }
-            Event::MsgSend { to, tag, bytes } => {
-                write_u64(w, to.0 as u64)?;
-                write_u64(w, tag as u64)?;
-                write_u64(w, bytes)?;
-            }
-            Event::MsgRecv { from, tag, bytes } => {
-                write_u64(w, from.0 as u64)?;
-                write_u64(w, tag as u64)?;
-                write_u64(w, bytes)?;
-            }
-            Event::Metric { metric, value } => {
-                write_u64(w, metric.0 as u64)?;
-                write_u64(w, value)?;
-            }
+    }
+    Ok(())
+}
+
+/// Encodes one delta-coded event record — `{tag, time-delta, payload…}`,
+/// the shared per-record wire format of PVT stream bodies, PVTA stream
+/// files, and the live archive's appends. `prev` is the timestamp of the
+/// preceding record in the same stream (0 before the first).
+pub(crate) fn write_event_record<W: Write>(
+    r: &EventRecord,
+    prev: u64,
+    w: &mut W,
+) -> TraceResult<()> {
+    write_u64(w, r.event.tag() as u64)?;
+    write_u64(w, r.time.0 - prev)?;
+    match r.event {
+        Event::Enter { function } | Event::Leave { function } => {
+            write_u64(w, function.0 as u64)?;
+        }
+        Event::MsgSend { to, tag, bytes } => {
+            write_u64(w, to.0 as u64)?;
+            write_u64(w, tag as u64)?;
+            write_u64(w, bytes)?;
+        }
+        Event::MsgRecv { from, tag, bytes } => {
+            write_u64(w, from.0 as u64)?;
+            write_u64(w, tag as u64)?;
+            write_u64(w, bytes)?;
+        }
+        Event::Metric { metric, value } => {
+            write_u64(w, metric.0 as u64)?;
+            write_u64(w, value)?;
         }
     }
     Ok(())

@@ -20,6 +20,28 @@ pub fn write_u64<W: Write>(w: &mut W, mut value: u64) -> TraceResult<()> {
     }
 }
 
+/// Number of bytes of a fixed-width padded LEB128 encoding
+/// ([`write_u64_padded`]): the longest canonical u64 varint.
+pub const PADDED_U64_BYTES: usize = 10;
+
+/// Writes `value` as a fixed-width, [`PADDED_U64_BYTES`]-byte LEB128
+/// encoding: nine continuation bytes plus a final stop byte. Every
+/// reader in this module accepts the non-canonical padding, and the
+/// width never changes with the value — so a writer can reserve the
+/// slot once and patch it in place as the value grows (the live
+/// archive's record count, see [`super::live`]).
+pub fn write_u64_padded<W: Write>(w: &mut W, value: u64) -> TraceResult<()> {
+    let mut buf = [0u8; PADDED_U64_BYTES];
+    let mut v = value;
+    for b in buf.iter_mut().take(PADDED_U64_BYTES - 1) {
+        *b = ((v & 0x7f) as u8) | 0x80;
+        v >>= 7;
+    }
+    buf[PADDED_U64_BYTES - 1] = (v & 0x7f) as u8;
+    w.write_all(&buf)?;
+    Ok(())
+}
+
 /// Reads an unsigned LEB128 value.
 ///
 /// Decoding is the hot loop of every trace reader, so when the whole
@@ -200,6 +222,33 @@ mod tests {
         assert_eq!(zigzag(1), 2);
         assert_eq!(zigzag(-2), 3);
         assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn padded_encoding_is_fixed_width_and_readable_everywhere() {
+        for v in [0u64, 1, 127, 128, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64_padded(&mut buf, v).unwrap();
+            assert_eq!(buf.len(), PADDED_U64_BYTES, "value {v}");
+            // Slice decoders (SWAR entry + scalar) accept the padding.
+            assert_eq!(decode_u64_slice(&buf), Some((v, PADDED_U64_BYTES)));
+            assert_eq!(decode_u64_slice_scalar(&buf), Some((v, PADDED_U64_BYTES)));
+            // So do the stream readers, with any buffer granularity.
+            assert_eq!(read_u64(&mut Cursor::new(&buf)).unwrap(), v);
+            let slow = std::io::BufReader::with_capacity(1, Cursor::new(&buf));
+            assert_eq!(read_u64(&mut { slow }).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn padded_slot_patches_in_place() {
+        // The point of the fixed width: growing the value re-encodes to
+        // the same number of bytes at the same offset.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_u64_padded(&mut a, 3).unwrap();
+        write_u64_padded(&mut b, 3_000_000_000).unwrap();
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod ansi;
 pub mod chart;
 pub mod color;
 pub mod html;
+pub mod live;
 pub mod matrix;
 pub mod summary;
 pub mod svg;
@@ -50,6 +51,7 @@ pub mod prelude {
     };
     pub use crate::color::{Color, ColorScale, FunctionPalette, HeatScale};
     pub use crate::html::{HtmlReport, ReportSection};
+    pub use crate::live::{render_live, LiveViewOptions};
     pub use crate::matrix::{render_comm_matrix_svg, CommQuantity};
     pub use crate::summary::{
         function_summary, ordinal_series_chart, process_load_chart, render_bar_svg,
@@ -61,4 +63,5 @@ pub mod prelude {
 pub use ansi::{render_ansi, AnsiOptions};
 pub use chart::{counter_heatmap, function_timeline, sos_heatmap, TimelineChart};
 pub use color::{Color, ColorScale, FunctionPalette, HeatScale};
+pub use live::{render_live, LiveViewOptions};
 pub use svg::{render_svg, SvgOptions};
