@@ -89,7 +89,14 @@ impl ProcessClustering {
                 (sum / n as f64).sqrt()
             }
         };
-        let stop_distance = config.distance_threshold * rms.max(f64::EPSILON);
+        // An all-idle run (every SOS value zero) has rms == 0; the stop
+        // distance is then exactly 0 so identical (all-zero) profiles
+        // still merge — the break below only fires on `d > stop_distance`.
+        let stop_distance = if rms == 0.0 {
+            0.0
+        } else {
+            config.distance_threshold * rms
+        };
 
         // Agglomerative, average linkage via centroid bookkeeping.
         struct Node {
@@ -117,14 +124,28 @@ impl ProcessClustering {
                     break;
                 }
             }
-            // Find closest pair of centroids.
+            // Find closest pair of centroids. Ties are broken by the
+            // lowest member rank of the pair: because a merge always
+            // folds the higher slot into the lower one, a node's slot
+            // index *is* its lowest member rank, so ordering equidistant
+            // pairs by `(i, j)` is exactly the deterministic
+            // lowest-member-rank rule (mirroring the dominant-function
+            // tie fix).
             let mut best: Option<(usize, usize, f64)> = None;
             for i in 0..nodes.len() {
                 let Some(a) = &nodes[i] else { continue };
                 for (j, node) in nodes.iter().enumerate().skip(i + 1) {
                     let Some(b) = node else { continue };
                     let d = euclidean(&a.centroid, &b.centroid);
-                    if best.is_none() || d < best.unwrap().2 {
+                    let better = match best {
+                        None => true,
+                        Some((bi, bj, bd)) => match d.total_cmp(&bd) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Equal => (i, j) < (bi, bj),
+                            std::cmp::Ordering::Greater => false,
+                        },
+                    };
+                    if better {
                         best = Some((i, j, d));
                     }
                 }
@@ -196,7 +217,7 @@ impl ProcessClustering {
     }
 }
 
-fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     a.iter()
         .zip(b)
@@ -313,6 +334,69 @@ mod tests {
     }
 
     #[test]
+    fn all_idle_run_with_zero_rms_forms_one_cluster() {
+        // Every SOS value is zero → the global RMS is zero. The stop
+        // distance must collapse to exactly 0 so the identical all-zero
+        // profiles still merge into a single cluster instead of staying
+        // one-cluster-per-process (regression: the threshold used to be
+        // scaled by `rms.max(EPSILON)`, leaving the intent implicit).
+        let m = trace_with_loads(&vec![vec![0u64, 0, 0]; 5]);
+        let c = ProcessClustering::compute(&m, ClusterConfig::default());
+        assert_eq!(c.len(), 1, "{c:?}");
+        assert_eq!(c.clusters[0].members.len(), 5);
+        assert!(c.clusters[0].centroid.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn single_process_is_its_own_cluster() {
+        let m = trace_with_loads(&[vec![100u64, 200, 300]]);
+        let c = ProcessClustering::compute(&m, ClusterConfig::default());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.clusters[0].members, vec![ProcessId(0)]);
+        assert_eq!(c.clusters[0].representative, ProcessId(0));
+    }
+
+    #[test]
+    fn equidistant_merge_breaks_tie_by_lowest_member_rank() {
+        // Profiles at 0, 100, 200: the pairs (0,1) and (1,2) are both
+        // 100 apart. Forcing two clusters must deterministically merge
+        // the pair with the lowest member rank, i.e. {0,1} | {2}.
+        let m = trace_with_loads(&[vec![0u64; 2], vec![100u64; 2], vec![200u64; 2]]);
+        let c = ProcessClustering::compute(
+            &m,
+            ClusterConfig {
+                num_clusters: Some(2),
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.clusters[0].members, vec![ProcessId(0), ProcessId(1)]);
+        assert_eq!(c.clusters[1].members, vec![ProcessId(2)]);
+    }
+
+    #[test]
+    fn equidistant_disjoint_pairs_merge_lowest_first() {
+        // Two far-apart pairs with identical intra-pair distance; with
+        // room for exactly one merge, the lower-ranked pair merges.
+        let groups = vec![
+            vec![0u64; 2],
+            vec![100; 2],
+            vec![10_000; 2],
+            vec![10_100; 2],
+        ];
+        let m = trace_with_loads(&groups);
+        let c = ProcessClustering::compute(
+            &m,
+            ClusterConfig {
+                num_clusters: Some(3),
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.clusters[0].members, vec![ProcessId(0), ProcessId(1)]);
+    }
+
+    #[test]
     fn cosmo_like_hotspot_isolated() {
         // 14 balanced ranks + 2 hot ranks with growing load.
         let mut groups = vec![vec![100u64; 8]; 14];
@@ -330,5 +414,123 @@ mod tests {
             minority.contains(&14) && minority.contains(&15),
             "{minority:?}"
         );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+        use std::collections::BTreeSet;
+
+        /// Per-process load rows: 1–8 processes × 1–5 iterations, loads
+        /// drawn from a wide range so exact cross-pair distance ties are
+        /// vanishingly improbable (ties are covered by the deterministic
+        /// tests above).
+        fn arb_groups() -> impl Strategy<Value = Vec<Vec<u64>>> {
+            vec(vec(1u64..1_000_000, 1..6), 1..9)
+        }
+
+        /// A deterministic Fisher–Yates permutation of `0..n` from `seed`:
+        /// `perm[new_rank] = original index`.
+        fn permutation(n: usize, seed: u64) -> Vec<usize> {
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut state = seed | 1;
+            for i in (1..n).rev() {
+                // xorshift64* — plenty for shuffling test inputs.
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                let j = (state.wrapping_mul(0x2545_f491_4f6c_dd1d) % (i as u64 + 1)) as usize;
+                perm.swap(i, j);
+            }
+            perm
+        }
+
+        /// A clustering as a multiset of member sets, with each member
+        /// mapped back through `index_of` (identity for unpermuted runs).
+        fn member_sets(
+            c: &ProcessClustering,
+            index_of: impl Fn(usize) -> usize,
+        ) -> BTreeSet<BTreeSet<usize>> {
+            c.clusters
+                .iter()
+                .map(|cl| {
+                    cl.members
+                        .iter()
+                        .map(|p| index_of(p.index()))
+                        .collect::<BTreeSet<usize>>()
+                })
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn deterministic_across_repeated_runs(groups in arb_groups()) {
+                let m = trace_with_loads(&groups);
+                let a = ProcessClustering::compute(&m, ClusterConfig::default());
+                let b = ProcessClustering::compute(&m, ClusterConfig::default());
+                prop_assert_eq!(a, b);
+            }
+
+            #[test]
+            fn num_clusters_upper_bound_honoured(
+                groups in arb_groups(),
+                k in 1usize..9,
+            ) {
+                let m = trace_with_loads(&groups);
+                let c = ProcessClustering::compute(
+                    &m,
+                    ClusterConfig { num_clusters: Some(k), ..ClusterConfig::default() },
+                );
+                prop_assert!(c.len() <= k, "{} clusters > bound {}", c.len(), k);
+                prop_assert!(!c.is_empty());
+                // Every process appears in exactly one cluster.
+                let total: usize = c.clusters.iter().map(|cl| cl.members.len()).sum();
+                prop_assert_eq!(total, groups.len());
+            }
+
+            #[test]
+            fn rank_permutation_invariance(
+                groups in arb_groups(),
+                seed in 0u64..u64::MAX,
+            ) {
+                let perm = permutation(groups.len(), seed);
+                let permuted: Vec<Vec<u64>> =
+                    perm.iter().map(|&orig| groups[orig].clone()).collect();
+                let c_orig = ProcessClustering::compute(
+                    &trace_with_loads(&groups), ClusterConfig::default());
+                let c_perm = ProcessClustering::compute(
+                    &trace_with_loads(&permuted), ClusterConfig::default());
+                let orig_sets = member_sets(&c_orig, |i| i);
+                let perm_sets = member_sets(&c_perm, |i| perm[i]);
+                prop_assert_eq!(orig_sets, perm_sets);
+            }
+
+            #[test]
+            fn degenerate_inputs_never_panic(
+                n in 1usize..7,
+                width in 1usize..5,
+                load_pick in 0usize..3,
+                k in 0usize..10,
+            ) {
+                // All-equal vectors (including all-zero → zero global RMS
+                // in the relative threshold) across any process count and
+                // any num_clusters override, including the degenerate
+                // Some(0); k == 9 doubles as the None arm.
+                let load = [0u64, 1, 77][load_pick];
+                let num_clusters = (k < 9).then_some(k);
+                let m = trace_with_loads(&vec![vec![load; width]; n]);
+                let c = ProcessClustering::compute(
+                    &m,
+                    ClusterConfig { num_clusters, ..ClusterConfig::default() },
+                );
+                // Identical profiles always collapse to one cluster
+                // unless a larger fixed count forbids merging that far.
+                let expected = num_clusters.map_or(1, |k| k.clamp(1, n));
+                prop_assert_eq!(c.len(), expected);
+            }
+        }
     }
 }

@@ -47,6 +47,30 @@ pub enum FindingKind {
         /// Pearson correlation with SOS-time.
         correlation: f64,
     },
+    /// A whole behaviour cluster of processes carries persistent
+    /// computational overload — the cluster-summarised form of
+    /// [`FindingKind::OverloadedProcesses`] emitted by
+    /// [`diagnose`](crate::diagnose) at scale.
+    OverloadedCluster {
+        /// Index of the cluster in the diagnosis' cluster list.
+        cluster: usize,
+        /// Member processes of the overloaded cluster, ascending.
+        processes: Vec<ProcessId>,
+        /// Name of the segmentation function carrying the load.
+        function: String,
+    },
+    /// Waiting time propagates from rank to rank, one segment ordinal
+    /// per hop — a desynchronisation ("idle") wave after Afzal et al.,
+    /// not a static imbalance: the computational load is balanced and
+    /// only the *synchronisation* time carries the pattern.
+    PropagatingWait {
+        /// The rank whose one-off delay started the wave.
+        origin: ProcessId,
+        /// Segment ordinal at which the wave left the origin.
+        start_ordinal: usize,
+        /// Number of ranks the front has swept.
+        affected_ranks: usize,
+    },
 }
 
 /// One ranked finding.

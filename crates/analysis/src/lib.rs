@@ -47,6 +47,7 @@ pub mod callpath;
 pub mod clustering;
 pub mod compare;
 pub mod counters;
+pub mod diagnose;
 pub mod dominant;
 pub mod findings;
 pub mod fused;
@@ -76,6 +77,10 @@ pub mod prelude {
         VerdictClass, DEFAULT_NOISE_THRESHOLD,
     };
     pub use crate::counters::{correlate_with_sos, CounterMatrix};
+    pub use crate::diagnose::{
+        diagnose_analysis, diagnose_meta, DiagnoseConfig, DiagnosedCluster, Diagnosis,
+        WaveDiagnosis,
+    };
     pub use crate::dominant::{DominantRanking, DominantSelection};
     pub use crate::findings::{auto_refine, findings, findings_meta, Finding, FindingKind};
     pub use crate::fused::{fuse_segments, FusedSegments};
@@ -83,7 +88,7 @@ pub mod prelude {
     pub use crate::invocation::{Invocation, ProcessInvocations};
     pub use crate::live::{FunctionTotal, LiveAnalysis, LiveDelta, LiveSnapshot, RankSnapshot};
     pub use crate::messages::{CommMatrix, MatchedMessage, MessageAnalysis};
-    pub use crate::options::{AnalysisOptions, OptionsError};
+    pub use crate::options::{AnalysisOptions, DiagnoseOptions, OptionsError};
     pub use crate::outofcore::{
         analyze_path, analyze_path_observed, analyze_path_with, OutOfCoreAnalysis,
         PathAnalysisError, RecoveryMode, StreamFailure,
@@ -111,12 +116,15 @@ pub use compare::{
     DEFAULT_NOISE_THRESHOLD,
 };
 pub use counters::CounterMatrix;
+pub use diagnose::{
+    diagnose_analysis, diagnose_meta, DiagnoseConfig, DiagnosedCluster, Diagnosis, WaveDiagnosis,
+};
 pub use dominant::{DominantRanking, DominantSelection};
 pub use fused::{fuse_segments, FusedSegments};
 pub use imbalance::ImbalanceAnalysis;
 pub use invocation::{Invocation, ProcessInvocations};
 pub use live::{LiveAnalysis, LiveDelta, LiveSnapshot};
-pub use options::{AnalysisOptions, OptionsError};
+pub use options::{AnalysisOptions, DiagnoseOptions, OptionsError};
 pub use outofcore::{
     analyze_path, analyze_path_observed, analyze_path_with, OutOfCoreAnalysis, PathAnalysisError,
     RecoveryMode, StreamFailure,

@@ -263,6 +263,143 @@ impl AnalysisOptions {
     }
 }
 
+/// The diagnosis knobs shared by `perfvar diagnose` and the daemon's
+/// `/v1/diagnose`: the cluster-count override, the merge threshold, and
+/// the summarised-heatmap row cap. Same contract as
+/// [`AnalysisOptions`]: one codec for argv and the wire, unknown keys
+/// pass through.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiagnoseOptions {
+    /// Merge down to exactly this many clusters (`--clusters K` /
+    /// `clusters=K`) instead of using the distance threshold.
+    pub clusters: Option<usize>,
+    /// Relative merge-stop distance (`--cluster-threshold X` /
+    /// `cluster-threshold=X`), in units of the global SOS RMS.
+    pub threshold: f64,
+    /// Hard cap on reported clusters — one summarised heatmap row each
+    /// (`--max-clusters N` / `max-clusters=N`).
+    pub max_clusters: usize,
+}
+
+impl Default for DiagnoseOptions {
+    fn default() -> DiagnoseOptions {
+        let config = crate::diagnose::DiagnoseConfig::default();
+        DiagnoseOptions {
+            clusters: config.cluster.num_clusters,
+            threshold: config.cluster.distance_threshold,
+            max_clusters: config.max_clusters,
+        }
+    }
+}
+
+impl DiagnoseOptions {
+    /// The keys this codec owns, in canonical (encode) order.
+    pub const KEYS: &'static [&'static str] = &["clusters", "cluster-threshold", "max-clusters"];
+
+    /// The [`DiagnoseConfig`](crate::diagnose::DiagnoseConfig) these
+    /// options describe, from defaults.
+    pub fn config(&self) -> crate::diagnose::DiagnoseConfig {
+        let mut config = crate::diagnose::DiagnoseConfig::default();
+        config.cluster.num_clusters = self.clusters;
+        config.cluster.distance_threshold = self.threshold;
+        config.max_clusters = self.max_clusters;
+        config
+    }
+
+    /// Absorbs one `key`/`value` pair; `Ok(false)` for unowned keys,
+    /// `Err` for owned keys with invalid values.
+    pub fn absorb(&mut self, key: &str, value: Option<&str>) -> Result<bool, OptionsError> {
+        match key {
+            "clusters" => {
+                let v = value.ok_or_else(|| invalid("clusters", "", "missing value"))?;
+                let k = v
+                    .parse::<usize>()
+                    .map_err(|e| invalid("clusters", v, e.to_string()))?;
+                if k == 0 {
+                    return Err(invalid("clusters", v, "must be at least 1"));
+                }
+                self.clusters = Some(k);
+            }
+            "cluster-threshold" => {
+                let v = value.ok_or_else(|| invalid("cluster-threshold", "", "missing value"))?;
+                let t = v
+                    .parse::<f64>()
+                    .map_err(|e| invalid("cluster-threshold", v, e.to_string()))?;
+                if !t.is_finite() || t <= 0.0 {
+                    return Err(invalid("cluster-threshold", v, "must be finite and > 0"));
+                }
+                self.threshold = t;
+            }
+            "max-clusters" => {
+                let v = value.ok_or_else(|| invalid("max-clusters", "", "missing value"))?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|e| invalid("max-clusters", v, e.to_string()))?;
+                if n == 0 {
+                    return Err(invalid("max-clusters", v, "must be at least 1"));
+                }
+                self.max_clusters = n;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Encodes the non-default knobs as URL query parameters, in
+    /// [`KEYS`](DiagnoseOptions::KEYS) order.
+    pub fn to_query(&self) -> String {
+        let defaults = DiagnoseOptions::default();
+        let mut parts = Vec::new();
+        if let Some(k) = self.clusters {
+            parts.push(format!("clusters={k}"));
+        }
+        if self.threshold != defaults.threshold {
+            parts.push(format!("cluster-threshold={}", self.threshold));
+        }
+        if self.max_clusters != defaults.max_clusters {
+            parts.push(format!("max-clusters={}", self.max_clusters));
+        }
+        parts.join("&")
+    }
+
+    /// Decodes the owned keys out of a raw URL query string, ignoring
+    /// everything else.
+    pub fn from_query(query: &str) -> Result<DiagnoseOptions, OptionsError> {
+        let mut options = DiagnoseOptions::default();
+        for pair in query.split('&') {
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = match pair.split_once('=') {
+                Some((k, v)) => (percent_decode(k), Some(percent_decode(v))),
+                None => (percent_decode(pair), None),
+            };
+            options.absorb(&key, value.as_deref())?;
+        }
+        Ok(options)
+    }
+
+    /// Encodes the non-default knobs as CLI flags, in
+    /// [`KEYS`](DiagnoseOptions::KEYS) order.
+    pub fn to_flags(&self) -> Vec<String> {
+        let defaults = DiagnoseOptions::default();
+        let mut flags = Vec::new();
+        if let Some(k) = self.clusters {
+            flags.push("--clusters".to_string());
+            flags.push(k.to_string());
+        }
+        if self.threshold != defaults.threshold {
+            flags.push("--cluster-threshold".to_string());
+            flags.push(self.threshold.to_string());
+        }
+        if self.max_clusters != defaults.max_clusters {
+            flags.push("--max-clusters".to_string());
+            flags.push(self.max_clusters.to_string());
+        }
+        flags
+    }
+}
+
 /// Percent-encodes everything outside the RFC 3986 unreserved set.
 fn percent_encode(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -393,6 +530,60 @@ mod tests {
             )
     }
 
+    #[test]
+    fn diagnose_defaults_encode_to_nothing() {
+        let o = DiagnoseOptions::default();
+        assert_eq!(o.to_query(), "");
+        assert!(o.to_flags().is_empty());
+        assert_eq!(DiagnoseOptions::from_query("").unwrap(), o);
+        let config = o.config();
+        assert_eq!(config.max_clusters, 20);
+    }
+
+    #[test]
+    fn diagnose_bad_values_name_the_key() {
+        let err = DiagnoseOptions::from_query("clusters=0").unwrap_err();
+        assert_eq!(err.key, "clusters");
+        let err = DiagnoseOptions::from_query("cluster-threshold=-1").unwrap_err();
+        assert_eq!(err.key, "cluster-threshold");
+        let err = DiagnoseOptions::from_query("cluster-threshold=nope").unwrap_err();
+        assert_eq!(err.key, "cluster-threshold");
+        let err = DiagnoseOptions::from_query("max-clusters=0").unwrap_err();
+        assert_eq!(err.key, "max-clusters");
+        // Unknown keys pass through untouched.
+        let o = DiagnoseOptions::from_query("path=%2Ftmp%2Fx&clusters=3").unwrap();
+        assert_eq!(o.clusters, Some(3));
+    }
+
+    /// Parses diagnose flags like a CLI argv scanner (all keys valued).
+    fn parse_diagnose_flags(flags: &[String]) -> DiagnoseOptions {
+        let mut o = DiagnoseOptions::default();
+        let mut i = 0;
+        while i < flags.len() {
+            let key = flags[i].trim_start_matches("--");
+            i += 1;
+            assert!(
+                o.absorb(key, Some(flags[i].as_str())).unwrap(),
+                "unowned flag {key}"
+            );
+            i += 1;
+        }
+        o
+    }
+
+    fn arb_diagnose_options() -> impl Strategy<Value = DiagnoseOptions> {
+        (0usize..9, 1u32..400, 1usize..64).prop_map(|(k, threshold_cents, max_clusters)| {
+            DiagnoseOptions {
+                // k == 0 doubles as the None arm.
+                clusters: (k > 0).then_some(k),
+                // Hundredths keep the value finite and positive; float
+                // Display/parse round-trips exactly.
+                threshold: threshold_cents as f64 / 100.0,
+                max_clusters,
+            }
+        })
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -402,6 +593,13 @@ mod tests {
         fn query_and_flag_codecs_round_trip(o in arb_options()) {
             prop_assert_eq!(&AnalysisOptions::from_query(&o.to_query()).unwrap(), &o);
             prop_assert_eq!(&parse_flags(&o.to_flags()), &o);
+        }
+
+        /// Same invariant for the diagnosis knobs.
+        #[test]
+        fn diagnose_codecs_round_trip(o in arb_diagnose_options()) {
+            prop_assert_eq!(&DiagnoseOptions::from_query(&o.to_query()).unwrap(), &o);
+            prop_assert_eq!(&parse_diagnose_flags(&o.to_flags()), &o);
         }
     }
 }

@@ -80,11 +80,13 @@ fn main() {
     let serve_load = serve_load_benchmark(&mut report, &out_dir);
     let regression = regression_benchmark(&mut report, &out_dir);
     let live = live_benchmark(&mut report, &out_dir);
+    let diagnose = diagnose_benchmark(&mut report, &out_dir);
     if let serde_json::Value::Object(fields) = &mut bench {
         fields.push(("serve".to_string(), serve));
         fields.push(("serve_load".to_string(), serve_load));
         fields.push(("regression".to_string(), regression));
         fields.push(("live".to_string(), live));
+        fields.push(("diagnose".to_string(), diagnose));
     }
     let bench_path = out_dir.join("BENCH_pipeline.json");
     std::fs::write(&bench_path, serde_json::to_string_pretty(&bench).unwrap()).unwrap();
@@ -1284,4 +1286,138 @@ fn ablation_sos_vs_durations(report: &mut Report) {
         format!("SOS localises {sos_hits}/{trials}; plain durations {duration_hits}/{trials}"),
         sos_hits == trials && duration_hits < trials / 2,
     );
+}
+
+// ───────────────────── diagnosis benchmark ─────────────────────
+
+/// Automatic diagnosis at scale: a 10 000-rank COSMO-SPECS cloud and a
+/// 10 000-rank desynchronisation wave, both diagnosed from their
+/// finished analyses. Gates: the diagnosis layer itself stays under the
+/// wall gate (it must never materialise a rank × rank distance matrix),
+/// each seeded cause is named by the *top* finding, the heatmap summary
+/// respects the cluster cap, and the JSON bytes are identical across
+/// thread counts. The DIAGNOSE row in BENCH_pipeline.json.
+fn diagnose_benchmark(report: &mut Report, _out_dir: &Path) -> serde_json::Value {
+    use perfvar_analysis::findings::FindingKind;
+    use perfvar_analysis::{diagnose_meta, DiagnoseConfig};
+    use perfvar_sim::workloads::{CosmoSpecs, DesyncWave, Workload};
+    use perfvar_trace::TraceMeta;
+
+    let relaxed = bench_relaxed();
+    let wall_gate = if relaxed { 12.0 } else { 2.0 };
+    let config = DiagnoseConfig::default();
+
+    // Case 1 — static imbalance: the paper's cloud scaled to a 100 × 100
+    // grid. Short runs need a stronger cloud than the paper's
+    // 60-iteration build-up to clear the persistent-overload bar.
+    let mut cosmo = CosmoSpecs::small(100, 100, 8);
+    cosmo.cloud_amplitude = 6.0;
+    let cloudy = cosmo.cloudy_ranks();
+    let hottest = cosmo.hottest_rank();
+    let trace = perfvar_sim::simulate(&cosmo.spec()).unwrap();
+    let meta = TraceMeta::of(&trace);
+    let analysis = analyze(&trace, &AnalysisConfig::default()).unwrap();
+    let imbalance_t = time_reps(&mut || {
+        diagnose_meta(&meta, &analysis, &config);
+    });
+    let diagnosis = diagnose_meta(&meta, &analysis, &config);
+    let overload_top = matches!(
+        diagnosis.findings.first().map(|f| &f.kind),
+        Some(FindingKind::OverloadedCluster { .. })
+    );
+    // Every rank an OverloadedCluster finding names must really sit
+    // under the cloud, and the hottest rank must be among them.
+    let mut named = Vec::new();
+    for finding in &diagnosis.findings {
+        if let FindingKind::OverloadedCluster { processes, .. } = &finding.kind {
+            named.extend(processes.iter().map(|p| p.index()));
+        }
+    }
+    let all_cloudy = named.iter().all(|r| cloudy.contains(r));
+    let hottest_named = named.contains(&hottest);
+    let capped = diagnosis.clusters.len() <= config.max_clusters;
+    report.check(
+        "DIAGNOSE 10k-rank static imbalance",
+        "top finding: OverloadedCluster naming only cloudy ranks, incl. the hottest; \
+         ≤ 20 heatmap rows",
+        format!(
+            "top OverloadedCluster: {overload_top}; {} named rank(s), all cloudy: {all_cloudy}, \
+             hottest ({hottest}) named: {hottest_named}; {} cluster row(s)",
+            named.len(),
+            diagnosis.clusters.len()
+        ),
+        overload_top && all_cloudy && hottest_named && capped,
+    );
+
+    // Bit-stability: the diagnosis consumes only the (bit-stable)
+    // analysis, so its bytes must not depend on the thread count.
+    let mut bodies = Vec::new();
+    for threads in [1usize, 4] {
+        let cfg = AnalysisConfig {
+            threads,
+            ..AnalysisConfig::default()
+        };
+        let a = analyze(&trace, &cfg).unwrap();
+        let d = diagnose_meta(&meta, &a, &config);
+        bodies.push(serde_json::to_string_pretty(&d).unwrap());
+    }
+    let thread_stable = bodies.windows(2).all(|w| w[0] == w[1]);
+    report.check(
+        "DIAGNOSE thread stability",
+        "identical JSON at --threads 1 and 4",
+        format!("identical: {thread_stable}"),
+        thread_stable,
+    );
+
+    // Case 2 — the desynchronisation wave: one rank's one-off delay
+    // sweeps its ring neighbours one segment per hop (Afzal et al.);
+    // compute is balanced, so only the wait pattern carries the cause.
+    let wave_workload = DesyncWave::new(10_000, 30, 2_500);
+    let wave_trace = perfvar_sim::simulate(&wave_workload.spec()).unwrap();
+    let wave_meta = TraceMeta::of(&wave_trace);
+    let wave_analysis = analyze(&wave_trace, &AnalysisConfig::default()).unwrap();
+    let wave_t = time_reps(&mut || {
+        diagnose_meta(&wave_meta, &wave_analysis, &config);
+    });
+    let wave_diagnosis = diagnose_meta(&wave_meta, &wave_analysis, &config);
+    let wave_top = match wave_diagnosis.findings.first().map(|f| &f.kind) {
+        Some(FindingKind::PropagatingWait { origin, .. }) => origin.index() == 2_500,
+        _ => false,
+    };
+    let wave_found = wave_diagnosis.wave.as_ref().is_some_and(|w| {
+        w.origin.index() == 2_500 && w.start_ordinal == wave_workload.delay_iteration
+    });
+    report.check(
+        "DIAGNOSE 10k-rank desync wave",
+        "top finding: PropagatingWait with the seeded origin (rank 2500) and delay segment",
+        format!(
+            "top PropagatingWait at origin: {wave_top}; wave recovered: {wave_found} \
+             ({} cluster row(s))",
+            wave_diagnosis.clusters.len()
+        ),
+        wave_top && wave_found && wave_diagnosis.clusters.len() <= config.max_clusters,
+    );
+
+    let slowest = imbalance_t.best.max(wave_t.best);
+    report.check(
+        "DIAGNOSE wall time",
+        &format!("each 10k-rank diagnosis under {wall_gate} s (no rank × rank matrix)"),
+        format!(
+            "imbalance best {:.3} s, wave best {:.3} s",
+            imbalance_t.best, wave_t.best
+        ),
+        slowest < wall_gate,
+    );
+
+    serde_json::json!({
+        "ranks": 10_000,
+        "imbalance": imbalance_t.to_json(),
+        "wave": wave_t.to_json(),
+        "clusters_imbalance": diagnosis.clusters.len(),
+        "clusters_wave": wave_diagnosis.clusters.len(),
+        "max_clusters": config.max_clusters,
+        "thread_stable": thread_stable,
+        "wall_gate_s": wall_gate,
+        "relaxed": relaxed,
+    })
 }

@@ -4,15 +4,17 @@ use crate::args::{ArgSpec, ParsedArgs};
 use crate::workload_args::{generate_trace, WORKLOAD_NAMES};
 use perfvar_analysis::live::LiveAnalysis;
 use perfvar_analysis::{
-    analyze_observed, analyze_path_observed, analyze_reference, Analysis, AnalysisConfig,
-    AnalysisOptions, OutOfCoreAnalysis, Telemetry,
+    analyze_observed, analyze_path_observed, analyze_reference, diagnose_meta, Analysis,
+    AnalysisConfig, AnalysisOptions, DiagnoseOptions, OutOfCoreAnalysis, Telemetry,
 };
 use perfvar_trace::format::cursor::ArchiveCursor;
 use perfvar_trace::format::live::LiveArchiveWriter;
 use perfvar_trace::format::{read_trace_file, write_trace_file, Format};
 use perfvar_trace::stats::{event_counts, role_time_profile};
-use perfvar_trace::Trace;
-use perfvar_viz::chart::{counter_heatmap, function_timeline, sos_heatmap, TimelineOptions};
+use perfvar_trace::{Trace, TraceMeta};
+use perfvar_viz::chart::{
+    cluster_heatmap, counter_heatmap, function_timeline, sos_heatmap, TimelineOptions,
+};
 use perfvar_viz::live::{render_live, LiveViewOptions};
 use perfvar_viz::{render_ansi, render_svg, AnsiOptions, SvgOptions};
 use std::io::IsTerminal;
@@ -40,6 +42,10 @@ USAGE:
   perfvar compare  <before> <after> [--function NAME] [--threshold T] [--json]
   perfvar bisect   <known-good> <run1> … <runN> [--threshold T] [--reps N] [--json]
   perfvar cluster  <trace> [--clusters K] [--threshold T] [--json]
+  perfvar diagnose <trace> [--clusters K] [--cluster-threshold T]
+                   [--max-clusters N] [--function NAME] [--multiplier K]
+                   [--threads N] [--read-buffer BYTES] [--json]
+                   [--in-memory] [--partial] [--no-mmap] [--no-heatmap]
   perfvar slice    <in> <out> (--from-tick T --to-tick T | --segment N [--function NAME])
   perfvar convert  <in.pvt|in.pvtx> <out.pvt|out.pvtx>
   perfvar serve    [--addr HOST:PORT] [--workers N] [--threads N]
@@ -47,7 +53,17 @@ USAGE:
                    [--store-dir DIR]
 
 Workloads: cosmo-specs, cosmo-specs-fd4, wrf (the paper's case studies),
-           balanced, random, gradual, outlier (synthetic).
+           balanced, random, gradual, outlier, desync-wave (synthetic).
+
+diagnose runs the automatic-diagnosis layer: ranks are grouped into at
+most --max-clusters behaviour clusters on their per-segment SOS-time
+vectors (streamed — no rank × rank distance matrix is materialised),
+each cluster gets a cause label (baseline / persistent overload /
+one-off spikes / swept by an idle wave), and a propagating-wait front
+is detected when per-rank peak waits form a neighbour-to-neighbour
+wave. Text mode prints a one-row-per-cluster heatmap followed by the
+labelled findings; --json emits the Diagnosis object — byte-identical
+to the daemon's GET /v1/diagnose data payload.
 
 generate --live writes the archive as a *growing* live run — appending
 and flushing --flush-every records per rank per round, sleeping
@@ -103,6 +119,7 @@ pub fn generate(argv: Vec<String>) -> Result<(), String> {
             "iterations",
             "seed",
             "outlier-rank",
+            "origin",
             "work",
             "flush-every",
             "delay-ms",
@@ -1136,6 +1153,66 @@ pub fn cluster(argv: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Decodes the diagnosis knobs (`--clusters/--cluster-threshold/
+/// --max-clusters`) through the shared codec the daemon's query
+/// parameters use too, so the CLI and HTTP dialects cannot drift.
+fn diagnose_options_of(args: &ParsedArgs) -> Result<DiagnoseOptions, String> {
+    let mut options = DiagnoseOptions::default();
+    for &key in DiagnoseOptions::KEYS {
+        match args.value(key) {
+            Some(v) => options.absorb(key, Some(v)),
+            None if args.has(key) => options.absorb(key, None),
+            None => continue,
+        }
+        .map_err(|e| format!("--{e}"))?;
+    }
+    Ok(options)
+}
+
+/// `perfvar diagnose <trace>` — automatic diagnosis: cluster-summarised
+/// heatmap plus cause-labelled findings.
+pub fn diagnose(argv: Vec<String>) -> Result<(), String> {
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &[
+            "clusters",
+            "cluster-threshold",
+            "max-clusters",
+            "function",
+            "multiplier",
+            "threads",
+            "read-buffer",
+        ],
+        flags: &["json", "in-memory", "partial", "no-mmap", "no-heatmap"],
+    };
+    let args = SPEC.parse(argv).map_err(|e| e.to_string())?;
+    let path = args.positional(0).ok_or("missing trace path")?;
+    let config = diagnose_options_of(&args)?.config();
+    let (meta, analysis) = if wants_out_of_core(path, &args) {
+        let result = analysis_of_path(path, &args)?;
+        (result.meta, result.analysis)
+    } else {
+        let trace = load_trace(path)?;
+        let analysis = analysis_of(&trace, &args)?;
+        (TraceMeta::of(&trace), analysis)
+    };
+    let diagnosis = diagnose_meta(&meta, &analysis, &config);
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&diagnosis)
+                .map_err(|e| format!("serialisation failed: {e}"))?
+        );
+        return Ok(());
+    }
+    if !args.has("no-heatmap") && !diagnosis.clusters.is_empty() {
+        let chart = cluster_heatmap(&meta, &analysis, &diagnosis, 64);
+        print!("{}", render_ansi(&chart, &AnsiOptions::default()));
+        println!();
+    }
+    print!("{}", diagnosis.render_text());
+    Ok(())
+}
+
 /// `perfvar slice <in> <out>` — crop a trace to a time window or to one
 /// segment (the paper's "record only the slow iteration" workflow).
 pub fn slice(argv: Vec<String>) -> Result<(), String> {
@@ -1749,6 +1826,39 @@ mod tests {
         cluster(argv(&[t.to_str().unwrap(), "--clusters", "2", "--json"])).unwrap();
         let err = cluster(argv(&[t.to_str().unwrap(), "--threshold", "abc"])).unwrap_err();
         assert!(err.contains("invalid"));
+    }
+
+    #[test]
+    fn diagnose_subcommand() {
+        let dir = tmp_dir("diagnose");
+        let t = dir.join("t.pvt");
+        let ts = t.to_str().unwrap();
+        generate(argv(&[
+            "desync-wave",
+            "--out",
+            ts,
+            "--ranks",
+            "8",
+            "--iterations",
+            "10",
+        ]))
+        .unwrap();
+        diagnose(argv(&[ts])).unwrap();
+        diagnose(argv(&[ts, "--no-heatmap"])).unwrap();
+        diagnose(argv(&[
+            ts,
+            "--clusters",
+            "2",
+            "--max-clusters",
+            "4",
+            "--json",
+        ]))
+        .unwrap();
+        // Bad knobs are rejected with the key named, via the shared codec.
+        let err = diagnose(argv(&[ts, "--cluster-threshold", "nope"])).unwrap_err();
+        assert!(err.contains("cluster-threshold"), "{err}");
+        let err = diagnose(argv(&[ts, "--max-clusters", "0"])).unwrap_err();
+        assert!(err.contains("max-clusters"), "{err}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! perfvar compare  <before> <after> [--threshold T] [--json]
 //! perfvar bisect   <known-good> <run1> … <runN> [--threshold T] [--reps N] [--json]
 //! perfvar cluster  <trace> [--clusters K] [--json]
+//! perfvar diagnose <trace> [--clusters K] [--max-clusters N] [--json]
 //! perfvar convert  <in> <out>
 //! perfvar serve    [--addr HOST:PORT] [--workers N] [--cache-entries N] [--cache-dir DIR]
 //! ```
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
         "compare" => commands::compare(rest),
         "bisect" => commands::bisect(rest),
         "cluster" => commands::cluster(rest),
+        "diagnose" => commands::diagnose(rest),
         "slice" => commands::slice(rest),
         "convert" => commands::convert(rest),
         "serve" => commands::serve(rest),

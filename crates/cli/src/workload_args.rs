@@ -3,8 +3,8 @@
 use crate::args::{ArgError, ParsedArgs};
 use perfvar_sim::workloads::Workload;
 use perfvar_sim::workloads::{
-    BalancedStencil, CosmoSpecs, CosmoSpecsFd4, GradualSlowdown, RandomImbalance, SingleOutlier,
-    Wrf,
+    BalancedStencil, CosmoSpecs, CosmoSpecsFd4, DesyncWave, GradualSlowdown, RandomImbalance,
+    SingleOutlier, Wrf,
 };
 use perfvar_sim::{simulate, AppSpec};
 use perfvar_trace::Trace;
@@ -18,6 +18,7 @@ pub const WORKLOAD_NAMES: &[&str] = &[
     "random",
     "gradual",
     "outlier",
+    "desync-wave",
 ];
 
 /// Builds the [`AppSpec`] of the named workload, honouring the generic
@@ -95,6 +96,18 @@ pub fn build_spec(name: &str, args: &ParsedArgs) -> Result<AppSpec, ArgError> {
             w.spec()
         }
         "gradual" => GradualSlowdown::new(ranks.unwrap_or(16), iterations.unwrap_or(50)).spec(),
+        "desync-wave" => {
+            let r = ranks.unwrap_or(16);
+            let origin: usize = args.parse_or("origin", r / 4)?;
+            let mut w = DesyncWave::new(r, iterations.unwrap_or(50), origin);
+            if let Some(s) = seed {
+                w.seed = s;
+            }
+            if let Some(t) = work {
+                w.work = t;
+            }
+            w.spec()
+        }
         "outlier" => {
             let r = ranks.unwrap_or(16);
             let outlier_rank: usize = args.parse_or("outlier-rank", r / 2)?;
@@ -129,7 +142,14 @@ mod tests {
     use crate::args::ArgSpec;
 
     const SPEC: ArgSpec = ArgSpec {
-        valued: &["ranks", "iterations", "seed", "outlier-rank", "work"],
+        valued: &[
+            "ranks",
+            "iterations",
+            "seed",
+            "outlier-rank",
+            "origin",
+            "work",
+        ],
         flags: &[],
     };
 

@@ -282,3 +282,133 @@ fn threads_zero_and_oversubscription_are_normalized() {
     assert!(out.status.success());
     assert!(out.stderr.is_empty(), "unexpected stderr");
 }
+
+/// Generates a workload through the binary, asserting success.
+fn generate_fixture(dir: &std::path::Path, name: &str, args: &[&str]) -> PathBuf {
+    let path = dir.join(format!("{name}.pvt"));
+    let mut argv = vec!["generate", args[0], "--out", path.to_str().unwrap()];
+    argv.extend_from_slice(&args[1..]);
+    let out = perfvar(&argv);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+/// Runs `perfvar diagnose … --json` and parses the Diagnosis document.
+fn diagnose_json(path: &std::path::Path, extra: &[&str]) -> serde_json::Value {
+    let mut argv = vec!["diagnose", path.to_str().unwrap(), "--json"];
+    argv.extend_from_slice(extra);
+    let out = perfvar(&argv);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    serde_json::from_slice(&out.stdout).expect("diagnose --json is valid JSON")
+}
+
+/// Golden findings: the cloudy CosmoSpecs ranks must surface as an
+/// overloaded cluster naming the dominant function, and the diagnosis
+/// must be byte-stable across thread counts.
+#[test]
+fn diagnose_golden_cosmo_overload() {
+    let dir = tmp_dir("diagnose-cosmo");
+    let trace = generate_fixture(
+        &dir,
+        "cosmo",
+        &["cosmo-specs", "--ranks", "100", "--iterations", "40"],
+    );
+
+    let doc = diagnose_json(&trace, &[]);
+    let top = &doc.get("findings").unwrap().as_array().unwrap()[0];
+    let kind = top.get("kind").unwrap();
+    assert!(
+        kind.get("OverloadedCluster").is_some(),
+        "top finding must be OverloadedCluster: {top:?}"
+    );
+    assert!(
+        top.get("description")
+            .and_then(|d| d.as_str())
+            .unwrap()
+            .contains("cosmo_specs_step"),
+        "the dominant function is named: {top:?}"
+    );
+    // The paper's cloudy ranks {44,45,54,55,64,65} all land in
+    // overload-labelled clusters, never in the baseline cluster.
+    let mut overloaded = Vec::new();
+    for cluster in doc.get("clusters").unwrap().as_array().unwrap() {
+        let cause = cluster.get("cause").and_then(|c| c.as_str()).unwrap();
+        if cause.contains("overload") {
+            for m in cluster.get("members").unwrap().as_array().unwrap() {
+                overloaded.push(m.as_u64().unwrap());
+            }
+        }
+    }
+    for rank in [44u64, 45, 54, 55, 64, 65] {
+        assert!(
+            overloaded.contains(&rank),
+            "rank {rank} not in {overloaded:?}"
+        );
+    }
+
+    // Bit-stable across parallelism: the JSON bytes must not depend on
+    // --threads.
+    let one = perfvar(&[
+        "diagnose",
+        trace.to_str().unwrap(),
+        "--json",
+        "--threads",
+        "1",
+    ]);
+    let four = perfvar(&[
+        "diagnose",
+        trace.to_str().unwrap(),
+        "--json",
+        "--threads",
+        "4",
+    ]);
+    assert!(one.status.success() && four.status.success());
+    assert_eq!(one.stdout, four.stdout, "diagnosis must be thread-stable");
+
+    // Text mode names the causes for humans.
+    let out = perfvar(&["diagnose", trace.to_str().unwrap(), "--no-heatmap"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("behaviour clusters"), "{text}");
+    assert!(text.contains("persistent computational overload"), "{text}");
+}
+
+/// Golden findings: the desync-wave workload is classified as a
+/// propagating wait front — not as static imbalance — with the seeded
+/// origin and start segment recovered exactly.
+#[test]
+fn diagnose_golden_desync_wave() {
+    let dir = tmp_dir("diagnose-wave");
+    let trace = generate_fixture(
+        &dir,
+        "wave",
+        &["desync-wave", "--ranks", "16", "--iterations", "20"],
+    );
+
+    let doc = diagnose_json(&trace, &[]);
+    let top = &doc.get("findings").unwrap().as_array().unwrap()[0];
+    let wait = top
+        .get("kind")
+        .and_then(|k| k.get("PropagatingWait"))
+        .unwrap_or_else(|| panic!("top finding must be PropagatingWait: {top:?}"));
+    // DesyncWave::new delays rank r/4 = 4 at iteration 20/4 = 5.
+    assert_eq!(wait.get("origin").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(wait.get("start_ordinal").and_then(|v| v.as_u64()), Some(5));
+    let wave = doc.get("wave").unwrap();
+    assert!(wave.get("fit").and_then(|v| v.as_f64()).unwrap() >= 0.8);
+    assert!(wave.get("affected").unwrap().as_array().unwrap().len() >= 8);
+
+    let out = perfvar(&["diagnose", trace.to_str().unwrap(), "--no-heatmap"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("idle wave: origin P4"), "{text}");
+    assert!(text.contains("launched the idle wave"), "{text}");
+}

@@ -193,3 +193,42 @@ fn serve_rejects_bad_invocations() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot bind"));
 }
+
+#[test]
+fn served_diagnosis_is_byte_identical_to_cli_json() {
+    let archive = fixture_archive("diagnose-parity");
+    let path = archive.to_str().unwrap();
+    // Shards are an implementation detail: the sharded daemon must hand
+    // the diagnosis layer the exact same analysis bytes.
+    let daemon = Daemon::spawn(&["--shards", "2"]);
+
+    for flags in [&[][..], &["--clusters", "2", "--max-clusters", "3"][..]] {
+        let mut argv = vec!["diagnose", path, "--json"];
+        argv.extend_from_slice(flags);
+        let cli = perfvar(&argv);
+        assert!(
+            cli.status.success(),
+            "{}",
+            String::from_utf8_lossy(&cli.stderr)
+        );
+        let cli_json = String::from_utf8(cli.stdout).unwrap();
+
+        let mut target = format!(
+            "/v1/diagnose?path={}",
+            perfvar_server::http::percent_encode(path)
+        );
+        if !flags.is_empty() {
+            target.push_str("&clusters=2&max-clusters=3");
+        }
+        let served = daemon.get(&target);
+        assert_eq!(served.status, 200, "{}", served.body);
+        let env = perfvar_server::client::parse_envelope(&served.body).unwrap();
+        assert!(env.ok, "{}", served.body);
+        let mut data_body = serde_json::to_string_pretty(&env.data).unwrap();
+        data_body.push('\n');
+        assert_eq!(
+            data_body, cli_json,
+            "served diagnosis must match `perfvar diagnose --json` byte for byte"
+        );
+    }
+}

@@ -29,7 +29,7 @@
 //! `detail` carries structured context when the error has any (rank +
 //! byte offset for `corrupt-stream`).
 //!
-//! * `GET /v1/analyze?path=P` — full [`Analysis`](perfvar_analysis::Analysis) JSON for the trace at
+//! * `GET /v1/analyze?path=P` — full [`Analysis`] JSON for the trace at
 //!   `P` (as `data`), matching `perfvar analyze P --json`. Optional
 //!   parameters: `function=NAME` (force the segmentation function),
 //!   `multiplier=K` (dominant-function invocation threshold),
@@ -42,6 +42,14 @@
 //! * `GET /v1/refine?path=P&steps=N` — the analysis after `N`
 //!   refinement steps into the dominant function's callees (`steps`
 //!   defaults to 1), mirroring `perfvar refine`.
+//! * `GET /v1/diagnose?path=P` — the automatic diagnosis for the trace
+//!   at `P` (as `data`): behaviour clusters with cause labels, the
+//!   propagating-wait front when one is detected, and the ranked
+//!   findings — byte-identical to `perfvar diagnose P --json`. Extra
+//!   knobs `clusters=K`, `cluster-threshold=T`, `max-clusters=N` go
+//!   through the same [`DiagnoseOptions`] codec the CLI flags use; the
+//!   underlying analysis comes from the content-addressed cache, so a
+//!   warm diagnosis decodes zero trace bytes.
 //! * `GET /v1/analyze/stream?path=P&interval=MS` — **server-sent
 //!   events** over a live (growing) archive: a chunked
 //!   `text/event-stream` of `delta` events (one per poll that moved,
@@ -87,8 +95,8 @@ use crate::store::{digest_hex, looks_like_digest, RunRecord, RunStore};
 use perfvar_analysis::live::LiveAnalysis;
 use perfvar_analysis::parallel::resolve_threads;
 use perfvar_analysis::{
-    analyze_path_sharded_observed, Analysis, AnalysisConfig, AnalysisOptions, RecoveryMode,
-    RunComparison, Telemetry, DEFAULT_NOISE_THRESHOLD,
+    analyze_path_sharded_observed, diagnose_analysis, Analysis, AnalysisConfig, AnalysisOptions,
+    DiagnoseOptions, RecoveryMode, RunComparison, Telemetry, DEFAULT_NOISE_THRESHOLD,
 };
 use perfvar_trace::format::cursor::ArchiveCursor;
 use perfvar_trace::format::digest::{constituent_files, digest_path};
@@ -416,6 +424,20 @@ fn options_of(req: &Request) -> Result<AnalysisOptions, ServeError> {
     Ok(options)
 }
 
+/// Decodes the diagnosis knobs (`clusters`, `cluster-threshold`,
+/// `max-clusters`) out of the query through the one [`DiagnoseOptions`]
+/// codec the CLI flags use. Unowned keys pass through untouched.
+fn diagnose_options_of(req: &Request) -> Result<DiagnoseOptions, ServeError> {
+    let mut options = DiagnoseOptions::default();
+    for (key, value) in &req.query {
+        let value = (!value.is_empty()).then_some(value.as_str());
+        options
+            .absorb(key, value)
+            .map_err(|e| ServeError::new(400, "bad-request", e.to_string()))?;
+    }
+    Ok(options)
+}
+
 /// The config + recovery mode a request's query describes.
 fn config_of(req: &Request) -> Result<(AnalysisConfig, RecoveryMode), ServeError> {
     let options = options_of(req)?;
@@ -644,6 +666,33 @@ impl ServerState {
             .map_err(|m| ServeError::new(500, "internal", m))
     }
 
+    /// The `GET /v1/diagnose` handler: run (or reuse) the analysis for
+    /// `path=…` through the content-addressed cache, then diagnose it —
+    /// clustering, cause labels, wave detection. The diagnosis itself is
+    /// pure post-processing of the cached [`Analysis`], so a warm
+    /// request decodes zero trace bytes; the body is byte-identical to
+    /// `perfvar diagnose <path> --json`.
+    fn diagnose(&self, req: &Request) -> Result<String, ServeError> {
+        let params = params_of(req, false)?;
+        let config = diagnose_options_of(req)?.config();
+        let entry = self.entry_for(&params)?;
+        let analysis: Analysis = serde_json::from_str(&entry.body).map_err(|e| {
+            ServeError::new(500, "internal", format!("cached analysis unreadable: {e}"))
+        })?;
+        let function = entry
+            .functions
+            .get(analysis.function.index())
+            .cloned()
+            .unwrap_or_else(|| format!("fn#{}", analysis.function.index()));
+        let counter_names: Vec<String> =
+            entry.metrics.iter().map(|(name, _)| name.clone()).collect();
+        let diagnosis = diagnose_analysis(&analysis, &function, &counter_names, &config);
+        let mut body = serde_json::to_string_pretty(&diagnosis)
+            .map_err(|e| ServeError::new(500, "internal", format!("serialisation failed: {e}")))?;
+        body.push('\n');
+        Ok(body)
+    }
+
     /// Cache → singleflight → pipeline. Returns the entry and whether
     /// this request actually ran an analysis (for logging/tests).
     fn entry_for(&self, params: &AnalyzeParams) -> Result<Arc<CachedResult>, ServeError> {
@@ -698,6 +747,7 @@ impl ServerState {
                 Ok(body)
             }
             "/compare" => self.compare(req),
+            "/diagnose" => self.diagnose(req),
             "/runs" => self.list_runs(),
             "/runs/register" => self.register_run(req),
             "/analyze" | "/refine" => {
@@ -763,7 +813,17 @@ impl ServerState {
             Some(rest) if rest.starts_with('/') => (true, rest.to_string()),
             _ => (false, req.path.clone()),
         };
-        let outcome = self.respond(&req, &path);
+        // `/diagnose` is the first post-`/v1` endpoint: it has no
+        // pre-`/v1` shape to shim, so the bare path stays a 404.
+        let outcome = if !versioned && path == "/diagnose" {
+            Err(ServeError::new(
+                404,
+                "not-found",
+                "no such endpoint: /diagnose — use /v1/diagnose",
+            ))
+        } else {
+            self.respond(&req, &path)
+        };
         let _ = if versioned {
             match outcome.and_then(|raw| envelope_ok(&raw)) {
                 Ok(body) => write_response(&stream, 200, &body),

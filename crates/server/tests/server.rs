@@ -702,6 +702,59 @@ fn archives_with_literal_plus_in_the_path_are_servable() {
 }
 
 #[test]
+fn v1_diagnose_serves_cause_labelled_clusters_from_the_cache() {
+    let dir = tmp("diagnose");
+    let trace = write_fixture(&dir, 6);
+    let (handle, addr) = spawn(ServeOptions::default());
+    let target = format!(
+        "/v1/diagnose?path={}",
+        percent_encode(trace.to_str().unwrap())
+    );
+
+    let cold = client::get(&addr, &target).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    let env = client::parse_envelope(&cold.body).unwrap();
+    assert!(env.ok, "{}", cold.body);
+    let clusters = env.data.get("clusters").and_then(|c| c.as_array()).unwrap();
+    assert!(!clusters.is_empty(), "{}", cold.body);
+    for cluster in clusters {
+        let cause = cluster.get("cause").and_then(|c| c.as_str()).unwrap();
+        assert!(!cause.is_empty(), "every cluster carries a cause label");
+    }
+    assert!(env.data.get("findings").is_some(), "{}", cold.body);
+    let after_cold = stats_of(&addr).totals;
+    assert!(after_cold.events_replayed > 0);
+
+    // Warm: the diagnosis is pure post-processing of the cached
+    // analysis, so the pipeline counters must not move at all.
+    let warm = client::get(&addr, &target).unwrap();
+    assert_eq!(warm.status, 200, "{}", warm.body);
+    assert_eq!(warm.body, cold.body, "diagnosis must be deterministic");
+    let after_warm = stats_of(&addr).totals;
+    assert_eq!(after_warm.events_replayed, after_cold.events_replayed);
+    assert_eq!(after_warm.bytes_decoded, after_cold.bytes_decoded);
+
+    // The knobs go through the shared codec: bad values are typed 400s
+    // naming the key, and max-clusters caps the summary.
+    let bad = client::get(&addr, &format!("{target}&max-clusters=0")).unwrap();
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    let env = client::parse_envelope(&bad.body).unwrap();
+    assert!(env.message.contains("max-clusters"), "{}", bad.body);
+    let capped = client::get(&addr, &format!("{target}&max-clusters=2")).unwrap();
+    assert_eq!(capped.status, 200, "{}", capped.body);
+    let env = client::parse_envelope(&capped.body).unwrap();
+    let capped_clusters = env.data.get("clusters").and_then(|c| c.as_array()).unwrap();
+    assert!(capped_clusters.len() <= 2);
+
+    // /diagnose is /v1-only: no pre-/v1 daemon ever served it, so the
+    // bare path is a 404, not a deprecation shim.
+    let bare = client::get(&addr, &target["/v1".len()..]).unwrap();
+    assert_eq!(bare.status, 404, "{}", bare.body);
+
+    handle.shutdown();
+}
+
+#[test]
 fn stats_reports_the_pipeline_shape() {
     let dir = tmp("stats");
     let trace = write_fixture(&dir, 5);

@@ -1,0 +1,209 @@
+//! Desynchronisation ("idle") waves in a ring of ranks, after Afzal et
+//! al. (arXiv 2205.13963).
+//!
+//! Each rank runs a balanced compute step and then exchanges a halo with
+//! its ring neighbours: an eager send to the right, a blocking receive
+//! from the left. A one-off compute delay injected on the `origin` rank
+//! makes its send late; the right neighbour blocks in `MPI_Recv` for the
+//! delay, finishes its iteration late, and passes the lateness on — the
+//! idle wave travels **one rank per iteration** in the direction of data
+//! flow while every rank's *compute* load stays perfectly balanced.
+//!
+//! This is the scenario SOS-time handles very differently from static
+//! imbalance: the SOS matrix is flat except for the origin's single hot
+//! segment, and the wave is visible only in the *synchronisation* time
+//! (`duration − SOS`) as a diagonal front in (rank, ordinal) space.
+//! Static-imbalance detection sees nothing to blame on the blocked
+//! ranks; a diagnosis must recognise the propagating front instead.
+
+use super::{jitter, Workload};
+use crate::params::CommParams;
+use crate::program::Program;
+use crate::spec::{AppSpec, SpecBuilder};
+use perfvar_trace::{Clock, FunctionRole};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the desynchronisation-wave workload.
+#[derive(Clone, Debug)]
+pub struct DesyncWave {
+    /// Number of ranks in the ring.
+    pub ranks: usize,
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Balanced compute ticks per iteration.
+    pub work: u64,
+    /// The rank whose one-off delay starts the wave.
+    pub origin: usize,
+    /// The iteration in which the delay strikes.
+    pub delay_iteration: usize,
+    /// Delay length as a multiple of `work`.
+    pub delay_factor: f64,
+    /// Halo bytes exchanged with each neighbour per iteration.
+    pub bytes: u64,
+    /// Multiplicative compute jitter.
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DesyncWave {
+    /// A wave started by an 8× `work` delay on `origin` early in the run.
+    pub fn new(ranks: usize, iterations: usize, origin: usize) -> DesyncWave {
+        DesyncWave {
+            ranks,
+            iterations,
+            work: 10_000,
+            origin,
+            delay_iteration: (iterations / 4).min(iterations.saturating_sub(1)),
+            delay_factor: 8.0,
+            bytes: 4_096,
+            jitter: 0.01,
+            seed: 7_177,
+        }
+    }
+
+    /// Length of the injected one-off delay in ticks.
+    pub fn delay_ticks(&self) -> u64 {
+        (self.work as f64 * self.delay_factor).round() as u64
+    }
+
+    /// Forward ring distance from the origin to `rank`.
+    pub fn ring_distance(&self, rank: usize) -> usize {
+        (rank + self.ranks - self.origin % self.ranks) % self.ranks
+    }
+
+    /// The iteration in which `rank` is expected to block on the late
+    /// halo — the ground truth for detection tests. The wave leaves the
+    /// origin at `delay_iteration` and advances one rank per iteration;
+    /// `None` for the origin itself (it computes the delay rather than
+    /// waiting it out) and for ranks the wave does not reach in time.
+    pub fn expected_block_iteration(&self, rank: usize) -> Option<usize> {
+        let k = self.ring_distance(rank);
+        if k == 0 {
+            return None;
+        }
+        let ordinal = self.delay_iteration + k - 1;
+        (ordinal < self.iterations).then_some(ordinal)
+    }
+}
+
+impl Workload for DesyncWave {
+    fn name(&self) -> &str {
+        "desync-wave"
+    }
+
+    fn spec(&self) -> AppSpec {
+        let mut b = SpecBuilder::new(
+            self.name(),
+            Clock::microseconds(),
+            CommParams::cluster_defaults(),
+        );
+        let main_f = b.function("main", FunctionRole::Compute);
+        let step_f = b.function("wave_iteration", FunctionRole::Compute);
+        let calc_f = b.function("relax_cells", FunctionRole::Compute);
+        let send_f = b.function("MPI_Send", FunctionRole::MpiPointToPoint);
+        let recv_f = b.function("MPI_Recv", FunctionRole::MpiPointToPoint);
+        let n = self.ranks as u32;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        for rank in 0..self.ranks {
+            let mut p = Program::new();
+            p.enter(main_f);
+            for iter in 0..self.iterations {
+                let mut load = jitter(self.work, self.jitter, rng.gen::<f64>());
+                if rank == self.origin % self.ranks && iter == self.delay_iteration {
+                    load += self.delay_ticks();
+                }
+                p.enter(step_f);
+                p.region_compute(calc_f, load);
+                if self.ranks > 1 {
+                    // Eager send right, blocking receive from the left:
+                    // the receive is where lateness is inherited.
+                    let right = (rank as u32 + 1) % n;
+                    let left = (rank as u32 + n - 1) % n;
+                    p.send(send_f, right, iter as u32, self.bytes);
+                    p.recv(recv_f, left, iter as u32, self.bytes);
+                }
+                p.leave(step_f);
+            }
+            p.leave(main_f);
+            b.add_rank(p);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use perfvar_trace::ProcessId;
+
+    #[test]
+    fn wave_simulates_and_is_deterministic() {
+        let w = DesyncWave::new(6, 8, 2);
+        let a = simulate(&w.spec()).unwrap();
+        let b = simulate(&w.spec()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.num_processes(), 6);
+    }
+
+    #[test]
+    fn ground_truth_ordinals_advance_one_rank_per_iteration() {
+        let w = DesyncWave::new(8, 12, 3);
+        assert_eq!(w.expected_block_iteration(3), None); // origin
+        assert_eq!(w.expected_block_iteration(4), Some(w.delay_iteration));
+        assert_eq!(w.expected_block_iteration(5), Some(w.delay_iteration + 1));
+        assert_eq!(w.expected_block_iteration(2), Some(w.delay_iteration + 6));
+        // Too far for the run length → never blocks.
+        let short = DesyncWave::new(8, 4, 0);
+        assert_eq!(short.expected_block_iteration(7), None);
+    }
+
+    /// The physics the diagnosis relies on: the iteration *durations*
+    /// spike along the propagating front while compute stays balanced.
+    #[test]
+    fn blocked_iterations_run_long_on_schedule() {
+        let w = DesyncWave::new(5, 9, 1);
+        let trace = simulate(&w.spec()).unwrap();
+        let reg = trace.registry();
+        let step = reg.function_by_name("wave_iteration").unwrap();
+        // Per rank, find the longest wave_iteration invocation by
+        // replaying enter/leave pairs of the step function.
+        for rank in 0..5usize {
+            let mut longest = (0usize, 0u64);
+            let mut ordinal = 0usize;
+            let mut entered = None;
+            for ev in trace.stream(ProcessId::from_index(rank)).iter() {
+                use perfvar_trace::Event;
+                match ev.event {
+                    Event::Enter { function } if function == step => entered = Some(ev.time.0),
+                    Event::Leave { function } if function == step => {
+                        let d = ev.time.0 - entered.take().unwrap();
+                        if d > longest.1 {
+                            longest = (ordinal, d);
+                        }
+                        ordinal += 1;
+                    }
+                    _ => {}
+                }
+            }
+            let expected = match w.expected_block_iteration(rank) {
+                Some(o) => o,
+                None => w.delay_iteration, // the origin's own delayed step
+            };
+            assert_eq!(longest.0, expected, "rank {rank}: {longest:?}");
+            assert!(
+                longest.1 > w.work + w.delay_ticks() / 2,
+                "rank {rank}: longest {longest:?} not wave-sized"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_ring_degenerates_gracefully() {
+        let w = DesyncWave::new(1, 4, 0);
+        let trace = simulate(&w.spec()).unwrap();
+        assert_eq!(trace.num_processes(), 1);
+    }
+}

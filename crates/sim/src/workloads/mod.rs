@@ -15,11 +15,13 @@
 
 mod cosmo_specs;
 mod cosmo_specs_fd4;
+mod desync_wave;
 pub mod synthetic;
 mod wrf;
 
 pub use cosmo_specs::CosmoSpecs;
 pub use cosmo_specs_fd4::CosmoSpecsFd4;
+pub use desync_wave::DesyncWave;
 pub use synthetic::{BalancedStencil, GradualSlowdown, RandomImbalance, SingleOutlier};
 pub use wrf::Wrf;
 

@@ -23,7 +23,7 @@
 //! mode); [`ArchiveTail`] is the consumer half — a poll-driven reader
 //! that decodes only newly appended bytes, validates them with the same
 //! shared `decode_event`/`check_event` machinery as the cursors, keeps a
-//! rolling [`PrefixDigest`](super::digest::PrefixDigest), and
+//! rolling [`PrefixDigest`], and
 //! distinguishes *"a record is still in flight"* (wait) from *"the run
 //! is sealed but a stream ends mid-record"* (typed
 //! [`TraceError::CorruptStream`] with rank and byte offset).

@@ -6,8 +6,8 @@
 //! builders produce the chart types used by the paper's figures.
 
 use crate::color::{Color, ColorScale, FunctionPalette, HeatScale};
-use perfvar_analysis::{Analysis, CounterMatrix};
-use perfvar_trace::{Clock, Event, FunctionId, ProcessId, Timestamp, Trace};
+use perfvar_analysis::{Analysis, CounterMatrix, Diagnosis};
+use perfvar_trace::{Clock, Event, FunctionId, ProcessId, Timestamp, Trace, TraceMeta};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -319,6 +319,90 @@ pub fn sos_heatmap_with(
     }
 }
 
+/// Builds the cluster-summarised SOS heatmap: **one row per behaviour
+/// cluster** of a [`Diagnosis`], showing the representative rank's
+/// segments on the same cold→hot scale as [`sos_heatmap`]. This is what
+/// makes 10k–100k-rank runs readable — the diagnosis caps the cluster
+/// count, so the chart height is bounded no matter the rank count, and
+/// the row label carries the cluster size and the spread band (the
+/// relative stddev of the members' total SOS) so summarisation never
+/// hides how tight a cluster is.
+///
+/// Works from [`TraceMeta`] rather than a full trace: the diagnose path
+/// is out-of-core and never materialises the events.
+pub fn cluster_heatmap(
+    meta: &TraceMeta,
+    analysis: &Analysis,
+    diagnosis: &Diagnosis,
+    max_spans_per_row: usize,
+) -> TimelineChart {
+    let scale = ColorScale::from_values(analysis.sos.iter_sos().map(|(_, _, v)| v.0 as f64));
+    let rows = diagnosis
+        .clusters
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let rep = c.representative;
+            let segments = analysis.segmentation.process(rep);
+            let spans = if segments.len() <= max_spans_per_row.max(1) {
+                segments
+                    .iter()
+                    .map(|s| Span {
+                        start: s.enter,
+                        end: s.leave,
+                        color: scale.heat(s.sos().0 as f64),
+                    })
+                    .collect()
+            } else {
+                // Same keep-max downsampling as the per-rank heatmap:
+                // hot cells survive any zoom level.
+                let per_bucket = segments.len().div_ceil(max_spans_per_row.max(1));
+                segments
+                    .chunks(per_bucket)
+                    .map(|chunk| {
+                        let hottest = chunk.iter().map(|s| s.sos().0).max().unwrap_or(0);
+                        Span {
+                            start: chunk.first().unwrap().enter,
+                            end: chunk.last().unwrap().leave,
+                            color: scale.heat(hottest as f64),
+                        }
+                    })
+                    .collect()
+            };
+            let band = if c.spread.mean > 0.0 {
+                format!(" ±{:.0}%", c.spread.stddev / c.spread.mean * 100.0)
+            } else {
+                String::new()
+            };
+            Row {
+                label: format!("c{i} ×{} {rep}{band}", c.members.len()),
+                spans,
+            }
+        })
+        .collect();
+    let clock = meta.clock;
+    TimelineChart {
+        title: format!("Cluster SOS-time — {}", meta.name),
+        subtitle: format!(
+            "{} processes in {} behaviour cluster(s); segments = invocations of {:?}",
+            diagnosis.num_processes,
+            diagnosis.clusters.len(),
+            diagnosis.function
+        ),
+        clock,
+        begin: meta.begin,
+        end: meta.end,
+        rows,
+        messages: Vec::new(),
+        legend: Vec::new(),
+        scale: Some(ScaleLegend {
+            min_label: clock.format_duration(perfvar_trace::DurationTicks(scale.min as u64)),
+            max_label: clock.format_duration(perfvar_trace::DurationTicks(scale.max as u64)),
+            quantity: "SOS-time".to_string(),
+        }),
+    }
+}
+
 /// Builds a counter heatmap (Fig. 6(c)): segments coloured by the
 /// attributed value of `counter`.
 pub fn counter_heatmap(
@@ -443,6 +527,67 @@ mod tests {
             }
         }
         assert_eq!(best.unwrap().0, 1);
+    }
+
+    #[test]
+    fn cluster_heatmap_draws_one_row_per_cluster() {
+        use perfvar_analysis::{diagnose_meta, DiagnoseConfig};
+        let mut w = workloads::CosmoSpecs::small(4, 4, 8);
+        w.cloud_amplitude = 6.0;
+        let trace = simulate(&w.spec()).unwrap();
+        let analysis = analyze(&trace, &AnalysisConfig::default()).unwrap();
+        let meta = perfvar_trace::TraceMeta::of(&trace);
+        let diagnosis = diagnose_meta(&meta, &analysis, &DiagnoseConfig::default());
+        let chart = cluster_heatmap(&meta, &analysis, &diagnosis, 8);
+        assert_eq!(chart.rows.len(), diagnosis.clusters.len());
+        assert!(chart.rows.len() < 16, "clusters must summarise the ranks");
+        // Labels carry cluster size and representative.
+        assert!(
+            chart.rows[0].label.starts_with("c0 ×"),
+            "{}",
+            chart.rows[0].label
+        );
+        assert!(chart.rows[0].label.contains('P'));
+        // Row budget honoured, scale legend present.
+        for row in &chart.rows {
+            assert!(row.spans.len() <= 8);
+            assert!(!row.spans.is_empty());
+        }
+        assert_eq!(chart.scale.as_ref().unwrap().quantity, "SOS-time");
+        // The hot (cloudy) cluster's row contains the warmest span.
+        let hot_row = diagnosis
+            .clusters
+            .iter()
+            .position(|c| c.cause.contains("overload"))
+            .expect("no overloaded cluster");
+        let mut best: Option<(usize, i32)> = None;
+        for (i, row) in chart.rows.iter().enumerate() {
+            for s in &row.spans {
+                let warmth = s.color.r as i32 - s.color.b as i32;
+                if best.is_none() || warmth > best.unwrap().1 {
+                    best = Some((i, warmth));
+                }
+            }
+        }
+        assert_eq!(best.unwrap().0, hot_row);
+    }
+
+    #[test]
+    fn cluster_heatmap_caps_rows_at_scale() {
+        use perfvar_analysis::{diagnose_meta, DiagnoseConfig};
+        let trace = simulate(&workloads::RandomImbalance::new(48, 5).spec()).unwrap();
+        let analysis = analyze(&trace, &AnalysisConfig::default()).unwrap();
+        let meta = perfvar_trace::TraceMeta::of(&trace);
+        let diagnosis = diagnose_meta(
+            &meta,
+            &analysis,
+            &DiagnoseConfig {
+                max_clusters: 6,
+                ..DiagnoseConfig::default()
+            },
+        );
+        let chart = cluster_heatmap(&meta, &analysis, &diagnosis, 960);
+        assert!(chart.rows.len() <= 6, "{} rows", chart.rows.len());
     }
 
     #[test]

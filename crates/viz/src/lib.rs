@@ -46,8 +46,8 @@ pub mod svg;
 pub mod prelude {
     pub use crate::ansi::{render_ansi, AnsiOptions};
     pub use crate::chart::{
-        counter_heatmap, function_timeline, sos_heatmap, sos_heatmap_with, TimelineChart,
-        TimelineOptions,
+        cluster_heatmap, counter_heatmap, function_timeline, sos_heatmap, sos_heatmap_with,
+        TimelineChart, TimelineOptions,
     };
     pub use crate::color::{Color, ColorScale, FunctionPalette, HeatScale};
     pub use crate::html::{HtmlReport, ReportSection};
@@ -61,7 +61,7 @@ pub mod prelude {
 }
 
 pub use ansi::{render_ansi, AnsiOptions};
-pub use chart::{counter_heatmap, function_timeline, sos_heatmap, TimelineChart};
+pub use chart::{cluster_heatmap, counter_heatmap, function_timeline, sos_heatmap, TimelineChart};
 pub use color::{Color, ColorScale, FunctionPalette, HeatScale};
 pub use live::{render_live, LiveViewOptions};
 pub use svg::{render_svg, SvgOptions};

@@ -1,7 +1,7 @@
 //! Incremental terminal view of a live run.
 //!
 //! [`render_live`] turns the current state of a
-//! [`LiveAnalysis`](perfvar_analysis::live::LiveAnalysis) into one
+//! [`LiveAnalysis`] into one
 //! repaintable text frame: a per-rank stats table whose right side is
 //! an SOS heatmap strip over each rank's most recent closed segments,
 //! followed by the hottest functions so far. `perfvar watch` clears the
